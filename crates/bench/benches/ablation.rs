@@ -1,0 +1,85 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! forced reinsertion on/off, in-memory vs MVBT-backed (disk) TIAs, and
+//! build cost per grouping strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use knnta_bench::{load, BenchConfig};
+use knnta_core::{Grouping, IndexConfig};
+use std::hint::black_box;
+
+fn bench_config() -> BenchConfig {
+    BenchConfig {
+        scale: 0.005,
+        queries: 32,
+        ..Default::default()
+    }
+}
+
+/// R* forced reinsertion: query latency with and without it.
+fn forced_reinsert(c: &mut Criterion) {
+    let config = bench_config();
+    let data = load(&lbsn::gs(), &config);
+    let mut group = c.benchmark_group("forced_reinsert");
+    for (label, reinsert) in [("on", true), ("off", false)] {
+        let index = data.index_with(IndexConfig {
+            grouping: Grouping::TarIntegral,
+            node_size: 1024,
+            forced_reinsert: reinsert,
+        });
+        let queries = data.queries(config.queries, 10, 0.3, config.seed);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &queries, |b, queries| {
+            b.iter(|| {
+                for q in queries {
+                    black_box(index.query(q));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// TIA backend: aggregates from the in-memory series vs the disk-resident
+/// multi-version B-tree (10 buffer slots, as in the paper's setup).
+fn tia_backend(c: &mut Criterion) {
+    let config = bench_config();
+    let data = load(&lbsn::gs(), &config);
+    let index = data.index(Grouping::TarIntegral);
+    let tias = index.materialize_disk_tias(1024, 10);
+    let queries = data.queries(config.queries, 10, 0.3, config.seed);
+    let mut group = c.benchmark_group("tia_backend");
+    group.sample_size(20);
+    group.bench_function("memory", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(index.query(q));
+            }
+        })
+    });
+    group.bench_function("mvbt_disk", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(index.query_with_disk_tias(q, &tias));
+            }
+        })
+    });
+    group.finish();
+}
+
+/// Index build time per grouping strategy.
+fn build(c: &mut Criterion) {
+    let config = bench_config();
+    let data = load(&lbsn::gs(), &config);
+    let mut group = c.benchmark_group("build");
+    group.sample_size(10);
+    for grouping in [Grouping::TarIntegral, Grouping::IndSpa, Grouping::IndAgg] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{grouping}")),
+            &grouping,
+            |b, &grouping| b.iter(|| black_box(data.index(grouping))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, forced_reinsert, tia_backend, build);
+criterion_main!(benches);

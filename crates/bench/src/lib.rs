@@ -1,0 +1,303 @@
+//! Shared plumbing for the experiment harness that regenerates every table
+//! and figure of the paper's evaluation (Section 8).
+//!
+//! The entry point is the `repro` binary (`cargo run -p knnta-bench
+//! --release --bin repro -- <experiment>`); Criterion micro-benchmarks live
+//! in `benches/`. Everything here is deterministic under a seed.
+
+#![warn(missing_docs)]
+
+use knnta_core::{Grouping, IndexConfig, KnntaQuery, Poi, ScanBaseline, TarIndex};
+use lbsn::{DatasetSpec, IntervalAnchor, LbsnDataset, Workload};
+use rtree::Rect;
+use std::time::Instant;
+use tempora::{AggregateSeries, PoiId, TimeInterval};
+
+/// A generated dataset plus its full-time snapshot, ready for indexing.
+pub struct BenchData {
+    /// The generated dataset.
+    pub dataset: LbsnDataset,
+    /// `(id, position, series)` for every POI alive at `tc`.
+    pub snapshot: Vec<(PoiId, [f64; 2], AggregateSeries)>,
+}
+
+/// Experiment-wide knobs (scale, workload size, seeds).
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Dataset scale (1.0 = the paper's size); 0 = per-dataset default.
+    pub scale: f64,
+    /// Queries per measurement (the paper uses 1000).
+    pub queries: usize,
+    /// Epoch length in days (the paper's default is 7).
+    pub epoch_days: i64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Bootstrap replicates for Table 2's p-value.
+    pub bootstrap: usize,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            scale: 0.0,
+            queries: 200,
+            epoch_days: 7,
+            seed: 20_260_704,
+            bootstrap: 25,
+        }
+    }
+}
+
+impl BenchConfig {
+    /// The effective scale for `spec` (per-dataset defaults keep the suite
+    /// laptop-sized while staying in the paper's regime).
+    pub fn scale_for(&self, spec: &DatasetSpec) -> f64 {
+        if self.scale > 0.0 {
+            return self.scale;
+        }
+        match spec.name {
+            "GW" => 0.02,
+            "GS" => 0.05,
+            _ => 0.10, // NYC, LA
+        }
+    }
+}
+
+/// Generates a dataset and its snapshot.
+pub fn load(spec: &DatasetSpec, config: &BenchConfig) -> BenchData {
+    let dataset = spec.generate(config.scale_for(spec), config.epoch_days, config.seed);
+    let snapshot = dataset.snapshot(dataset.grid.len());
+    BenchData { dataset, snapshot }
+}
+
+impl BenchData {
+    /// The data-space bounds as a rect.
+    pub fn bounds(&self) -> Rect<2> {
+        Rect::new(self.dataset.bounds.0, self.dataset.bounds.1)
+    }
+
+    /// Builds an index over the snapshot.
+    pub fn index(&self, grouping: Grouping) -> TarIndex {
+        self.index_with(IndexConfig::with_grouping(grouping))
+    }
+
+    /// Builds an index with an explicit config.
+    pub fn index_with(&self, config: IndexConfig) -> TarIndex {
+        TarIndex::build(
+            config,
+            self.dataset.grid.clone(),
+            self.bounds(),
+            self.snapshot
+                .iter()
+                .map(|(id, pos, s)| (Poi { id: *id, pos: *pos }, s.clone())),
+        )
+    }
+
+    /// Builds an index over a time-prefix snapshot (the Figure 8 growth
+    /// experiment).
+    pub fn index_at_fraction(&self, grouping: Grouping, fraction: f64) -> TarIndex {
+        TarIndex::build(
+            IndexConfig::with_grouping(grouping),
+            self.dataset.grid.clone(),
+            self.bounds(),
+            self.dataset
+                .snapshot_at(fraction)
+                .into_iter()
+                .map(|(id, pos, s)| (Poi { id, pos }, s)),
+        )
+    }
+
+    /// Builds the sequential-scan baseline.
+    pub fn baseline(&self) -> ScanBaseline {
+        ScanBaseline::build(
+            self.dataset.grid.clone(),
+            self.bounds(),
+            self.snapshot
+                .iter()
+                .map(|(id, pos, s)| (Poi { id: *id, pos: *pos }, s.clone())),
+        )
+    }
+
+    /// A workload of `(point, interval)` pairs (Section 8's distribution).
+    pub fn workload(&self, count: usize, seed: u64) -> Workload {
+        Workload::generate(&self.dataset, count, IntervalAnchor::Random, seed)
+    }
+
+    /// Fully-specified queries from a workload.
+    pub fn queries(&self, count: usize, k: usize, alpha0: f64, seed: u64) -> Vec<KnntaQuery> {
+        self.workload(count, seed)
+            .queries
+            .iter()
+            .map(|&(p, iv)| KnntaQuery::new(p, iv).with_k(k).with_alpha0(alpha0))
+            .collect()
+    }
+}
+
+/// Averages per query for one measured configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Measurement {
+    /// Mean CPU time per query in milliseconds.
+    pub cpu_ms: f64,
+    /// Mean node accesses per query.
+    pub node_accesses: f64,
+    /// Mean *leaf* node accesses per query (Section 6.3's unit).
+    pub leaf_accesses: f64,
+    /// Mean `f(pk)` (score of the k-th hit) over queries that returned `k`
+    /// results.
+    pub fpk: f64,
+}
+
+/// Runs `queries` against `index` and averages the costs.
+pub fn measure_index(index: &TarIndex, queries: &[KnntaQuery]) -> Measurement {
+    index.stats().reset();
+    let mut fpk_sum = 0.0;
+    let mut fpk_n = 0usize;
+    let t0 = Instant::now();
+    for q in queries {
+        let hits = index.query(q);
+        if hits.len() == q.k {
+            fpk_sum += hits.last().expect("k >= 1").score;
+            fpk_n += 1;
+        }
+    }
+    let elapsed = t0.elapsed();
+    let n = queries.len().max(1) as f64;
+    Measurement {
+        cpu_ms: elapsed.as_secs_f64() * 1e3 / n,
+        node_accesses: index.stats().node_accesses() as f64 / n,
+        leaf_accesses: index.stats().leaf_node_accesses() as f64 / n,
+        fpk: if fpk_n > 0 { fpk_sum / fpk_n as f64 } else { 0.0 },
+    }
+}
+
+/// Runs `queries` against the scan baseline (CPU time only — it touches no
+/// index nodes).
+pub fn measure_baseline(baseline: &ScanBaseline, queries: &[KnntaQuery]) -> Measurement {
+    let t0 = Instant::now();
+    for q in queries {
+        let _ = baseline.query(q);
+    }
+    let n = queries.len().max(1) as f64;
+    Measurement {
+        cpu_ms: t0.elapsed().as_secs_f64() * 1e3 / n,
+        ..Default::default()
+    }
+}
+
+/// Per-POI aggregates over one interval (parameterises the cost model).
+pub fn aggregates_over(baseline: &ScanBaseline, interval: TimeInterval) -> Vec<u64> {
+    baseline
+        .score_all(&KnntaQuery::new([0.0, 0.0], interval).with_k(1))
+        .iter()
+        .map(|h| h.aggregate)
+        .collect()
+}
+
+/// Simple fixed-width table printer for the experiment output.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("{}", line(&self.header));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1)))
+        );
+        for row in &self.rows {
+            println!("{}", line(row));
+        }
+    }
+}
+
+/// Formats a float with sensible precision for tables.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_and_measure_smoke() {
+        let config = BenchConfig {
+            scale: 0.002,
+            queries: 5,
+            ..Default::default()
+        };
+        let data = load(&lbsn::gs(), &config);
+        assert!(!data.snapshot.is_empty());
+        let index = data.index(Grouping::TarIntegral);
+        let queries = data.queries(5, 10, 0.3, 1);
+        let m = measure_index(&index, &queries);
+        assert!(m.node_accesses >= 1.0);
+        assert!(m.leaf_accesses <= m.node_accesses);
+        let baseline = data.baseline();
+        let mb = measure_baseline(&baseline, &queries);
+        assert!(mb.cpu_ms >= 0.0);
+    }
+
+    #[test]
+    fn growth_index_smoke() {
+        let config = BenchConfig {
+            scale: 0.002,
+            ..Default::default()
+        };
+        let data = load(&lbsn::gs(), &config);
+        let early = data.index_at_fraction(Grouping::IndSpa, 0.2);
+        let full = data.index_at_fraction(Grouping::IndSpa, 1.0);
+        assert!(early.len() <= full.len());
+    }
+
+    #[test]
+    fn table_prints() {
+        let mut t = Table::new(&["k", "value"]);
+        t.row(vec!["1".into(), fmt(0.123456)]);
+        t.row(vec!["10".into(), fmt(123.456)]);
+        t.print();
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(0.5), "0.500");
+        assert_eq!(fmt(42.0), "42.00");
+        assert_eq!(fmt(420.0), "420");
+    }
+}

@@ -1,0 +1,269 @@
+//! The IND-agg entry grouping strategy: group by aggregate-distribution
+//! similarity (Section 5.1 of the paper).
+
+use rtree::{EntryView, GroupingStrategy};
+use tempora::AggregateSeries;
+
+/// Groups entries by the Manhattan distance between their aggregate
+/// distributions, ignoring spatial extents entirely.
+///
+/// * **Choose subtree**: "when a POI is added, we insert the POI into the
+///   node that has the smallest distance to it" — the child entry whose
+///   series is Manhattan-closest to the new entry's series.
+/// * **Split**: "redistribute the entries such that the distance between the
+///   two new nodes is maximized" — seed the two groups with the pair of
+///   entries at maximum distance, then greedily assign every other entry to
+///   the closer group (by distance to the group's merged max-series),
+///   topping up the smaller group to respect the minimum fill.
+/// * **Forced reinsert**: evicts the entries farthest (by Manhattan
+///   distance) from the node's merged series.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AggGrouping;
+
+impl<const D: usize> GroupingStrategy<D, AggregateSeries> for AggGrouping {
+    fn choose_subtree(
+        &self,
+        children: &[EntryView<'_, D, AggregateSeries>],
+        new: &EntryView<'_, D, AggregateSeries>,
+        _child_is_leaf: bool,
+    ) -> usize {
+        debug_assert!(!children.is_empty());
+        let mut best = 0;
+        let mut best_dist = u64::MAX;
+        for (i, c) in children.iter().enumerate() {
+            let d = c.aug.manhattan_distance(new.aug);
+            if d < best_dist {
+                best_dist = d;
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn split(
+        &self,
+        entries: &[EntryView<'_, D, AggregateSeries>],
+        min_fill: usize,
+    ) -> Vec<bool> {
+        let n = entries.len();
+        debug_assert!(n >= 2 * min_fill);
+        // Seeds: the pair at maximum Manhattan distance.
+        let (mut seed_a, mut seed_b, mut best) = (0, 1, 0u64);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = entries[i].aug.manhattan_distance(entries[j].aug);
+                if d >= best {
+                    best = d;
+                    seed_a = i;
+                    seed_b = j;
+                }
+            }
+        }
+        let mut mask = vec![false; n];
+        mask[seed_b] = true;
+        let mut series_a = entries[seed_a].aug.clone();
+        let mut series_b = entries[seed_b].aug.clone();
+        let mut count_a = 1;
+        let mut count_b = 1;
+        // Assign the rest farthest-discrimination-first (the entry whose two
+        // group distances differ the most is placed first, as in Guttman's
+        // quadratic split).
+        let mut remaining: Vec<usize> = (0..n).filter(|&i| i != seed_a && i != seed_b).collect();
+        while let Some(pick) = remaining.position_max_by_key(|&i| {
+            entries[i]
+                .aug
+                .manhattan_distance(&series_a)
+                .abs_diff(entries[i].aug.manhattan_distance(&series_b))
+        }) {
+            let i = remaining.swap_remove(pick);
+            let left = remaining.len();
+            // Forced assignment when a group needs every remaining entry to
+            // reach the minimum fill.
+            let to_b = if count_a + left < min_fill {
+                false
+            } else if count_b + left < min_fill {
+                true
+            } else {
+                entries[i].aug.manhattan_distance(&series_b)
+                    < entries[i].aug.manhattan_distance(&series_a)
+            };
+            if to_b {
+                mask[i] = true;
+                series_b.merge_max(entries[i].aug);
+                count_b += 1;
+            } else {
+                series_a.merge_max(entries[i].aug);
+                count_a += 1;
+            }
+        }
+        // Safety net: guarantee the minimum fill exactly.
+        rebalance(entries, &mut mask, min_fill);
+        mask
+    }
+
+    fn reinsert_candidates(
+        &self,
+        entries: &[EntryView<'_, D, AggregateSeries>],
+        count: usize,
+    ) -> Vec<usize> {
+        // Evict the entries least similar to the rest of the node: largest
+        // total Manhattan distance to all other entries. (Distance to the
+        // node's merged max-series would be misleading — an outlier
+        // dominates the max and looks "central".)
+        let n = entries.len();
+        let total_dist = |i: usize| -> u64 {
+            (0..n)
+                .filter(|&j| j != i)
+                .map(|j| entries[i].aug.manhattan_distance(entries[j].aug))
+                .sum()
+        };
+        let mut by_dist: Vec<usize> = (0..n).collect();
+        by_dist.sort_by_key(|&i| std::cmp::Reverse(total_dist(i)));
+        let mut chosen: Vec<usize> = by_dist.into_iter().take(count).collect();
+        chosen.reverse();
+        chosen
+    }
+}
+
+/// Moves entries between groups until both meet `min_fill` (picking the
+/// entries closest to the other group's series first).
+fn rebalance<const D: usize>(
+    entries: &[EntryView<'_, D, AggregateSeries>],
+    mask: &mut [bool],
+    min_fill: usize,
+) {
+    loop {
+        let count_b = mask.iter().filter(|&&m| m).count();
+        let count_a = mask.len() - count_b;
+        let (needy_is_b, donor_count) = if count_a < min_fill {
+            (false, count_b)
+        } else if count_b < min_fill {
+            (true, count_a)
+        } else {
+            return;
+        };
+        debug_assert!(donor_count > min_fill, "split input large enough to balance");
+        let needy_series = AggregateSeries::max_of(
+            mask.iter()
+                .enumerate()
+                .filter(|&(_, &m)| m == needy_is_b)
+                .map(|(i, _)| entries[i].aug),
+        );
+        // Move the donor entry closest to the needy group.
+        let donor = (0..entries.len())
+            .filter(|&i| mask[i] != needy_is_b)
+            .min_by_key(|&i| entries[i].aug.manhattan_distance(&needy_series))
+            .expect("donor group non-empty");
+        mask[donor] = needy_is_b;
+    }
+}
+
+/// `position_max_by_key` on slices of indices (std has no stable helper).
+trait PositionMax<T> {
+    fn position_max_by_key<K: Ord>(&self, f: impl Fn(&T) -> K) -> Option<usize>;
+}
+
+impl<T> PositionMax<T> for [T] {
+    fn position_max_by_key<K: Ord>(&self, f: impl Fn(&T) -> K) -> Option<usize> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut best = 0;
+        let mut best_key = f(&self[0]);
+        for (i, v) in self.iter().enumerate().skip(1) {
+            let k = f(v);
+            if k > best_key {
+                best_key = k;
+                best = i;
+            }
+        }
+        Some(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtree::Rect;
+
+    fn series(pairs: &[(u32, u64)]) -> AggregateSeries {
+        AggregateSeries::from_pairs(pairs.iter().copied())
+    }
+
+    fn views<'a>(
+        rects: &'a [Rect<2>],
+        augs: &'a [AggregateSeries],
+    ) -> Vec<EntryView<'a, 2, AggregateSeries>> {
+        rects
+            .iter()
+            .zip(augs)
+            .map(|(rect, aug)| EntryView { rect, aug })
+            .collect()
+    }
+
+    #[test]
+    fn choose_subtree_picks_closest_distribution() {
+        let rects = vec![Rect::point([0.0, 0.0]); 3];
+        let augs = vec![
+            series(&[(0, 10), (1, 10)]),
+            series(&[(0, 1)]),
+            series(&[(5, 100)]),
+        ];
+        let new_rect = Rect::point([99.0, 99.0]); // spatially far: ignored
+        let new_aug = series(&[(0, 2)]);
+        let v = views(&rects, &augs);
+        let nv = EntryView {
+            rect: &new_rect,
+            aug: &new_aug,
+        };
+        let got = <AggGrouping as GroupingStrategy<2, _>>::choose_subtree(&AggGrouping, &v, &nv, true);
+        assert_eq!(got, 1, "closest by Manhattan distance");
+    }
+
+    #[test]
+    fn split_separates_dissimilar_distributions() {
+        // Five "weekday-heavy" and five "weekend-heavy" distributions.
+        let rects = vec![Rect::point([0.0, 0.0]); 10];
+        let mut augs = Vec::new();
+        for i in 0..5u64 {
+            augs.push(series(&[(0, 50 + i), (1, 40)]));
+        }
+        for i in 0..5u64 {
+            augs.push(series(&[(8, 60 + i), (9, 30)]));
+        }
+        let v = views(&rects, &augs);
+        let mask = <AggGrouping as GroupingStrategy<2, _>>::split(&AggGrouping, &v, 2);
+        assert!(mask[..5].iter().all(|&m| m == mask[0]));
+        assert!(mask[5..].iter().all(|&m| m == mask[5]));
+        assert_ne!(mask[0], mask[5]);
+    }
+
+    #[test]
+    fn split_respects_min_fill_on_skewed_input() {
+        // One outlier distribution and nine identical ones: min fill must
+        // still be honoured.
+        let rects = vec![Rect::point([0.0, 0.0]); 10];
+        let mut augs = vec![series(&[(0, 1000)])];
+        for _ in 0..9 {
+            augs.push(series(&[(1, 1)]));
+        }
+        let v = views(&rects, &augs);
+        for min_fill in [2, 3, 4] {
+            let mask = <AggGrouping as GroupingStrategy<2, _>>::split(&AggGrouping, &v, min_fill);
+            let b = mask.iter().filter(|&&m| m).count();
+            let a = mask.len() - b;
+            assert!(a >= min_fill && b >= min_fill, "min_fill={min_fill}: {a}/{b}");
+        }
+    }
+
+    #[test]
+    fn reinsert_evicts_outlier_distribution() {
+        let rects = vec![Rect::point([0.0, 0.0]); 6];
+        let mut augs = vec![series(&[(0, 5)]); 5];
+        augs.push(series(&[(20, 500)]));
+        let v = views(&rects, &augs);
+        let cands =
+            <AggGrouping as GroupingStrategy<2, _>>::reinsert_candidates(&AggGrouping, &v, 2);
+        assert!(cands.contains(&5), "outlier distribution evicted");
+    }
+}

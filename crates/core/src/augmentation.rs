@@ -1,0 +1,62 @@
+//! The TIA augmentation: per-entry aggregate series with per-epoch max
+//! merging.
+
+use crate::poi::Poi;
+use rtree::Augmentation;
+use tempora::AggregateSeries;
+
+/// Attaches an [`AggregateSeries`] to every tree entry.
+///
+/// Leaf entries carry the POI's own per-epoch aggregates; internal entries
+/// carry the per-epoch **max** over the child node (Section 4.1: "The TIA of
+/// an internal entry stores the largest aggregate value of the TIAs in the
+/// child node for each epoch"). The max-merge is what makes the entry score
+/// a lower bound on every child's score (Property 1).
+///
+/// Leaf values are supplied externally at insertion time
+/// (`RStarTree::insert_with_aug`) because the series is per-POI state, not
+/// derivable from the [`Poi`] struct itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TiaAug;
+
+impl Augmentation<Poi> for TiaAug {
+    type Value = AggregateSeries;
+
+    fn leaf_value(&self, _item: &Poi) -> AggregateSeries {
+        // Leaf values are supplied via insert_with_aug; a plain insert gets
+        // an all-zero series.
+        AggregateSeries::new()
+    }
+
+    fn empty(&self) -> AggregateSeries {
+        AggregateSeries::new()
+    }
+
+    fn merge(&self, acc: &mut AggregateSeries, child: &AggregateSeries) {
+        acc.merge_max(child);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_pointwise_max() {
+        let aug = TiaAug;
+        let mut acc = aug.empty();
+        aug.merge(&mut acc, &AggregateSeries::from_pairs([(0, 2), (1, 5)]));
+        aug.merge(&mut acc, &AggregateSeries::from_pairs([(0, 3), (2, 1)]));
+        assert_eq!(
+            acc.iter().collect::<Vec<_>>(),
+            vec![(0, 3), (1, 5), (2, 1)]
+        );
+    }
+
+    #[test]
+    fn leaf_value_is_empty_series() {
+        let aug = TiaAug;
+        let poi = Poi::new(0, 1.0, 2.0);
+        assert!(Augmentation::<Poi>::leaf_value(&aug, &poi).is_empty());
+    }
+}

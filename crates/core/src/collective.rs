@@ -1,0 +1,302 @@
+//! Collective (batched) query processing (Section 7.2).
+//!
+//! A batch of kNNTA queries runs one best-first search per query, but node
+//! accesses are shared: at every step the node that is the front entry of
+//! the most queues is fetched once and consumed by all of them ("the queues
+//! containing the most frequent front entry are processed first"). Queries
+//! with the same time interval additionally share the aggregate computation
+//! on the accessed node's TIAs.
+
+use crate::augmentation::TiaAug;
+use crate::index::{with_tree, Frontier, Prioritised, QueryCtx, TarIndex};
+use crate::poi::{KnntaQuery, Poi, QueryHit};
+use rtree::{EntryPayload, NodeId, RStarTree};
+use std::collections::{BinaryHeap, HashMap};
+use tempora::{AggregateSeries, TimeInterval};
+
+impl TarIndex {
+    /// Processes a batch of queries collectively, sharing node accesses and
+    /// per-interval aggregate computation. Node accesses are counted once
+    /// per physical fetch in [`TarIndex::stats`].
+    ///
+    /// Returns one result list per query, in input order; each list is
+    /// identical to what [`TarIndex::query`] returns for that query.
+    pub fn query_batch_collective(&self, queries: &[KnntaQuery]) -> Vec<Vec<QueryHit>> {
+        with_tree!(self, t => collective_bfs(t, self, queries))
+    }
+
+    /// Processes the batch one query at a time (the "individual" baseline of
+    /// Section 8.4): every query pays its own node accesses.
+    pub fn query_batch_individual(&self, queries: &[KnntaQuery]) -> Vec<Vec<QueryHit>> {
+        queries.iter().map(|q| self.query(q)).collect()
+    }
+}
+
+struct QueryState<'a> {
+    ctx: QueryCtx<'a>,
+    k: usize,
+    heap: BinaryHeap<Prioritised>,
+    results: Vec<QueryHit>,
+    /// Index of the query's interval group (aggregate cache key).
+    group: usize,
+}
+
+impl QueryState<'_> {
+    fn done(&self) -> bool {
+        self.results.len() >= self.k || self.heap.is_empty()
+    }
+
+    /// Pops ready hits off the front; afterwards the front is a node (or the
+    /// query is done).
+    fn drain_hits(&mut self) {
+        while !self.done() {
+            match self.heap.peek() {
+                Some(Prioritised {
+                    item: Frontier::Hit(_),
+                    ..
+                }) => {
+                    let Some(Prioritised {
+                        item: Frontier::Hit(hit),
+                        ..
+                    }) = self.heap.pop()
+                    else {
+                        unreachable!()
+                    };
+                    self.results.push(hit);
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// The node at the front, if any.
+    fn front_node(&self) -> Option<NodeId> {
+        match self.heap.peek() {
+            Some(Prioritised {
+                item: Frontier::Node(id),
+                ..
+            }) => Some(*id),
+            _ => None,
+        }
+    }
+}
+
+/// Per-(interval-group, node) cache of entry aggregates: computed once when
+/// the first query of the group consumes the node.
+type AggCache = HashMap<(usize, NodeId), Vec<u64>>;
+
+fn collective_bfs<const D: usize, S>(
+    tree: &RStarTree<D, Poi, TiaAug, S>,
+    index: &TarIndex,
+    queries: &[KnntaQuery],
+) -> Vec<Vec<QueryHit>>
+where
+    S: rtree::GroupingStrategy<D, AggregateSeries>,
+{
+    // Group queries by identical time interval (Section 7.2: "we group the
+    // queries together if they have the same query time interval").
+    let mut groups: HashMap<TimeInterval, usize> = HashMap::new();
+    let mut states: Vec<QueryState<'_>> = queries
+        .iter()
+        .map(|q| {
+            let next = groups.len();
+            let group = *groups.entry(q.interval).or_insert(next);
+            let mut heap = BinaryHeap::new();
+            if !tree.is_empty() && q.k > 0 {
+                heap.push(Prioritised {
+                    score: 0.0,
+                    item: Frontier::Node(tree.root_id()),
+                });
+            }
+            QueryState {
+                ctx: index.ctx(q),
+                k: q.k,
+                heap,
+                results: Vec::with_capacity(q.k),
+                group,
+            }
+        })
+        .collect();
+
+    // Bucket the queries by their front node; a lazy max-heap on bucket
+    // sizes implements the paper's greedy "most frequent front entry first"
+    // rule without rescanning every queue per round.
+    let mut buckets: HashMap<NodeId, Vec<usize>> = HashMap::new();
+    let mut sizes: BinaryHeap<(usize, NodeId)> = BinaryHeap::new();
+    let park = |st: &mut QueryState<'_>,
+                    qi: usize,
+                    buckets: &mut HashMap<NodeId, Vec<usize>>,
+                    sizes: &mut BinaryHeap<(usize, NodeId)>| {
+        st.drain_hits();
+        if st.done() {
+            return;
+        }
+        if let Some(front) = st.front_node() {
+            let bucket = buckets.entry(front).or_default();
+            bucket.push(qi);
+            sizes.push((bucket.len(), front));
+        }
+    };
+    for (qi, st) in states.iter_mut().enumerate() {
+        park(st, qi, &mut buckets, &mut sizes);
+    }
+
+    let mut cache: AggCache = HashMap::new();
+    while let Some((count, node_id)) = sizes.pop() {
+        // Skip stale heap entries (the bucket grew — a bigger entry exists —
+        // or was already consumed).
+        match buckets.get(&node_id) {
+            Some(waiting) if waiting.len() == count => {}
+            _ => continue,
+        }
+        let waiting = buckets.remove(&node_id).expect("bucket exists");
+        let node = tree.access_node(node_id);
+        for qi in waiting {
+            let st = &mut states[qi];
+            debug_assert_eq!(st.front_node(), Some(node_id));
+            st.heap.pop();
+            // The aggregates of this node's entries over the group's
+            // interval, computed once per (group, node).
+            let aggs = cache.entry((st.group, node_id)).or_insert_with(|| {
+                node.entries
+                    .iter()
+                    .map(|e| e.aug.aggregate_over(st.ctx.grid, st.ctx.iq))
+                    .collect()
+            });
+            for (e, &agg) in node.entries.iter().zip(aggs.iter()) {
+                let s0 = e.rect.project2().min_dist2(&st.ctx.q).sqrt();
+                match &e.payload {
+                    EntryPayload::Data(poi) => {
+                        let hit = st.ctx.hit(poi.id, s0, agg);
+                        st.heap.push(Prioritised {
+                            score: hit.score,
+                            item: Frontier::Hit(hit),
+                        });
+                    }
+                    EntryPayload::Child(c) => {
+                        let (score, _) = st.ctx.score(s0, agg);
+                        st.heap.push(Prioritised {
+                            score,
+                            item: Frontier::Node(*c),
+                        });
+                    }
+                }
+            }
+            park(&mut states[qi], qi, &mut buckets, &mut sizes);
+        }
+    }
+    states.into_iter().map(|st| st.results).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::tests::paper_example;
+    use crate::index::{Grouping, IndexConfig};
+
+    fn example_index() -> TarIndex {
+        let (grid, bounds, pois) = paper_example();
+        TarIndex::build(
+            IndexConfig::with_grouping(Grouping::TarIntegral),
+            grid,
+            bounds,
+            pois,
+        )
+    }
+
+    fn example_queries() -> Vec<KnntaQuery> {
+        let mut qs = Vec::new();
+        for (i, &(x, y)) in [
+            (1.0, 1.0),
+            (4.0, 4.5),
+            (9.0, 9.0),
+            (5.0, 5.0),
+            (2.0, 8.0),
+            (8.0, 2.0),
+        ]
+        .iter()
+        .enumerate()
+        {
+            // Two interval types.
+            let iv = if i % 2 == 0 {
+                TimeInterval::days(0, 3)
+            } else {
+                TimeInterval::days(1, 3)
+            };
+            qs.push(KnntaQuery::new([x, y], iv).with_k(3).with_alpha0(0.3));
+        }
+        qs
+    }
+
+    #[test]
+    fn collective_matches_individual_results() {
+        let index = example_index();
+        let queries = example_queries();
+        let collective = index.query_batch_collective(&queries);
+        let individual = index.query_batch_individual(&queries);
+        assert_eq!(collective.len(), individual.len());
+        for (c, i) in collective.iter().zip(&individual) {
+            let cs: Vec<_> = c.iter().map(|h| (h.poi, h.aggregate)).collect();
+            let is: Vec<_> = i.iter().map(|h| (h.poi, h.aggregate)).collect();
+            assert_eq!(cs, is);
+        }
+    }
+
+    #[test]
+    fn collective_shares_node_accesses() {
+        let index = example_index();
+        // Many identical queries: the collective scheme should fetch each
+        // node once, the individual scheme once per query.
+        let q = KnntaQuery::new([4.0, 4.5], TimeInterval::days(0, 3)).with_k(3);
+        let queries = vec![q; 20];
+        index.stats().reset();
+        let _ = index.query_batch_collective(&queries);
+        let shared = index.stats().node_accesses();
+        index.stats().reset();
+        let _ = index.query_batch_individual(&queries);
+        let individual = index.stats().node_accesses();
+        assert!(
+            shared * 10 <= individual,
+            "collective {shared} vs individual {individual}"
+        );
+    }
+
+    #[test]
+    fn empty_batch() {
+        let index = example_index();
+        assert!(index.query_batch_collective(&[]).is_empty());
+    }
+
+    #[test]
+    fn batch_with_k_zero_query() {
+        let index = example_index();
+        let mut q = KnntaQuery::new([4.0, 4.5], TimeInterval::days(0, 3));
+        q.k = 0;
+        let res = index.query_batch_collective(&[q]);
+        assert_eq!(res.len(), 1);
+        assert!(res[0].is_empty());
+    }
+
+    #[test]
+    fn mixed_parameters_batch() {
+        let index = example_index();
+        let mut queries = Vec::new();
+        for alpha0 in [0.1, 0.5, 0.9] {
+            for k in [1, 5] {
+                queries.push(
+                    KnntaQuery::new([3.0, 3.0], TimeInterval::days(0, 2))
+                        .with_k(k)
+                        .with_alpha0(alpha0),
+                );
+            }
+        }
+        let collective = index.query_batch_collective(&queries);
+        for (q, got) in queries.iter().zip(&collective) {
+            let want = index.query(q);
+            assert_eq!(
+                got.iter().map(|h| h.poi).collect::<Vec<_>>(),
+                want.iter().map(|h| h.poi).collect::<Vec<_>>()
+            );
+        }
+    }
+}

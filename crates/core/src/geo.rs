@@ -1,0 +1,228 @@
+//! Geographic coordinates for real-world deployments.
+//!
+//! The index works in planar coordinates. Real LBSN data comes as WGS-84
+//! latitude/longitude; this module provides the small amount of geodesy a
+//! deployment needs: [`haversine_km`] great-circle distances and a local
+//! [`GeoProjector`] (equirectangular projection around the dataset's centre
+//! latitude) that maps lat/lon to kilometres with sub-percent error at city
+//! and country scales — exactly the scales LBSN queries care about.
+
+/// A WGS-84 coordinate in degrees.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north.
+    pub lat: f64,
+    /// Longitude in degrees, positive east.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Convenience constructor.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        assert!((-90.0..=90.0).contains(&lat), "latitude out of range: {lat}");
+        assert!(
+            (-180.0..=180.0).contains(&lon),
+            "longitude out of range: {lon}"
+        );
+        GeoPoint { lat, lon }
+    }
+}
+
+/// Mean Earth radius in kilometres (IUGG).
+pub const EARTH_RADIUS_KM: f64 = 6_371.008_8;
+
+/// Great-circle distance between two points in kilometres (haversine).
+pub fn haversine_km(a: GeoPoint, b: GeoPoint) -> f64 {
+    let (lat1, lon1) = (a.lat.to_radians(), a.lon.to_radians());
+    let (lat2, lon2) = (b.lat.to_radians(), b.lon.to_radians());
+    let dlat = lat2 - lat1;
+    let dlon = lon2 - lon1;
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * h.sqrt().asin()
+}
+
+/// A local equirectangular projection: lat/lon ⇄ planar kilometres around a
+/// reference point.
+///
+/// Build one from the dataset ([`GeoProjector::fit`]), project every POI and
+/// query point with [`GeoProjector::project`], and hand the planar
+/// kilometres to [`crate::TarIndex`]. Distance distortion is `O((Δlat)²)` —
+/// below 1% for regions up to ~500 km across.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeoProjector {
+    origin: GeoPoint,
+    /// km per degree of longitude at the reference latitude.
+    kx: f64,
+    /// km per degree of latitude.
+    ky: f64,
+}
+
+impl GeoProjector {
+    /// A projector centred at `origin`.
+    pub fn new(origin: GeoPoint) -> Self {
+        let ky = EARTH_RADIUS_KM * std::f64::consts::PI / 180.0;
+        GeoProjector {
+            origin,
+            kx: ky * origin.lat.to_radians().cos(),
+            ky,
+        }
+    }
+
+    /// A projector centred on the centroid of `points`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn fit(points: &[GeoPoint]) -> Self {
+        assert!(!points.is_empty(), "cannot fit a projector to no points");
+        let n = points.len() as f64;
+        let lat = points.iter().map(|p| p.lat).sum::<f64>() / n;
+        let lon = points.iter().map(|p| p.lon).sum::<f64>() / n;
+        Self::new(GeoPoint::new(lat, lon))
+    }
+
+    /// The reference point (maps to `[0, 0]`).
+    pub fn origin(&self) -> GeoPoint {
+        self.origin
+    }
+
+    /// Projects to planar kilometres (x east, y north).
+    pub fn project(&self, p: GeoPoint) -> [f64; 2] {
+        [
+            (p.lon - self.origin.lon) * self.kx,
+            (p.lat - self.origin.lat) * self.ky,
+        ]
+    }
+
+    /// Inverse projection.
+    pub fn unproject(&self, xy: [f64; 2]) -> GeoPoint {
+        GeoPoint {
+            lat: self.origin.lat + xy[1] / self.ky,
+            lon: self.origin.lon + xy[0] / self.kx,
+        }
+    }
+
+    /// The planar bounding box of a point set, with a margin in km.
+    pub fn bounds(&self, points: &[GeoPoint], margin_km: f64) -> rtree::Rect<2> {
+        let mut min = [f64::INFINITY; 2];
+        let mut max = [f64::NEG_INFINITY; 2];
+        for p in points {
+            let xy = self.project(*p);
+            for d in 0..2 {
+                min[d] = min[d].min(xy[d]);
+                max[d] = max[d].max(xy[d]);
+            }
+        }
+        rtree::Rect::new(
+            [min[0] - margin_km, min[1] - margin_km],
+            [max[0] + margin_km, max[1] + margin_km],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PARIS: GeoPoint = GeoPoint {
+        lat: 48.8566,
+        lon: 2.3522,
+    };
+    const LONDON: GeoPoint = GeoPoint {
+        lat: 51.5074,
+        lon: -0.1278,
+    };
+    const NYC: GeoPoint = GeoPoint {
+        lat: 40.7128,
+        lon: -74.0060,
+    };
+
+    #[test]
+    fn haversine_known_distances() {
+        // Paris–London ≈ 344 km; Paris–NYC ≈ 5,837 km.
+        let d = haversine_km(PARIS, LONDON);
+        assert!((d - 344.0).abs() < 5.0, "Paris–London = {d}");
+        let d = haversine_km(PARIS, NYC);
+        assert!((d - 5837.0).abs() < 30.0, "Paris–NYC = {d}");
+        assert_eq!(haversine_km(PARIS, PARIS), 0.0);
+        // Symmetry.
+        assert!((haversine_km(PARIS, LONDON) - haversine_km(LONDON, PARIS)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn projection_roundtrip() {
+        let proj = GeoProjector::new(PARIS);
+        for p in [PARIS, GeoPoint::new(48.9, 2.5), GeoPoint::new(48.0, 1.9)] {
+            let back = proj.unproject(proj.project(p));
+            assert!((back.lat - p.lat).abs() < 1e-12);
+            assert!((back.lon - p.lon).abs() < 1e-12);
+        }
+        assert_eq!(proj.project(PARIS), [0.0, 0.0]);
+    }
+
+    #[test]
+    fn planar_distance_approximates_haversine_locally() {
+        let proj = GeoProjector::new(PARIS);
+        // Points within ~100 km of Paris.
+        let a = GeoPoint::new(48.5, 2.0);
+        let b = GeoPoint::new(49.2, 2.9);
+        let pa = proj.project(a);
+        let pb = proj.project(b);
+        let planar = ((pa[0] - pb[0]).powi(2) + (pa[1] - pb[1]).powi(2)).sqrt();
+        let true_d = haversine_km(a, b);
+        assert!(
+            (planar - true_d).abs() / true_d < 0.01,
+            "planar {planar} vs haversine {true_d}"
+        );
+    }
+
+    #[test]
+    fn fit_centers_on_centroid() {
+        let pts = vec![
+            GeoPoint::new(48.0, 2.0),
+            GeoPoint::new(50.0, 3.0),
+            GeoPoint::new(49.0, 2.5),
+        ];
+        let proj = GeoProjector::fit(&pts);
+        assert!((proj.origin().lat - 49.0).abs() < 1e-9);
+        assert!((proj.origin().lon - 2.5).abs() < 1e-9);
+        let b = proj.bounds(&pts, 10.0);
+        assert!(b.contains_point(&proj.project(pts[0])));
+        assert!(b.contains_point(&proj.project(pts[1])));
+    }
+
+    #[test]
+    #[should_panic(expected = "latitude out of range")]
+    fn rejects_bad_latitude() {
+        let _ = GeoPoint::new(91.0, 0.0);
+    }
+
+    #[test]
+    fn end_to_end_with_index() {
+        // Project a handful of geo POIs and run a kNNTA query in km space.
+        use crate::{IndexConfig, KnntaQuery, Poi, TarIndex};
+        use tempora::{AggregateSeries, EpochGrid, TimeInterval};
+        let venues = [
+            (GeoPoint::new(48.86, 2.35), 50u64), // central Paris, popular
+            (GeoPoint::new(48.85, 2.34), 5),     // central, quiet
+            (GeoPoint::new(48.70, 2.20), 60),    // suburb, popular
+        ];
+        let geos: Vec<GeoPoint> = venues.iter().map(|&(g, _)| g).collect();
+        let proj = GeoProjector::fit(&geos);
+        let bounds = proj.bounds(&geos, 5.0);
+        let grid = EpochGrid::fixed_days(7, 4);
+        let pois = venues.iter().enumerate().map(|(i, &(g, v))| {
+            let xy = proj.project(g);
+            (
+                Poi::new(i as u32, xy[0], xy[1]),
+                AggregateSeries::from_pairs([(0u32, v)]),
+            )
+        });
+        let index = TarIndex::build(IndexConfig::default(), grid, bounds, pois);
+        let me = proj.project(GeoPoint::new(48.857, 2.352));
+        let q = KnntaQuery::new(me, TimeInterval::days(0, 28))
+            .with_k(1)
+            .with_alpha0(0.7); // distance-weighted: the central popular venue wins
+        assert_eq!(index.query(&q)[0].poi.0, 0);
+    }
+}

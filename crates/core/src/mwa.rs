@@ -1,0 +1,487 @@
+//! Minimum weight adjustment (Section 7.1).
+//!
+//! Users exploring results may change `α0` and be discouraged when the top-k
+//! does not change. The MWA is the smallest adjustment of `α0` (downwards
+//! `Γl` or upwards `Γu`) that changes the answer *set*. Two algorithms are
+//! implemented:
+//!
+//! * [`TarIndex::mwa_enumerating`] — the straightforward approach: for each
+//!   top-k POI, re-traverse the whole index, pruning only subtrees dominated
+//!   by that POI.
+//! * [`TarIndex::mwa_pruning`] — the paper's algorithm: only POIs on (i) the
+//!   reversed-dominance skyline of the top-k and (ii) the skyline of the
+//!   lower-ranked POIs (computed with BBS on the index) can define the MWA.
+
+use crate::augmentation::TiaAug;
+use crate::index::{with_tree, QueryCtx, TarIndex};
+use crate::poi::{KnntaQuery, Poi, QueryHit};
+use crate::skyline::{bbs_skyline, reversed_skyline_of};
+use rtree::{EntryPayload, RStarTree};
+use std::collections::HashSet;
+use tempora::{AggregateSeries, PoiId};
+
+/// The minimum weight adjustment around the current `α0`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WeightAdjustment {
+    /// `Γl`: the largest boundary `< α0` — lowering `α0` strictly past
+    /// (i.e. below) this value changes the top-k. `None` if no downward
+    /// adjustment can change the result.
+    pub lower: Option<f64>,
+    /// `Γu`: the smallest boundary `> α0` — raising `α0` strictly past this
+    /// value changes the top-k. `None` if no upward adjustment helps.
+    pub upper: Option<f64>,
+}
+
+impl WeightAdjustment {
+    /// The boundary nearest to `alpha0` (the single "minimum adjustment").
+    pub fn nearest(&self, alpha0: f64) -> Option<f64> {
+        match (self.lower, self.upper) {
+            (Some(l), Some(u)) => Some(if alpha0 - l <= u - alpha0 { l } else { u }),
+            (Some(l), None) => Some(l),
+            (None, Some(u)) => Some(u),
+            (None, None) => None,
+        }
+    }
+
+    fn absorb(&mut self, gamma: f64, alpha0: f64) {
+        const EPS: f64 = 1e-12;
+        if gamma < alpha0 - EPS {
+            self.lower = Some(self.lower.map_or(gamma, |l| l.max(gamma)));
+        } else if gamma > alpha0 + EPS {
+            self.upper = Some(self.upper.map_or(gamma, |u| u.min(gamma)));
+        }
+    }
+}
+
+/// The weight boundary `γ` at which `pi` (top-k) and `pj` (lower ranked)
+/// exchange rank, when their criteria conflict (`δ0 · δ1 < 0`); `None` when
+/// `pi` dominates `pj` (no weight can flip them).
+pub fn gamma(pi: &QueryHit, pj: &QueryHit) -> Option<f64> {
+    let d0 = pi.s0 - pj.s0;
+    let d1 = pi.s1 - pj.s1;
+    if d0 * d1 >= 0.0 {
+        return None;
+    }
+    Some(d1 / (d1 - d0))
+}
+
+impl TarIndex {
+    /// The paper's pruning MWA algorithm: skyline of the top-k (reversed
+    /// dominance) × BBS skyline of the rest. Returns the top-k hits and the
+    /// adjustment. Node accesses are counted in [`TarIndex::stats`].
+    pub fn mwa_pruning(&self, query: &KnntaQuery) -> (Vec<QueryHit>, WeightAdjustment) {
+        let topk = self.query(query);
+        let adj = self.mwa_pruning_for(query, &topk);
+        (topk, adj)
+    }
+
+    /// Pruning MWA given an already-computed top-k.
+    pub fn mwa_pruning_for(&self, query: &KnntaQuery, topk: &[QueryHit]) -> WeightAdjustment {
+        let ctx = self.ctx(query);
+        let exclude: HashSet<PoiId> = topk.iter().map(|h| h.poi).collect();
+        let rest_skyline = with_tree!(self, t => bbs_skyline(t, &ctx, &exclude));
+        let top_rev_skyline = reversed_skyline_of(topk);
+        combine(&top_rev_skyline, &rest_skyline, query.alpha0)
+    }
+
+    /// Extension (the paper's closing remark of Section 7.1: "It is not
+    /// difficult to extend the algorithm to compute the weight adjustment
+    /// that leads to multiple top-k POIs being changed"): the nearest
+    /// boundaries below/above `α0` at which at least `m` members of the
+    /// current top-k have been replaced.
+    ///
+    /// Implemented by walking single-change boundaries outward with the
+    /// pruning algorithm, re-ranking after each crossing, until the
+    /// symmetric difference with the original answer reaches `m`.
+    pub fn mwa_changing_m(&self, query: &KnntaQuery, m: usize) -> WeightAdjustment {
+        assert!(m >= 1, "m must be at least 1");
+        let original: HashSet<PoiId> = self.query(query).iter().map(|h| h.poi).collect();
+        let walk = |downward: bool| -> Option<f64> {
+            let mut alpha = query.alpha0;
+            // k boundaries suffice to replace the whole set; guard anyway.
+            for _ in 0..(query.k * 4 + 8) {
+                let q = query.with_alpha0(alpha);
+                let (_, adj) = self.mwa_pruning(&q);
+                let boundary = if downward { adj.lower } else { adj.upper }?;
+                // Step just past the boundary and re-rank.
+                alpha = if downward {
+                    boundary - 1e-9
+                } else {
+                    boundary + 1e-9
+                };
+                if alpha <= 0.0 || alpha >= 1.0 {
+                    return None;
+                }
+                let new: HashSet<PoiId> = self
+                    .query(&query.with_alpha0(alpha))
+                    .iter()
+                    .map(|h| h.poi)
+                    .collect();
+                if original.difference(&new).count() >= m {
+                    return Some(boundary);
+                }
+            }
+            None
+        };
+        WeightAdjustment {
+            lower: walk(true),
+            upper: walk(false),
+        }
+    }
+
+    /// The straightforward MWA (Section 7.1's baseline): for each top-k POI,
+    /// continue the BFS over the whole index, skipping entries it dominates.
+    pub fn mwa_enumerating(&self, query: &KnntaQuery) -> (Vec<QueryHit>, WeightAdjustment) {
+        let topk = self.query(query);
+        let ctx = self.ctx(query);
+        let exclude: HashSet<PoiId> = topk.iter().map(|h| h.poi).collect();
+        let mut adj = WeightAdjustment::default();
+        for pi in &topk {
+            with_tree!(self, t => enumerate_against(t, &ctx, pi, &exclude, query.alpha0, &mut adj));
+        }
+        (topk, adj)
+    }
+}
+
+/// Cross the two skylines and keep the boundaries closest to `alpha0`.
+fn combine(top: &[QueryHit], rest: &[QueryHit], alpha0: f64) -> WeightAdjustment {
+    let mut adj = WeightAdjustment::default();
+    for pi in top {
+        for pj in rest {
+            if let Some(g) = gamma(pi, pj) {
+                adj.absorb(g, alpha0);
+            }
+        }
+    }
+    adj
+}
+
+/// One full traversal for the enumerating baseline: every entry not
+/// dominated by `pi` is visited; undominated lower-ranked POIs contribute
+/// their `γ` with `pi`.
+fn enumerate_against<const D: usize, S>(
+    tree: &RStarTree<D, Poi, TiaAug, S>,
+    ctx: &QueryCtx<'_>,
+    pi: &QueryHit,
+    exclude: &HashSet<PoiId>,
+    alpha0: f64,
+    adj: &mut WeightAdjustment,
+) where
+    S: rtree::GroupingStrategy<D, AggregateSeries>,
+{
+    if tree.is_empty() {
+        return;
+    }
+    let mut stack = vec![tree.root_id()];
+    while let Some(id) = stack.pop() {
+        let node = tree.access_node(id);
+        for e in &node.entries {
+            let s0 = e.rect.project2().min_dist2(&ctx.q).sqrt();
+            let agg = e.aug.aggregate_over(ctx.grid, ctx.iq);
+            let (_, s1) = ctx.score(s0, agg);
+            // Skip entries dominated by pi: no point below can conflict.
+            if pi.s0 <= s0 && pi.s1 <= s1 {
+                continue;
+            }
+            match &e.payload {
+                EntryPayload::Data(poi) => {
+                    if exclude.contains(&poi.id) {
+                        continue;
+                    }
+                    let pj = ctx.hit(poi.id, s0, agg);
+                    if let Some(g) = gamma(pi, &pj) {
+                        adj.absorb(g, alpha0);
+                    }
+                }
+                EntryPayload::Child(c) => stack.push(*c),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::tests::paper_example;
+    use crate::skyline::skyline_of;
+    use crate::index::{Grouping, IndexConfig};
+    use tempora::TimeInterval;
+
+    fn hit(id: u32, s0: f64, s1: f64) -> QueryHit {
+        QueryHit {
+            poi: PoiId(id),
+            score: 0.0,
+            s0,
+            s1,
+            distance: 0.0,
+            aggregate: 0,
+        }
+    }
+
+    #[test]
+    fn gamma_matches_paper_table3() {
+        // Table 3 with α0 = α1 = 0.5, k = 2.
+        let p1 = hit(1, 0.25, 0.10);
+        let p2 = hit(2, 0.10, 0.30);
+        let p3 = hit(3, 0.20, 0.35);
+        let p4 = hit(4, 0.35, 0.25);
+        let p5 = hit(5, 0.025, 0.60);
+        let p6 = hit(6, 0.60, 0.05);
+        // "To let f′(p1) > f′(p3), we need α0 > 5/6."
+        let g = gamma(&p1, &p3).unwrap();
+        assert!((g - 5.0 / 6.0).abs() < 1e-12, "γ(1,3) = {g}");
+        // "To let f′(p1) > f′(p6), we need α0 < 1/8."
+        let g = gamma(&p1, &p6).unwrap();
+        assert!((g - 1.0 / 8.0).abs() < 1e-12);
+        // γ(1,5) = 20/29.
+        let g = gamma(&p1, &p5).unwrap();
+        assert!((g - 20.0 / 29.0).abs() < 1e-12);
+        // γ(2,4): α0 < 1/6.
+        let g = gamma(&p2, &p4).unwrap();
+        assert!((g - 1.0 / 6.0).abs() < 1e-12);
+        // γ(2,5): α0 > 4/5.
+        let g = gamma(&p2, &p5).unwrap();
+        assert!((g - 4.0 / 5.0).abs() < 1e-12);
+        // γ(2,6): α0 < 1/3.
+        let g = gamma(&p2, &p6).unwrap();
+        assert!((g - 1.0 / 3.0).abs() < 1e-12);
+        // p1 dominates p4: no boundary.
+        assert!(gamma(&p1, &p4).is_none());
+    }
+
+    #[test]
+    fn mwa_matches_paper_table3() {
+        // "The MWA of α0 is either α0 < 1/3 or α0 > 20/29."
+        let top = vec![hit(1, 0.25, 0.10), hit(2, 0.10, 0.30)];
+        let rest = vec![
+            hit(3, 0.20, 0.35),
+            hit(4, 0.35, 0.25),
+            hit(5, 0.025, 0.60),
+            hit(6, 0.60, 0.05),
+        ];
+        let top_sky = reversed_skyline_of(&top);
+        let rest_sky = skyline_of(&rest);
+        let adj = combine(&top_sky, &rest_sky, 0.5);
+        assert!((adj.lower.unwrap() - 1.0 / 3.0).abs() < 1e-12, "Γl = 1/3");
+        assert!((adj.upper.unwrap() - 20.0 / 29.0).abs() < 1e-12, "Γu = 20/29");
+        assert!((adj.nearest(0.5).unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skyline_restriction_is_lossless_on_table3() {
+        // Combining the full sets gives the same MWA as the skylines.
+        let top = vec![hit(1, 0.25, 0.10), hit(2, 0.10, 0.30)];
+        let rest = vec![
+            hit(3, 0.20, 0.35),
+            hit(4, 0.35, 0.25),
+            hit(5, 0.025, 0.60),
+            hit(6, 0.60, 0.05),
+        ];
+        let full = combine(&top, &rest, 0.5);
+        let pruned = combine(&reversed_skyline_of(&top), &skyline_of(&rest), 0.5);
+        assert_eq!(full, pruned);
+    }
+
+    fn example_index(grouping: Grouping) -> TarIndex {
+        let (grid, bounds, pois) = paper_example();
+        TarIndex::build(IndexConfig::with_grouping(grouping), grid, bounds, pois)
+    }
+
+    #[test]
+    fn pruning_equals_enumerating_on_example() {
+        let index = example_index(Grouping::TarIntegral);
+        for alpha0 in [0.2, 0.3, 0.5, 0.7] {
+            for k in [1, 2, 4] {
+                let q = KnntaQuery::new([4.0, 4.5], TimeInterval::days(0, 3))
+                    .with_k(k)
+                    .with_alpha0(alpha0);
+                let (top_a, adj_a) = index.mwa_pruning(&q);
+                let (top_b, adj_b) = index.mwa_enumerating(&q);
+                assert_eq!(
+                    top_a.iter().map(|h| h.poi).collect::<Vec<_>>(),
+                    top_b.iter().map(|h| h.poi).collect::<Vec<_>>()
+                );
+                match (adj_a.lower, adj_b.lower) {
+                    (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9, "α0={alpha0} k={k}"),
+                    (a, b) => assert_eq!(a.is_some(), b.is_some(), "α0={alpha0} k={k}"),
+                }
+                match (adj_a.upper, adj_b.upper) {
+                    (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9, "α0={alpha0} k={k}"),
+                    (a, b) => assert_eq!(a.is_some(), b.is_some(), "α0={alpha0} k={k}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn applying_the_adjustment_changes_the_topk() {
+        let index = example_index(Grouping::TarIntegral);
+        let q = KnntaQuery::new([4.0, 4.5], TimeInterval::days(0, 3))
+            .with_k(2)
+            .with_alpha0(0.5);
+        let (topk, adj) = index.mwa_pruning(&q);
+        let top_set: HashSet<PoiId> = topk.iter().map(|h| h.poi).collect();
+        for boundary in [adj.lower, adj.upper].into_iter().flatten() {
+            // Strictly past the boundary the set must change…
+            let past = if boundary < q.alpha0 {
+                boundary - 1e-6
+            } else {
+                boundary + 1e-6
+            };
+            let new_top = index.query(&q.with_alpha0(past));
+            let new_set: HashSet<PoiId> = new_top.iter().map(|h| h.poi).collect();
+            assert_ne!(top_set, new_set, "boundary {boundary}");
+            // …and exactly one POI is exchanged (the MWA property).
+            assert_eq!(top_set.intersection(&new_set).count(), topk.len() - 1);
+            // Just before the boundary the set is unchanged.
+            let before = if boundary < q.alpha0 {
+                boundary + 1e-6
+            } else {
+                boundary - 1e-6
+            };
+            let same_top = index.query(&q.with_alpha0(before));
+            let same_set: HashSet<PoiId> = same_top.iter().map(|h| h.poi).collect();
+            assert_eq!(top_set, same_set, "inside boundary {boundary}");
+        }
+        assert!(
+            adj.lower.is_some() || adj.upper.is_some(),
+            "the example admits an adjustment"
+        );
+    }
+
+    #[test]
+    fn mwa_none_when_topk_dominates_everything() {
+        // One POI dominating all others, k = 1: no weight changes the top-1
+        // … construct such a dataset.
+        let grid = tempora::EpochGrid::fixed_days(1, 2);
+        let bounds = rtree::Rect::new([0.0, 0.0], [10.0, 10.0]);
+        let pois = vec![
+            (
+                Poi::new(0, 5.0, 5.0),
+                AggregateSeries::from_pairs([(0, 10), (1, 10)]),
+            ),
+            (Poi::new(1, 9.0, 9.0), AggregateSeries::from_pairs([(0, 1)])),
+            (Poi::new(2, 0.5, 0.5), AggregateSeries::from_pairs([(1, 1)])),
+        ];
+        let index = TarIndex::build(IndexConfig::default(), grid, bounds, pois);
+        let q = KnntaQuery::new([5.0, 5.0], TimeInterval::days(0, 2))
+            .with_k(1)
+            .with_alpha0(0.5);
+        let (topk, adj) = index.mwa_pruning(&q);
+        assert_eq!(topk[0].poi, PoiId(0));
+        assert_eq!(adj, WeightAdjustment::default());
+        assert_eq!(adj.nearest(0.5), None);
+        let (_, adj_e) = index.mwa_enumerating(&q);
+        assert_eq!(adj_e, WeightAdjustment::default());
+    }
+
+    #[test]
+    fn pruning_uses_fewer_node_accesses() {
+        // Build a larger synthetic dataset so the difference is visible.
+        let grid = tempora::EpochGrid::fixed_days(1, 10);
+        let bounds = rtree::Rect::new([0.0, 0.0], [1000.0, 1000.0]);
+        let mut x = 7u64;
+        let mut rnd = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let pois: Vec<(Poi, AggregateSeries)> = (0..2000u32)
+            .map(|i| {
+                let px = (rnd() % 100_000) as f64 / 100.0;
+                let py = (rnd() % 100_000) as f64 / 100.0;
+                let series = AggregateSeries::from_pairs(
+                    (0..10).map(|e| (e, rnd() % 5)).collect::<Vec<_>>(),
+                );
+                (Poi::new(i, px, py), series)
+            })
+            .collect();
+        let index = TarIndex::build(IndexConfig::default(), grid, bounds, pois);
+        let q = KnntaQuery::new([500.0, 500.0], TimeInterval::days(0, 10))
+            .with_k(10)
+            .with_alpha0(0.3);
+        index.stats().reset();
+        let (_, adj_p) = index.mwa_pruning(&q);
+        let pruning_accesses = index.stats().node_accesses();
+        index.stats().reset();
+        let (_, adj_e) = index.mwa_enumerating(&q);
+        let enumerating_accesses = index.stats().node_accesses();
+        assert!(
+            pruning_accesses < enumerating_accesses,
+            "pruning {pruning_accesses} vs enumerating {enumerating_accesses}"
+        );
+        // Both find the same boundaries.
+        match (adj_p.lower, adj_e.lower) {
+            (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9),
+            (a, b) => assert_eq!(a.is_some(), b.is_some()),
+        }
+        match (adj_p.upper, adj_e.upper) {
+            (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9),
+            (a, b) => assert_eq!(a.is_some(), b.is_some()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod changing_m_tests {
+    use super::*;
+    use crate::index::tests::paper_example;
+    use crate::index::{IndexConfig, TarIndex};
+    use tempora::TimeInterval;
+
+    fn example_index() -> TarIndex {
+        let (grid, bounds, pois) = paper_example();
+        TarIndex::build(IndexConfig::default(), grid, bounds, pois)
+    }
+
+    #[test]
+    fn m_equal_one_matches_plain_mwa() {
+        let index = example_index();
+        let q = KnntaQuery::new([4.0, 4.5], TimeInterval::days(0, 3))
+            .with_k(3)
+            .with_alpha0(0.5);
+        let (_, single) = index.mwa_pruning(&q);
+        let multi = index.mwa_changing_m(&q, 1);
+        match (single.lower, multi.lower) {
+            (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9),
+            (a, b) => assert_eq!(a.is_some(), b.is_some()),
+        }
+        match (single.upper, multi.upper) {
+            (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9),
+            (a, b) => assert_eq!(a.is_some(), b.is_some()),
+        }
+    }
+
+    #[test]
+    fn m_two_changes_at_least_two() {
+        let index = example_index();
+        let q = KnntaQuery::new([4.0, 4.5], TimeInterval::days(0, 3))
+            .with_k(4)
+            .with_alpha0(0.5);
+        let original: HashSet<PoiId> = index.query(&q).iter().map(|h| h.poi).collect();
+        let adj = index.mwa_changing_m(&q, 2);
+        for boundary in [adj.lower, adj.upper].into_iter().flatten() {
+            let past = if boundary < q.alpha0 {
+                boundary - 1e-6
+            } else {
+                boundary + 1e-6
+            };
+            let new: HashSet<PoiId> = index
+                .query(&q.with_alpha0(past))
+                .iter()
+                .map(|h| h.poi)
+                .collect();
+            assert!(
+                original.difference(&new).count() >= 2,
+                "boundary {boundary} changed {} members",
+                original.difference(&new).count()
+            );
+        }
+        // An m beyond what any weight can change returns None on both
+        // sides.
+        let impossible = index.mwa_changing_m(&q, q.k + 1);
+        assert_eq!(impossible.lower, None);
+        assert_eq!(impossible.upper, None);
+    }
+}

@@ -1,0 +1,141 @@
+//! Multi-threaded batch query processing.
+//!
+//! The paper's collective scheme (Section 7.2) shares *node accesses* across
+//! a batch; orthogonally, a modern multi-core server shares *nothing* and
+//! simply fans the batch out across threads. [`TarIndex`] is immutable
+//! during query processing and internally synchronised (its statistics are
+//! atomic counters), so batches parallelise embarrassingly with scoped
+//! threads.
+//!
+//! Node-access counts are identical to sequential individual processing;
+//! wall-clock time divides by the core count. For I/O-bound deployments the
+//! collective scheme wins; for in-memory deployments this one does — the
+//! `batch` benchmarks measure both.
+
+use crate::index::TarIndex;
+use crate::poi::{KnntaQuery, QueryHit};
+
+impl TarIndex {
+    /// Processes the batch on `threads` worker threads (each query answered
+    /// independently, exactly as [`TarIndex::query`] would). Results are in
+    /// input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn query_batch_parallel(
+        &self,
+        queries: &[KnntaQuery],
+        threads: usize,
+    ) -> Vec<Vec<QueryHit>> {
+        assert!(threads > 0, "at least one worker thread");
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let threads = threads.min(queries.len());
+        let chunk = queries.len().div_ceil(threads);
+        let mut results: Vec<Vec<QueryHit>> = vec![Vec::new(); queries.len()];
+        let chunks: Vec<(usize, &[KnntaQuery])> = queries
+            .chunks(chunk)
+            .enumerate()
+            .map(|(i, c)| (i * chunk, c))
+            .collect();
+        // Hand each worker a disjoint slice of the result vector.
+        let mut result_slices: Vec<&mut [Vec<QueryHit>]> = Vec::with_capacity(threads);
+        let mut rest = results.as_mut_slice();
+        for (_, c) in &chunks {
+            let (head, tail) = rest.split_at_mut(c.len());
+            result_slices.push(head);
+            rest = tail;
+        }
+        crossbeam::scope(|scope| {
+            for ((_, queries), out) in chunks.iter().zip(result_slices) {
+                scope.spawn(move |_| {
+                    for (q, slot) in queries.iter().zip(out.iter_mut()) {
+                        *slot = self.query(q);
+                    }
+                });
+            }
+        })
+        .expect("worker thread panicked");
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::tests::paper_example;
+    use crate::index::IndexConfig;
+    use tempora::TimeInterval;
+
+    fn index() -> TarIndex {
+        let (grid, bounds, pois) = paper_example();
+        TarIndex::build(IndexConfig::default(), grid, bounds, pois)
+    }
+
+    fn batch() -> Vec<KnntaQuery> {
+        (0..37)
+            .map(|i| {
+                let x = (i % 10) as f64;
+                let y = (i / 4) as f64;
+                KnntaQuery::new([x, y], TimeInterval::days(0, 3))
+                    .with_k(1 + i % 5)
+                    .with_alpha0(0.1 + 0.08 * (i % 10) as f64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn index_is_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<TarIndex>();
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_any_thread_count() {
+        let index = index();
+        let queries = batch();
+        let sequential = index.query_batch_individual(&queries);
+        for threads in [1, 2, 3, 8, 64] {
+            let parallel = index.query_batch_parallel(&queries, threads);
+            assert_eq!(parallel.len(), sequential.len(), "threads={threads}");
+            for (p, s) in parallel.iter().zip(&sequential) {
+                assert_eq!(
+                    p.iter().map(|h| h.poi).collect::<Vec<_>>(),
+                    s.iter().map(|h| h.poi).collect::<Vec<_>>(),
+                    "threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_counts_node_accesses() {
+        let index = index();
+        let queries = batch();
+        index.stats().reset();
+        let _ = index.query_batch_individual(&queries);
+        let sequential_accesses = index.stats().node_accesses();
+        index.stats().reset();
+        let _ = index.query_batch_parallel(&queries, 4);
+        assert_eq!(index.stats().node_accesses(), sequential_accesses);
+    }
+
+    #[test]
+    fn empty_batch_and_single_query() {
+        let index = index();
+        assert!(index.query_batch_parallel(&[], 4).is_empty());
+        let q = vec![KnntaQuery::new([4.0, 4.5], TimeInterval::days(0, 3)).with_k(2)];
+        let r = index.query_batch_parallel(&q, 16);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let index = index();
+        let _ = index.query_batch_parallel(&batch(), 0);
+    }
+}

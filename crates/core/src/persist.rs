@@ -1,0 +1,219 @@
+//! Index persistence: a compact binary snapshot of a [`TarIndex`].
+//!
+//! The snapshot is *logical*: configuration, epoch grid, bounds, and every
+//! `(POI, aggregate series)` pair. Loading rebuilds the tree with STR bulk
+//! packing ([`TarIndex::build_bulk`]), so a loaded index answers every query
+//! identically to the saved one (ranking is structure-independent), loads in
+//! one pass, and is typically better packed than the original. The format
+//! is versioned and self-describing; no external serialisation crate is
+//! needed beyond `bytes`.
+
+use crate::index::{Grouping, IndexConfig, TarIndex};
+use crate::poi::Poi;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use rtree::Rect;
+use std::io::{self, Read, Write};
+use tempora::{AggregateSeries, EpochGrid, Timestamp};
+
+const MAGIC: &[u8; 8] = b"KNNTAv1\0";
+
+impl TarIndex {
+    /// Serialises the index into a byte buffer.
+    pub fn save_to_vec(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u8(match self.grouping() {
+            Grouping::TarIntegral => 0,
+            Grouping::IndSpa => 1,
+            Grouping::IndAgg => 2,
+        });
+        buf.put_u32(self.config_node_size() as u32);
+        buf.put_u8(self.config_forced_reinsert() as u8);
+        // Grid as its boundary list (handles varied-length epochs).
+        let grid = self.grid();
+        buf.put_u32(grid.len() as u32 + 1);
+        buf.put_i64(grid.t0().seconds());
+        for epoch in grid.iter() {
+            buf.put_i64(epoch.end.seconds());
+        }
+        let b = self.bounds();
+        for v in [b.min[0], b.min[1], b.max[0], b.max[1]] {
+            buf.put_f64(v);
+        }
+        // POIs with their series.
+        let items = self.export_pois();
+        buf.put_u32(items.len() as u32);
+        for (poi, series) in &items {
+            buf.put_u32(poi.id.0);
+            buf.put_f64(poi.pos[0]);
+            buf.put_f64(poi.pos[1]);
+            buf.put_u32(series.len() as u32);
+            for (e, v) in series.iter() {
+                buf.put_u32(e);
+                buf.put_u64(v);
+            }
+        }
+        buf.to_vec()
+    }
+
+    /// Writes the snapshot to any writer (e.g. a file).
+    pub fn save_to(&self, mut writer: impl Write) -> io::Result<()> {
+        writer.write_all(&self.save_to_vec())
+    }
+
+    /// Restores an index from a snapshot produced by
+    /// [`TarIndex::save_to_vec`]. The tree is rebuilt with STR bulk packing;
+    /// query answers are identical to the saved index's.
+    pub fn load_from_slice(data: &[u8]) -> io::Result<TarIndex> {
+        let err = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        let mut buf = Bytes::copy_from_slice(data);
+        let need = |n: usize, buf: &Bytes| {
+            if buf.len() < n {
+                Err(err("truncated snapshot"))
+            } else {
+                Ok(())
+            }
+        };
+        need(MAGIC.len(), &buf)?;
+        let magic = buf.split_to(MAGIC.len());
+        if magic.as_ref() != MAGIC {
+            return Err(err("not a knnta snapshot (bad magic)"));
+        }
+        need(6, &buf)?;
+        let grouping = match buf.get_u8() {
+            0 => Grouping::TarIntegral,
+            1 => Grouping::IndSpa,
+            2 => Grouping::IndAgg,
+            _ => return Err(err("unknown grouping")),
+        };
+        let node_size = buf.get_u32() as usize;
+        let forced_reinsert = buf.get_u8() != 0;
+        need(4, &buf)?;
+        let boundary_count = buf.get_u32() as usize;
+        if boundary_count < 2 {
+            return Err(err("grid needs at least two boundaries"));
+        }
+        need(boundary_count * 8, &buf)?;
+        let boundaries: Vec<Timestamp> = (0..boundary_count)
+            .map(|_| Timestamp(buf.get_i64()))
+            .collect();
+        if !boundaries.windows(2).all(|w| w[0] < w[1]) {
+            return Err(err("grid boundaries not increasing"));
+        }
+        let grid = EpochGrid::varied(boundaries);
+        need(32, &buf)?;
+        let bounds = Rect::new(
+            [buf.get_f64(), buf.get_f64()],
+            [buf.get_f64(), buf.get_f64()],
+        );
+        need(4, &buf)?;
+        let n = buf.get_u32() as usize;
+        let mut items = Vec::with_capacity(n);
+        for _ in 0..n {
+            need(4 + 16 + 4, &buf)?;
+            let id = buf.get_u32();
+            let pos = [buf.get_f64(), buf.get_f64()];
+            let pairs = buf.get_u32() as usize;
+            need(pairs * 12, &buf)?;
+            let series = AggregateSeries::from_pairs(
+                (0..pairs)
+                    .map(|_| (buf.get_u32(), buf.get_u64()))
+                    .collect::<Vec<_>>(),
+            );
+            items.push((Poi { id: tempora::PoiId(id), pos }, series));
+        }
+        let config = IndexConfig {
+            grouping,
+            node_size,
+            forced_reinsert,
+        };
+        Ok(TarIndex::build_bulk(config, grid, bounds, items))
+    }
+
+    /// Reads a snapshot from any reader.
+    pub fn load_from(mut reader: impl Read) -> io::Result<TarIndex> {
+        let mut data = Vec::new();
+        reader.read_to_end(&mut data)?;
+        Self::load_from_slice(&data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::tests::paper_example;
+    use crate::KnntaQuery;
+    use tempora::TimeInterval;
+
+    fn example(grouping: Grouping) -> TarIndex {
+        let (grid, bounds, pois) = paper_example();
+        TarIndex::build(IndexConfig::with_grouping(grouping), grid, bounds, pois)
+    }
+
+    #[test]
+    fn roundtrip_preserves_answers() {
+        for grouping in [Grouping::TarIntegral, Grouping::IndSpa, Grouping::IndAgg] {
+            let index = example(grouping);
+            let bytes = index.save_to_vec();
+            let loaded = TarIndex::load_from_slice(&bytes).expect("valid snapshot");
+            assert_eq!(loaded.len(), index.len());
+            assert_eq!(loaded.grouping(), grouping);
+            for alpha0 in [0.2, 0.5, 0.8] {
+                let q = KnntaQuery::new([4.0, 4.5], TimeInterval::days(0, 3))
+                    .with_k(5)
+                    .with_alpha0(alpha0);
+                let a = index.query(&q);
+                let b = loaded.query(&q);
+                assert_eq!(
+                    a.iter().map(|h| (h.poi, h.aggregate)).collect::<Vec<_>>(),
+                    b.iter().map(|h| (h.poi, h.aggregate)).collect::<Vec<_>>(),
+                    "{grouping} α0={alpha0}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_io() {
+        let index = example(Grouping::TarIntegral);
+        let mut file = Vec::new();
+        index.save_to(&mut file).unwrap();
+        let loaded = TarIndex::load_from(file.as_slice()).unwrap();
+        assert_eq!(loaded.len(), index.len());
+        // The loaded index stays fully functional (updates, MWA, batch).
+        let q = KnntaQuery::new([4.0, 4.5], TimeInterval::days(0, 3)).with_k(3);
+        let (_, adj) = loaded.mwa_pruning(&q);
+        let _ = adj.nearest(q.alpha0);
+        let _ = loaded.query_batch_collective(&[q]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(TarIndex::load_from_slice(b"").is_err());
+        assert!(TarIndex::load_from_slice(b"not a snapshot").is_err());
+        let mut bytes = example(Grouping::IndSpa).save_to_vec();
+        bytes[0] = b'X';
+        assert!(TarIndex::load_from_slice(&bytes).is_err());
+        // Truncation anywhere must error, not panic.
+        let full = example(Grouping::IndSpa).save_to_vec();
+        for cut in [9, 20, 40, full.len() - 3] {
+            assert!(
+                TarIndex::load_from_slice(&full[..cut]).is_err(),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn varied_grid_roundtrip() {
+        let grid = EpochGrid::exponential(3600, 6);
+        let bounds = Rect::new([0.0, 0.0], [10.0, 10.0]);
+        let pois = vec![(
+            Poi::new(0, 5.0, 5.0),
+            AggregateSeries::from_pairs([(0u32, 3), (5, 9)]),
+        )];
+        let index = TarIndex::build(IndexConfig::default(), grid.clone(), bounds, pois);
+        let loaded = TarIndex::load_from_slice(&index.save_to_vec()).unwrap();
+        assert_eq!(loaded.grid(), &grid);
+    }
+}

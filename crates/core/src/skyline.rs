@@ -1,0 +1,330 @@
+//! Skyline computation in `(s0, s1)` score space.
+//!
+//! The pruning MWA algorithm (Section 7.1) interchanges POIs on two
+//! skylines: the reversed-dominance skyline of the top-k and the ordinary
+//! skyline of the lower-ranked POIs. The latter is computed directly on the
+//! TAR-tree with a branch-and-bound skyline search (BBS, Papadias et al.,
+//! SIGMOD 2003) — "although the proposed TAR-tree is designed for the kNNTA
+//! query, it also enables efficient answering of the skyline query".
+
+use crate::augmentation::TiaAug;
+use crate::index::QueryCtx;
+use crate::poi::{Poi, QueryHit};
+use rtree::{EntryPayload, RStarTree};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+use tempora::{AggregateSeries, PoiId};
+
+/// Whether point `(a0, a1)` dominates `(b0, b1)` (non-strictly better on
+/// both axes, strictly on at least one).
+pub fn dominates(a: (f64, f64), b: (f64, f64)) -> bool {
+    a.0 <= b.0 && a.1 <= b.1 && (a.0 < b.0 || a.1 < b.1)
+}
+
+/// The skyline (minimising both coordinates) of a point set, sorted by
+/// ascending `s0`.
+pub fn skyline_of(points: &[QueryHit]) -> Vec<QueryHit> {
+    let mut sorted: Vec<&QueryHit> = points.iter().collect();
+    sorted.sort_by(|a, b| {
+        a.s0.partial_cmp(&b.s0)
+            .unwrap_or(Ordering::Equal)
+            .then(a.s1.partial_cmp(&b.s1).unwrap_or(Ordering::Equal))
+    });
+    let mut out: Vec<QueryHit> = Vec::new();
+    let mut best_s1 = f64::INFINITY;
+    for p in sorted {
+        if p.s1 < best_s1 {
+            out.push(*p);
+            best_s1 = p.s1;
+        }
+    }
+    out
+}
+
+/// The skyline with the dominating condition **reversed** (`pi` dominates
+/// `pj` if `si,t > sj,t` for both `t`), i.e. the maximising staircase —
+/// applied to the top-k before computing weight adjustments (Section 7.1).
+pub fn reversed_skyline_of(points: &[QueryHit]) -> Vec<QueryHit> {
+    let mut sorted: Vec<&QueryHit> = points.iter().collect();
+    sorted.sort_by(|a, b| {
+        b.s0.partial_cmp(&a.s0)
+            .unwrap_or(Ordering::Equal)
+            .then(b.s1.partial_cmp(&a.s1).unwrap_or(Ordering::Equal))
+    });
+    let mut out: Vec<QueryHit> = Vec::new();
+    let mut best_s1 = f64::NEG_INFINITY;
+    for p in sorted {
+        if p.s1 > best_s1 {
+            out.push(*p);
+            best_s1 = p.s1;
+        }
+    }
+    out
+}
+
+/// Branch-and-bound skyline over the index, in `(s0, s1)` space, excluding
+/// the POIs in `exclude` (the current top-k). Counts node accesses.
+pub(crate) fn bbs_skyline<const D: usize, S>(
+    tree: &RStarTree<D, Poi, TiaAug, S>,
+    ctx: &QueryCtx<'_>,
+    exclude: &HashSet<PoiId>,
+) -> Vec<QueryHit>
+where
+    S: rtree::GroupingStrategy<D, AggregateSeries>,
+{
+    enum Item {
+        Node(rtree::NodeId),
+        Point(QueryHit),
+    }
+    struct Pq {
+        key: f64, // s0 + s1 lower bound (min-heap)
+        corner: (f64, f64),
+        item: Item,
+    }
+    impl PartialEq for Pq {
+        fn eq(&self, o: &Self) -> bool {
+            self.key == o.key
+        }
+    }
+    impl Eq for Pq {}
+    impl PartialOrd for Pq {
+        fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
+            Some(self.cmp(o))
+        }
+    }
+    impl Ord for Pq {
+        fn cmp(&self, o: &Self) -> Ordering {
+            o.key.partial_cmp(&self.key).unwrap_or(Ordering::Equal)
+        }
+    }
+
+    let mut skyline: Vec<QueryHit> = Vec::new();
+    if tree.is_empty() {
+        return skyline;
+    }
+    let mut heap = BinaryHeap::new();
+    heap.push(Pq {
+        key: 0.0,
+        corner: (0.0, 0.0),
+        item: Item::Node(tree.root_id()),
+    });
+    while let Some(Pq { corner, item, .. }) = heap.pop() {
+        // A subtree (or point) whose best corner is dominated by a skyline
+        // point cannot contribute.
+        if skyline
+            .iter()
+            .any(|s| s.s0 <= corner.0 && s.s1 <= corner.1)
+        {
+            continue;
+        }
+        match item {
+            Item::Point(hit) => {
+                skyline.push(hit);
+            }
+            Item::Node(id) => {
+                let node = tree.access_node(id);
+                for e in &node.entries {
+                    let s0 = e.rect.project2().min_dist2(&ctx.q).sqrt();
+                    let agg = e.aug.aggregate_over(ctx.grid, ctx.iq);
+                    let (_, s1) = ctx.score(s0, agg);
+                    let corner = (s0, s1);
+                    if skyline
+                        .iter()
+                        .any(|s| s.s0 <= corner.0 && s.s1 <= corner.1)
+                    {
+                        continue;
+                    }
+                    match &e.payload {
+                        EntryPayload::Data(poi) => {
+                            if exclude.contains(&poi.id) {
+                                continue;
+                            }
+                            let hit = ctx.hit(poi.id, s0, agg);
+                            heap.push(Pq {
+                                key: s0 + s1,
+                                corner,
+                                item: Item::Point(hit),
+                            });
+                        }
+                        EntryPayload::Child(c) => {
+                            heap.push(Pq {
+                                key: s0 + s1,
+                                corner,
+                                item: Item::Node(*c),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    skyline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hit(id: u32, s0: f64, s1: f64) -> QueryHit {
+        QueryHit {
+            poi: PoiId(id),
+            score: 0.0,
+            s0,
+            s1,
+            distance: 0.0,
+            aggregate: 0,
+        }
+    }
+
+    #[test]
+    fn dominance_relation() {
+        assert!(dominates((0.1, 0.1), (0.2, 0.2)));
+        assert!(dominates((0.1, 0.2), (0.1, 0.3)));
+        assert!(!dominates((0.1, 0.1), (0.1, 0.1)));
+        assert!(!dominates((0.1, 0.3), (0.3, 0.1)));
+    }
+
+    #[test]
+    fn skyline_staircase() {
+        let pts = vec![
+            hit(0, 0.1, 0.9),
+            hit(1, 0.5, 0.5),
+            hit(2, 0.9, 0.1),
+            hit(3, 0.6, 0.6), // dominated by 1
+            hit(4, 0.5, 0.7), // dominated by 1
+        ];
+        let sky = skyline_of(&pts);
+        let ids: Vec<u32> = sky.iter().map(|h| h.poi.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        // No skyline member dominates another.
+        for a in &sky {
+            for b in &sky {
+                assert!(!dominates((a.s0, a.s1), (b.s0, b.s1)) || a.poi == b.poi);
+            }
+        }
+    }
+
+    #[test]
+    fn reversed_skyline_staircase() {
+        let pts = vec![
+            hit(0, 0.1, 0.9),
+            hit(1, 0.5, 0.5),
+            hit(2, 0.9, 0.1),
+            hit(3, 0.4, 0.4), // reverse-dominated by 1
+        ];
+        let sky = reversed_skyline_of(&pts);
+        let ids: Vec<u32> = sky.iter().map(|h| h.poi.0).collect();
+        // Sorted by descending s0: 2, 1, 0 all on the reversed staircase.
+        assert_eq!(ids, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn skyline_of_chain_keeps_single_point() {
+        // Totally ordered points: only the best survives.
+        let pts = vec![hit(0, 0.1, 0.1), hit(1, 0.2, 0.2), hit(2, 0.3, 0.3)];
+        assert_eq!(skyline_of(&pts).len(), 1);
+        assert_eq!(reversed_skyline_of(&pts).len(), 1);
+        assert_eq!(skyline_of(&pts)[0].poi, PoiId(0));
+        assert_eq!(reversed_skyline_of(&pts)[0].poi, PoiId(2));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(skyline_of(&[]).is_empty());
+        assert!(reversed_skyline_of(&[]).is_empty());
+    }
+}
+
+use crate::index::{with_tree, TarIndex};
+use tempora::TimeInterval;
+
+impl TarIndex {
+    /// The spatio-temporal **skyline** around `point` over `interval`: every
+    /// POI not dominated in `(distance, 1 − normalised aggregate)` space —
+    /// weight-free result exploration. ("Although the proposed TAR-tree is
+    /// designed for the kNNTA query, it also enables efficient answering of
+    /// the skyline query", Section 7.1.)
+    ///
+    /// Computed with branch-and-bound (BBS) over the index; node accesses
+    /// are counted in [`TarIndex::stats`]. Results are sorted by ascending
+    /// distance.
+    pub fn skyline(&self, point: [f64; 2], interval: TimeInterval) -> Vec<QueryHit> {
+        // The weights do not affect (s0, s1), only the BBS visit order.
+        let q = crate::poi::KnntaQuery::new(point, interval);
+        let ctx = self.ctx(&q);
+        let mut sky = with_tree!(self, t => bbs_skyline(t, &ctx, &HashSet::new()));
+        sky.sort_by(|a, b| {
+            a.s0.partial_cmp(&b.s0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.poi.cmp(&b.poi))
+        });
+        sky
+    }
+}
+
+#[cfg(test)]
+mod index_skyline_tests {
+    use super::*;
+    use crate::index::tests::paper_example;
+    use crate::index::{Grouping, IndexConfig};
+    use crate::{ScanBaseline, TarIndex};
+    use tempora::TimeInterval;
+
+    #[test]
+    fn skyline_matches_brute_force() {
+        let (grid, bounds, pois) = paper_example();
+        let baseline = ScanBaseline::build(grid.clone(), bounds, pois.clone());
+        for grouping in [Grouping::TarIntegral, Grouping::IndSpa] {
+            let index = TarIndex::build(
+                IndexConfig::with_grouping(grouping),
+                grid.clone(),
+                bounds,
+                pois.clone(),
+            );
+            for (point, interval) in [
+                ([4.0, 4.5], TimeInterval::days(0, 3)),
+                ([1.0, 1.0], TimeInterval::days(1, 3)),
+                ([9.0, 9.0], TimeInterval::days(0, 2)),
+            ] {
+                let got = index.skyline(point, interval);
+                let all = baseline.score_all(
+                    &crate::KnntaQuery::new(point, interval).with_alpha0(0.5),
+                );
+                let want = skyline_of(&all);
+                let mut want_ids: Vec<_> = want.iter().map(|h| h.poi).collect();
+                want_ids.sort_unstable();
+                let mut got_ids: Vec<_> = got.iter().map(|h| h.poi).collect();
+                got_ids.sort_unstable();
+                assert_eq!(got_ids, want_ids, "at {point:?}");
+                // No member dominates another.
+                for a in &got {
+                    for b in &got {
+                        assert!(!a.dominates(b) || a.poi == b.poi);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skyline_contains_every_top1_for_any_weight() {
+        // The top-1 under any weight is never dominated, so it must be on
+        // the skyline.
+        let (grid, bounds, pois) = paper_example();
+        let index = TarIndex::build(IndexConfig::default(), grid, bounds, pois);
+        let interval = TimeInterval::days(0, 3);
+        let sky: Vec<_> = index
+            .skyline([4.0, 4.5], interval)
+            .iter()
+            .map(|h| h.poi)
+            .collect();
+        for alpha0 in [0.05, 0.3, 0.5, 0.7, 0.95] {
+            let q = crate::KnntaQuery::new([4.0, 4.5], interval)
+                .with_k(1)
+                .with_alpha0(alpha0);
+            let top = index.query(&q)[0].poi;
+            assert!(sky.contains(&top), "top-1 at α0={alpha0} on the skyline");
+        }
+    }
+}

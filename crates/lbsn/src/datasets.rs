@@ -1,0 +1,413 @@
+//! Synthetic LBSN datasets calibrated to the paper's four real datasets.
+//!
+//! The paper evaluates on NYC and LA (Foursquare tips), GW (Gowalla) and GS
+//! (Foursquare check-ins posted on Twitter) — see Table 4 for sizes and
+//! Table 2 for the fitted power-law parameters. Those datasets are not
+//! redistributable, so this module *generates* datasets with the same
+//! statistical shape:
+//!
+//! * POI count, check-in count and time span scaled from Table 4;
+//! * per-POI total check-ins drawn from a body + power-law-tail mixture
+//!   whose tail uses **the paper's own fitted `β̂` and `x̂min`** (Table 2);
+//! * clustered spatial positions (Gaussian-mixture cities);
+//! * check-ins spread over epochs with mild growth over time (LBSNs grow,
+//!   which the growth experiment of Figure 8 relies on).
+//!
+//! The `scale` knob shrinks everything proportionally so the full
+//! experiment suite runs on a laptop; `scale = 1.0` reproduces the paper's
+//! sizes.
+
+use crate::powerlaw::PowerLaw;
+use crate::spatial::ClusterModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tempora::{AggregateSeries, EpochGrid, PoiId};
+
+/// Calibration of one of the paper's datasets (Tables 2 and 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetSpec {
+    /// Dataset name as used in the paper.
+    pub name: &'static str,
+    /// Number of locations (Table 4).
+    pub locations: usize,
+    /// Total number of check-ins (Table 4).
+    pub checkins: u64,
+    /// Time span in days (Table 4's date ranges).
+    pub days: i64,
+    /// Fitted power-law exponent `β̂` (Table 2).
+    pub beta: f64,
+    /// Fitted lower bound `x̂min` (Table 2).
+    pub xmin: u64,
+    /// Check-ins required for a location to be an *effective public POI*
+    /// (Section 8: 15 / 10 / 100 / 50 for the four datasets).
+    pub min_checkins: u64,
+    /// Number of spatial clusters in the synthetic city model.
+    pub clusters: usize,
+}
+
+/// NYC: Foursquare tips in New York City, 05/2008 – 06/2011.
+pub fn nyc() -> DatasetSpec {
+    DatasetSpec {
+        name: "NYC",
+        locations: 72_626,
+        checkins: 237_784,
+        days: 1_127,
+        beta: 3.20,
+        xmin: 31,
+        min_checkins: 15,
+        clusters: 8,
+    }
+}
+
+/// LA: Foursquare tips in Los Angeles, 02/2009 – 07/2011.
+pub fn la() -> DatasetSpec {
+    DatasetSpec {
+        name: "LA",
+        locations: 45_591,
+        checkins: 127_924,
+        days: 880,
+        beta: 3.07,
+        xmin: 16,
+        min_checkins: 10,
+        clusters: 10,
+    }
+}
+
+/// GW: Gowalla, 02/2009 – 10/2010.
+pub fn gw() -> DatasetSpec {
+    DatasetSpec {
+        name: "GW",
+        locations: 1_280_969,
+        checkins: 6_442_803,
+        days: 637,
+        beta: 2.82,
+        xmin: 85,
+        min_checkins: 100,
+        clusters: 40,
+    }
+}
+
+/// GS: Foursquare check-ins posted on Twitter, 01/2011 – 07/2011.
+pub fn gs() -> DatasetSpec {
+    DatasetSpec {
+        name: "GS",
+        locations: 182_968,
+        checkins: 1_385_223,
+        days: 180,
+        beta: 2.19,
+        xmin: 59,
+        min_checkins: 50,
+        clusters: 25,
+    }
+}
+
+/// All four presets in paper order.
+pub fn all_specs() -> [DatasetSpec; 4] {
+    [nyc(), la(), gw(), gs()]
+}
+
+/// Looks a preset up by (case-insensitive) name.
+pub fn spec_by_name(name: &str) -> Option<DatasetSpec> {
+    all_specs()
+        .into_iter()
+        .find(|s| s.name.eq_ignore_ascii_case(name))
+}
+
+/// A generated LBSN dataset.
+#[derive(Debug, Clone)]
+pub struct LbsnDataset {
+    /// Which spec generated it.
+    pub spec: DatasetSpec,
+    /// The epoch grid covering the dataset's time span.
+    pub grid: EpochGrid,
+    /// Data-space bounding box.
+    pub bounds: ([f64; 2], [f64; 2]),
+    /// Position of every location (index = POI id).
+    pub positions: Vec<[f64; 2]>,
+    /// Per-epoch aggregate series of every location (index = POI id).
+    pub series: Vec<AggregateSeries>,
+}
+
+impl LbsnDataset {
+    /// Number of locations (effective or not).
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the dataset has no locations.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Total check-ins across all locations.
+    pub fn total_checkins(&self) -> u64 {
+        self.series.iter().map(|s| s.total()).sum()
+    }
+
+    /// Per-POI total check-in counts (the sample Table 2's fit runs on).
+    pub fn totals(&self) -> Vec<u64> {
+        self.series.iter().map(|s| s.total()).collect()
+    }
+
+    /// The POIs known at a time snapshot: locations with at least one
+    /// check-in within epochs `0..epoch_count`, with their series truncated
+    /// to those epochs.
+    ///
+    /// (The paper's "effective public POI" thresholds of Section 8 are a
+    /// data-cleaning step on venue metadata that Table 4's location counts
+    /// already reflect — Table 2 fits the power law on essentially *all*
+    /// listed locations — so the generator's location count is the indexed
+    /// POI count.)
+    ///
+    /// `snapshot(self.grid.len())` is the full dataset as indexed in most
+    /// experiments; smaller prefixes drive the Figure 8 growth experiment.
+    pub fn snapshot(&self, epoch_count: usize) -> Vec<(PoiId, [f64; 2], AggregateSeries)> {
+        let epoch_count = epoch_count.min(self.grid.len());
+        let mut out = Vec::new();
+        for (i, series) in self.series.iter().enumerate() {
+            let truncated =
+                AggregateSeries::from_pairs(series.iter().filter(|&(e, _)| (e as usize) < epoch_count));
+            if !truncated.is_empty() {
+                out.push((PoiId(i as u32), self.positions[i], truncated));
+            }
+        }
+        out
+    }
+
+    /// A snapshot at a fraction of the time span (Figure 8 uses 20%…100%).
+    pub fn snapshot_at(&self, fraction: f64) -> Vec<(PoiId, [f64; 2], AggregateSeries)> {
+        let epochs = ((self.grid.len() as f64) * fraction).round() as usize;
+        self.snapshot(epochs.max(1))
+    }
+}
+
+impl DatasetSpec {
+    /// Generates a dataset at `scale` (1.0 = the paper's size) with
+    /// `epoch_days`-day epochs (the paper's default is 7).
+    pub fn generate(&self, scale: f64, epoch_days: i64, seed: u64) -> LbsnDataset {
+        assert!(scale > 0.0 && scale <= 1.0, "scale in (0, 1]");
+        assert!(epoch_days >= 1);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_0000);
+        let n = ((self.locations as f64 * scale).round() as usize).max(10);
+        let m = ((self.days + epoch_days - 1) / epoch_days).max(1) as usize;
+        let grid = EpochGrid::fixed_days(epoch_days, m);
+
+        // Spatial positions from the cluster model; the box is arbitrary
+        // "city coordinates" (kilometres). The cluster count scales with
+        // the dataset so the POIs-per-city density stays at its full-scale
+        // value — the within-city density is what makes aggregate pruning
+        // matter (thousands of near-equidistant POIs per city), and keeping
+        // it fixed preserves the paper's regime at laptop scale.
+        let bounds = ([0.0, 0.0], [100.0, 100.0]);
+        let clusters = ((self.clusters as f64 * scale).round() as usize).clamp(2, self.clusters);
+        let city = ClusterModel::generate(bounds, clusters, 0.03, &mut rng);
+        let positions: Vec<[f64; 2]> = (0..n).map(|_| city.sample(&mut rng)).collect();
+
+        // Per-POI totals: a body/tail mixture whose tail is the paper's
+        // fitted power law and whose overall mean matches Table 4's
+        // check-ins-per-location.
+        let tail = PowerLaw::new(self.beta, self.xmin);
+        let target_mean = self.checkins as f64 / self.locations as f64;
+        let tail_mean = if tail.mean().is_finite() {
+            tail.mean()
+        } else {
+            // β ≤ 2: heavy tail with unbounded mean; use an empirical mean
+            // from a large sample (the clamp in sampling keeps it finite).
+            let probe: f64 = (0..10_000).map(|_| tail.sample(&mut rng) as f64).sum();
+            probe / 10_000.0
+        };
+        let body_mean = 2.0f64.min(target_mean * 0.9);
+        let tau0 = ((target_mean - body_mean) / (tail_mean - body_mean)).clamp(0.002, 1.0);
+
+        // Natural tail cutoff: real venues have finite capacity, so the top
+        // of the distribution is a *pack* of comparably-popular venues
+        // (airports, stations) rather than one extreme outlier. Without the
+        // cutoff a single heavy-tail draw dwarfs everything, the normalised
+        // aggregates of all other POIs collapse towards zero, and aggregate
+        // pruning degenerates — unlike the paper's measured f(pk).
+        // Truncate the tail at the value exceeded by ~5 venues in
+        // expectation (rejection-resampling below the cut keeps the shape a
+        // clean truncated power law, which the CSN goodness-of-fit cannot
+        // distinguish from a pure one at these sample sizes).
+        let n_tail = (tau0 * n as f64).max(1.0);
+        let cap_ratio = (n_tail / 5.0)
+            .max(1.0)
+            .powf(1.0 / (self.beta - 1.0))
+            .max(8.0); // keep at least a decade of tail at small scales
+        let xcap = ((self.xmin as f64) * cap_ratio).max(self.xmin as f64 * 2.0) as u64;
+        let draw_tail = |rng: &mut StdRng| loop {
+            let d = tail.sample(rng);
+            if d <= xcap {
+                return d;
+            }
+        };
+        // Recalibrate the tail fraction against the *truncated* tail mean
+        // so the total check-in count still tracks Table 4.
+        let capped_tail_mean = {
+            let probe: u64 = (0..4096).map(|_| draw_tail(&mut rng)).sum();
+            probe as f64 / 4096.0
+        };
+        let tau = ((target_mean - body_mean) / (capped_tail_mean - body_mean)).clamp(0.002, 1.0);
+        let mut series = Vec::with_capacity(n);
+        for _ in 0..n {
+            let total = if rng.gen_range(0.0..1.0) < tau {
+                draw_tail(&mut rng)
+            } else {
+                // Geometric-ish body: mostly 1–4 check-ins.
+                1 + rng.gen_range(0..4).min(rng.gen_range(0..4))
+            };
+            series.push(spread_over_epochs(total, m, &mut rng));
+        }
+        LbsnDataset {
+            spec: *self,
+            grid,
+            bounds,
+            positions,
+            series,
+        }
+    }
+}
+
+/// Spreads `total` check-ins over `m` epochs with linearly growing epoch
+/// weights (the LBSN gains users over time) and Poisson-like noise.
+fn spread_over_epochs<R: Rng + ?Sized>(total: u64, m: usize, rng: &mut R) -> AggregateSeries {
+    if total == 0 || m == 0 {
+        return AggregateSeries::new();
+    }
+    if m == 1 {
+        return AggregateSeries::from_pairs([(0u32, total)]);
+    }
+    // Epoch weights w_e ∝ 1 + e (growth), normalised.
+    let weight_sum = (m * (m + 1)) as f64 / 2.0;
+    if total < 4 * m as u64 {
+        // Few check-ins: place each one in a weighted random epoch.
+        let mut s = AggregateSeries::new();
+        for _ in 0..total {
+            let u: f64 = rng.gen_range(0.0..weight_sum);
+            // Inverse CDF of the triangular weights: e(e+1)/2 >= u.
+            let e = ((((8.0 * u + 1.0).sqrt() - 1.0) / 2.0).floor() as usize).min(m - 1);
+            s.add(e as u32, 1);
+        }
+        s
+    } else {
+        // Many check-ins: expected share with multiplicative noise.
+        let mut s = AggregateSeries::new();
+        let mut assigned = 0u64;
+        for e in 0..m {
+            let w = (e + 1) as f64 / weight_sum;
+            let noise = rng.gen_range(0.5..1.5);
+            let c = ((total as f64) * w * noise).round() as u64;
+            let c = c.min(total - assigned);
+            if c > 0 {
+                s.add(e as u32, c);
+                assigned += c;
+            }
+        }
+        if assigned < total {
+            s.add((m - 1) as u32, total - assigned);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_tables() {
+        let specs = all_specs();
+        assert_eq!(specs[0].name, "NYC");
+        assert_eq!(specs[2].locations, 1_280_969);
+        assert_eq!(specs[2].checkins, 6_442_803);
+        assert!((specs[3].beta - 2.19).abs() < 1e-9);
+        assert_eq!(specs[1].xmin, 16);
+        assert_eq!(spec_by_name("gw").unwrap().name, "GW");
+        assert!(spec_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn generate_scales_counts() {
+        let ds = gs().generate(0.01, 7, 1);
+        let expected = (182_968f64 * 0.01) as usize;
+        assert!((ds.len() as i64 - expected as i64).abs() <= 1);
+        assert_eq!(ds.grid.len(), 180usize.div_ceil(7));
+        // Total check-ins roughly track the scaled target (±50% — the
+        // mixture is calibrated in expectation only).
+        let target = (1_385_223f64 * 0.01) as u64;
+        let total = ds.total_checkins();
+        assert!(
+            total > target / 2 && total < target * 2,
+            "total {total}, target {target}"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = nyc().generate(0.005, 7, 42);
+        let b = nyc().generate(0.005, 7, 42);
+        assert_eq!(a.positions, b.positions);
+        assert_eq!(a.series, b.series);
+        let c = nyc().generate(0.005, 7, 43);
+        assert_ne!(a.series, c.series);
+    }
+
+    #[test]
+    fn totals_have_power_law_tail() {
+        let ds = gw().generate(0.02, 7, 7);
+        let totals = ds.totals();
+        let fit = crate::powerlaw::fit_power_law(&totals, 50).expect("fit");
+        // β̂ within a reasonable band of the target 2.82 (the body mixture
+        // and epoch spreading blur it a little).
+        assert!(
+            (fit.beta - 2.82).abs() < 0.5,
+            "β̂ = {} (target 2.82)",
+            fit.beta
+        );
+    }
+
+    #[test]
+    fn snapshots_grow_monotonically() {
+        let ds = la().generate(0.02, 7, 3);
+        let s20 = ds.snapshot_at(0.2).len();
+        let s60 = ds.snapshot_at(0.6).len();
+        let s100 = ds.snapshot_at(1.0).len();
+        assert!(s20 <= s60 && s60 <= s100, "{s20} <= {s60} <= {s100}");
+        // By the full snapshot, nearly every location has appeared.
+        assert!(s100 * 10 >= ds.len() * 9, "{s100} of {}", ds.len());
+        for (_, _, series) in ds.snapshot_at(1.0) {
+            assert!(series.total() >= 1);
+        }
+    }
+
+    #[test]
+    fn snapshot_truncates_series() {
+        let ds = gs().generate(0.01, 7, 5);
+        let half_epochs = ds.grid.len() / 2;
+        for (id, _, series) in ds.snapshot(half_epochs) {
+            for (e, _) in series.iter() {
+                assert!((e as usize) < half_epochs, "poi {id} epoch {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn spread_conserves_total_for_large_counts() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = spread_over_epochs(100_000, 26, &mut rng);
+        assert_eq!(s.total(), 100_000);
+        // Later epochs get more (growth).
+        let early: u64 = (0..13).map(|e| s.get(e)).sum();
+        let late: u64 = (13..26).map(|e| s.get(e)).sum();
+        assert!(late > early);
+    }
+
+    #[test]
+    fn spread_conserves_total_for_small_counts() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for total in [0u64, 1, 5, 30] {
+            let s = spread_over_epochs(total, 10, &mut rng);
+            assert_eq!(s.total(), total);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Query workload generation (Section 8's setup).
+
+use crate::datasets::LbsnDataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tempora::{TimeInterval, Timestamp};
+
+/// How query time intervals are anchored on the time axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntervalAnchor {
+    /// Intervals end at the current time `tc` ("the last week", "the last
+    /// year" — the motivating queries of the introduction).
+    Recent,
+    /// Intervals start uniformly at random within the time span.
+    Random,
+}
+
+/// A reproducible kNNTA query workload: "1,000 queries with the query point
+/// uniformly sampled from the data set and the query time interval uniformly
+/// sampled from 2^0, 2^1, …, 2^9 days" (Section 8).
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// `(query point, query interval)` pairs; `k` and `α0` are chosen by
+    /// each experiment.
+    pub queries: Vec<([f64; 2], TimeInterval)>,
+}
+
+impl Workload {
+    /// Generates `count` queries over `dataset`.
+    pub fn generate(dataset: &LbsnDataset, count: usize, anchor: IntervalAnchor, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0051_0AD5);
+        let tc = dataset.grid.tc();
+        let queries = (0..count)
+            .map(|_| {
+                let point = dataset.positions[rng.gen_range(0..dataset.positions.len())];
+                let exp = rng.gen_range(0..=9u32);
+                let len_days = 1i64 << exp;
+                let len = len_days.min(tc.days().max(1)) * Timestamp::DAY;
+                let (start, end) = match anchor {
+                    IntervalAnchor::Recent => (tc - len, tc),
+                    IntervalAnchor::Random => {
+                        let s = rng.gen_range(0..=(tc.seconds() - len).max(0));
+                        (Timestamp(s), Timestamp(s) + len)
+                    }
+                };
+                (point, TimeInterval::new(start, end))
+            })
+            .collect();
+        Workload { queries }
+    }
+
+    /// Restricts the workload to `n` distinct interval *types* (reusing the
+    /// first `n` intervals round-robin) — the Figure 16 experiment varies
+    /// the number of query types from 1 to 100.
+    pub fn with_interval_types(&self, n: usize) -> Workload {
+        assert!(n >= 1);
+        let types: Vec<TimeInterval> = {
+            let mut seen = Vec::new();
+            for &(_, iv) in &self.queries {
+                if !seen.contains(&iv) {
+                    seen.push(iv);
+                }
+                if seen.len() == n {
+                    break;
+                }
+            }
+            seen
+        };
+        let queries = self
+            .queries
+            .iter()
+            .enumerate()
+            .map(|(i, &(p, _))| (p, types[i % types.len()]))
+            .collect();
+        Workload { queries }
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Number of distinct interval types.
+    pub fn interval_types(&self) -> usize {
+        let mut seen: Vec<TimeInterval> = Vec::new();
+        for &(_, iv) in &self.queries {
+            if !seen.contains(&iv) {
+                seen.push(iv);
+            }
+        }
+        seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::gs;
+
+    fn dataset() -> LbsnDataset {
+        gs().generate(0.005, 7, 9)
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let ds = dataset();
+        let w = Workload::generate(&ds, 200, IntervalAnchor::Random, 1);
+        assert_eq!(w.len(), 200);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn intervals_are_powers_of_two_days() {
+        let ds = dataset();
+        let w = Workload::generate(&ds, 300, IntervalAnchor::Random, 2);
+        for &(_, iv) in &w.queries {
+            let days = iv.duration() / Timestamp::DAY;
+            assert!(
+                (days as u64).is_power_of_two() && (1..=512).contains(&days)
+                    || days == ds.grid.tc().days(),
+                "interval length {days} days"
+            );
+            assert!(iv.start().seconds() >= 0);
+            assert!(iv.end() <= ds.grid.tc());
+        }
+    }
+
+    #[test]
+    fn recent_anchor_ends_at_tc() {
+        let ds = dataset();
+        let w = Workload::generate(&ds, 50, IntervalAnchor::Recent, 3);
+        for &(_, iv) in &w.queries {
+            assert_eq!(iv.end(), ds.grid.tc());
+        }
+    }
+
+    #[test]
+    fn query_points_come_from_dataset() {
+        let ds = dataset();
+        let w = Workload::generate(&ds, 100, IntervalAnchor::Random, 4);
+        for &(p, _) in &w.queries {
+            assert!(ds.positions.contains(&p));
+        }
+    }
+
+    #[test]
+    fn interval_type_restriction() {
+        let ds = dataset();
+        let w = Workload::generate(&ds, 500, IntervalAnchor::Random, 5);
+        assert!(w.interval_types() > 10);
+        for n in [1, 5, 10] {
+            let restricted = w.with_interval_types(n);
+            assert_eq!(restricted.len(), w.len());
+            assert!(restricted.interval_types() <= n);
+        }
+        assert_eq!(w.with_interval_types(1).interval_types(), 1);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let ds = dataset();
+        let a = Workload::generate(&ds, 50, IntervalAnchor::Random, 7);
+        let b = Workload::generate(&ds, 50, IntervalAnchor::Random, 7);
+        assert_eq!(a.queries, b.queries);
+    }
+}

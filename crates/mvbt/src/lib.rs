@@ -1,0 +1,29 @@
+//! A disk-based **multi-version B-tree** (MVBT) and the TIA built on it.
+//!
+//! The paper implements each entry's *temporal index on the aggregate* (TIA)
+//! with "the disk-based multi-version B-tree \[Becker et al., VLDBJ 1996\] …
+//! as it has been proven to be asymptotically optimal" (Section 4.1). This
+//! crate provides that substrate from scratch:
+//!
+//! * [`Mvbt`] — a partially persistent B+-tree over a
+//!   [`pagestore::BufferPool`]: every entry carries a version interval
+//!   `[start, end)`; inserts and deletes happen at the current version and
+//!   queries can target *any* version. Structural changes follow the MVBT
+//!   scheme: version splits (copy the live entries into a fresh node), key
+//!   splits on strong overflow, and merges with a sibling on weak underflow.
+//! * [`MvbtTia`] — the TIA: epoch records `⟨ts, te, agg⟩` keyed by epoch
+//!   start, with the interval-containment aggregate query of Section 4.3 and
+//!   the `raise_to` maintenance operation internal TAR-tree entries need.
+//!
+//! All node reads and writes go through the buffer pool, so the paper's
+//! "10 buffer slots per TIA" configuration and its I/O accounting are real.
+
+#![warn(missing_docs)]
+
+mod node;
+mod tia;
+mod tree;
+
+pub use node::{InternalEntry, LeafEntry, Node, NodeBody, VERSION_INF};
+pub use tia::MvbtTia;
+pub use tree::{Mvbt, MvbtParams};

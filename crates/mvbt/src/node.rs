@@ -1,0 +1,336 @@
+//! MVBT node layout and page codec.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use pagestore::PageId;
+
+/// Sentinel for "still alive" (`end == ∞`).
+pub const VERSION_INF: u64 = u64::MAX;
+
+/// Serialized size of a leaf entry: key (8) + start (8) + end (8) + value (16).
+pub(crate) const LEAF_ENTRY_BYTES: usize = 40;
+/// Serialized size of an internal entry: router (8) + start (8) + end (8) + child (8).
+pub(crate) const INTERNAL_ENTRY_BYTES: usize = 32;
+/// Node header: tag (1) + entry count (2) + padding (5) + start version (8).
+pub(crate) const HEADER_BYTES: usize = 16;
+
+/// A leaf record: `key` holds `value` during versions `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeafEntry {
+    /// Search key.
+    pub key: i64,
+    /// First version at which the record is visible.
+    pub start: u64,
+    /// First version at which the record is no longer visible
+    /// ([`VERSION_INF`] while alive).
+    pub end: u64,
+    /// 16-byte payload (the TIA packs `⟨te, agg⟩` here).
+    pub value: u128,
+}
+
+impl LeafEntry {
+    /// Whether the record is visible at `version`.
+    #[inline]
+    pub fn alive_at(&self, version: u64) -> bool {
+        self.start <= version && version < self.end
+    }
+
+    /// Whether the record is still current (`end == ∞`).
+    #[inline]
+    pub fn is_live(&self) -> bool {
+        self.end == VERSION_INF
+    }
+}
+
+/// An internal router entry: during `[start, end)`, keys `≥ router` (down to
+/// the previous live router) are found under `child`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InternalEntry {
+    /// Separator key (lower bound of the child's responsibility).
+    pub router: i64,
+    /// First version at which the child is current.
+    pub start: u64,
+    /// First version at which the child is dead ([`VERSION_INF`] while live).
+    pub end: u64,
+    /// The child node's page.
+    pub child: PageId,
+}
+
+impl InternalEntry {
+    /// Whether the child is current at `version`.
+    #[inline]
+    pub fn alive_at(&self, version: u64) -> bool {
+        self.start <= version && version < self.end
+    }
+
+    /// Whether the child is still current.
+    #[inline]
+    pub fn is_live(&self) -> bool {
+        self.end == VERSION_INF
+    }
+}
+
+/// The entries of a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeBody {
+    /// Leaf level: data records.
+    Leaf(Vec<LeafEntry>),
+    /// Internal level: routers to children.
+    Internal(Vec<InternalEntry>),
+}
+
+/// One MVBT node as stored in a page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// The version at which this node was created (version splits create
+    /// nodes; in-place reorganisation is only legal while the current
+    /// version equals this).
+    pub start_version: u64,
+    /// The node's entries.
+    pub body: NodeBody,
+}
+
+impl Node {
+    /// A fresh empty leaf created at `version`.
+    pub fn new_leaf(version: u64) -> Self {
+        Node {
+            start_version: version,
+            body: NodeBody::Leaf(Vec::new()),
+        }
+    }
+
+    /// A fresh internal node created at `version`.
+    pub fn new_internal(version: u64) -> Self {
+        Node {
+            start_version: version,
+            body: NodeBody::Internal(Vec::new()),
+        }
+    }
+
+    /// Whether this is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self.body, NodeBody::Leaf(_))
+    }
+
+    /// Total number of entries (alive and dead).
+    pub fn len(&self) -> usize {
+        match &self.body {
+            NodeBody::Leaf(v) => v.len(),
+            NodeBody::Internal(v) => v.len(),
+        }
+    }
+
+    /// Whether the node stores no entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of entries alive at `version`.
+    pub fn live_count(&self, version: u64) -> usize {
+        match &self.body {
+            NodeBody::Leaf(v) => v.iter().filter(|e| e.alive_at(version)).count(),
+            NodeBody::Internal(v) => v.iter().filter(|e| e.alive_at(version)).count(),
+        }
+    }
+
+    /// Serializes the node into a page payload.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(HEADER_BYTES + self.len() * LEAF_ENTRY_BYTES);
+        buf.put_u8(if self.is_leaf() { 1 } else { 0 });
+        buf.put_u16(self.len() as u16);
+        buf.put_bytes(0, 5);
+        buf.put_u64(self.start_version);
+        match &self.body {
+            NodeBody::Leaf(entries) => {
+                for e in entries {
+                    buf.put_i64(e.key);
+                    buf.put_u64(e.start);
+                    buf.put_u64(e.end);
+                    buf.put_u128(e.value);
+                }
+            }
+            NodeBody::Internal(entries) => {
+                for e in entries {
+                    buf.put_i64(e.router);
+                    buf.put_u64(e.start);
+                    buf.put_u64(e.end);
+                    buf.put_u64(e.child.0);
+                }
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a node from a page payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed payload (truncated header or entries) — pages
+    /// are written by this crate only, so corruption is a logic error.
+    pub fn decode(mut data: Bytes) -> Self {
+        assert!(data.len() >= HEADER_BYTES, "truncated node header");
+        let tag = data.get_u8();
+        let count = data.get_u16() as usize;
+        data.advance(5);
+        let start_version = data.get_u64();
+        let body = if tag == 1 {
+            assert!(data.len() >= count * LEAF_ENTRY_BYTES, "truncated leaf");
+            let mut entries = Vec::with_capacity(count);
+            for _ in 0..count {
+                entries.push(LeafEntry {
+                    key: data.get_i64(),
+                    start: data.get_u64(),
+                    end: data.get_u64(),
+                    value: data.get_u128(),
+                });
+            }
+            NodeBody::Leaf(entries)
+        } else {
+            assert!(
+                data.len() >= count * INTERNAL_ENTRY_BYTES,
+                "truncated internal node"
+            );
+            let mut entries = Vec::with_capacity(count);
+            for _ in 0..count {
+                entries.push(InternalEntry {
+                    router: data.get_i64(),
+                    start: data.get_u64(),
+                    end: data.get_u64(),
+                    child: PageId(data.get_u64()),
+                });
+            }
+            NodeBody::Internal(entries)
+        };
+        Node {
+            start_version,
+            body,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_roundtrip() {
+        let node = Node {
+            start_version: 7,
+            body: NodeBody::Leaf(vec![
+                LeafEntry {
+                    key: -5,
+                    start: 1,
+                    end: VERSION_INF,
+                    value: 0xDEAD_BEEF,
+                },
+                LeafEntry {
+                    key: 42,
+                    start: 2,
+                    end: 9,
+                    value: u128::MAX,
+                },
+            ]),
+        };
+        let decoded = Node::decode(node.encode());
+        assert_eq!(decoded, node);
+    }
+
+    #[test]
+    fn internal_roundtrip() {
+        let node = Node {
+            start_version: 0,
+            body: NodeBody::Internal(vec![InternalEntry {
+                router: i64::MIN,
+                start: 0,
+                end: VERSION_INF,
+                child: PageId(99),
+            }]),
+        };
+        assert_eq!(Node::decode(node.encode()), node);
+    }
+
+    #[test]
+    fn empty_node_roundtrip() {
+        let node = Node::new_leaf(3);
+        assert_eq!(Node::decode(node.encode()), node);
+        let node = Node::new_internal(4);
+        assert_eq!(Node::decode(node.encode()), node);
+    }
+
+    #[test]
+    fn alive_at_boundaries() {
+        let e = LeafEntry {
+            key: 0,
+            start: 3,
+            end: 7,
+            value: 0,
+        };
+        assert!(!e.alive_at(2));
+        assert!(e.alive_at(3));
+        assert!(e.alive_at(6));
+        assert!(!e.alive_at(7));
+        assert!(!e.is_live());
+        let live = LeafEntry {
+            end: VERSION_INF,
+            ..e
+        };
+        assert!(live.is_live());
+        assert!(live.alive_at(u64::MAX - 1));
+    }
+
+    #[test]
+    fn live_count_counts_by_version() {
+        let node = Node {
+            start_version: 0,
+            body: NodeBody::Leaf(vec![
+                LeafEntry {
+                    key: 1,
+                    start: 0,
+                    end: 5,
+                    value: 0,
+                },
+                LeafEntry {
+                    key: 2,
+                    start: 3,
+                    end: VERSION_INF,
+                    value: 0,
+                },
+            ]),
+        };
+        assert_eq!(node.live_count(0), 1);
+        assert_eq!(node.live_count(3), 2);
+        assert_eq!(node.live_count(5), 1);
+    }
+
+    #[test]
+    fn encoded_size_matches_constants() {
+        let leaf = Node {
+            start_version: 0,
+            body: NodeBody::Leaf(vec![
+                LeafEntry {
+                    key: 0,
+                    start: 0,
+                    end: 0,
+                    value: 0
+                };
+                3
+            ]),
+        };
+        assert_eq!(leaf.encode().len(), HEADER_BYTES + 3 * LEAF_ENTRY_BYTES);
+        let internal = Node {
+            start_version: 0,
+            body: NodeBody::Internal(vec![
+                InternalEntry {
+                    router: 0,
+                    start: 0,
+                    end: 0,
+                    child: PageId(0)
+                };
+                2
+            ]),
+        };
+        assert_eq!(
+            internal.encode().len(),
+            HEADER_BYTES + 2 * INTERNAL_ENTRY_BYTES
+        );
+    }
+}

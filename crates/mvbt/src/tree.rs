@@ -1,0 +1,1010 @@
+//! The multi-version B-tree.
+
+use crate::node::{
+    InternalEntry, LeafEntry, Node, NodeBody, HEADER_BYTES, INTERNAL_ENTRY_BYTES, LEAF_ENTRY_BYTES,
+    VERSION_INF,
+};
+use pagestore::{BufferPool, PageId};
+use std::sync::Arc;
+
+/// Structural parameters of an [`Mvbt`].
+///
+/// Following Becker et al. (VLDBJ 1996): `B` is the block capacity, `d` the
+/// weak-version-condition minimum (each non-root node must keep at least `d`
+/// entries alive at every version of its lifetime), and after a version
+/// split the number of live entries in a fresh node should land in
+/// `[strong_low, strong_high]` so the node can absorb Θ(B) further updates
+/// before the next reorganisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MvbtParams {
+    /// Max entries (alive + dead) per leaf node.
+    pub leaf_capacity: usize,
+    /// Max entries (alive + dead) per internal node.
+    pub internal_capacity: usize,
+    /// Weak condition minimum `d` for leaves.
+    pub leaf_min_live: usize,
+    /// Weak condition minimum `d` for internal nodes.
+    pub internal_min_live: usize,
+    /// Strong lower threshold for leaves (merge below this).
+    pub leaf_strong_low: usize,
+    /// Strong lower threshold for internal nodes.
+    pub internal_strong_low: usize,
+    /// Strong upper threshold for leaves (key split above this).
+    pub leaf_strong_high: usize,
+    /// Strong upper threshold for internal nodes.
+    pub internal_strong_high: usize,
+}
+
+impl MvbtParams {
+    /// Derives parameters from the page size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is too small to hold at least 4 entries per node.
+    pub fn for_page_size(page_size: usize) -> Self {
+        let leaf_capacity = page_size.saturating_sub(HEADER_BYTES) / LEAF_ENTRY_BYTES;
+        let internal_capacity = page_size.saturating_sub(HEADER_BYTES) / INTERNAL_ENTRY_BYTES;
+        assert!(
+            leaf_capacity >= 4 && internal_capacity >= 4,
+            "page size {page_size} too small for an MVBT node (need >= 4 entries)"
+        );
+        let thresholds = |cap: usize| {
+            let d = (cap / 5).max(1);
+            let low = (3 * cap / 10).max(d + 1);
+            let high = (4 * cap / 5).max(2 * low).min(cap);
+            (d, low, high)
+        };
+        let (ld, ll, lh) = thresholds(leaf_capacity);
+        let (id, il, ih) = thresholds(internal_capacity);
+        MvbtParams {
+            leaf_capacity,
+            internal_capacity,
+            leaf_min_live: ld,
+            internal_min_live: id,
+            leaf_strong_low: ll,
+            internal_strong_low: il,
+            leaf_strong_high: lh,
+            internal_strong_high: ih,
+        }
+    }
+
+    fn capacity(&self, leaf: bool) -> usize {
+        if leaf {
+            self.leaf_capacity
+        } else {
+            self.internal_capacity
+        }
+    }
+
+    fn min_live(&self, leaf: bool) -> usize {
+        if leaf {
+            self.leaf_min_live
+        } else {
+            self.internal_min_live
+        }
+    }
+
+    fn strong_low(&self, leaf: bool) -> usize {
+        if leaf {
+            self.leaf_strong_low
+        } else {
+            self.internal_strong_low
+        }
+    }
+
+    fn strong_high(&self, leaf: bool) -> usize {
+        if leaf {
+            self.leaf_strong_high
+        } else {
+            self.internal_strong_high
+        }
+    }
+}
+
+/// What a recursive update did to the subtree root it was applied to.
+enum Outcome {
+    /// Node updated in place; all conditions hold.
+    Intact,
+    /// Node is dead at the current version; these `(router, page)` nodes
+    /// replace it (0, 1 or 2 of them).
+    Replaced(Vec<(i64, PageId)>),
+    /// Node updated in place but violates the weak version condition; the
+    /// parent should merge it with a sibling.
+    Underflow,
+}
+
+/// A partially persistent B+-tree (multi-version B-tree, MVBT).
+///
+/// * Updates ([`Mvbt::insert`], [`Mvbt::delete`]) happen at a version `v`
+///   that must be `>=` every previous update version.
+/// * Queries ([`Mvbt::get`], [`Mvbt::range`]) can target **any** version.
+///
+/// ```
+/// use mvbt::Mvbt;
+/// use pagestore::{AccessStats, BufferPool, Disk};
+/// use std::sync::Arc;
+///
+/// let disk = Arc::new(Disk::new(1024, AccessStats::new()));
+/// let mut tree = Mvbt::new(Arc::new(BufferPool::new(disk, 10)));
+/// tree.insert(7, 70, 1);   // version 1
+/// tree.delete(7, 2);       // version 2
+/// tree.insert(7, 99, 3);   // version 3
+/// assert_eq!(tree.get(7, 1), Some(70)); // the past stays queryable
+/// assert_eq!(tree.get(7, 2), None);
+/// assert_eq!(tree.get(7, 3), Some(99));
+/// ```
+///
+/// Every node visit is a buffered page access through the
+/// [`BufferPool`], so I/O statistics reflect real page traffic.
+///
+/// Leaf inserts have *upsert* semantics: inserting a key that is alive kills
+/// the old record at `v` and makes the new one visible from `v` on — exactly
+/// the "logical update" the TIA's max-maintenance needs.
+#[derive(Debug)]
+pub struct Mvbt {
+    pool: Arc<BufferPool>,
+    params: MvbtParams,
+    /// The root* structure: `(start_version, root page)`, push-only; the root
+    /// for version `v` is the last entry with `start_version <= v`.
+    roots: Vec<(u64, PageId)>,
+    current: u64,
+}
+
+impl Mvbt {
+    /// Creates an empty tree whose nodes live in pages of `pool`'s disk,
+    /// with parameters derived from the page size.
+    pub fn new(pool: Arc<BufferPool>) -> Self {
+        let params = MvbtParams::for_page_size(pool.disk().page_size());
+        Self::with_params(pool, params)
+    }
+
+    /// Creates an empty tree with explicit parameters (for tests that force
+    /// tiny nodes).
+    pub fn with_params(pool: Arc<BufferPool>, params: MvbtParams) -> Self {
+        let root = pool.allocate();
+        let node = Node::new_leaf(0);
+        pool.write(root, node.encode());
+        Mvbt {
+            pool,
+            params,
+            roots: vec![(0, root)],
+            current: 0,
+        }
+    }
+
+    /// The structural parameters in use.
+    pub fn params(&self) -> &MvbtParams {
+        &self.params
+    }
+
+    /// The latest update version seen.
+    pub fn current_version(&self) -> u64 {
+        self.current
+    }
+
+    /// Number of root eras (grows when the root is replaced).
+    pub fn root_count(&self) -> usize {
+        self.roots.len()
+    }
+
+    fn read_node(&self, page: PageId) -> Node {
+        Node::decode(self.pool.read(page))
+    }
+
+    fn write_node(&self, page: PageId, node: &Node) {
+        self.pool.write(page, node.encode());
+    }
+
+    /// The root page for `version` (diagnostics / structural tests).
+    pub fn root_for_debug(&self, version: u64) -> PageId {
+        self.root_for(version)
+    }
+
+    fn root_for(&self, version: u64) -> PageId {
+        let idx = self.roots.partition_point(|&(s, _)| s <= version);
+        // roots[0].0 == 0, so idx >= 1 always.
+        self.roots[idx - 1].1
+    }
+
+    /// Inserts `key -> value` at version `v` (upsert: kills any live record
+    /// with the same key first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is smaller than a previously used update version.
+    pub fn insert(&mut self, key: i64, value: u128, v: u64) {
+        self.apply(Op::Insert { key, value }, v);
+    }
+
+    /// Deletes the live record with `key` at version `v`. Returns whether a
+    /// record was found (and killed).
+    pub fn delete(&mut self, key: i64, v: u64) -> bool {
+        self.apply(Op::Delete { key }, v)
+    }
+
+    /// The value of `key` at `version`, if a record was alive then.
+    pub fn get(&self, key: i64, version: u64) -> Option<u128> {
+        let mut page = self.root_for(version);
+        loop {
+            let node = self.read_node(page);
+            match node.body {
+                NodeBody::Leaf(entries) => {
+                    return entries
+                        .iter()
+                        .find(|e| e.key == key && e.alive_at(version))
+                        .map(|e| e.value);
+                }
+                NodeBody::Internal(entries) => {
+                    match route(&entries, key, version) {
+                        Some(child) => page = child,
+                        None => return None,
+                    };
+                }
+            }
+        }
+    }
+
+    /// All `(key, value)` records alive at `version` with `lo <= key <= hi`,
+    /// in ascending key order.
+    pub fn range(&self, lo: i64, hi: i64, version: u64) -> Vec<(i64, u128)> {
+        let mut out = Vec::new();
+        if lo > hi {
+            return out;
+        }
+        self.range_rec(self.root_for(version), lo, hi, version, &mut out);
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out
+    }
+
+    fn range_rec(&self, page: PageId, lo: i64, hi: i64, version: u64, out: &mut Vec<(i64, u128)>) {
+        let node = self.read_node(page);
+        match node.body {
+            NodeBody::Leaf(entries) => {
+                out.extend(
+                    entries
+                        .iter()
+                        .filter(|e| e.alive_at(version) && lo <= e.key && e.key <= hi)
+                        .map(|e| (e.key, e.value)),
+                );
+            }
+            NodeBody::Internal(entries) => {
+                let live: Vec<&InternalEntry> =
+                    entries.iter().filter(|e| e.alive_at(version)).collect();
+                for (i, e) in live.iter().enumerate() {
+                    // The leftmost live child covers (-inf, next router); any
+                    // other child covers [its router, next router).
+                    let cover_lo = if i == 0 { i64::MIN } else { e.router };
+                    let cover_hi = live.get(i + 1).map_or(i64::MAX, |n| n.router - 1);
+                    if cover_lo <= hi && cover_hi >= lo {
+                        self.range_rec(e.child, lo, hi, version, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of records alive at `version` (O(n) — test/diagnostic helper).
+    pub fn live_len(&self, version: u64) -> usize {
+        self.range(i64::MIN, i64::MAX, version).len()
+    }
+
+    /// Checks the structural invariants of the tree as visible at `version`;
+    /// panics with a description on the first violation. Test helper.
+    ///
+    /// Checked per reachable node: entry count within capacity; levels
+    /// uniform (leaves at equal depth); live keys unique tree-wide and all
+    /// reachable by [`Mvbt::get`]; every live key at least its subtree's
+    /// router ("router absorption" keeps routers true lower bounds for keys
+    /// inserted after the absorbing update).
+    pub fn check_invariants(&self, version: u64) {
+        let root = self.root_for(version);
+        let mut keys: Vec<i64> = Vec::new();
+        let mut leaf_depths: Vec<usize> = Vec::new();
+        self.check_rec(root, version, 0, &mut keys, &mut leaf_depths);
+        keys.sort_unstable();
+        for w in keys.windows(2) {
+            assert_ne!(w[0], w[1], "duplicate live key {} at v{version}", w[0]);
+        }
+        for &k in &keys {
+            assert!(
+                self.get(k, version).is_some(),
+                "live key {k} unreachable at v{version}"
+            );
+        }
+        if let (Some(min), Some(max)) = (
+            leaf_depths.iter().min().copied(),
+            leaf_depths.iter().max().copied(),
+        ) {
+            assert_eq!(min, max, "leaves at unequal depths at v{version}");
+        }
+    }
+
+    fn check_rec(
+        &self,
+        page: PageId,
+        version: u64,
+        depth: usize,
+        keys: &mut Vec<i64>,
+        leaf_depths: &mut Vec<usize>,
+    ) {
+        let node = self.read_node(page);
+        match &node.body {
+            NodeBody::Leaf(entries) => {
+                assert!(
+                    entries.len() <= self.params.leaf_capacity,
+                    "{page} exceeds leaf capacity"
+                );
+                leaf_depths.push(depth);
+                keys.extend(entries.iter().filter(|e| e.alive_at(version)).map(|e| e.key));
+            }
+            NodeBody::Internal(entries) => {
+                assert!(
+                    entries.len() <= self.params.internal_capacity,
+                    "{page} exceeds internal capacity"
+                );
+                for e in entries.iter().filter(|e| e.alive_at(version)) {
+                    self.check_rec(e.child, version, depth + 1, keys, leaf_depths);
+                }
+            }
+        }
+    }
+
+    fn apply(&mut self, op: Op, v: u64) -> bool {
+        assert!(
+            v >= self.current,
+            "update version {v} precedes current version {}",
+            self.current
+        );
+        self.current = v;
+        let root = *self.roots.last().map(|(_, p)| p).expect("roots non-empty");
+        let mut found = true;
+        let outcome = self.update_rec(root, v, &op, &mut found);
+        match outcome {
+            Outcome::Intact | Outcome::Underflow => {} // weak condition waived at the root
+            Outcome::Replaced(mut list) => match list.len() {
+                0 => {
+                    // Everything died: fresh empty leaf root.
+                    let page = self.pool.allocate();
+                    self.write_node(page, &Node::new_leaf(v));
+                    self.push_root(v, page);
+                }
+                1 => self.push_root(v, list[0].1),
+                _ => {
+                    list.sort_unstable_by_key(|&(r, _)| r);
+                    let entries = list
+                        .into_iter()
+                        .map(|(router, child)| InternalEntry {
+                            router,
+                            start: v,
+                            end: VERSION_INF,
+                            child,
+                        })
+                        .collect();
+                    let node = Node {
+                        start_version: v,
+                        body: NodeBody::Internal(entries),
+                    };
+                    let page = self.pool.allocate();
+                    self.write_node(page, &node);
+                    self.push_root(v, page);
+                }
+            },
+        }
+        found
+    }
+
+    fn push_root(&mut self, v: u64, page: PageId) {
+        let last = self.roots.last_mut().expect("roots non-empty");
+        if last.0 == v {
+            last.1 = page;
+        } else {
+            self.roots.push((v, page));
+        }
+    }
+
+    fn update_rec(&mut self, page: PageId, v: u64, op: &Op, found: &mut bool) -> Outcome {
+        let mut node = self.read_node(page);
+        match &mut node.body {
+            NodeBody::Leaf(entries) => {
+                match *op {
+                    Op::Insert { key, value } => {
+                        // Upsert: kill a live record with the same key first.
+                        if let Some(i) = entries.iter().position(|e| e.key == key && e.alive_at(v))
+                        {
+                            kill_leaf_entry(entries, i, v);
+                        }
+                        let new = LeafEntry {
+                            key,
+                            start: v,
+                            end: VERSION_INF,
+                            value,
+                        };
+                        let pos = entries.partition_point(|e| (e.key, e.start) < (key, v));
+                        entries.insert(pos, new);
+                    }
+                    Op::Delete { key } => {
+                        match entries.iter().position(|e| e.key == key && e.alive_at(v)) {
+                            Some(i) => kill_leaf_entry(entries, i, v),
+                            None => {
+                                *found = false;
+                                return Outcome::Intact;
+                            }
+                        }
+                    }
+                }
+                self.finish_node(page, node, v)
+            }
+            NodeBody::Internal(entries) => {
+                let key = match *op {
+                    Op::Insert { key, .. } | Op::Delete { key } => key,
+                };
+                let Some(mut child_idx) = route_index(entries, key, v) else {
+                    // No live child at v: only possible on a degenerate
+                    // all-dead subtree; deletes are no-ops there.
+                    *found = false;
+                    return Outcome::Intact;
+                };
+                let child_page = entries[child_idx].child;
+                // Router absorption: an insert below every live router
+                // descends into the leftmost child, whose router must be
+                // lowered to keep the invariant "all keys in a subtree are
+                // >= its router" (otherwise a later split would recompute
+                // the chunk router from its keys and strand this key).
+                // Lowering a router is itself a versioned update so
+                // historical queries keep seeing the old value.
+                let mut absorbed = false;
+                if matches!(op, Op::Insert { .. }) && key < entries[child_idx].router {
+                    if entries[child_idx].start == v {
+                        entries[child_idx].router = key;
+                    } else {
+                        kill_internal_entry(entries, child_idx, v);
+                        insert_child_entries(entries, &[(key, child_page)], v);
+                    }
+                    child_idx = entries
+                        .iter()
+                        .position(|e| e.alive_at(v) && e.child == child_page)
+                        .expect("absorbed entry is live");
+                    absorbed = true;
+                }
+                match self.update_rec(child_page, v, op, found) {
+                    Outcome::Intact => {
+                        if absorbed {
+                            self.finish_node(page, node, v)
+                        } else {
+                            Outcome::Intact
+                        }
+                    }
+                    Outcome::Replaced(list) => {
+                        let single = (list.len() == 1).then(|| list[0].1);
+                        let entries = node.body_internal_mut();
+                        kill_internal_entry(entries, child_idx, v);
+                        insert_child_entries(entries, &list, v);
+                        // Strong underflow after a version split: the fresh
+                        // node has too few live entries to absorb Θ(B)
+                        // deletes, so merge it with a sibling right away
+                        // (Becker et al., Section 3.3).
+                        if let Some(new_page) = single {
+                            let fresh = self.read_node(new_page);
+                            if fresh.live_count(v) < self.params.strong_low(fresh.is_leaf()) {
+                                let entries = node.body_internal_mut();
+                                if let Some(idx) =
+                                    entries.iter().position(|e| e.is_live() && e.child == new_page)
+                                {
+                                    self.reorganize_child(&mut node, idx, v, false);
+                                }
+                            }
+                        }
+                        self.finish_node(page, node, v)
+                    }
+                    Outcome::Underflow => {
+                        self.reorganize_child(&mut node, child_idx, v, false);
+                        self.finish_node(page, node, v)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Writes `node` back and reports its structural condition, resolving
+    /// overflow locally (version / key split).
+    fn finish_node(&mut self, page: PageId, node: Node, v: u64) -> Outcome {
+        let leaf = node.is_leaf();
+        if node.len() > self.params.capacity(leaf) {
+            return Outcome::Replaced(self.split_node(node, v));
+        }
+        let live = node.live_count(v);
+        self.write_node(page, &node);
+        if live < self.params.min_live(leaf) {
+            Outcome::Underflow
+        } else {
+            Outcome::Intact
+        }
+    }
+
+    /// Version/key split of an overflowing node: copies the entries alive at
+    /// `v` into one or two fresh nodes. The old node (and its page) stays
+    /// behind for historical queries.
+    fn split_node(&mut self, node: Node, v: u64) -> Vec<(i64, PageId)> {
+        let leaf = node.is_leaf();
+        let high = self.params.strong_high(leaf);
+        let parts: Vec<Node> = match node.body {
+            NodeBody::Leaf(entries) => {
+                let mut live: Vec<LeafEntry> =
+                    entries.into_iter().filter(|e| e.alive_at(v)).collect();
+                live.sort_unstable_by_key(|e| (e.key, e.start));
+                chunk_into(live, high)
+                    .into_iter()
+                    .map(|chunk| Node {
+                        start_version: v,
+                        body: NodeBody::Leaf(chunk),
+                    })
+                    .collect()
+            }
+            NodeBody::Internal(entries) => {
+                let mut live: Vec<InternalEntry> =
+                    entries.into_iter().filter(|e| e.alive_at(v)).collect();
+                live.sort_unstable_by_key(|e| (e.router, e.start));
+                chunk_into(live, high)
+                    .into_iter()
+                    .map(|chunk| Node {
+                        start_version: v,
+                        body: NodeBody::Internal(chunk),
+                    })
+                    .collect()
+            }
+        };
+        parts
+            .into_iter()
+            .filter(|n| !n.is_empty())
+            .map(|n| {
+                let router = min_router(&n);
+                let page = self.pool.allocate();
+                self.write_node(page, &n);
+                (router, page)
+            })
+            .collect()
+    }
+
+    /// Handles a weak-underflowing child of `parent`: version-split the
+    /// child, merge its live entries with a live sibling's, and key-split
+    /// the result if it strong-overflows (Becker et al., Section 3.3).
+    ///
+    /// `force_copy` makes the child shed dead entries even when no sibling
+    /// is available.
+    fn reorganize_child(&mut self, parent: &mut Node, child_idx: usize, v: u64, force_copy: bool) {
+        let entries = parent.body_internal_mut();
+        let child_page = entries[child_idx].child;
+        let child = self.read_node(child_page);
+        let leaf = child.is_leaf();
+
+        // Pick a live sibling adjacent in router order: prefer the next
+        // live entry, fall back to the previous one.
+        let mut live_idx: Vec<usize> = (0..entries.len())
+            .filter(|&i| entries[i].alive_at(v))
+            .collect();
+        live_idx.sort_by_key(|&i| entries[i].router);
+        let pos = live_idx
+            .iter()
+            .position(|&i| i == child_idx)
+            .expect("child entry is live in parent");
+        let sibling_idx = live_idx
+            .get(pos + 1)
+            .or_else(|| pos.checked_sub(1).map(|p| &live_idx[p]))
+            .copied();
+
+        let Some(sib_idx) = sibling_idx else {
+            // No live sibling (parent has one live child): the weak
+            // condition is waived, but an overflowing child must still be
+            // compacted.
+            if force_copy {
+                let list = self.split_node(child, v);
+                let entries = parent.body_internal_mut();
+                kill_internal_entry(entries, child_idx, v);
+                insert_child_entries(entries, &list, v);
+            }
+            return;
+        };
+
+        let sibling_page = entries[sib_idx].child;
+        let sibling = self.read_node(sibling_page);
+        debug_assert_eq!(sibling.is_leaf(), leaf, "siblings are on one level");
+
+        // Merge the two live sets and re-chunk against the strong bounds.
+        let high = self.params.strong_high(leaf);
+        let merged: Vec<Node> = if leaf {
+            let mut live: Vec<LeafEntry> = collect_live_leaf(&child, v);
+            live.extend(collect_live_leaf(&sibling, v));
+            live.sort_unstable_by_key(|e| (e.key, e.start));
+            chunk_into(live, high)
+                .into_iter()
+                .map(|chunk| Node {
+                    start_version: v,
+                    body: NodeBody::Leaf(chunk),
+                })
+                .collect()
+        } else {
+            let mut live: Vec<InternalEntry> = collect_live_internal(&child, v);
+            live.extend(collect_live_internal(&sibling, v));
+            live.sort_unstable_by_key(|e| (e.router, e.start));
+            chunk_into(live, high)
+                .into_iter()
+                .map(|chunk| Node {
+                    start_version: v,
+                    body: NodeBody::Internal(chunk),
+                })
+                .collect()
+        };
+
+        let mut list: Vec<(i64, PageId)> = merged
+            .into_iter()
+            .filter(|n| !n.is_empty())
+            .map(|n| {
+                let router = min_router(&n);
+                let page = self.pool.allocate();
+                self.write_node(page, &n);
+                (router, page)
+            })
+            .collect();
+        if list.is_empty() {
+            // Both live sets were empty; keep routing alive with one empty
+            // node so inserts always find a path.
+            let node = if leaf {
+                Node::new_leaf(v)
+            } else {
+                Node::new_internal(v)
+            };
+            let page = self.pool.allocate();
+            self.write_node(page, &node);
+            let router = parent.body_internal_mut()[child_idx].router;
+            list.push((router, page));
+        }
+
+        let entries = parent.body_internal_mut();
+        // Kill the higher index first so the lower one stays valid.
+        let (a, b) = if child_idx > sib_idx {
+            (child_idx, sib_idx)
+        } else {
+            (sib_idx, child_idx)
+        };
+        kill_internal_entry(entries, a, v);
+        kill_internal_entry(entries, b, v);
+        insert_child_entries(entries, &list, v);
+    }
+}
+
+impl Node {
+    fn body_internal_mut(&mut self) -> &mut Vec<InternalEntry> {
+        match &mut self.body {
+            NodeBody::Internal(v) => v,
+            NodeBody::Leaf(_) => panic!("expected internal node"),
+        }
+    }
+}
+
+enum Op {
+    Insert { key: i64, value: u128 },
+    Delete { key: i64 },
+}
+
+/// Kills leaf entry `i` at version `v`: same-version records vanish without
+/// trace, older records get `end = v`.
+fn kill_leaf_entry(entries: &mut Vec<LeafEntry>, i: usize, v: u64) {
+    if entries[i].start == v {
+        entries.remove(i);
+    } else {
+        entries[i].end = v;
+    }
+}
+
+/// Kills internal entry `i` at version `v` (same rules as leaf entries).
+fn kill_internal_entry(entries: &mut Vec<InternalEntry>, i: usize, v: u64) {
+    if entries[i].start == v {
+        entries.remove(i);
+    } else {
+        entries[i].end = v;
+    }
+}
+
+/// Inserts replacement child entries, keeping router order.
+fn insert_child_entries(entries: &mut Vec<InternalEntry>, list: &[(i64, PageId)], v: u64) {
+    for &(router, child) in list {
+        let e = InternalEntry {
+            router,
+            start: v,
+            end: VERSION_INF,
+            child,
+        };
+        let pos = entries.partition_point(|x| (x.router, x.start) < (router, v));
+        entries.insert(pos, e);
+    }
+}
+
+/// Routing rule shared by searches and updates: among the entries alive at
+/// `version`, pick the one with the largest router `<= key`; if `key`
+/// precedes every router, the leftmost live entry covers it.
+fn route_index(entries: &[InternalEntry], key: i64, version: u64) -> Option<usize> {
+    let mut best: Option<usize> = None; // largest router <= key
+    let mut leftmost: Option<usize> = None; // smallest router overall
+    for (i, e) in entries.iter().enumerate() {
+        if !e.alive_at(version) {
+            continue;
+        }
+        if leftmost.is_none_or(|l: usize| e.router < entries[l].router) {
+            leftmost = Some(i);
+        }
+        if e.router <= key && best.is_none_or(|b: usize| e.router > entries[b].router) {
+            best = Some(i);
+        }
+    }
+    best.or(leftmost)
+}
+
+fn route(entries: &[InternalEntry], key: i64, version: u64) -> Option<PageId> {
+    route_index(entries, key, version).map(|i| entries[i].child)
+}
+
+fn collect_live_leaf(node: &Node, v: u64) -> Vec<LeafEntry> {
+    match &node.body {
+        NodeBody::Leaf(entries) => entries.iter().filter(|e| e.alive_at(v)).copied().collect(),
+        NodeBody::Internal(_) => panic!("expected leaf"),
+    }
+}
+
+fn collect_live_internal(node: &Node, v: u64) -> Vec<InternalEntry> {
+    match &node.body {
+        NodeBody::Internal(entries) => entries.iter().filter(|e| e.alive_at(v)).copied().collect(),
+        NodeBody::Leaf(_) => panic!("expected internal node"),
+    }
+}
+
+/// Splits `items` into one chunk if it fits under `high`, else two balanced
+/// halves (a key split).
+fn chunk_into<T>(items: Vec<T>, high: usize) -> Vec<Vec<T>> {
+    if items.len() <= high {
+        vec![items]
+    } else {
+        let mid = items.len() / 2;
+        let mut items = items;
+        let tail = items.split_off(mid);
+        vec![items, tail]
+    }
+}
+
+/// The router key for a fresh node: its minimum key / router.
+fn min_router(node: &Node) -> i64 {
+    match &node.body {
+        NodeBody::Leaf(entries) => entries.iter().map(|e| e.key).min().expect("non-empty"),
+        NodeBody::Internal(entries) => {
+            entries.iter().map(|e| e.router).min().expect("non-empty")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pagestore::{AccessStats, Disk};
+
+    fn tree(page_size: usize, slots: usize) -> Mvbt {
+        let stats = AccessStats::new();
+        let disk = Arc::new(Disk::new(page_size, stats));
+        Mvbt::new(Arc::new(BufferPool::new(disk, slots)))
+    }
+
+    #[test]
+    fn params_match_paper_arithmetic() {
+        let p = MvbtParams::for_page_size(1024);
+        assert_eq!(p.leaf_capacity, 25);
+        assert_eq!(p.internal_capacity, 31);
+        assert!(p.leaf_min_live < p.leaf_strong_low);
+        assert!(2 * p.leaf_strong_low <= p.leaf_strong_high);
+        assert!(p.leaf_strong_high <= p.leaf_capacity);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_page_rejected() {
+        let _ = MvbtParams::for_page_size(64);
+    }
+
+    #[test]
+    fn insert_get_single_version() {
+        let mut t = tree(1024, 8);
+        for k in 0..100 {
+            t.insert(k, (k * 10) as u128, 1);
+        }
+        for k in 0..100 {
+            assert_eq!(t.get(k, 1), Some((k * 10) as u128));
+        }
+        assert_eq!(t.get(100, 1), None);
+        assert_eq!(t.get(0, 0), None, "nothing visible before version 1");
+    }
+
+    #[test]
+    fn versions_are_persistent() {
+        let mut t = tree(1024, 8);
+        t.insert(1, 11, 1);
+        t.insert(2, 22, 2);
+        t.delete(1, 3);
+        t.insert(1, 99, 5);
+        assert_eq!(t.get(1, 1), Some(11));
+        assert_eq!(t.get(2, 1), None);
+        assert_eq!(t.get(1, 2), Some(11));
+        assert_eq!(t.get(2, 2), Some(22));
+        assert_eq!(t.get(1, 3), None);
+        assert_eq!(t.get(1, 4), None);
+        assert_eq!(t.get(1, 5), Some(99));
+        assert_eq!(t.get(2, 5), Some(22));
+    }
+
+    #[test]
+    fn upsert_replaces_live_value() {
+        let mut t = tree(1024, 8);
+        t.insert(7, 1, 1);
+        t.insert(7, 2, 2);
+        t.insert(7, 3, 2); // same-version upsert
+        assert_eq!(t.get(7, 1), Some(1));
+        assert_eq!(t.get(7, 2), Some(3));
+        assert_eq!(t.live_len(2), 1);
+    }
+
+    #[test]
+    fn delete_missing_returns_false() {
+        let mut t = tree(1024, 8);
+        t.insert(1, 1, 1);
+        assert!(!t.delete(2, 2));
+        assert!(t.delete(1, 2));
+        assert!(!t.delete(1, 3));
+    }
+
+    #[test]
+    fn range_query_filters_by_key_and_version() {
+        let mut t = tree(1024, 8);
+        for k in 0..50 {
+            t.insert(k, k as u128, 1);
+        }
+        for k in 0..50 {
+            if k % 2 == 0 {
+                t.delete(k, 2);
+            }
+        }
+        let all_v1 = t.range(0, 49, 1);
+        assert_eq!(all_v1.len(), 50);
+        let odd_v2 = t.range(0, 49, 2);
+        assert_eq!(odd_v2.len(), 25);
+        assert!(odd_v2.iter().all(|&(k, _)| k % 2 == 1));
+        let window = t.range(10, 20, 2);
+        assert_eq!(
+            window.iter().map(|&(k, _)| k).collect::<Vec<_>>(),
+            vec![11, 13, 15, 17, 19]
+        );
+        assert!(t.range(20, 10, 2).is_empty());
+    }
+
+    #[test]
+    fn grows_past_many_splits() {
+        let mut t = tree(256, 16); // tiny pages force deep trees
+        let n = 2000i64;
+        for k in 0..n {
+            // shuffle the keys deterministically
+            let key = (k * 7919) % n;
+            t.insert(key, key as u128, (k + 1) as u64);
+        }
+        assert_eq!(t.live_len(n as u64), n as usize);
+        for k in (0..n).step_by(97) {
+            assert_eq!(t.get(k, n as u64), Some(k as u128));
+        }
+        assert!(t.root_count() >= 1);
+    }
+
+    #[test]
+    fn interleaved_inserts_and_deletes_stay_consistent() {
+        let mut t = tree(256, 16);
+        let mut live = std::collections::BTreeMap::new();
+        let mut v = 0u64;
+        for round in 0..40i64 {
+            for k in 0..50 {
+                v += 1;
+                let key = round * 50 + k;
+                t.insert(key, key as u128, v);
+                live.insert(key, key as u128);
+            }
+            // delete every third key inserted so far
+            let doomed: Vec<i64> = live.keys().copied().filter(|k| k % 3 == 0).collect();
+            for key in doomed {
+                v += 1;
+                assert!(t.delete(key, v), "key {key} should be live");
+                live.remove(&key);
+            }
+        }
+        let got = t.range(i64::MIN, i64::MAX, v);
+        let want: Vec<(i64, u128)> = live.into_iter().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn historical_snapshots_survive_restructuring() {
+        let mut t = tree(256, 16);
+        // Insert in waves, remembering the live set at checkpoints.
+        let mut v = 0u64;
+        let mut checkpoints: Vec<(u64, Vec<i64>)> = Vec::new();
+        let mut live: Vec<i64> = Vec::new();
+        for wave in 0..10i64 {
+            for k in 0..60 {
+                v += 1;
+                let key = wave * 60 + k;
+                t.insert(key, 0, v);
+                live.push(key);
+            }
+            if wave % 2 == 1 {
+                // delete the first half of the previous wave
+                for k in 0..30 {
+                    v += 1;
+                    let key = (wave - 1) * 60 + k;
+                    t.delete(key, v);
+                    live.retain(|&x| x != key);
+                }
+            }
+            checkpoints.push((v, live.clone()));
+        }
+        for (cv, keys) in checkpoints {
+            let got: Vec<i64> = t.range(i64::MIN, i64::MAX, cv).iter().map(|&(k, _)| k).collect();
+            assert_eq!(got, keys, "snapshot at version {cv}");
+        }
+    }
+
+    #[test]
+    fn total_deletion_leaves_empty_tree() {
+        let mut t = tree(256, 8);
+        let mut v = 0;
+        for k in 0..300 {
+            v += 1;
+            t.insert(k, 1, v);
+        }
+        for k in 0..300 {
+            v += 1;
+            assert!(t.delete(k, v));
+        }
+        assert_eq!(t.live_len(v), 0);
+        // And the tree accepts fresh inserts afterwards.
+        v += 1;
+        t.insert(42, 7, v);
+        assert_eq!(t.get(42, v), Some(7));
+        assert_eq!(t.live_len(v), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes current version")]
+    fn rejects_time_travel_updates() {
+        let mut t = tree(1024, 8);
+        t.insert(1, 1, 5);
+        t.insert(2, 2, 3);
+    }
+
+    #[test]
+    fn negative_keys_work() {
+        let mut t = tree(1024, 8);
+        for k in -50..50 {
+            t.insert(k, (k + 100) as u128, 1);
+        }
+        assert_eq!(t.get(-50, 1), Some(50));
+        let r = t.range(-10, -5, 1);
+        assert_eq!(r.len(), 6);
+        assert_eq!(r[0].0, -10);
+    }
+
+    #[test]
+    fn io_goes_through_buffer_pool() {
+        let stats = AccessStats::new();
+        let disk = Arc::new(Disk::new(1024, stats.clone()));
+        let pool = Arc::new(BufferPool::new(disk, 10));
+        let mut t = Mvbt::new(pool);
+        for k in 0..500 {
+            t.insert(k, 0, 1);
+        }
+        stats.reset();
+        let _ = t.range(0, 499, 1);
+        let snap = stats.snapshot();
+        assert!(snap.buffer_hits + snap.buffer_misses > 0, "reads are buffered");
+    }
+}

@@ -1,0 +1,171 @@
+//! An in-memory "disk" of fixed-size byte pages.
+
+use crate::stats::AccessStats;
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+/// Identifier of a page on a [`Disk`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "page#{}", self.0)
+    }
+}
+
+/// An in-memory volume of fixed-size pages, standing in for the disk the
+/// paper's TIAs live on.
+///
+/// Pages are allocated append-only ([`Disk::allocate`]) and read/written
+/// whole. Every physical read and write is recorded in the shared
+/// [`AccessStats`]; higher layers (the buffer pool, the multi-version B-tree)
+/// derive their I/O figures from those counters.
+///
+/// Payloads shorter than the page size are allowed (a page stores up to
+/// `page_size` bytes); longer payloads are a logic error and panic.
+#[derive(Debug)]
+pub struct Disk {
+    page_size: usize,
+    pages: RwLock<Vec<Bytes>>,
+    stats: AccessStats,
+}
+
+impl Disk {
+    /// A new disk with the given page size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size == 0`.
+    pub fn new(page_size: usize, stats: AccessStats) -> Self {
+        assert!(page_size > 0, "page size must be positive");
+        Disk {
+            page_size,
+            pages: RwLock::new(Vec::new()),
+            stats,
+        }
+    }
+
+    /// The fixed page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Number of allocated pages.
+    pub fn len(&self) -> usize {
+        self.pages.read().len()
+    }
+
+    /// Whether no page has been allocated yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The shared statistics handle.
+    pub fn stats(&self) -> &AccessStats {
+        &self.stats
+    }
+
+    /// Allocates a fresh empty page and returns its id.
+    pub fn allocate(&self) -> PageId {
+        let mut pages = self.pages.write();
+        let id = PageId(pages.len() as u64);
+        pages.push(Bytes::new());
+        id
+    }
+
+    /// Writes `data` to `page`, counting one physical write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page does not exist or `data` exceeds the page size.
+    pub fn write(&self, page: PageId, data: Bytes) {
+        assert!(
+            data.len() <= self.page_size,
+            "payload of {} bytes exceeds page size {}",
+            data.len(),
+            self.page_size
+        );
+        let mut pages = self.pages.write();
+        let slot = pages
+            .get_mut(page.index())
+            .unwrap_or_else(|| panic!("write to unallocated {page}"));
+        *slot = data;
+        self.stats.record_page_write();
+    }
+
+    /// Reads `page`, counting one physical read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page does not exist.
+    pub fn read(&self, page: PageId) -> Bytes {
+        let pages = self.pages.read();
+        let data = pages
+            .get(page.index())
+            .unwrap_or_else(|| panic!("read of unallocated {page}"))
+            .clone();
+        self.stats.record_page_read();
+        data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_write_read_roundtrip() {
+        let disk = Disk::new(64, AccessStats::new());
+        let a = disk.allocate();
+        let b = disk.allocate();
+        assert_eq!(a, PageId(0));
+        assert_eq!(b, PageId(1));
+        disk.write(a, Bytes::from_static(b"hello"));
+        disk.write(b, Bytes::from_static(b"world"));
+        assert_eq!(disk.read(a), Bytes::from_static(b"hello"));
+        assert_eq!(disk.read(b), Bytes::from_static(b"world"));
+        assert_eq!(disk.len(), 2);
+    }
+
+    #[test]
+    fn io_is_counted() {
+        let stats = AccessStats::new();
+        let disk = Disk::new(64, stats.clone());
+        let p = disk.allocate();
+        disk.write(p, Bytes::from_static(b"x"));
+        let _ = disk.read(p);
+        let _ = disk.read(p);
+        let snap = stats.snapshot();
+        assert_eq!(snap.page_writes, 1);
+        assert_eq!(snap.page_reads, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds page size")]
+    fn oversized_write_rejected() {
+        let disk = Disk::new(4, AccessStats::new());
+        let p = disk.allocate();
+        disk.write(p, Bytes::from_static(b"too long"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn read_unallocated_panics() {
+        let disk = Disk::new(4, AccessStats::new());
+        let _ = disk.read(PageId(3));
+    }
+
+    #[test]
+    fn empty_page_reads_empty() {
+        let disk = Disk::new(16, AccessStats::new());
+        let p = disk.allocate();
+        assert_eq!(disk.read(p), Bytes::new());
+    }
+}

@@ -1,0 +1,246 @@
+//! Axis-aligned boxes in `D` dimensions and the geometric primitives the
+//! R*-tree heuristics are built from.
+
+/// An axis-aligned bounding box in `D` dimensions.
+///
+/// `D = 2` is the spatial MBR of the classic R-tree; `D = 3` adds the
+/// normalised aggregate dimension of the TAR-tree's integral grouping
+/// strategy (Section 5.2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect<const D: usize> {
+    /// Lower corner.
+    pub min: [f64; D],
+    /// Upper corner.
+    pub max: [f64; D],
+}
+
+impl<const D: usize> Rect<D> {
+    /// A degenerate box at a single point.
+    pub fn point(p: [f64; D]) -> Self {
+        Rect { min: p, max: p }
+    }
+
+    /// A box from two corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if any `min[d] > max[d]`.
+    pub fn new(min: [f64; D], max: [f64; D]) -> Self {
+        debug_assert!(
+            (0..D).all(|d| min[d] <= max[d]),
+            "rect min must not exceed max"
+        );
+        Rect { min, max }
+    }
+
+    /// The "empty" box (identity for [`Rect::union`]).
+    pub fn empty() -> Self {
+        Rect {
+            min: [f64::INFINITY; D],
+            max: [f64::NEG_INFINITY; D],
+        }
+    }
+
+    /// Whether this is the empty box.
+    pub fn is_empty(&self) -> bool {
+        (0..D).any(|d| self.min[d] > self.max[d])
+    }
+
+    /// The smallest box covering both inputs.
+    pub fn union(&self, other: &Rect<D>) -> Rect<D> {
+        let mut r = *self;
+        for d in 0..D {
+            r.min[d] = r.min[d].min(other.min[d]);
+            r.max[d] = r.max[d].max(other.max[d]);
+        }
+        r
+    }
+
+    /// D-dimensional volume (area for `D = 2`).
+    pub fn area(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        (0..D).map(|d| self.max[d] - self.min[d]).product()
+    }
+
+    /// Sum of edge lengths (the R*-tree margin heuristic).
+    pub fn margin(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        (0..D).map(|d| self.max[d] - self.min[d]).sum()
+    }
+
+    /// Volume of the intersection of the two boxes.
+    pub fn overlap(&self, other: &Rect<D>) -> f64 {
+        let mut v = 1.0;
+        for d in 0..D {
+            let lo = self.min[d].max(other.min[d]);
+            let hi = self.max[d].min(other.max[d]);
+            if hi <= lo {
+                return 0.0;
+            }
+            v *= hi - lo;
+        }
+        v
+    }
+
+    /// How much the volume grows when extended to cover `other`.
+    pub fn enlargement(&self, other: &Rect<D>) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// Whether the boxes share any point (closed boxes).
+    pub fn intersects(&self, other: &Rect<D>) -> bool {
+        (0..D).all(|d| self.min[d] <= other.max[d] && other.min[d] <= self.max[d])
+    }
+
+    /// Whether `other` lies fully inside `self`.
+    pub fn contains(&self, other: &Rect<D>) -> bool {
+        (0..D).all(|d| self.min[d] <= other.min[d] && other.max[d] <= self.max[d])
+    }
+
+    /// Whether the point lies inside the box.
+    pub fn contains_point(&self, p: &[f64; D]) -> bool {
+        (0..D).all(|d| self.min[d] <= p[d] && p[d] <= self.max[d])
+    }
+
+    /// The centre point.
+    pub fn center(&self) -> [f64; D] {
+        std::array::from_fn(|d| 0.5 * (self.min[d] + self.max[d]))
+    }
+
+    /// Squared Euclidean distance between the centres of two boxes.
+    pub fn center_dist2(&self, other: &Rect<D>) -> f64 {
+        let (a, b) = (self.center(), other.center());
+        (0..D).map(|d| (a[d] - b[d]) * (a[d] - b[d])).sum()
+    }
+
+    /// Squared minimum Euclidean distance from `p` to the box (0 inside) —
+    /// the classic MINDIST of best-first nearest-neighbour search.
+    pub fn min_dist2(&self, p: &[f64; D]) -> f64 {
+        (0..D)
+            .map(|d| {
+                let gap = if p[d] < self.min[d] {
+                    self.min[d] - p[d]
+                } else if p[d] > self.max[d] {
+                    p[d] - self.max[d]
+                } else {
+                    0.0
+                };
+                gap * gap
+            })
+            .sum()
+    }
+
+    /// The first two dimensions as a 2-D rectangle (the spatial projection
+    /// of a 3-D TAR grouping box).
+    pub fn project2(&self) -> Rect<2> {
+        Rect {
+            min: [self.min[0], self.min[1]],
+            max: [self.max[0], self.max[1]],
+        }
+    }
+}
+
+/// Euclidean distance between two points.
+pub fn dist<const D: usize>(a: &[f64; D], b: &[f64; D]) -> f64 {
+    (0..D)
+        .map(|d| (a[d] - b[d]) * (a[d] - b[d]))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r2(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect<2> {
+        Rect::new([x0, y0], [x1, y1])
+    }
+
+    #[test]
+    fn union_and_area() {
+        let a = r2(0.0, 0.0, 2.0, 1.0);
+        let b = r2(1.0, -1.0, 3.0, 0.5);
+        let u = a.union(&b);
+        assert_eq!(u, r2(0.0, -1.0, 3.0, 1.0));
+        assert!((a.area() - 2.0).abs() < 1e-12);
+        assert!((u.area() - 6.0).abs() < 1e-12);
+        assert!((a.margin() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_box_is_union_identity() {
+        let e = Rect::<2>::empty();
+        let a = r2(1.0, 1.0, 2.0, 2.0);
+        assert!(e.is_empty());
+        assert_eq!(e.union(&a), a);
+        assert_eq!(a.union(&e), a);
+        assert_eq!(e.area(), 0.0);
+        assert_eq!(e.margin(), 0.0);
+    }
+
+    #[test]
+    fn overlap_cases() {
+        let a = r2(0.0, 0.0, 2.0, 2.0);
+        assert!((a.overlap(&r2(1.0, 1.0, 3.0, 3.0)) - 1.0).abs() < 1e-12);
+        assert_eq!(a.overlap(&r2(3.0, 3.0, 4.0, 4.0)), 0.0);
+        // Touching edges have zero overlap volume but do intersect.
+        let touch = r2(2.0, 0.0, 3.0, 2.0);
+        assert_eq!(a.overlap(&touch), 0.0);
+        assert!(a.intersects(&touch));
+    }
+
+    #[test]
+    fn enlargement() {
+        let a = r2(0.0, 0.0, 1.0, 1.0);
+        assert_eq!(a.enlargement(&r2(0.2, 0.2, 0.8, 0.8)), 0.0);
+        assert!((a.enlargement(&r2(0.0, 0.0, 2.0, 1.0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn containment() {
+        let a = r2(0.0, 0.0, 4.0, 4.0);
+        assert!(a.contains(&r2(1.0, 1.0, 2.0, 2.0)));
+        assert!(!a.contains(&r2(3.0, 3.0, 5.0, 5.0)));
+        assert!(a.contains(&a));
+        assert!(a.contains_point(&[0.0, 4.0]));
+        assert!(!a.contains_point(&[4.1, 0.0]));
+    }
+
+    #[test]
+    fn min_dist2_quadrants() {
+        let a = r2(1.0, 1.0, 3.0, 3.0);
+        assert_eq!(a.min_dist2(&[2.0, 2.0]), 0.0); // inside
+        assert!((a.min_dist2(&[0.0, 2.0]) - 1.0).abs() < 1e-12); // left
+        assert!((a.min_dist2(&[0.0, 0.0]) - 2.0).abs() < 1e-12); // corner
+        assert!((a.min_dist2(&[5.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn center_and_distance() {
+        let a = r2(0.0, 0.0, 2.0, 2.0);
+        assert_eq!(a.center(), [1.0, 1.0]);
+        let b = r2(4.0, 1.0, 4.0, 1.0);
+        assert!((a.center_dist2(&b) - 9.0).abs() < 1e-12);
+        assert!((dist(&a.center(), &b.center()) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_d_volume_and_projection() {
+        let a = Rect::new([0.0, 0.0, 0.0], [2.0, 3.0, 0.5]);
+        assert!((a.area() - 3.0).abs() < 1e-12);
+        assert!((a.margin() - 5.5).abs() < 1e-12);
+        assert_eq!(a.project2(), r2(0.0, 0.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn point_rect() {
+        let p = Rect::point([1.0, 2.0]);
+        assert_eq!(p.area(), 0.0);
+        assert!(p.contains_point(&[1.0, 2.0]));
+        assert!(!p.is_empty());
+    }
+}

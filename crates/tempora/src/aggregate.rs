@@ -1,0 +1,534 @@
+//! Per-epoch aggregates and the sparse series stored in TIAs.
+
+use crate::checkin::CheckIn;
+use crate::epoch::EpochGrid;
+use crate::time::{TimeInterval, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// Which temporal aggregate is computed over the check-ins of an epoch.
+///
+/// The paper focuses on `Count` ("the aggregate that counts the number of
+/// check-ins at a POI") and notes the methods "easily extend to other
+/// aggregates"; this enum implements that extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum AggregateKind {
+    /// Number of check-ins in the epoch.
+    #[default]
+    Count,
+    /// Sum of the check-in attribute values.
+    Sum,
+    /// Maximum attribute value.
+    Max,
+    /// Minimum attribute value.
+    Min,
+    /// `Sum / Count` (integer division; 0 for empty epochs).
+    Average,
+}
+
+/// One TIA record `⟨ts, te, agg⟩`: the aggregate value `agg` over the epoch
+/// `[ts, te]` (Section 4.1 of the paper). Only non-zero aggregates are ever
+/// materialised as records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpochRecord {
+    /// Epoch start.
+    pub ts: Timestamp,
+    /// Epoch end (upper boundary of the epoch).
+    pub te: Timestamp,
+    /// Aggregate value during the epoch (non-zero).
+    pub agg: u64,
+}
+
+/// A sparse per-epoch aggregate vector: sorted `(epoch index, value)` pairs
+/// with only non-zero values stored.
+///
+/// This is the in-memory form of a TIA's content, and the unit the entry
+/// grouping strategies compare (Manhattan distance, Section 5.1) and
+/// summarise (`λ̂p`, Section 5.2).
+///
+/// ```
+/// use tempora::{AggregateSeries, EpochGrid, TimeInterval};
+///
+/// let grid = EpochGrid::fixed_days(7, 4);
+/// let series = AggregateSeries::from_pairs([(0, 3), (2, 5)]);
+/// // Epochs 0..2 are fully inside [0, 21] days; epoch 3 is not populated.
+/// assert_eq!(series.aggregate_over(&grid, TimeInterval::days(0, 21)), 8);
+/// assert_eq!(series.total(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AggregateSeries {
+    /// Sorted by epoch index; values are always non-zero.
+    entries: Vec<(u32, u64)>,
+}
+
+impl AggregateSeries {
+    /// An empty series (all epochs zero).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a series from `(epoch index, value)` pairs.
+    ///
+    /// Pairs may arrive unsorted; zero values are dropped; duplicate epoch
+    /// indices are summed.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (u32, u64)>) -> Self {
+        let mut entries: Vec<(u32, u64)> = pairs.into_iter().filter(|&(_, v)| v != 0).collect();
+        entries.sort_unstable_by_key(|&(e, _)| e);
+        entries.dedup_by(|next, prev| {
+            if next.0 == prev.0 {
+                prev.1 += next.1;
+                true
+            } else {
+                false
+            }
+        });
+        AggregateSeries { entries }
+    }
+
+    /// The value at `epoch` (0 when absent).
+    pub fn get(&self, epoch: u32) -> u64 {
+        match self.entries.binary_search_by_key(&epoch, |&(e, _)| e) {
+            Ok(i) => self.entries[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// Sets the value at `epoch` (removing the record if `value == 0`).
+    pub fn set(&mut self, epoch: u32, value: u64) {
+        match self.entries.binary_search_by_key(&epoch, |&(e, _)| e) {
+            Ok(i) => {
+                if value == 0 {
+                    self.entries.remove(i);
+                } else {
+                    self.entries[i].1 = value;
+                }
+            }
+            Err(i) => {
+                if value != 0 {
+                    self.entries.insert(i, (epoch, value));
+                }
+            }
+        }
+    }
+
+    /// Adds `delta` to the value at `epoch`.
+    pub fn add(&mut self, epoch: u32, delta: u64) {
+        if delta == 0 {
+            return;
+        }
+        match self.entries.binary_search_by_key(&epoch, |&(e, _)| e) {
+            Ok(i) => self.entries[i].1 += delta,
+            Err(i) => self.entries.insert(i, (epoch, delta)),
+        }
+    }
+
+    /// Raises the value at `epoch` to at least `value` (per-epoch max
+    /// maintenance for internal-entry TIAs).
+    pub fn raise_to(&mut self, epoch: u32, value: u64) {
+        if value == 0 {
+            return;
+        }
+        match self.entries.binary_search_by_key(&epoch, |&(e, _)| e) {
+            Ok(i) => self.entries[i].1 = self.entries[i].1.max(value),
+            Err(i) => self.entries.insert(i, (epoch, value)),
+        }
+    }
+
+    /// Number of non-zero epochs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether every epoch is zero.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterator over `(epoch index, value)` pairs in epoch order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Sum of the values over epoch indices in `range`.
+    pub fn sum_range(&self, range: std::ops::Range<usize>) -> u64 {
+        if range.is_empty() {
+            return 0;
+        }
+        let lo = self
+            .entries
+            .partition_point(|&(e, _)| (e as usize) < range.start);
+        let hi = self
+            .entries
+            .partition_point(|&(e, _)| (e as usize) < range.end);
+        self.entries[lo..hi].iter().map(|&(_, v)| v).sum()
+    }
+
+    /// The temporal aggregate `g(p, Iq)` before normalisation: the sum of the
+    /// records whose epoch `[ts, te] ⊆ iq` (Section 4.3).
+    pub fn aggregate_over(&self, grid: &EpochGrid, iq: TimeInterval) -> u64 {
+        self.sum_range(grid.epochs_within(iq))
+    }
+
+    /// Total over all epochs (`Σ vi`).
+    pub fn total(&self) -> u64 {
+        self.entries.iter().map(|&(_, v)| v).sum()
+    }
+
+    /// `λ̂p = (1/m) Σ vi` — the mean per-epoch aggregate used as the third
+    /// grouping dimension (Section 5.2).
+    pub fn mean_rate(&self, m: usize) -> f64 {
+        if m == 0 {
+            0.0
+        } else {
+            self.total() as f64 / m as f64
+        }
+    }
+
+    /// Merges `other` into `self`, keeping the per-epoch **max** — how an
+    /// internal entry's TIA summarises its child TIAs (Section 4.1).
+    pub fn merge_max(&mut self, other: &AggregateSeries) {
+        if other.entries.is_empty() {
+            return;
+        }
+        if self.entries.is_empty() {
+            self.entries = other.entries.clone();
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() && j < other.entries.len() {
+            let (ea, va) = self.entries[i];
+            let (eb, vb) = other.entries[j];
+            match ea.cmp(&eb) {
+                std::cmp::Ordering::Less => {
+                    merged.push((ea, va));
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push((eb, vb));
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push((ea, va.max(vb)));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&self.entries[i..]);
+        merged.extend_from_slice(&other.entries[j..]);
+        self.entries = merged;
+    }
+
+    /// The per-epoch max of a set of series.
+    pub fn max_of<'a>(series: impl IntoIterator<Item = &'a AggregateSeries>) -> AggregateSeries {
+        let mut out = AggregateSeries::new();
+        for s in series {
+            out.merge_max(s);
+        }
+        out
+    }
+
+    /// Manhattan distance `Σ |ai − bi|` between two aggregate distributions
+    /// (the similarity measure of the IND-agg grouping strategy,
+    /// Section 5.1).
+    pub fn manhattan_distance(&self, other: &AggregateSeries) -> u64 {
+        let mut dist = 0u64;
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() && j < other.entries.len() {
+            let (ea, va) = self.entries[i];
+            let (eb, vb) = other.entries[j];
+            match ea.cmp(&eb) {
+                std::cmp::Ordering::Less => {
+                    dist += va;
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    dist += vb;
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    dist += va.abs_diff(vb);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        dist += self.entries[i..].iter().map(|&(_, v)| v).sum::<u64>();
+        dist += other.entries[j..].iter().map(|&(_, v)| v).sum::<u64>();
+        dist
+    }
+
+    /// The series as explicit `⟨ts, te, agg⟩` records under `grid`.
+    pub fn records(&self, grid: &EpochGrid) -> Vec<EpochRecord> {
+        self.entries
+            .iter()
+            .map(|&(e, v)| {
+                let ep = grid.epoch(e as usize);
+                EpochRecord {
+                    ts: ep.start,
+                    te: ep.end,
+                    agg: v,
+                }
+            })
+            .collect()
+    }
+}
+
+impl FromIterator<(u32, u64)> for AggregateSeries {
+    fn from_iter<T: IntoIterator<Item = (u32, u64)>>(iter: T) -> Self {
+        Self::from_pairs(iter)
+    }
+}
+
+/// Aggregates a raw check-in stream into one [`AggregateSeries`] per POI.
+///
+/// Check-ins outside the grid are ignored. `num_pois` sizes the output; a
+/// check-in with `poi.index() >= num_pois` panics (it indicates a corrupt
+/// stream).
+pub fn aggregate_checkins(
+    checkins: &[CheckIn],
+    grid: &EpochGrid,
+    kind: AggregateKind,
+    num_pois: usize,
+) -> Vec<AggregateSeries> {
+    // Dense (poi, epoch) accumulation would be O(N·m) memory; check-in
+    // streams are sparse, so accumulate per-POI sparse maps instead.
+    let mut sums: Vec<Vec<(u32, u64)>> = vec![Vec::new(); num_pois];
+    let mut counts: Vec<Vec<(u32, u64)>> = if kind == AggregateKind::Average {
+        vec![Vec::new(); num_pois]
+    } else {
+        Vec::new()
+    };
+
+    let bump = |acc: &mut Vec<(u32, u64)>, epoch: u32, v: u64, kind: AggregateKind| match acc
+        .binary_search_by_key(&epoch, |&(e, _)| e)
+    {
+        Ok(i) => {
+            let cur = &mut acc[i].1;
+            match kind {
+                AggregateKind::Count | AggregateKind::Sum | AggregateKind::Average => *cur += v,
+                AggregateKind::Max => *cur = (*cur).max(v),
+                AggregateKind::Min => *cur = (*cur).min(v),
+            }
+        }
+        Err(i) => acc.insert(i, (epoch, v)),
+    };
+
+    for c in checkins {
+        let Some(epoch) = grid.epoch_of(c.time) else {
+            continue;
+        };
+        let e = epoch.index as u32;
+        let idx = c.poi.index();
+        assert!(idx < num_pois, "check-in references POI {idx} >= {num_pois}");
+        let v = match kind {
+            AggregateKind::Count => 1,
+            _ => c.value as u64,
+        };
+        bump(&mut sums[idx], e, v, kind);
+        if kind == AggregateKind::Average {
+            bump(&mut counts[idx], e, 1, AggregateKind::Count);
+        }
+    }
+
+    sums.into_iter()
+        .enumerate()
+        .map(|(p, s)| {
+            if kind == AggregateKind::Average {
+                AggregateSeries::from_pairs(s.into_iter().zip(counts[p].iter()).map(
+                    |((e, sum), &(ec, count))| {
+                        debug_assert_eq!(e, ec);
+                        (e, sum.checked_div(count).unwrap_or(0))
+                    },
+                ))
+            } else {
+                AggregateSeries::from_pairs(s)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkin::PoiId;
+
+    fn series(pairs: &[(u32, u64)]) -> AggregateSeries {
+        AggregateSeries::from_pairs(pairs.iter().copied())
+    }
+
+    #[test]
+    fn from_pairs_sorts_dedups_drops_zeros() {
+        let s = AggregateSeries::from_pairs([(3, 2), (1, 5), (3, 1), (4, 0)]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![(1, 5), (3, 3)]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn get_set_add() {
+        let mut s = series(&[(1, 5)]);
+        assert_eq!(s.get(1), 5);
+        assert_eq!(s.get(2), 0);
+        s.add(2, 3);
+        s.add(1, 1);
+        assert_eq!(s.get(1), 6);
+        assert_eq!(s.get(2), 3);
+        s.set(1, 0);
+        assert_eq!(s.get(1), 0);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn raise_to_is_max() {
+        let mut s = series(&[(1, 5)]);
+        s.raise_to(1, 3);
+        assert_eq!(s.get(1), 5);
+        s.raise_to(1, 9);
+        assert_eq!(s.get(1), 9);
+        s.raise_to(4, 2);
+        assert_eq!(s.get(4), 2);
+        s.raise_to(5, 0);
+        assert_eq!(s.get(5), 0);
+    }
+
+    #[test]
+    fn sum_range_and_total() {
+        let s = series(&[(0, 1), (2, 2), (5, 4), (9, 8)]);
+        assert_eq!(s.total(), 15);
+        assert_eq!(s.sum_range(0..3), 3);
+        assert_eq!(s.sum_range(2..6), 6);
+        assert_eq!(s.sum_range(6..9), 0);
+        assert_eq!(s.sum_range(3..3), 0);
+    }
+
+    #[test]
+    fn aggregate_over_uses_containment() {
+        let grid = EpochGrid::fixed_days(7, 5); // epochs [0,7),[7,14),[14,21),[21,28),[28,35)
+        let s = series(&[(0, 1), (1, 2), (2, 4), (3, 8), (4, 16)]);
+        // [7, 28] fully contains epochs 1,2,3.
+        assert_eq!(s.aggregate_over(&grid, TimeInterval::days(7, 28)), 14);
+        // [8, 28] excludes epoch 1 (not fully contained).
+        assert_eq!(s.aggregate_over(&grid, TimeInterval::days(8, 28)), 12);
+        // Entire axis.
+        assert_eq!(s.aggregate_over(&grid, TimeInterval::days(0, 35)), 31);
+    }
+
+    #[test]
+    fn paper_example_aggregates() {
+        // Table 1 of the paper: POI f has 3, 5, 4 over three epochs; its
+        // aggregate over [t0, tc] is 12.
+        let grid = EpochGrid::fixed_days(1, 3);
+        let f = series(&[(0, 3), (1, 5), (2, 4)]);
+        assert_eq!(f.aggregate_over(&grid, TimeInterval::days(0, 3)), 12);
+        // POI e: 1, 1, 0 → aggregate 2.
+        let e = series(&[(0, 1), (1, 1)]);
+        assert_eq!(e.aggregate_over(&grid, TimeInterval::days(0, 3)), 2);
+    }
+
+    #[test]
+    fn merge_max_matches_paper_example() {
+        // Section 4.1: children {⟨t0,t1,2⟩,⟨t1,t2,2⟩,⟨t2,*,2⟩} and
+        // {⟨t0,t1,2⟩,⟨t1,t2,3⟩,⟨t2,*,1⟩} merge to {2, 3, 2}.
+        let mut a = series(&[(0, 2), (1, 2), (2, 2)]);
+        let b = series(&[(0, 2), (1, 3), (2, 1)]);
+        a.merge_max(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![(0, 2), (1, 3), (2, 2)]);
+    }
+
+    #[test]
+    fn merge_max_disjoint_epochs() {
+        let mut a = series(&[(0, 1), (4, 3)]);
+        let b = series(&[(2, 7)]);
+        a.merge_max(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![(0, 1), (2, 7), (4, 3)]);
+    }
+
+    #[test]
+    fn max_of_many() {
+        let m = AggregateSeries::max_of([
+            &series(&[(0, 1), (1, 5)]),
+            &series(&[(0, 3)]),
+            &series(&[(2, 2)]),
+        ]);
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![(0, 3), (1, 5), (2, 2)]);
+    }
+
+    #[test]
+    fn manhattan_matches_paper_example() {
+        // Section 5.1 example (Table 1): dist(c, g) = 0+1+1 = 2 and
+        // dist(c, l) = 1+2+1 = 4.
+        let c = series(&[(0, 2), (1, 2), (2, 2)]);
+        let g = series(&[(0, 2), (1, 3), (2, 1)]);
+        let l = series(&[(0, 1), (2, 1)]);
+        assert_eq!(c.manhattan_distance(&g), 2);
+        assert_eq!(c.manhattan_distance(&l), 4);
+        assert_eq!(g.manhattan_distance(&c), 2);
+        assert_eq!(c.manhattan_distance(&c), 0);
+    }
+
+    #[test]
+    fn mean_rate() {
+        let s = series(&[(0, 3), (1, 5), (2, 4)]);
+        assert!((s.mean_rate(3) - 4.0).abs() < 1e-12);
+        assert_eq!(series(&[]).mean_rate(0), 0.0);
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        let grid = EpochGrid::fixed_days(7, 3);
+        let s = series(&[(0, 3), (2, 4)]);
+        let recs = s.records(&grid);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].ts, Timestamp::ZERO);
+        assert_eq!(recs[0].te, Timestamp::from_days(7));
+        assert_eq!(recs[0].agg, 3);
+        assert_eq!(recs[1].ts, Timestamp::from_days(14));
+        assert_eq!(recs[1].agg, 4);
+    }
+
+    #[test]
+    fn aggregate_checkins_count() {
+        let grid = EpochGrid::fixed_days(1, 3);
+        let cs = vec![
+            CheckIn::at(PoiId(0), Timestamp::from_hours(1)),
+            CheckIn::at(PoiId(0), Timestamp::from_hours(2)),
+            CheckIn::at(PoiId(1), Timestamp::from_days(1)),
+            CheckIn::at(PoiId(0), Timestamp::from_days(2)),
+            // outside the grid: dropped
+            CheckIn::at(PoiId(1), Timestamp::from_days(5)),
+        ];
+        let agg = aggregate_checkins(&cs, &grid, AggregateKind::Count, 2);
+        assert_eq!(agg[0].iter().collect::<Vec<_>>(), vec![(0, 2), (2, 1)]);
+        assert_eq!(agg[1].iter().collect::<Vec<_>>(), vec![(1, 1)]);
+    }
+
+    #[test]
+    fn aggregate_checkins_sum_max_min_avg() {
+        let grid = EpochGrid::fixed_days(1, 2);
+        let cs = vec![
+            CheckIn::with_value(PoiId(0), Timestamp::from_hours(1), 4),
+            CheckIn::with_value(PoiId(0), Timestamp::from_hours(2), 10),
+            CheckIn::with_value(PoiId(0), Timestamp::from_days(1), 6),
+        ];
+        let sum = aggregate_checkins(&cs, &grid, AggregateKind::Sum, 1);
+        assert_eq!(sum[0].get(0), 14);
+        assert_eq!(sum[0].get(1), 6);
+        let max = aggregate_checkins(&cs, &grid, AggregateKind::Max, 1);
+        assert_eq!(max[0].get(0), 10);
+        let min = aggregate_checkins(&cs, &grid, AggregateKind::Min, 1);
+        assert_eq!(min[0].get(0), 4);
+        let avg = aggregate_checkins(&cs, &grid, AggregateKind::Average, 1);
+        assert_eq!(avg[0].get(0), 7);
+        assert_eq!(avg[0].get(1), 6);
+    }
+
+    #[test]
+    fn manhattan_symmetry_smoke() {
+        let a = series(&[(0, 4), (3, 1), (7, 9)]);
+        let b = series(&[(1, 2), (3, 5)]);
+        assert_eq!(a.manhattan_distance(&b), b.manhattan_distance(&a));
+        // triangle inequality against a third
+        let c = series(&[(0, 1)]);
+        assert!(a.manhattan_distance(&b) <= a.manhattan_distance(&c) + c.manhattan_distance(&b));
+    }
+}

@@ -1,0 +1,79 @@
+//! Raw check-in events.
+
+use crate::time::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a point of interest (POI).
+///
+/// Dense indices (0-based) into the dataset's POI table; cheap to copy and
+/// hash, and usable directly as a `Vec` index.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct PoiId(pub u32);
+
+impl PoiId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for PoiId {
+    fn from(v: u32) -> Self {
+        PoiId(v)
+    }
+}
+
+impl std::fmt::Display for PoiId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "poi#{}", self.0)
+    }
+}
+
+/// One check-in event: a user visited / liked / photographed `poi` at `time`.
+///
+/// The check-in *attribute value* defaults to 1 (the paper focuses on the
+/// count aggregate) but carries an explicit `value` so sum / max / min /
+/// average aggregates work on the same stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckIn {
+    /// The POI checked into.
+    pub poi: PoiId,
+    /// When the check-in happened.
+    pub time: Timestamp,
+    /// The aggregated attribute value (1 for plain counting).
+    pub value: u32,
+}
+
+impl CheckIn {
+    /// A plain counting check-in (`value == 1`).
+    pub fn at(poi: PoiId, time: Timestamp) -> Self {
+        CheckIn { poi, time, value: 1 }
+    }
+
+    /// A check-in carrying an attribute value (for sum/max/min/avg).
+    pub fn with_value(poi: PoiId, time: Timestamp, value: u32) -> Self {
+        CheckIn { poi, time, value }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poi_id_roundtrip() {
+        let id = PoiId::from(42u32);
+        assert_eq!(id.index(), 42);
+        assert_eq!(format!("{id}"), "poi#42");
+    }
+
+    #[test]
+    fn checkin_constructors() {
+        let c = CheckIn::at(PoiId(1), Timestamp::from_days(2));
+        assert_eq!(c.value, 1);
+        let c = CheckIn::with_value(PoiId(1), Timestamp::from_days(2), 7);
+        assert_eq!(c.value, 7);
+    }
+}

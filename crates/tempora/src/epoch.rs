@@ -1,0 +1,284 @@
+//! Discretisation of the time axis into epochs.
+
+use crate::time::{TimeInterval, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// One epoch: a half-open slice `[start, end)` of the time axis, with its
+/// position `index` in the grid.
+///
+/// The paper's TIA records store the epoch as a closed pair `⟨ts, te⟩`; we
+/// keep grids half-open internally so adjacent epochs never overlap, and
+/// treat the record's `te` as `end` when checking containment in a query
+/// interval (a record is counted iff `[start, end] ⊆ Iq` with `end` being the
+/// epoch's upper boundary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Epoch {
+    /// Position of this epoch in its [`EpochGrid`] (0-based).
+    pub index: usize,
+    /// Inclusive start of the epoch.
+    pub start: Timestamp,
+    /// Exclusive end of the epoch.
+    pub end: Timestamp,
+}
+
+impl Epoch {
+    /// The epoch as a closed interval `[start, end]` (the form stored in TIA
+    /// records and compared against query intervals).
+    pub fn interval(self) -> TimeInterval {
+        TimeInterval::new(self.start, self.end)
+    }
+
+    /// Length of the epoch in seconds.
+    pub fn duration(self) -> i64 {
+        self.end - self.start
+    }
+}
+
+/// The discretisation of `[t0, tc]` into `m` consecutive epochs.
+///
+/// Supports the two regimes the paper mentions (Section 3.1): equi-length
+/// epochs ("a second, an hour, seven days") and varied lengths ("one hour,
+/// two hours, four hours, eight hours and so on").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpochGrid {
+    /// Epoch boundaries: `boundaries[i]..boundaries[i+1]` is epoch `i`.
+    /// Always strictly increasing, with `boundaries[0] == t0`.
+    boundaries: Vec<Timestamp>,
+}
+
+impl EpochGrid {
+    /// A grid of `count` equi-length epochs of `epoch_seconds` seconds each,
+    /// starting at `t0 = Timestamp::ZERO`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0` or `epoch_seconds <= 0`.
+    pub fn fixed(epoch_seconds: i64, count: usize) -> Self {
+        assert!(count > 0, "EpochGrid needs at least one epoch");
+        assert!(epoch_seconds > 0, "epoch length must be positive");
+        let boundaries = (0..=count as i64)
+            .map(|i| Timestamp(i * epoch_seconds))
+            .collect();
+        EpochGrid { boundaries }
+    }
+
+    /// A grid of `count` epochs of `days`-day length each.
+    pub fn fixed_days(days: i64, count: usize) -> Self {
+        Self::fixed(days * Timestamp::DAY, count)
+    }
+
+    /// A grid with explicit epoch boundaries (varied-length epochs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two boundaries are given or they are not strictly
+    /// increasing.
+    pub fn varied(boundaries: Vec<Timestamp>) -> Self {
+        assert!(
+            boundaries.len() >= 2,
+            "EpochGrid needs at least two boundaries"
+        );
+        assert!(
+            boundaries.windows(2).all(|w| w[0] < w[1]),
+            "EpochGrid boundaries must be strictly increasing"
+        );
+        EpochGrid { boundaries }
+    }
+
+    /// A grid of `count` epochs whose lengths double each time, starting from
+    /// `first_seconds` (the "one hour, two hours, four hours, …" example in
+    /// the paper).
+    pub fn exponential(first_seconds: i64, count: usize) -> Self {
+        assert!(count > 0 && first_seconds > 0);
+        let mut boundaries = Vec::with_capacity(count + 1);
+        let mut t = 0i64;
+        boundaries.push(Timestamp(t));
+        let mut len = first_seconds;
+        for _ in 0..count {
+            t += len;
+            boundaries.push(Timestamp(t));
+            len = len.saturating_mul(2);
+        }
+        EpochGrid { boundaries }
+    }
+
+    /// Number of epochs `m` in the grid.
+    pub fn len(&self) -> usize {
+        self.boundaries.len() - 1
+    }
+
+    /// Whether the grid has no epochs (never true for a constructed grid).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The application start `t0` (first boundary).
+    pub fn t0(&self) -> Timestamp {
+        self.boundaries[0]
+    }
+
+    /// The grid end `tc` (last boundary).
+    pub fn tc(&self) -> Timestamp {
+        *self.boundaries.last().expect("grid has boundaries")
+    }
+
+    /// The epoch at position `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn epoch(&self, index: usize) -> Epoch {
+        assert!(index < self.len(), "epoch index {index} out of range");
+        Epoch {
+            index,
+            start: self.boundaries[index],
+            end: self.boundaries[index + 1],
+        }
+    }
+
+    /// The epoch containing instant `t`, or `None` if `t` is outside
+    /// `[t0, tc)`.
+    ///
+    /// Binary search over the boundaries: `O(log m)`.
+    pub fn epoch_of(&self, t: Timestamp) -> Option<Epoch> {
+        if t < self.t0() || t >= self.tc() {
+            return None;
+        }
+        // partition_point returns the first boundary > t; epoch index is one
+        // less than that boundary position.
+        let idx = self.boundaries.partition_point(|&b| b <= t) - 1;
+        Some(self.epoch(idx))
+    }
+
+    /// Indices of the epochs *fully contained* in `iq` — exactly the records
+    /// a TIA returns for a query interval (Section 4.3: "the TIA returns the
+    /// records whose time interval `[ts, te]` is contained in `Iq`").
+    ///
+    /// Returns an inclusive index range, empty when no epoch fits.
+    pub fn epochs_within(&self, iq: TimeInterval) -> std::ops::Range<usize> {
+        // First epoch with start >= iq.start:
+        let first = self.boundaries.partition_point(|&b| b < iq.start());
+        // Last boundary <= iq.end bounds the last fully-contained epoch.
+        let last_boundary = self.boundaries.partition_point(|&b| b <= iq.end());
+        if last_boundary == 0 || first >= last_boundary {
+            return 0..0;
+        }
+        let end = (last_boundary - 1).min(self.len());
+        if first >= end {
+            0..0
+        } else {
+            first..end
+        }
+    }
+
+    /// Iterator over all epochs in order.
+    pub fn iter(&self) -> impl Iterator<Item = Epoch> + '_ {
+        (0..self.len()).map(move |i| self.epoch(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_grid_shape() {
+        let g = EpochGrid::fixed_days(7, 10);
+        assert_eq!(g.len(), 10);
+        assert_eq!(g.t0(), Timestamp::ZERO);
+        assert_eq!(g.tc(), Timestamp::from_days(70));
+        let e3 = g.epoch(3);
+        assert_eq!(e3.start, Timestamp::from_days(21));
+        assert_eq!(e3.end, Timestamp::from_days(28));
+        assert_eq!(e3.duration(), 7 * Timestamp::DAY);
+    }
+
+    #[test]
+    fn epoch_of_lookup() {
+        let g = EpochGrid::fixed_days(7, 4);
+        assert_eq!(g.epoch_of(Timestamp::ZERO).unwrap().index, 0);
+        assert_eq!(g.epoch_of(Timestamp::from_days(6)).unwrap().index, 0);
+        assert_eq!(g.epoch_of(Timestamp::from_days(7)).unwrap().index, 1);
+        assert_eq!(g.epoch_of(Timestamp::from_days(27)).unwrap().index, 3);
+        assert!(g.epoch_of(Timestamp::from_days(28)).is_none());
+        assert!(g.epoch_of(Timestamp(-1)).is_none());
+    }
+
+    #[test]
+    fn epochs_within_interval() {
+        let g = EpochGrid::fixed_days(7, 10); // epochs [0,7),[7,14),...
+        // Interval exactly covering epochs 1..=2.
+        let r = g.epochs_within(TimeInterval::days(7, 21));
+        assert_eq!(r, 1..3);
+        // Interval not aligned: [8, 21] contains only epoch 2 fully... epoch 1
+        // is [7,14) so [7,14] ⊄ [8,21]; epoch 2 is [14,21].
+        let r = g.epochs_within(TimeInterval::days(8, 21));
+        assert_eq!(r, 2..3);
+        // Interval smaller than one epoch → none contained.
+        let r = g.epochs_within(TimeInterval::days(8, 12));
+        assert!(r.is_empty());
+        // Whole axis.
+        let r = g.epochs_within(TimeInterval::days(0, 70));
+        assert_eq!(r, 0..10);
+        // Past the end.
+        let r = g.epochs_within(TimeInterval::days(63, 200));
+        assert_eq!(r, 9..10);
+    }
+
+    #[test]
+    fn varied_grid() {
+        let g = EpochGrid::varied(vec![
+            Timestamp(0),
+            Timestamp(10),
+            Timestamp(30),
+            Timestamp(70),
+        ]);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.epoch(1).duration(), 20);
+        assert_eq!(g.epoch_of(Timestamp(29)).unwrap().index, 1);
+        let r = g.epochs_within(TimeInterval::new(Timestamp(10), Timestamp(70)));
+        assert_eq!(r, 1..3);
+    }
+
+    #[test]
+    fn exponential_grid_doubles() {
+        let g = EpochGrid::exponential(Timestamp::HOUR, 4);
+        let lens: Vec<i64> = g.iter().map(|e| e.duration()).collect();
+        assert_eq!(
+            lens,
+            vec![
+                Timestamp::HOUR,
+                2 * Timestamp::HOUR,
+                4 * Timestamp::HOUR,
+                8 * Timestamp::HOUR
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn varied_rejects_unsorted() {
+        let _ = EpochGrid::varied(vec![Timestamp(0), Timestamp(5), Timestamp(5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn epoch_index_bounds_checked() {
+        let g = EpochGrid::fixed_days(1, 2);
+        let _ = g.epoch(2);
+    }
+
+    #[test]
+    fn iter_covers_grid() {
+        let g = EpochGrid::fixed_days(7, 5);
+        let epochs: Vec<Epoch> = g.iter().collect();
+        assert_eq!(epochs.len(), 5);
+        for (i, e) in epochs.iter().enumerate() {
+            assert_eq!(e.index, i);
+        }
+        // Adjacent epochs tile the axis without gaps.
+        for w in epochs.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Temporal substrate for k-nearest-neighbor temporal aggregate (kNNTA) queries.
+//!
+//! The paper (Sun et al., EDBT 2015, Section 3) discretises the time axis into
+//! *epochs* — fixed-length (a second, an hour, seven days, …) or of varied
+//! lengths — and aggregates *check-ins* (visits, likes, …) per point of
+//! interest per epoch. This crate provides:
+//!
+//! * [`Timestamp`] and [`TimeInterval`]: instants and closed intervals on the
+//!   application time axis, measured in seconds since the application start
+//!   `t0`.
+//! * [`EpochGrid`]: the discretisation of `[t0, tc]` into epochs, either
+//!   [`EpochGrid::fixed`]-length or [`EpochGrid::varied`] (e.g. exponentially
+//!   growing epochs).
+//! * [`CheckIn`] and [`aggregate_checkins`]: raw events and their per-epoch
+//!   aggregation.
+//! * [`AggregateSeries`]: a sparse per-epoch aggregate vector — the record
+//!   layout `⟨ts, te, agg⟩` the paper stores in each TIA (temporal index on
+//!   the aggregate), plus the operations the index layer needs (sum over a
+//!   query interval, per-epoch max merge, Manhattan distance, mean rate `λ̂`).
+//!
+//! Everything here is deterministic and allocation-conscious; the hot-path
+//! operations ([`AggregateSeries::aggregate_over`],
+//! [`AggregateSeries::merge_max`]) are linear merges over sorted sparse
+//! records.
+
+#![warn(missing_docs)]
+
+mod aggregate;
+mod checkin;
+mod epoch;
+mod time;
+
+pub use aggregate::{aggregate_checkins, AggregateKind, AggregateSeries, EpochRecord};
+pub use checkin::{CheckIn, PoiId};
+pub use epoch::{Epoch, EpochGrid};
+pub use time::{TimeInterval, Timestamp};

@@ -1,0 +1,261 @@
+//! Instants and intervals on the application time axis.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// An instant on the application time axis, in seconds since the application
+/// start `t0` (so `Timestamp::ZERO` *is* `t0`).
+///
+/// The paper measures epochs in days; [`Timestamp::from_days`] and
+/// [`Timestamp::from_hours`] cover the common cases.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub i64);
+
+impl Timestamp {
+    /// The application start `t0`.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Seconds in one hour.
+    pub const HOUR: i64 = 3_600;
+    /// Seconds in one day.
+    pub const DAY: i64 = 86_400;
+
+    /// A timestamp `days` days after `t0`.
+    pub fn from_days(days: i64) -> Self {
+        Timestamp(days * Self::DAY)
+    }
+
+    /// A timestamp `hours` hours after `t0`.
+    pub fn from_hours(hours: i64) -> Self {
+        Timestamp(hours * Self::HOUR)
+    }
+
+    /// Seconds since `t0`.
+    pub fn seconds(self) -> i64 {
+        self.0
+    }
+
+    /// Whole days since `t0` (rounded towards zero).
+    pub fn days(self) -> i64 {
+        self.0 / Self::DAY
+    }
+
+    /// The earlier of two timestamps.
+    pub fn min(self, other: Self) -> Self {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The later of two timestamps.
+    pub fn max(self, other: Self) -> Self {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t0+{}s", self.0)
+    }
+}
+
+impl Add<i64> for Timestamp {
+    type Output = Timestamp;
+
+    fn add(self, rhs: i64) -> Timestamp {
+        Timestamp(self.0 + rhs)
+    }
+}
+
+impl Sub<i64> for Timestamp {
+    type Output = Timestamp;
+
+    fn sub(self, rhs: i64) -> Timestamp {
+        Timestamp(self.0 - rhs)
+    }
+}
+
+impl Sub for Timestamp {
+    type Output = i64;
+
+    fn sub(self, rhs: Timestamp) -> i64 {
+        self.0 - rhs.0
+    }
+}
+
+/// A closed time interval `[start, end]` on the application time axis.
+///
+/// Query time intervals `Iq` in kNNTA queries are of this form. An epoch
+/// record `⟨ts, te, agg⟩` contributes to a query iff `[ts, te] ⊆ Iq`
+/// (Section 4.3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimeInterval {
+    start: Timestamp,
+    end: Timestamp,
+}
+
+impl TimeInterval {
+    /// Creates `[start, end]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn new(start: Timestamp, end: Timestamp) -> Self {
+        assert!(
+            start <= end,
+            "TimeInterval start {start} must not exceed end {end}"
+        );
+        TimeInterval { start, end }
+    }
+
+    /// `[t0 + start_day days, t0 + end_day days]`.
+    pub fn days(start_day: i64, end_day: i64) -> Self {
+        Self::new(Timestamp::from_days(start_day), Timestamp::from_days(end_day))
+    }
+
+    /// The inclusive start.
+    pub fn start(self) -> Timestamp {
+        self.start
+    }
+
+    /// The inclusive end.
+    pub fn end(self) -> Timestamp {
+        self.end
+    }
+
+    /// Length in seconds (`end - start`).
+    pub fn duration(self) -> i64 {
+        self.end - self.start
+    }
+
+    /// Whether `t` lies within `[start, end]`.
+    pub fn contains(self, t: Timestamp) -> bool {
+        self.start <= t && t <= self.end
+    }
+
+    /// Whether `other ⊆ self` (both endpoints inside).
+    pub fn contains_interval(self, other: TimeInterval) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// Whether the two closed intervals share at least one instant.
+    pub fn intersects(self, other: TimeInterval) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// The intersection of the two intervals, if non-empty.
+    pub fn intersection(self, other: TimeInterval) -> Option<TimeInterval> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        (start <= end).then_some(TimeInterval { start, end })
+    }
+
+    /// The smallest interval covering both inputs.
+    pub fn hull(self, other: TimeInterval) -> TimeInterval {
+        TimeInterval {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+impl fmt::Display for TimeInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_units() {
+        assert_eq!(Timestamp::from_days(2).seconds(), 172_800);
+        assert_eq!(Timestamp::from_hours(3).seconds(), 10_800);
+        assert_eq!(Timestamp::from_days(5).days(), 5);
+        assert_eq!(Timestamp(86_401).days(), 1);
+    }
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let t = Timestamp::from_days(1);
+        assert_eq!(t + 60, Timestamp(86_460));
+        assert_eq!(t - 60, Timestamp(86_340));
+        assert_eq!(Timestamp::from_days(3) - Timestamp::from_days(1), 2 * Timestamp::DAY);
+    }
+
+    #[test]
+    fn timestamp_min_max() {
+        let a = Timestamp(5);
+        let b = Timestamp(9);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(a), a);
+    }
+
+    #[test]
+    fn interval_contains_point() {
+        let iv = TimeInterval::days(1, 3);
+        assert!(iv.contains(Timestamp::from_days(1)));
+        assert!(iv.contains(Timestamp::from_days(2)));
+        assert!(iv.contains(Timestamp::from_days(3)));
+        assert!(!iv.contains(Timestamp::from_days(3) + 1));
+        assert!(!iv.contains(Timestamp::from_days(1) - 1));
+    }
+
+    #[test]
+    fn interval_containment() {
+        let outer = TimeInterval::days(0, 10);
+        let inner = TimeInterval::days(2, 5);
+        assert!(outer.contains_interval(inner));
+        assert!(!inner.contains_interval(outer));
+        assert!(outer.contains_interval(outer));
+        // Partial overlap is not containment.
+        let overlap = TimeInterval::days(5, 15);
+        assert!(!outer.contains_interval(overlap));
+    }
+
+    #[test]
+    fn interval_intersection() {
+        let a = TimeInterval::days(0, 5);
+        let b = TimeInterval::days(3, 8);
+        assert!(a.intersects(b));
+        assert_eq!(a.intersection(b), Some(TimeInterval::days(3, 5)));
+        let c = TimeInterval::days(6, 7);
+        assert!(!a.intersects(c));
+        assert_eq!(a.intersection(c), None);
+        // Touching endpoints count as intersecting (closed intervals).
+        let d = TimeInterval::days(5, 9);
+        assert!(a.intersects(d));
+        assert_eq!(a.intersection(d), Some(TimeInterval::days(5, 5)));
+    }
+
+    #[test]
+    fn interval_hull() {
+        let a = TimeInterval::days(0, 2);
+        let b = TimeInterval::days(5, 7);
+        assert_eq!(a.hull(b), TimeInterval::days(0, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn interval_rejects_reversed_bounds() {
+        let _ = TimeInterval::days(3, 1);
+    }
+
+    #[test]
+    fn interval_duration() {
+        assert_eq!(TimeInterval::days(1, 4).duration(), 3 * Timestamp::DAY);
+        assert_eq!(TimeInterval::days(2, 2).duration(), 0);
+    }
+}

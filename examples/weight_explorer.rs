@@ -1,0 +1,83 @@
+//! Exploring results by adjusting weights — the Section 7.1 enhancement.
+//!
+//! New users struggle to set the distance-vs-popularity weight α0; sliding
+//! it and seeing the same results is discouraging. The minimum weight
+//! adjustment (MWA) tells the UI exactly how far the slider must move to
+//! change the answer.
+//!
+//! Run with: `cargo run --release --example weight_explorer`
+
+use knnta::core::{IndexConfig, KnntaQuery, Poi, TarIndex};
+use knnta::{TimeInterval, Timestamp};
+use rtree::Rect;
+
+fn main() {
+    let dataset = knnta::lbsn::nyc().generate(0.1, 7, 99);
+    let grid = dataset.grid.clone();
+    let index = TarIndex::build(
+        IndexConfig::default(),
+        grid.clone(),
+        Rect::new(dataset.bounds.0, dataset.bounds.1),
+        dataset
+            .snapshot(grid.len())
+            .into_iter()
+            .map(|(id, pos, series)| (Poi { id, pos }, series)),
+    );
+    println!(
+        "NYC-like dataset: {} POIs, {} nodes\n",
+        index.len(),
+        index.node_count()
+    );
+
+    let me = dataset.positions[42];
+    let tc = grid.tc();
+    let iq = TimeInterval::new(tc - 128 * Timestamp::DAY, tc);
+    let mut alpha0 = 0.5;
+
+    // Walk the weight axis: at each step ask for the MWA and jump past it.
+    for step in 0..4 {
+        let query = KnntaQuery::new(me, iq).with_k(3).with_alpha0(alpha0);
+        let (topk, adjustment) = index.mwa_pruning(&query);
+        println!("α0 = {alpha0:.4} → top-3:");
+        for hit in &topk {
+            println!(
+                "   {}  score {:.3}  (s0 {:.3}, s1 {:.3})",
+                hit.poi, hit.score, hit.s0, hit.s1
+            );
+        }
+        match (adjustment.lower, adjustment.upper) {
+            (Some(l), Some(u)) => println!(
+                "   ↕ results change below α0 = {l:.4} or above α0 = {u:.4}"
+            ),
+            (Some(l), None) => println!("   ↓ results change below α0 = {l:.4} only"),
+            (None, Some(u)) => println!("   ↑ results change above α0 = {u:.4} only"),
+            (None, None) => {
+                println!("   ∎ no weight changes this top-k — done exploring");
+                break;
+            }
+        }
+        // Move just past the nearest boundary, clamped to the open (0,1).
+        let Some(boundary) = adjustment.nearest(alpha0) else {
+            break;
+        };
+        alpha0 = if boundary < alpha0 {
+            (boundary - 1e-4).max(0.0001)
+        } else {
+            (boundary + 1e-4).min(0.9999)
+        };
+        println!("   … sliding to α0 = {alpha0:.4} (step {})\n", step + 1);
+    }
+
+    // Show the cost advantage of the skyline-based algorithm.
+    let query = KnntaQuery::new(me, iq).with_k(10).with_alpha0(0.5);
+    index.stats().reset();
+    let _ = index.mwa_pruning(&query);
+    let pruning = index.stats().node_accesses();
+    index.stats().reset();
+    let _ = index.mwa_enumerating(&query);
+    let enumerating = index.stats().node_accesses();
+    println!(
+        "\nMWA cost, k = 10: pruning {pruning} node accesses vs enumerating {enumerating} ({}x)",
+        enumerating / pruning.max(1)
+    );
+}

@@ -1,0 +1,338 @@
+//! `knnta` — command-line front end for the kNNTA / TAR-tree library.
+//!
+//! ```text
+//! knnta generate --dataset GS --scale 0.01 --out venues.csv
+//! knnta build    --input venues.csv --epoch-days 7 --grouping tar --out city.idx
+//! knnta stats    --index city.idx
+//! knnta query    --index city.idx --x 41 --y 57 --from-day 0 --to-day 64 --k 5 --alpha0 0.3
+//! knnta mwa      --index city.idx --x 41 --y 57 --from-day 0 --to-day 64 --k 5 --alpha0 0.5
+//! knnta skyline  --index city.idx --x 41 --y 57 --from-day 0 --to-day 64
+//! ```
+//!
+//! The venues CSV is `id,x,y,epoch,count` (one row per non-zero epoch; a row
+//! with `epoch = -1, count = 0` declares a POI with no check-ins yet).
+
+use knnta::core::{Grouping, IndexConfig, KnntaQuery, Poi, TarIndex};
+use knnta::{AggregateSeries, EpochGrid, PoiId, TimeInterval, Timestamp};
+use rtree::Rect;
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let opts = match Opts::parse(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "generate" => generate(&opts),
+        "build" => build(&opts),
+        "stats" => stats(&opts),
+        "query" => query(&opts),
+        "mwa" => mwa(&opts),
+        "skyline" => skyline(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "knnta — k-nearest-neighbor temporal aggregate queries (TAR-tree)
+
+commands:
+  generate  --dataset NYC|LA|GW|GS --out FILE [--scale S] [--epoch-days D] [--seed N]
+  build     --input FILE --out FILE [--grouping tar|spa|agg] [--node-size B]
+            [--epoch-days D] [--epochs N]
+  stats     --index FILE
+  query     --index FILE --x X --y Y --from-day A --to-day B [--k K] [--alpha0 W]
+  mwa       --index FILE --x X --y Y --from-day A --to-day B [--k K] [--alpha0 W]
+  skyline   --index FILE --x X --y Y --from-day A --to-day B";
+
+/// Minimal `--key value` option parser.
+struct Opts(BTreeMap<String, String>);
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Opts, String> {
+        let mut map = BTreeMap::new();
+        let mut i = 0;
+        while i < args.len() {
+            let key = args[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected an option, got `{}`", args[i]))?;
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("option --{key} needs a value"))?;
+            map.insert(key.to_string(), value.clone());
+            i += 2;
+        }
+        Ok(Opts(map))
+    }
+
+    fn str(&self, key: &str) -> Result<&str, String> {
+        self.0
+            .get(key)
+            .map(|s| s.as_str())
+            .ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.0.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: bad value `{v}`")),
+        }
+    }
+
+    fn req_num<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
+        self.str(key)?
+            .parse()
+            .map_err(|_| format!("--{key}: bad value"))
+    }
+}
+
+fn generate(opts: &Opts) -> Result<(), String> {
+    let name = opts.str("dataset")?;
+    let spec = knnta::lbsn::spec_by_name(name).ok_or(format!("unknown dataset `{name}`"))?;
+    let scale: f64 = opts.num("scale", 0.01)?;
+    let epoch_days: i64 = opts.num("epoch-days", 7)?;
+    let seed: u64 = opts.num("seed", 42)?;
+    let out = opts.str("out")?;
+    let dataset = spec.generate(scale, epoch_days, seed);
+    let mut w = BufWriter::new(File::create(out).map_err(|e| e.to_string())?);
+    let write = |w: &mut BufWriter<File>, s: String| -> Result<(), String> {
+        w.write_all(s.as_bytes()).map_err(|e| e.to_string())
+    };
+    write(&mut w, "id,x,y,epoch,count\n".into())?;
+    for (id, pos, series) in dataset.snapshot(dataset.grid.len()) {
+        if series.is_empty() {
+            write(&mut w, format!("{},{},{},-1,0\n", id.0, pos[0], pos[1]))?;
+        }
+        for (e, v) in series.iter() {
+            write(&mut w, format!("{},{},{},{e},{v}\n", id.0, pos[0], pos[1]))?;
+        }
+    }
+    w.flush().map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {} ({} venues, {} check-ins, {} epochs of {epoch_days} days)",
+        out,
+        dataset.len(),
+        dataset.total_checkins(),
+        dataset.grid.len()
+    );
+    Ok(())
+}
+
+/// Position and sparse per-epoch counts, as accumulated from the CSV.
+type VenueRows = BTreeMap<u32, ([f64; 2], Vec<(u32, u64)>)>;
+
+fn read_venues(path: &str) -> Result<Vec<(Poi, AggregateSeries)>, String> {
+    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut pois: VenueRows = BTreeMap::new();
+    for (lineno, line) in BufReader::new(file).lines().enumerate() {
+        let line = line.map_err(|e| e.to_string())?;
+        if lineno == 0 && line.starts_with("id,") {
+            continue; // header
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 5 {
+            return Err(format!("{path}:{}: expected 5 fields", lineno + 1));
+        }
+        let bad = |f: &str| format!("{path}:{}: bad field `{f}`", lineno + 1);
+        let id: u32 = fields[0].trim().parse().map_err(|_| bad(fields[0]))?;
+        let x: f64 = fields[1].trim().parse().map_err(|_| bad(fields[1]))?;
+        let y: f64 = fields[2].trim().parse().map_err(|_| bad(fields[2]))?;
+        let epoch: i64 = fields[3].trim().parse().map_err(|_| bad(fields[3]))?;
+        let count: u64 = fields[4].trim().parse().map_err(|_| bad(fields[4]))?;
+        let entry = pois.entry(id).or_insert(([x, y], Vec::new()));
+        if epoch >= 0 && count > 0 {
+            entry.1.push((epoch as u32, count));
+        }
+    }
+    Ok(pois
+        .into_iter()
+        .map(|(id, (pos, pairs))| {
+            (
+                Poi {
+                    id: PoiId(id),
+                    pos,
+                },
+                AggregateSeries::from_pairs(pairs),
+            )
+        })
+        .collect())
+}
+
+fn build(opts: &Opts) -> Result<(), String> {
+    let input = opts.str("input")?;
+    let out = opts.str("out")?;
+    let grouping = match opts.num::<String>("grouping", "tar".into())?.as_str() {
+        "tar" => Grouping::TarIntegral,
+        "spa" => Grouping::IndSpa,
+        "agg" => Grouping::IndAgg,
+        other => return Err(format!("--grouping: `{other}` (want tar|spa|agg)")),
+    };
+    let node_size: usize = opts.num("node-size", 1024)?;
+    let epoch_days: i64 = opts.num("epoch-days", 7)?;
+    let venues = read_venues(input)?;
+    if venues.is_empty() {
+        return Err("no venues in the input".into());
+    }
+    // Grid: from --epochs, or from the largest epoch index seen.
+    let max_epoch = venues
+        .iter()
+        .flat_map(|(_, s)| s.iter().map(|(e, _)| e))
+        .max()
+        .unwrap_or(0) as usize;
+    let epochs: usize = opts.num("epochs", max_epoch + 1)?;
+    if epochs <= max_epoch {
+        return Err(format!(
+            "--epochs {epochs} too small: the data references epoch {max_epoch}"
+        ));
+    }
+    let grid = EpochGrid::fixed_days(epoch_days, epochs);
+    // Bounds: data bounding box with a tiny margin.
+    let (mut min, mut max) = ([f64::INFINITY; 2], [f64::NEG_INFINITY; 2]);
+    for (poi, _) in &venues {
+        for d in 0..2 {
+            min[d] = min[d].min(poi.pos[d]);
+            max[d] = max[d].max(poi.pos[d]);
+        }
+    }
+    let bounds = Rect::new(min, max);
+    let n = venues.len();
+    let index = TarIndex::build_bulk(
+        IndexConfig {
+            grouping,
+            node_size,
+            forced_reinsert: true,
+        },
+        grid,
+        bounds,
+        venues,
+    );
+    let file = File::create(out).map_err(|e| e.to_string())?;
+    index.save_to(BufWriter::new(file)).map_err(|e| e.to_string())?;
+    eprintln!(
+        "indexed {n} venues into {out} ({}, {} nodes, height {})",
+        grouping,
+        index.node_count(),
+        index.height()
+    );
+    Ok(())
+}
+
+fn open_index(opts: &Opts) -> Result<TarIndex, String> {
+    let path = opts.str("index")?;
+    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    TarIndex::load_from(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn stats(opts: &Opts) -> Result<(), String> {
+    let index = open_index(opts)?;
+    println!("grouping:   {}", index.grouping());
+    println!("pois:       {}", index.len());
+    println!("nodes:      {}", index.node_count());
+    println!("height:     {}", index.height());
+    println!("node size:  {} bytes", index.config_node_size());
+    println!("epochs:     {}", index.grid().len());
+    println!(
+        "time span:  {} days",
+        index.grid().tc().days() - index.grid().t0().days()
+    );
+    let b = index.bounds();
+    println!(
+        "bounds:     [{:.2}, {:.2}] .. [{:.2}, {:.2}]",
+        b.min[0], b.min[1], b.max[0], b.max[1]
+    );
+    Ok(())
+}
+
+fn parse_query(opts: &Opts) -> Result<KnntaQuery, String> {
+    let x: f64 = opts.req_num("x")?;
+    let y: f64 = opts.req_num("y")?;
+    let from: i64 = opts.req_num("from-day")?;
+    let to: i64 = opts.req_num("to-day")?;
+    if from > to {
+        return Err("--from-day must not exceed --to-day".into());
+    }
+    let k: usize = opts.num("k", 10)?;
+    let alpha0: f64 = opts.num("alpha0", 0.3)?;
+    if !(alpha0 > 0.0 && alpha0 < 1.0) {
+        return Err("--alpha0 must lie strictly between 0 and 1".into());
+    }
+    Ok(KnntaQuery::new(
+        [x, y],
+        TimeInterval::new(Timestamp::from_days(from), Timestamp::from_days(to)),
+    )
+    .with_k(k)
+    .with_alpha0(alpha0))
+}
+
+fn query(opts: &Opts) -> Result<(), String> {
+    let index = open_index(opts)?;
+    let q = parse_query(opts)?;
+    let hits = index.query(&q);
+    println!("rank  poi        score     check-ins  distance");
+    for (rank, h) in hits.iter().enumerate() {
+        println!(
+            "{:>4}  {:<9}  {:<8.4}  {:>9}  {:.3}",
+            rank + 1,
+            h.poi.0,
+            h.score,
+            h.aggregate,
+            h.distance
+        );
+    }
+    eprintln!("({} node accesses)", index.stats().node_accesses());
+    Ok(())
+}
+
+fn mwa(opts: &Opts) -> Result<(), String> {
+    let index = open_index(opts)?;
+    let q = parse_query(opts)?;
+    let (hits, adj) = index.mwa_pruning(&q);
+    for (rank, h) in hits.iter().enumerate() {
+        println!("top-{}: poi {} (score {:.4})", rank + 1, h.poi.0, h.score);
+    }
+    match (adj.lower, adj.upper) {
+        (Some(l), Some(u)) => {
+            println!("results change below alpha0 = {l:.4} or above alpha0 = {u:.4}")
+        }
+        (Some(l), None) => println!("results change below alpha0 = {l:.4} only"),
+        (None, Some(u)) => println!("results change above alpha0 = {u:.4} only"),
+        (None, None) => println!("no weight change alters this top-k"),
+    }
+    Ok(())
+}
+
+fn skyline(opts: &Opts) -> Result<(), String> {
+    let index = open_index(opts)?;
+    let q = parse_query(opts)?;
+    let sky = index.skyline(q.point, q.interval);
+    println!("poi        distance   check-ins");
+    for h in &sky {
+        println!("{:<9}  {:<9.3}  {}", h.poi.0, h.distance, h.aggregate);
+    }
+    eprintln!("({} POIs on the skyline)", sky.len());
+    Ok(())
+}

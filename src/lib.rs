@@ -1,0 +1,34 @@
+//! # knnta — K-Nearest Neighbor Temporal Aggregate Queries
+//!
+//! A production-quality Rust reproduction of *"K-Nearest Neighbor Temporal
+//! Aggregate Queries"* (Sun, Qi, Zheng, Zhang — EDBT 2015), including the
+//! TAR-tree index, its alternatives, the cost model, both query
+//! enhancements, and every substrate the paper depends on (R\*-tree,
+//! multi-version B-tree, buffered page storage, power-law LBSN data).
+//!
+//! This facade re-exports the public API of the workspace crates:
+//!
+//! * [`core`] (`knnta_core`) — the TAR-tree and kNNTA query processing.
+//! * [`tempora`] — epochs, intervals, check-ins, aggregate series.
+//! * [`rtree`] — the R\*-tree with pluggable grouping strategies.
+//! * [`mvbt`] — the multi-version B-tree backing disk-resident TIAs.
+//! * [`pagestore`] — pages, buffer pool, access statistics.
+//! * [`lbsn`] — synthetic datasets calibrated to the paper's Tables 2 & 4.
+//! * [`costmodel`] — the Section 6 cost analysis as executable code.
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and
+//! `crates/bench` for the harness regenerating every table and figure of
+//! the paper.
+
+pub use costmodel;
+pub use knnta_core as core;
+pub use lbsn;
+pub use mvbt;
+pub use pagestore;
+pub use rtree;
+pub use tempora;
+
+pub use knnta_core::{
+    Grouping, IndexConfig, KnntaQuery, Poi, QueryHit, ScanBaseline, TarIndex, WeightAdjustment,
+};
+pub use tempora::{AggregateSeries, CheckIn, EpochGrid, PoiId, TimeInterval, Timestamp};

@@ -1,0 +1,155 @@
+//! End-to-end tests of the `knnta` command-line tool: generate → build →
+//! stats/query/mwa/skyline, plus error handling.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn knnta() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_knnta"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("knnta-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn full_pipeline() {
+    let csv = tmp("venues.csv");
+    let idx = tmp("city.idx");
+
+    // generate
+    let out = knnta()
+        .args(["generate", "--dataset", "GS", "--scale", "0.003", "--seed", "5"])
+        .args(["--out", csv.to_str().unwrap()])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let body = std::fs::read_to_string(&csv).unwrap();
+    assert!(body.starts_with("id,x,y,epoch,count"));
+    assert!(body.lines().count() > 100);
+
+    // build
+    let out = knnta()
+        .args(["build", "--input", csv.to_str().unwrap()])
+        .args(["--out", idx.to_str().unwrap(), "--grouping", "tar"])
+        .output()
+        .expect("run build");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(idx.exists());
+
+    // stats
+    let out = knnta()
+        .args(["stats", "--index", idx.to_str().unwrap()])
+        .output()
+        .expect("run stats");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("grouping:   TAR-tree"), "{text}");
+    assert!(text.contains("epochs:"), "{text}");
+
+    // query
+    let out = knnta()
+        .args(["query", "--index", idx.to_str().unwrap()])
+        .args(["--x", "50", "--y", "50", "--from-day", "0", "--to-day", "180"])
+        .args(["--k", "5", "--alpha0", "0.3"])
+        .output()
+        .expect("run query");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.lines().count() >= 6, "5 hits + header: {text}");
+
+    // mwa
+    let out = knnta()
+        .args(["mwa", "--index", idx.to_str().unwrap()])
+        .args(["--x", "50", "--y", "50", "--from-day", "0", "--to-day", "180"])
+        .args(["--k", "3", "--alpha0", "0.5"])
+        .output()
+        .expect("run mwa");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("alpha0") || text.contains("no weight change"), "{text}");
+
+    // skyline
+    let out = knnta()
+        .args(["skyline", "--index", idx.to_str().unwrap()])
+        .args(["--x", "50", "--y", "50", "--from-day", "0", "--to-day", "180"])
+        .output()
+        .expect("run skyline");
+    assert!(out.status.success());
+
+    let _ = std::fs::remove_file(csv);
+    let _ = std::fs::remove_file(idx);
+}
+
+#[test]
+fn helpful_errors() {
+    // No command.
+    let out = knnta().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("commands:"));
+
+    // Unknown command.
+    let out = knnta().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+
+    // Missing required options.
+    let out = knnta().args(["query", "--x", "1"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--index"));
+
+    // Bad dataset.
+    let out = knnta()
+        .args(["generate", "--dataset", "MARS", "--out", "/tmp/x"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown dataset"));
+
+    // Nonexistent index file.
+    let out = knnta()
+        .args(["stats", "--index", "/definitely/not/here.idx"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    // Bad alpha0.
+    let csv = tmp("venues2.csv");
+    let idx = tmp("city2.idx");
+    knnta()
+        .args(["generate", "--dataset", "LA", "--scale", "0.002", "--out"])
+        .arg(csv.to_str().unwrap())
+        .output()
+        .unwrap();
+    knnta()
+        .args(["build", "--input", csv.to_str().unwrap(), "--out"])
+        .arg(idx.to_str().unwrap())
+        .output()
+        .unwrap();
+    let out = knnta()
+        .args(["query", "--index", idx.to_str().unwrap()])
+        .args(["--x", "0", "--y", "0", "--from-day", "0", "--to-day", "7"])
+        .args(["--alpha0", "1.5"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("alpha0"));
+    let _ = std::fs::remove_file(csv);
+    let _ = std::fs::remove_file(idx);
+}
+
+#[test]
+fn build_rejects_too_small_epoch_count() {
+    let csv = tmp("venues3.csv");
+    std::fs::write(&csv, "id,x,y,epoch,count\n0,1.0,1.0,5,3\n1,2.0,2.0,-1,0\n").unwrap();
+    let idx = tmp("city3.idx");
+    let out = knnta()
+        .args(["build", "--input", csv.to_str().unwrap()])
+        .args(["--out", idx.to_str().unwrap(), "--epochs", "3"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("too small"));
+    let _ = std::fs::remove_file(csv);
+}

@@ -1,0 +1,90 @@
+#![allow(dead_code)]
+
+//! Shared helpers for the workspace-level integration tests.
+
+use knnta::core::{Grouping, IndexConfig, QueryHit, ScanBaseline, TarIndex};
+use knnta::lbsn::LbsnDataset;
+use knnta::{AggregateSeries, EpochGrid, Poi};
+use rtree::Rect;
+
+/// Builds an index of the given grouping over a generated dataset snapshot.
+pub fn index_of(dataset: &LbsnDataset, grouping: Grouping) -> TarIndex {
+    index_with_config(dataset, IndexConfig::with_grouping(grouping))
+}
+
+/// Builds an index with an explicit config over the dataset's full snapshot.
+pub fn index_with_config(dataset: &LbsnDataset, config: IndexConfig) -> TarIndex {
+    let pois = dataset
+        .snapshot(dataset.grid.len())
+        .into_iter()
+        .map(|(id, pos, series)| (Poi { id, pos }, series));
+    TarIndex::build(
+        config,
+        dataset.grid.clone(),
+        Rect::new(dataset.bounds.0, dataset.bounds.1),
+        pois,
+    )
+}
+
+/// Builds the sequential-scan oracle over the same snapshot.
+pub fn baseline_of(dataset: &LbsnDataset) -> ScanBaseline {
+    let pois = dataset
+        .snapshot(dataset.grid.len())
+        .into_iter()
+        .map(|(id, pos, series)| (Poi { id, pos }, series));
+    ScanBaseline::build(
+        dataset.grid.clone(),
+        Rect::new(dataset.bounds.0, dataset.bounds.1),
+        pois,
+    )
+}
+
+/// Asserts that two top-k answers are equivalent: same score sequence, and
+/// the same POI sets once ties (equal scores) are accounted for.
+pub fn assert_same_answer(got: &[QueryHit], want: &[QueryHit], context: &str) {
+    assert_eq!(got.len(), want.len(), "{context}: result sizes differ");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert!(
+            (g.score - w.score).abs() < 1e-9,
+            "{context}: rank {i} scores {} vs {}",
+            g.score,
+            w.score
+        );
+    }
+    // POI sets must match except possibly at the trailing tie boundary.
+    let mut g_ids: Vec<u32> = got.iter().map(|h| h.poi.0).collect();
+    let mut w_ids: Vec<u32> = want.iter().map(|h| h.poi.0).collect();
+    g_ids.sort_unstable();
+    w_ids.sort_unstable();
+    if g_ids != w_ids {
+        // Allow divergence only among hits whose score equals the k-th
+        // score (ties at the boundary are legitimately ambiguous).
+        let kth = want.last().expect("non-empty").score;
+        for (g, w) in got.iter().zip(want) {
+            if (g.score - kth).abs() > 1e-9 {
+                assert_eq!(g.poi, w.poi, "{context}: non-tied rank differs");
+            }
+        }
+    }
+}
+
+/// A small deterministic dataset for the fast tests.
+pub fn small_dataset() -> LbsnDataset {
+    knnta::lbsn::gs().generate(0.004, 7, 20_260_704)
+}
+
+/// A tiny hand-rolled dataset (no randomness at all).
+pub fn tiny_dataset() -> (EpochGrid, Rect<2>, Vec<(Poi, AggregateSeries)>) {
+    let grid = EpochGrid::fixed_days(7, 8);
+    let bounds = Rect::new([0.0, 0.0], [100.0, 100.0]);
+    let mut pois = Vec::new();
+    for i in 0..40u32 {
+        let x = (i % 8) as f64 * 12.0 + 2.0;
+        let y = (i / 8) as f64 * 18.0 + 5.0;
+        let series = AggregateSeries::from_pairs(
+            (0..8u32).map(|e| (e, ((i as u64 * 7 + e as u64 * 3) % 11) / 2)),
+        );
+        pois.push((Poi::new(i, x, y), series));
+    }
+    (grid, bounds, pois)
+}

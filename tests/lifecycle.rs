@@ -1,0 +1,172 @@
+//! End-to-end index lifecycle: incremental check-in digestion, POI
+//! insertion/removal, growth snapshots, and the disk-TIA mirror — all
+//! validated against bulk rebuilds and the scan oracle.
+
+mod common;
+
+use common::{assert_same_answer, baseline_of, index_of, index_with_config, tiny_dataset};
+use knnta::core::{Grouping, IndexConfig, TarIndex};
+use knnta::lbsn::{IntervalAnchor, Workload};
+use knnta::{AggregateSeries, KnntaQuery, Poi, TimeInterval};
+
+#[test]
+fn incremental_ingest_equals_bulk_build() {
+    // Build one index with full series up-front, another by inserting POIs
+    // with empty histories and digesting check-ins epoch by epoch
+    // (Section 4.2) — queries must agree.
+    let (grid, bounds, pois) = tiny_dataset();
+    let bulk = TarIndex::build(
+        IndexConfig::default(),
+        grid.clone(),
+        bounds,
+        pois.clone(),
+    );
+    let mut incremental = TarIndex::new(IndexConfig::default(), grid.clone(), bounds);
+    for (poi, _) in &pois {
+        incremental.insert_poi(*poi, AggregateSeries::new());
+    }
+    for epoch in 0..grid.len() {
+        let updates: Vec<_> = pois
+            .iter()
+            .map(|(poi, series)| (poi.id, series.get(epoch as u32)))
+            .filter(|&(_, v)| v != 0)
+            .collect();
+        incremental.ingest_epoch(epoch, &updates);
+    }
+    incremental.validate();
+    for k in [1, 5, 20] {
+        for alpha0 in [0.2, 0.5, 0.8] {
+            let q = KnntaQuery::new([50.0, 50.0], TimeInterval::days(0, 56))
+                .with_k(k)
+                .with_alpha0(alpha0);
+            assert_same_answer(
+                &incremental.query(&q),
+                &bulk.query(&q),
+                &format!("k={k} α0={alpha0}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn growth_snapshots_queryable() {
+    // The Figure 8 scenario: rebuild the index at 20%, 40%, … 100% of time.
+    let dataset = common::small_dataset();
+    let mut prev_len = 0;
+    for pct in [0.2, 0.4, 0.6, 0.8, 1.0] {
+        let snap = dataset.snapshot_at(pct);
+        assert!(snap.len() >= prev_len, "LBSN grows over time");
+        prev_len = snap.len();
+        let epochs = ((dataset.grid.len() as f64) * pct).round() as usize;
+        let index = TarIndex::build(
+            IndexConfig::default(),
+            dataset.grid.clone(),
+            rtree::Rect::new(dataset.bounds.0, dataset.bounds.1),
+            snap.into_iter().map(|(id, pos, s)| (Poi { id, pos }, s)),
+        );
+        index.validate();
+        let iq = TimeInterval::new(
+            knnta::Timestamp::ZERO,
+            dataset.grid.epoch(epochs.saturating_sub(1).max(0)).end,
+        );
+        let q = KnntaQuery::new(dataset.positions[0], iq).with_k(5);
+        let hits = index.query(&q);
+        assert!(hits.len() <= 5);
+        assert!(!hits.is_empty(), "snapshot at {pct} answers queries");
+    }
+}
+
+#[test]
+fn poi_insert_and_remove_keep_index_consistent() {
+    let (grid, bounds, pois) = tiny_dataset();
+    let mut index = TarIndex::build(
+        IndexConfig::default(),
+        grid.clone(),
+        bounds,
+        pois.iter().take(30).cloned(),
+    );
+    // Insert the remaining POIs one by one.
+    for (poi, series) in pois.iter().skip(30) {
+        index.insert_poi(*poi, series.clone());
+    }
+    index.validate();
+    assert_eq!(index.len(), 40);
+    // Remove a third of them.
+    for (poi, _) in pois.iter().step_by(3) {
+        assert!(index.remove_poi(poi.id));
+    }
+    index.validate();
+    assert_eq!(index.len(), 40 - 14);
+    // Queries still match a fresh build over the survivors.
+    let survivors: Vec<_> = pois
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 3 != 0)
+        .map(|(_, p)| p.clone())
+        .collect();
+    let fresh = TarIndex::build(IndexConfig::default(), grid, bounds, survivors);
+    let q = KnntaQuery::new([40.0, 60.0], TimeInterval::days(7, 42)).with_k(8);
+    assert_same_answer(&index.query(&q), &fresh.query(&q), "after removals");
+}
+
+#[test]
+fn disk_tias_agree_with_memory_on_dataset() {
+    let dataset = common::small_dataset();
+    let baseline = baseline_of(&dataset);
+    let index = index_of(&dataset, Grouping::TarIntegral);
+    let tias = index.materialize_disk_tias(1024, 10);
+    let workload = Workload::generate(&dataset, 15, IntervalAnchor::Random, 5);
+    for &(point, interval) in &workload.queries {
+        let q = KnntaQuery::new(point, interval).with_k(10).with_alpha0(0.3);
+        let got = index.query_with_disk_tias(&q, &tias);
+        let want = baseline.query(&q);
+        assert_same_answer(&got, &want, "disk TIA query");
+    }
+    // Disk queries performed real buffered I/O.
+    let io = tias.io_snapshot();
+    assert!(io.buffer_hits + io.buffer_misses > 0);
+}
+
+#[test]
+fn alternative_node_sizes_and_no_reinsert() {
+    let dataset = common::small_dataset();
+    let baseline = baseline_of(&dataset);
+    let workload = Workload::generate(&dataset, 10, IntervalAnchor::Random, 6);
+    for node_size in [512, 2048, 8192] {
+        for forced_reinsert in [true, false] {
+            let config = IndexConfig {
+                grouping: Grouping::TarIntegral,
+                node_size,
+                forced_reinsert,
+            };
+            let index = index_with_config(&dataset, config);
+            index.validate();
+            for &(point, interval) in &workload.queries {
+                let q = KnntaQuery::new(point, interval).with_k(10);
+                assert_same_answer(
+                    &index.query(&q),
+                    &baseline.query(&q),
+                    &format!("node_size={node_size} reinsert={forced_reinsert}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_epoch_ingest_touches_only_updated_subtrees() {
+    let (grid, bounds, pois) = tiny_dataset();
+    let mut index = TarIndex::build(IndexConfig::default(), grid, bounds, pois.clone());
+    // Ingesting for one POI returns exactly one change.
+    let target = pois[7].0.id;
+    let changed = index.ingest_epoch(3, &[(target, 9)]);
+    assert_eq!(changed, 1);
+    // The aggregate is reflected in queries over an interval containing
+    // epoch 3.
+    let q = KnntaQuery::new(pois[7].0.pos, TimeInterval::days(21, 28))
+        .with_k(1)
+        .with_alpha0(0.3);
+    let hits = index.query(&q);
+    assert_eq!(hits[0].poi, target);
+    assert!(hits[0].aggregate >= 9);
+}

@@ -2,9 +2,9 @@
 //! forced reinsertion on/off, in-memory vs MVBT-backed (disk) TIAs, and
 //! build cost per grouping strategy.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use knnta_bench::{load, BenchConfig};
 use knnta_core::{Grouping, IndexConfig};
+use knnta_util::bench::Harness;
 use std::hint::black_box;
 
 fn bench_config() -> BenchConfig {
@@ -16,10 +16,10 @@ fn bench_config() -> BenchConfig {
 }
 
 /// R* forced reinsertion: query latency with and without it.
-fn forced_reinsert(c: &mut Criterion) {
+fn forced_reinsert(h: &mut Harness) {
     let config = bench_config();
     let data = load(&lbsn::gs(), &config);
-    let mut group = c.benchmark_group("forced_reinsert");
+    let mut group = h.group("forced_reinsert");
     for (label, reinsert) in [("on", true), ("off", false)] {
         let index = data.index_with(IndexConfig {
             grouping: Grouping::TarIntegral,
@@ -27,9 +27,9 @@ fn forced_reinsert(c: &mut Criterion) {
             forced_reinsert: reinsert,
         });
         let queries = data.queries(config.queries, 10, 0.3, config.seed);
-        group.bench_with_input(BenchmarkId::from_parameter(label), &queries, |b, queries| {
+        group.bench(label, |b| {
             b.iter(|| {
-                for q in queries {
+                for q in &queries {
                     black_box(index.query(q));
                 }
             })
@@ -40,22 +40,22 @@ fn forced_reinsert(c: &mut Criterion) {
 
 /// TIA backend: aggregates from the in-memory series vs the disk-resident
 /// multi-version B-tree (10 buffer slots, as in the paper's setup).
-fn tia_backend(c: &mut Criterion) {
+fn tia_backend(h: &mut Harness) {
     let config = bench_config();
     let data = load(&lbsn::gs(), &config);
     let index = data.index(Grouping::TarIntegral);
     let tias = index.materialize_disk_tias(1024, 10);
     let queries = data.queries(config.queries, 10, 0.3, config.seed);
-    let mut group = c.benchmark_group("tia_backend");
+    let mut group = h.group("tia_backend");
     group.sample_size(20);
-    group.bench_function("memory", |b| {
+    group.bench("memory", |b| {
         b.iter(|| {
             for q in &queries {
                 black_box(index.query(q));
             }
         })
     });
-    group.bench_function("mvbt_disk", |b| {
+    group.bench("mvbt_disk", |b| {
         b.iter(|| {
             for q in &queries {
                 black_box(index.query_with_disk_tias(q, &tias));
@@ -66,20 +66,23 @@ fn tia_backend(c: &mut Criterion) {
 }
 
 /// Index build time per grouping strategy.
-fn build(c: &mut Criterion) {
+fn build(h: &mut Harness) {
     let config = bench_config();
     let data = load(&lbsn::gs(), &config);
-    let mut group = c.benchmark_group("build");
+    let mut group = h.group("build");
     group.sample_size(10);
     for grouping in [Grouping::TarIntegral, Grouping::IndSpa, Grouping::IndAgg] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{grouping}")),
-            &grouping,
-            |b, &grouping| b.iter(|| black_box(data.index(grouping))),
-        );
+        group.bench(format!("{grouping}"), |b| {
+            b.iter(|| black_box(data.index(grouping)))
+        });
     }
     group.finish();
 }
 
-criterion_group!(benches, forced_reinsert, tia_backend, build);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("ablation");
+    forced_reinsert(&mut h);
+    tia_backend(&mut h);
+    build(&mut h);
+    h.finish().expect("write BENCH_ablation.json");
+}

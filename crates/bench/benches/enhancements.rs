@@ -1,9 +1,9 @@
-//! Criterion benchmarks for the Section 7 enhancements (Figures 13–16) and
+//! Micro-benchmarks for the Section 7 enhancements (Figures 13–16) and
 //! the cost model / power-law machinery (Table 2, Figures 6–7).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use knnta_bench::{aggregates_over, load, BenchConfig};
 use knnta_core::{Grouping, KnntaQuery};
+use knnta_util::bench::Harness;
 use std::hint::black_box;
 
 fn bench_config() -> BenchConfig {
@@ -15,42 +15,38 @@ fn bench_config() -> BenchConfig {
 }
 
 /// Figures 13–14: minimum weight adjustment, pruning vs enumerating.
-fn mwa(c: &mut Criterion) {
+fn mwa(h: &mut Harness) {
     let config = bench_config();
     let data = load(&lbsn::gs(), &config);
     let index = data.index(Grouping::TarIntegral);
-    let mut group = c.benchmark_group("mwa");
+    let mut group = h.group("mwa");
     group.sample_size(10);
     for k in [10usize, 100] {
         let queries = data.queries(4, k, 0.3, config.seed);
-        group.bench_with_input(BenchmarkId::new("pruning", k), &queries, |b, queries| {
+        group.bench(format!("pruning/{k}"), |b| {
             b.iter(|| {
-                for q in queries {
+                for q in &queries {
                     black_box(index.mwa_pruning(q));
                 }
             })
         });
-        group.bench_with_input(
-            BenchmarkId::new("enumerating", k),
-            &queries,
-            |b, queries| {
-                b.iter(|| {
-                    for q in queries {
-                        black_box(index.mwa_enumerating(q));
-                    }
-                })
-            },
-        );
+        group.bench(format!("enumerating/{k}"), |b| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(index.mwa_enumerating(q));
+                }
+            })
+        });
     }
     group.finish();
 }
 
 /// Figures 15–16: collective vs individual batch processing.
-fn collective(c: &mut Criterion) {
+fn collective(h: &mut Harness) {
     let config = bench_config();
     let data = load(&lbsn::gs(), &config);
     let index = data.index(Grouping::TarIntegral);
-    let mut group = c.benchmark_group("batch");
+    let mut group = h.group("batch");
     group.sample_size(10);
     for count in [100usize, 1000] {
         let queries: Vec<KnntaQuery> = data
@@ -60,39 +56,35 @@ fn collective(c: &mut Criterion) {
             .iter()
             .map(|&(p, iv)| KnntaQuery::new(p, iv).with_k(10).with_alpha0(0.3))
             .collect();
-        group.bench_with_input(
-            BenchmarkId::new("collective", count),
-            &queries,
-            |b, queries| b.iter(|| black_box(index.query_batch_collective(queries))),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("individual", count),
-            &queries,
-            |b, queries| b.iter(|| black_box(index.query_batch_individual(queries))),
-        );
+        group.bench(format!("collective/{count}"), |b| {
+            b.iter(|| black_box(index.query_batch_collective(&queries)))
+        });
+        group.bench(format!("individual/{count}"), |b| {
+            b.iter(|| black_box(index.query_batch_individual(&queries)))
+        });
     }
     group.finish();
 }
 
 /// Table 2 machinery: CSN power-law fitting.
-fn powerlaw_fit(c: &mut Criterion) {
+fn powerlaw_fit(h: &mut Harness) {
     let config = bench_config();
     let data = load(&lbsn::gs(), &config);
     let totals = data.dataset.totals();
-    c.bench_function("powerlaw_fit", |b| {
+    h.bench_function("powerlaw_fit", |b| {
         b.iter(|| black_box(lbsn::fit_power_law(black_box(&totals), 50)))
     });
 }
 
 /// Figures 6–7 machinery: the cost model estimate.
-fn cost_model(c: &mut Criterion) {
+fn cost_model(h: &mut Harness) {
     let config = bench_config();
     let data = load(&lbsn::gs(), &config);
     let baseline = data.baseline();
     let tc = data.dataset.grid.tc();
     let interval = tempora::TimeInterval::new(tc - 64 * tempora::Timestamp::DAY, tc);
     let aggs = aggregates_over(&baseline, interval);
-    c.bench_function("cost_model_estimate", |b| {
+    h.bench_function("cost_model_estimate", |b| {
         b.iter(|| {
             let model = costmodel::CostModel::from_aggregates(
                 black_box(&aggs),
@@ -106,5 +98,11 @@ fn cost_model(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, mwa, collective, powerlaw_fit, cost_model);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("enhancements");
+    mwa(&mut h);
+    collective(&mut h);
+    powerlaw_fit(&mut h);
+    cost_model(&mut h);
+    h.finish().expect("write BENCH_enhancements.json");
+}

@@ -1,10 +1,10 @@
-//! Criterion micro-benchmarks for kNNTA query processing: one benchmark
-//! group per figure family (8–12), measuring wall-clock query latency per
-//! grouping strategy (the CPU-time axis of the paper's plots).
+//! Micro-benchmarks for kNNTA query processing: one benchmark group per
+//! figure family (8–12), measuring wall-clock query latency per grouping
+//! strategy (the CPU-time axis of the paper's plots).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use knnta_bench::{load, BenchConfig};
 use knnta_core::{Grouping, IndexConfig};
+use knnta_util::bench::Harness;
 use std::hint::black_box;
 
 fn bench_config() -> BenchConfig {
@@ -16,33 +16,29 @@ fn bench_config() -> BenchConfig {
 }
 
 /// Figures 8–9: query latency per grouping strategy and k.
-fn grouping_and_k(c: &mut Criterion) {
+fn grouping_and_k(h: &mut Harness) {
     let config = bench_config();
     let data = load(&lbsn::gw(), &config);
     let baseline = data.baseline();
-    let mut group = c.benchmark_group("query_latency");
+    let mut group = h.group("query_latency");
     for grouping in [Grouping::TarIntegral, Grouping::IndSpa, Grouping::IndAgg] {
         let index = data.index(grouping);
         for k in [1usize, 10, 100] {
             let queries = data.queries(config.queries, k, 0.3, config.seed);
-            group.bench_with_input(
-                BenchmarkId::new(format!("{grouping}"), k),
-                &queries,
-                |b, queries| {
-                    b.iter(|| {
-                        for q in queries {
-                            black_box(index.query(q));
-                        }
-                    })
-                },
-            );
+            group.bench(format!("{grouping}/{k}"), |b| {
+                b.iter(|| {
+                    for q in &queries {
+                        black_box(index.query(q));
+                    }
+                })
+            });
         }
     }
     for k in [1usize, 10, 100] {
         let queries = data.queries(config.queries, k, 0.3, config.seed);
-        group.bench_with_input(BenchmarkId::new("baseline-scan", k), &queries, |b, queries| {
+        group.bench(format!("baseline-scan/{k}"), |b| {
             b.iter(|| {
-                for q in queries {
+                for q in &queries {
                     black_box(baseline.query(q));
                 }
             })
@@ -53,33 +49,29 @@ fn grouping_and_k(c: &mut Criterion) {
 
 /// Figure 10: latency against the weight α0 (TAR-tree only; the repro
 /// binary covers the full comparison).
-fn alpha_sweep(c: &mut Criterion) {
+fn alpha_sweep(h: &mut Harness) {
     let config = bench_config();
     let data = load(&lbsn::gs(), &config);
     let index = data.index(Grouping::TarIntegral);
-    let mut group = c.benchmark_group("alpha0");
+    let mut group = h.group("alpha0");
     for alpha0 in [0.1, 0.5, 0.9] {
         let queries = data.queries(config.queries, 10, alpha0, config.seed);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(alpha0),
-            &queries,
-            |b, queries| {
-                b.iter(|| {
-                    for q in queries {
-                        black_box(index.query(q));
-                    }
-                })
-            },
-        );
+        group.bench(format!("{alpha0}"), |b| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(index.query(q));
+                }
+            })
+        });
     }
     group.finish();
 }
 
 /// Figure 12: latency against the node size.
-fn node_size_sweep(c: &mut Criterion) {
+fn node_size_sweep(h: &mut Harness) {
     let config = bench_config();
     let data = load(&lbsn::gs(), &config);
-    let mut group = c.benchmark_group("node_size");
+    let mut group = h.group("node_size");
     for node_size in [512usize, 1024, 4096] {
         let index = data.index_with(IndexConfig {
             grouping: Grouping::TarIntegral,
@@ -87,26 +79,22 @@ fn node_size_sweep(c: &mut Criterion) {
             forced_reinsert: true,
         });
         let queries = data.queries(config.queries, 10, 0.3, config.seed);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(node_size),
-            &queries,
-            |b, queries| {
-                b.iter(|| {
-                    for q in queries {
-                        black_box(index.query(q));
-                    }
-                })
-            },
-        );
+        group.bench(format!("{node_size}"), |b| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(index.query(q));
+                }
+            })
+        });
     }
     group.finish();
 }
 
 /// Check-in digestion throughput (Section 4.2 maintenance).
-fn ingest(c: &mut Criterion) {
+fn ingest(h: &mut Harness) {
     let config = bench_config();
     let data = load(&lbsn::gs(), &config);
-    let mut group = c.benchmark_group("ingest_epoch");
+    let mut group = h.group("ingest_epoch");
     group.sample_size(20);
     let updates: Vec<(tempora::PoiId, u64)> = data
         .snapshot
@@ -114,18 +102,23 @@ fn ingest(c: &mut Criterion) {
         .step_by(7)
         .map(|(id, _, _)| (*id, 3u64))
         .collect();
-    group.bench_function("batch", |b| {
+    group.bench("batch", |b| {
         b.iter_batched(
             || data.index(Grouping::TarIntegral),
             |mut index| {
                 index.ingest_epoch(black_box(0), black_box(&updates));
                 index
             },
-            criterion::BatchSize::LargeInput,
         )
     });
     group.finish();
 }
 
-criterion_group!(benches, grouping_and_k, alpha_sweep, node_size_sweep, ingest);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("queries");
+    grouping_and_k(&mut h);
+    alpha_sweep(&mut h);
+    node_size_sweep(&mut h);
+    ingest(&mut h);
+    h.finish().expect("write BENCH_queries.json");
+}

@@ -1,9 +1,9 @@
-//! Criterion benchmarks for the substrates the TAR-tree is built on: the
+//! Micro-benchmarks for the substrates the TAR-tree is built on: the
 //! multi-version B-tree (TIA), the R*-tree, and the page store.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use knnta_util::bench::Harness;
 use mvbt::{Mvbt, MvbtTia};
-use pagestore::{AccessStats, BufferPool, Disk};
+use pagestore::{AccessStats, BufferPool, Bytes, Disk};
 use rtree::{NoAug, RStarGrouping, RStarTree, RTreeParams, Rect};
 use std::hint::black_box;
 use std::sync::Arc;
@@ -23,10 +23,10 @@ fn lcg_points(n: usize) -> Vec<[f64; 2]> {
 }
 
 /// MVBT: insertion throughput and interval-aggregate queries.
-fn mvbt_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mvbt");
+fn mvbt_ops(h: &mut Harness) {
+    let mut group = h.group("mvbt");
     group.sample_size(20);
-    group.bench_function("insert_10k", |b| {
+    group.bench("insert_10k", |b| {
         b.iter(|| {
             let disk = Arc::new(Disk::new(1024, AccessStats::new()));
             let pool = Arc::new(BufferPool::new(disk, 64));
@@ -46,24 +46,20 @@ fn mvbt_ops(c: &mut Criterion) {
         &AggregateSeries::from_pairs((0..1000u32).map(|e| (e, (e % 17 + 1) as u64))),
     );
     for days in [16i64, 256] {
-        group.bench_with_input(
-            BenchmarkId::new("tia_aggregate", days),
-            &days,
-            |b, &days| {
-                let iq = TimeInterval::days(100, 100 + days);
-                b.iter(|| black_box(tia.aggregate_over(iq)))
-            },
-        );
+        let iq = TimeInterval::days(100, 100 + days);
+        group.bench(format!("tia_aggregate/{days}"), |b| {
+            b.iter(|| black_box(tia.aggregate_over(iq)))
+        });
     }
     group.finish();
 }
 
 /// R*-tree: incremental insert vs STR bulk load, and k-NN queries.
-fn rtree_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rtree");
+fn rtree_ops(h: &mut Harness) {
+    let mut group = h.group("rtree");
     group.sample_size(10);
     let points = lcg_points(20_000);
-    group.bench_function("insert_20k", |b| {
+    group.bench("insert_20k", |b| {
         b.iter(|| {
             let mut t: RStarTree<2, u32, NoAug, RStarGrouping> = RStarTree::new(
                 RTreeParams::with_max_entries(50),
@@ -77,7 +73,7 @@ fn rtree_ops(c: &mut Criterion) {
             t
         })
     });
-    group.bench_function("bulk_load_20k", |b| {
+    group.bench("bulk_load_20k", |b| {
         b.iter(|| {
             let mut t: RStarTree<2, u32, NoAug, RStarGrouping> = RStarTree::new(
                 RTreeParams::with_max_entries(50),
@@ -104,28 +100,28 @@ fn rtree_ops(c: &mut Criterion) {
     for (i, p) in points.iter().enumerate() {
         t.insert(Rect::point(*p), i as u32);
     }
-    group.bench_function("knn_10_of_20k", |b| {
+    group.bench("knn_10_of_20k", |b| {
         b.iter(|| black_box(t.nearest(&[500.0, 500.0], 10)))
     });
     group.finish();
 }
 
 /// Buffer pool: hit and miss paths.
-fn pagestore_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pagestore");
+fn pagestore_ops(h: &mut Harness) {
+    let mut group = h.group("pagestore");
     let stats = AccessStats::new();
     let disk = Arc::new(Disk::new(1024, stats));
     let pool = BufferPool::new(Arc::clone(&disk), 10);
     let pages: Vec<_> = (0..100).map(|_| pool.allocate()).collect();
     for &p in &pages {
-        pool.write(p, bytes::Bytes::from(vec![7u8; 512]));
+        pool.write(p, Bytes::from(vec![7u8; 512]));
     }
-    group.bench_function("buffered_read_hit", |b| {
+    group.bench("buffered_read_hit", |b| {
         let hot = pages[0];
         let _ = pool.read(hot);
         b.iter(|| black_box(pool.read(hot)))
     });
-    group.bench_function("buffered_read_thrash", |b| {
+    group.bench("buffered_read_thrash", |b| {
         let mut i = 0;
         b.iter(|| {
             i = (i + 13) % pages.len(); // stride defeats the 10-slot LRU
@@ -135,5 +131,10 @@ fn pagestore_ops(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, mvbt_ops, rtree_ops, pagestore_ops);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("substrates");
+    mvbt_ops(&mut h);
+    rtree_ops(&mut h);
+    pagestore_ops(&mut h);
+    h.finish().expect("write BENCH_substrates.json");
+}

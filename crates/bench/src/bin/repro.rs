@@ -17,8 +17,7 @@ use knnta_bench::{
 };
 use knnta_core::{Grouping, IndexConfig, KnntaQuery};
 use lbsn::DatasetSpec;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use knnta_util::rng::StdRng;
 use std::time::Instant;
 use tempora::{TimeInterval, Timestamp};
 

@@ -2,8 +2,10 @@
 //! and figure of the paper's evaluation (Section 8).
 //!
 //! The entry point is the `repro` binary (`cargo run -p knnta-bench
-//! --release --bin repro -- <experiment>`); Criterion micro-benchmarks live
-//! in `benches/`. Everything here is deterministic under a seed.
+//! --release --bin repro -- <experiment>`); micro-benchmarks live in
+//! `benches/`, run on the in-repo [`knnta_util::bench`] runner, and write
+//! `BENCH_<suite>.json` next to the workspace root. Everything here is
+//! deterministic under a seed.
 
 #![warn(missing_docs)]
 

@@ -48,16 +48,15 @@ impl TarIndex {
             result_slices.push(head);
             rest = tail;
         }
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for ((_, queries), out) in chunks.iter().zip(result_slices) {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (q, slot) in queries.iter().zip(out.iter_mut()) {
                         *slot = self.query(q);
                     }
                 });
             }
-        })
-        .expect("worker thread panicked");
+        });
         results
     }
 }

@@ -5,12 +5,12 @@
 //! packing ([`TarIndex::build_bulk`]), so a loaded index answers every query
 //! identically to the saved one (ranking is structure-independent), loads in
 //! one pass, and is typically better packed than the original. The format
-//! is versioned and self-describing; no external serialisation crate is
-//! needed beyond `bytes`.
+//! is versioned and self-describing; serialisation uses the in-repo
+//! [`knnta_util::codec`] little-endian codec — no external crate is needed.
 
 use crate::index::{Grouping, IndexConfig, TarIndex};
 use crate::poi::Poi;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use knnta_util::codec::{Bytes, BytesMut};
 use rtree::Rect;
 use std::io::{self, Read, Write};
 use tempora::{AggregateSeries, EpochGrid, Timestamp};

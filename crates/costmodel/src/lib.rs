@@ -505,8 +505,7 @@ mod tests {
 
     #[test]
     fn from_aggregates_fits() {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = knnta_util::rng::StdRng::seed_from_u64(5);
         let law = lbsn::PowerLaw::new(2.5, 10);
         let mut aggs: Vec<u64> = (0..5000).map(|_| law.sample(&mut rng)).collect();
         aggs.extend(std::iter::repeat_n(0u64, 1000)); // zero-aggregate POIs are ignored

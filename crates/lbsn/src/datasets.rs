@@ -19,8 +19,7 @@
 
 use crate::powerlaw::PowerLaw;
 use crate::spatial::ClusterModel;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use knnta_util::rng::{Rng, StdRng};
 use tempora::{AggregateSeries, EpochGrid, PoiId};
 
 /// Calibration of one of the paper's datasets (Tables 2 and 4).
@@ -254,7 +253,7 @@ impl DatasetSpec {
                 draw_tail(&mut rng)
             } else {
                 // Geometric-ish body: mostly 1–4 check-ins.
-                1 + rng.gen_range(0..4).min(rng.gen_range(0..4))
+                1 + rng.gen_range(0u64..4).min(rng.gen_range(0u64..4))
             };
             series.push(spread_over_epochs(total, m, &mut rng));
         }
@@ -295,7 +294,7 @@ fn spread_over_epochs<R: Rng + ?Sized>(total: u64, m: usize, rng: &mut R) -> Agg
         let mut assigned = 0u64;
         for e in 0..m {
             let w = (e + 1) as f64 / weight_sum;
-            let noise = rng.gen_range(0.5..1.5);
+            let noise: f64 = rng.gen_range(0.5..1.5);
             let c = ((total as f64) * w * noise).round() as u64;
             let c = c.min(total - assigned);
             if c > 0 {

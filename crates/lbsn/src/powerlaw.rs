@@ -9,7 +9,7 @@
 //! implements all of it (it also powers the cost model of Section 6 and the
 //! synthetic dataset generators).
 
-use rand::Rng;
+use knnta_util::rng::Rng;
 
 /// Hurwitz zeta `ζ(s, a) = Σ_{k≥0} (k + a)^{-s}` for `s > 1`, `a > 0`,
 /// via direct summation plus an Euler–Maclaurin tail.
@@ -38,7 +38,7 @@ pub fn hurwitz_zeta(s: f64, a: f64) -> f64 {
 ///
 /// ```
 /// use lbsn::{fit_power_law, PowerLaw};
-/// use rand::{rngs::StdRng, SeedableRng};
+/// use knnta_util::rng::StdRng;
 ///
 /// let law = PowerLaw::new(2.5, 10);
 /// let mut rng = StdRng::seed_from_u64(1);
@@ -254,8 +254,7 @@ pub fn goodness_of_fit<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use knnta_util::rng::StdRng;
 
     #[test]
     fn hurwitz_zeta_matches_riemann() {

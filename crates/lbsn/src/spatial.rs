@@ -1,12 +1,11 @@
 //! Spatial model: clustered POI positions (Gaussian-mixture "cities").
 
-use rand::Rng;
+use knnta_util::rng::Rng;
 use rand_distr_lite::Normal;
-use serde::{Deserialize, Serialize};
 
 /// A Gaussian mixture over a bounding box, modelling the clustered spatial
 /// distribution of LBSN locations (city centres, suburbs, highways…).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ClusterModel {
     /// Data-space bounding box: `[min_x, min_y]` and `[max_x, max_y]`.
     pub bounds: ([f64; 2], [f64; 2]),
@@ -15,7 +14,7 @@ pub struct ClusterModel {
     cum_weights: Vec<f64>,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct Cluster {
     center: [f64; 2],
     sigma: f64,
@@ -77,10 +76,10 @@ impl ClusterModel {
     }
 }
 
-/// A tiny Box–Muller normal sampler, so we do not need the `rand_distr`
-/// crate (the sanctioned dependency list has `rand` only).
+/// A tiny Box–Muller normal sampler on top of the in-repo [`Rng`] trait,
+/// so no distribution crate is needed.
 mod rand_distr_lite {
-    use rand::Rng;
+    use knnta_util::rng::Rng;
 
     pub struct Normal {
         mean: f64,
@@ -105,8 +104,7 @@ mod rand_distr_lite {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use knnta_util::rng::StdRng;
 
     #[test]
     fn samples_stay_in_bounds() {

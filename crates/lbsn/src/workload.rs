@@ -1,8 +1,7 @@
 //! Query workload generation (Section 8's setup).
 
 use crate::datasets::LbsnDataset;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use knnta_util::rng::{Rng, StdRng};
 use tempora::{TimeInterval, Timestamp};
 
 /// How query time intervals are anchored on the time axis.

@@ -1,6 +1,6 @@
 //! MVBT node layout and page codec.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use knnta_util::codec::{Bytes, BytesMut};
 use pagestore::PageId;
 
 /// Sentinel for "still alive" (`end == ∞`).

@@ -2,9 +2,9 @@
 //! map on every operation at every version, under arbitrary interleavings of
 //! inserts, upserts and deletes, for several page sizes.
 
+use knnta_util::prop::{check, Gen};
 use mvbt::{Mvbt, MvbtTia};
 use pagestore::{AccessStats, BufferPool, Disk};
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use tempora::{AggregateSeries, EpochGrid, TimeInterval};
@@ -64,15 +64,12 @@ enum MvOp {
     Tick,
 }
 
-fn arb_ops(max_key: i64, n: usize) -> impl Strategy<Value = Vec<MvOp>> {
-    proptest::collection::vec(
-        prop_oneof![
-            3 => (0..max_key, 0u64..1000).prop_map(|(k, val)| MvOp::Insert(k, val)),
-            1 => (0..max_key).prop_map(MvOp::Delete),
-            1 => Just(MvOp::Tick),
-        ],
-        1..n,
-    )
+fn gen_ops(g: &mut Gen, max_key: i64, n: usize) -> Vec<MvOp> {
+    g.vec(1, n, |g| match g.weighted(&[3, 1, 1]) {
+        0 => MvOp::Insert(g.i64_in(0..max_key), g.u64_in(0..1000)),
+        1 => MvOp::Delete(g.i64_in(0..max_key)),
+        _ => MvOp::Tick,
+    })
 }
 
 fn run_against_oracle(ops: &[MvOp], page_size: usize) {
@@ -116,29 +113,32 @@ fn run_against_oracle(ops: &[MvOp], page_size: usize) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Tiny pages (deep trees, frequent splits/merges) against the oracle.
-    #[test]
-    fn mvbt_matches_oracle_tiny_pages(ops in arb_ops(40, 300)) {
+/// Tiny pages (deep trees, frequent splits/merges) against the oracle.
+#[test]
+fn mvbt_matches_oracle_tiny_pages() {
+    check("mvbt_matches_oracle_tiny_pages", 64, |g| {
+        let ops = gen_ops(g, 40, 300);
         run_against_oracle(&ops, 256);
-    }
+    });
+}
 
-    /// Paper-sized pages against the oracle.
-    #[test]
-    fn mvbt_matches_oracle_1k_pages(ops in arb_ops(200, 400)) {
+/// Paper-sized pages against the oracle.
+#[test]
+fn mvbt_matches_oracle_1k_pages() {
+    check("mvbt_matches_oracle_1k_pages", 64, |g| {
+        let ops = gen_ops(g, 200, 400);
         run_against_oracle(&ops, 1024);
-    }
+    });
+}
 
-    /// The TIA's interval aggregate always equals the in-memory series
-    /// oracle, including after raise_to updates.
-    #[test]
-    fn tia_matches_series_oracle(
-        inserts in proptest::collection::vec((0u32..100, 1u64..50), 1..120),
-        raises in proptest::collection::vec((0u32..100, 1u64..80), 0..60),
-        windows in proptest::collection::vec((0i64..100, 0i64..100), 1..12),
-    ) {
+/// The TIA's interval aggregate always equals the in-memory series
+/// oracle, including after raise_to updates.
+#[test]
+fn tia_matches_series_oracle() {
+    check("tia_matches_series_oracle", 64, |g| {
+        let inserts = g.vec(1, 120, |g| (g.u32_in(0..100), g.u64_in(1..50)));
+        let raises = g.vec(0, 60, |g| (g.u32_in(0..100), g.u64_in(1..80)));
+        let windows = g.vec(1, 12, |g| (g.i64_in(0..100), g.i64_in(0..100)));
         let grid = EpochGrid::fixed_days(1, 100);
         let disk = Arc::new(Disk::new(512, AccessStats::new()));
         let mut tia = MvbtTia::new(disk, 10);
@@ -157,13 +157,13 @@ proptest! {
             tia.raise_to(&grid, e as usize, val);
             oracle.raise_to(e, val);
         }
-        prop_assert_eq!(tia.to_series(&grid), oracle.clone());
+        assert_eq!(tia.to_series(&grid), oracle.clone());
         for &(a, b) in &windows {
             let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
             let iq = TimeInterval::days(lo, hi);
-            prop_assert_eq!(tia.aggregate_over(iq), oracle.aggregate_over(&grid, iq));
+            assert_eq!(tia.aggregate_over(iq), oracle.aggregate_over(&grid, iq));
         }
-    }
+    });
 }
 
 /// Deterministic heavy mixed workload across page sizes (not proptest so it

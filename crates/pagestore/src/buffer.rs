@@ -3,8 +3,8 @@
 use crate::disk::{Disk, PageId};
 use crate::lru::LruList;
 use crate::stats::AccessStats;
-use bytes::Bytes;
-use parking_lot::Mutex;
+use knnta_util::codec::Bytes;
+use knnta_util::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 

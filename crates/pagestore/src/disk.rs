@@ -1,8 +1,8 @@
 //! An in-memory "disk" of fixed-size byte pages.
 
 use crate::stats::AccessStats;
-use bytes::Bytes;
-use parking_lot::RwLock;
+use knnta_util::codec::Bytes;
+use knnta_util::sync::RwLock;
 
 /// Identifier of a page on a [`Disk`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]

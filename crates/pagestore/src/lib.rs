@@ -27,5 +27,6 @@ mod stats;
 
 pub use buffer::BufferPool;
 pub use disk::{Disk, PageId};
+pub use knnta_util::codec::{Bytes, BytesMut};
 pub use lru::LruList;
 pub use stats::{AccessStats, StatsSnapshot};

@@ -1,8 +1,8 @@
 //! Property-based tests: R*-tree structure and query answers under random
 //! workloads, for every grouping-relevant configuration.
 
+use knnta_util::prop::{check, Gen};
 use pagestore::AccessStats;
-use proptest::prelude::*;
 use rtree::{dist, NoAug, RStarGrouping, RStarTree, RTreeParams, Rect};
 
 type Tree2 = RStarTree<2, usize, NoAug, RStarGrouping>;
@@ -20,52 +20,51 @@ fn build(points: &[[f64; 2]], max_entries: usize, reinsert: bool) -> Tree2 {
     t
 }
 
-fn arb_points(max: usize) -> impl Strategy<Value = Vec<[f64; 2]>> {
-    proptest::collection::vec((0.0..1000.0f64, 0.0..1000.0f64).prop_map(|(x, y)| [x, y]), 1..max)
+fn gen_points(g: &mut Gen, max: usize) -> Vec<[f64; 2]> {
+    g.vec(1, max, |g| [g.f64_in(0.0..1000.0), g.f64_in(0.0..1000.0)])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Structural invariants hold after arbitrary insertions, with and
-    /// without forced reinsertion, for several fanouts.
-    #[test]
-    fn invariants_after_inserts(
-        points in arb_points(300),
-        max_entries in 4usize..24,
-        reinsert in any::<bool>(),
-    ) {
+/// Structural invariants hold after arbitrary insertions, with and
+/// without forced reinsertion, for several fanouts.
+#[test]
+fn invariants_after_inserts() {
+    check("invariants_after_inserts", 48, |g| {
+        let points = gen_points(g, 300);
+        let max_entries = g.usize_in(4..24);
+        let reinsert = g.bool();
         let t = build(&points, max_entries, reinsert);
         t.validate();
         t.validate_augs();
-        prop_assert_eq!(t.len(), points.len());
-    }
+        assert_eq!(t.len(), points.len());
+    });
+}
 
-    /// k-nearest-neighbour answers always match a linear scan.
-    #[test]
-    fn nearest_matches_scan(
-        points in arb_points(250),
-        q in (0.0..1000.0f64, 0.0..1000.0f64).prop_map(|(x, y)| [x, y]),
-        k in 1usize..20,
-    ) {
+/// k-nearest-neighbour answers always match a linear scan.
+#[test]
+fn nearest_matches_scan() {
+    check("nearest_matches_scan", 48, |g| {
+        let points = gen_points(g, 250);
+        let q = [g.f64_in(0.0..1000.0), g.f64_in(0.0..1000.0)];
+        let k = g.usize_in(1..20);
         let t = build(&points, 8, true);
         let got: Vec<f64> = t.nearest(&q, k).into_iter().map(|(d, _)| d).collect();
         let mut want: Vec<f64> = points.iter().map(|p| dist(p, &q)).collect();
         want.sort_by(|a, b| a.partial_cmp(b).unwrap());
         want.truncate(k);
-        prop_assert_eq!(got.len(), want.len());
+        assert_eq!(got.len(), want.len());
         for (g, w) in got.iter().zip(&want) {
-            prop_assert!((g - w).abs() < 1e-9, "got {g}, want {w}");
+            assert!((g - w).abs() < 1e-9, "got {g}, want {w}");
         }
-    }
+    });
+}
 
-    /// Range queries always match a linear scan.
-    #[test]
-    fn range_matches_scan(
-        points in arb_points(250),
-        window in (0.0..900.0f64, 0.0..900.0f64, 1.0..500.0f64, 1.0..500.0f64),
-    ) {
-        let (x, y, w, h) = window;
+/// Range queries always match a linear scan.
+#[test]
+fn range_matches_scan() {
+    check("range_matches_scan", 48, |g| {
+        let points = gen_points(g, 250);
+        let (x, y) = (g.f64_in(0.0..900.0), g.f64_in(0.0..900.0));
+        let (w, h) = (g.f64_in(1.0..500.0), g.f64_in(1.0..500.0));
         let q = Rect::new([x, y], [x + w, y + h]);
         let t = build(&points, 10, true);
         let mut got: Vec<usize> = t.range_query(&q).into_iter().copied().collect();
@@ -77,41 +76,47 @@ proptest! {
             .map(|(i, _)| i)
             .collect();
         want.sort_unstable();
-        prop_assert_eq!(got, want);
-    }
+        assert_eq!(got, want);
+    });
+}
 
-    /// Interleaved inserts and removes keep the structure valid and the
-    /// content exact.
-    #[test]
-    fn insert_remove_interleaving(
-        points in arb_points(160),
-        removals in proptest::collection::vec(any::<prop::sample::Index>(), 0..80),
-    ) {
+/// Interleaved inserts and removes keep the structure valid and the
+/// content exact.
+#[test]
+fn insert_remove_interleaving() {
+    check("insert_remove_interleaving", 48, |g| {
+        let points = gen_points(g, 160);
+        let removals = g.vec(0, 80, |g| g.f64_in(0.0..1.0));
         let mut t = build(&points, 6, true);
         let mut alive: Vec<usize> = (0..points.len()).collect();
         for r in removals {
-            if alive.is_empty() { break; }
-            let pos = r.index(alive.len());
+            if alive.is_empty() {
+                break;
+            }
+            let pos = ((r * alive.len() as f64) as usize).min(alive.len() - 1);
             let id = alive.swap_remove(pos);
             let removed = t.remove(&Rect::point(points[id]), |&x| x == id);
-            prop_assert_eq!(removed, Some(id));
+            assert_eq!(removed, Some(id));
         }
         t.validate();
-        prop_assert_eq!(t.len(), alive.len());
+        assert_eq!(t.len(), alive.len());
         let mut got: Vec<usize> = t.items().into_iter().map(|(_, &i)| i).collect();
         got.sort_unstable();
         alive.sort_unstable();
-        prop_assert_eq!(got, alive);
-    }
+        assert_eq!(got, alive);
+    });
+}
 
-    /// Duplicate positions (all items at one point) never break the tree.
-    #[test]
-    fn degenerate_duplicate_points(n in 1usize..120) {
+/// Duplicate positions (all items at one point) never break the tree.
+#[test]
+fn degenerate_duplicate_points() {
+    check("degenerate_duplicate_points", 48, |g| {
+        let n = g.usize_in(1..120);
         let points = vec![[5.0, 5.0]; n];
         let t = build(&points, 5, true);
         t.validate();
         let got = t.nearest(&[5.0, 5.0], n);
-        prop_assert_eq!(got.len(), n);
-        prop_assert!(got.iter().all(|(d, _)| *d == 0.0));
-    }
+        assert_eq!(got.len(), n);
+        assert!(got.iter().all(|(d, _)| *d == 0.0));
+    });
 }

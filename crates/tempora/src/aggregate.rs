@@ -3,14 +3,13 @@
 use crate::checkin::CheckIn;
 use crate::epoch::EpochGrid;
 use crate::time::{TimeInterval, Timestamp};
-use serde::{Deserialize, Serialize};
 
 /// Which temporal aggregate is computed over the check-ins of an epoch.
 ///
 /// The paper focuses on `Count` ("the aggregate that counts the number of
 /// check-ins at a POI") and notes the methods "easily extend to other
 /// aggregates"; this enum implements that extension.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum AggregateKind {
     /// Number of check-ins in the epoch.
     #[default]
@@ -28,7 +27,7 @@ pub enum AggregateKind {
 /// One TIA record `⟨ts, te, agg⟩`: the aggregate value `agg` over the epoch
 /// `[ts, te]` (Section 4.1 of the paper). Only non-zero aggregates are ever
 /// materialised as records.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EpochRecord {
     /// Epoch start.
     pub ts: Timestamp,
@@ -54,7 +53,7 @@ pub struct EpochRecord {
 /// assert_eq!(series.aggregate_over(&grid, TimeInterval::days(0, 21)), 8);
 /// assert_eq!(series.total(), 8);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct AggregateSeries {
     /// Sorted by epoch index; values are always non-zero.
     entries: Vec<(u32, u64)>,

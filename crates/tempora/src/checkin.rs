@@ -1,14 +1,13 @@
 //! Raw check-in events.
 
 use crate::time::Timestamp;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a point of interest (POI).
 ///
 /// Dense indices (0-based) into the dataset's POI table; cheap to copy and
 /// hash, and usable directly as a `Vec` index.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct PoiId(pub u32);
 
@@ -36,7 +35,7 @@ impl std::fmt::Display for PoiId {
 /// The check-in *attribute value* defaults to 1 (the paper focuses on the
 /// count aggregate) but carries an explicit `value` so sum / max / min /
 /// average aggregates work on the same stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CheckIn {
     /// The POI checked into.
     pub poi: PoiId,

@@ -1,7 +1,6 @@
 //! Discretisation of the time axis into epochs.
 
 use crate::time::{TimeInterval, Timestamp};
-use serde::{Deserialize, Serialize};
 
 /// One epoch: a half-open slice `[start, end)` of the time axis, with its
 /// position `index` in the grid.
@@ -11,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// treat the record's `te` as `end` when checking containment in a query
 /// interval (a record is counted iff `[start, end] ⊆ Iq` with `end` being the
 /// epoch's upper boundary).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Epoch {
     /// Position of this epoch in its [`EpochGrid`] (0-based).
     pub index: usize,
@@ -39,7 +38,7 @@ impl Epoch {
 /// Supports the two regimes the paper mentions (Section 3.1): equi-length
 /// epochs ("a second, an hour, seven days") and varied lengths ("one hour,
 /// two hours, four hours, eight hours and so on").
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EpochGrid {
     /// Epoch boundaries: `boundaries[i]..boundaries[i+1]` is epoch `i`.
     /// Always strictly increasing, with `boundaries[0] == t0`.

@@ -1,6 +1,5 @@
 //! Instants and intervals on the application time axis.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Sub};
 
@@ -10,7 +9,7 @@ use std::ops::{Add, Sub};
 /// The paper measures epochs in days; [`Timestamp::from_days`] and
 /// [`Timestamp::from_hours`] cover the common cases.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct Timestamp(pub i64);
 
@@ -97,7 +96,7 @@ impl Sub for Timestamp {
 /// Query time intervals `Iq` in kNNTA queries are of this form. An epoch
 /// record `⟨ts, te, agg⟩` contributes to a query iff `[ts, te] ⊆ Iq`
 /// (Section 4.3 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimeInterval {
     start: Timestamp,
     end: Timestamp,

@@ -1,72 +1,89 @@
 //! Property-based tests for the temporal substrate.
 
-use proptest::prelude::*;
-use tempora::{aggregate_checkins, AggregateKind, AggregateSeries, CheckIn, EpochGrid, PoiId, TimeInterval, Timestamp};
+use knnta_util::prop::{check, Gen};
+use tempora::{
+    aggregate_checkins, AggregateKind, AggregateSeries, CheckIn, EpochGrid, PoiId, TimeInterval,
+    Timestamp,
+};
 
-fn arb_series() -> impl Strategy<Value = AggregateSeries> {
-    proptest::collection::vec((0u32..64, 0u64..1000), 0..40).prop_map(AggregateSeries::from_pairs)
+fn gen_series(g: &mut Gen) -> AggregateSeries {
+    AggregateSeries::from_pairs(g.vec(0, 40, |g| (g.u32_in(0..64), g.u64_in(0..1000))))
 }
 
-proptest! {
-    /// `from_pairs` output is sorted by epoch with no zero values.
-    #[test]
-    fn series_invariants(s in arb_series()) {
+/// `from_pairs` output is sorted by epoch with no zero values.
+#[test]
+fn series_invariants() {
+    check("series_invariants", 64, |g| {
+        let s = gen_series(g);
         let entries: Vec<_> = s.iter().collect();
-        prop_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
-        prop_assert!(entries.iter().all(|&(_, v)| v > 0));
-    }
+        assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(entries.iter().all(|&(_, v)| v > 0));
+    });
+}
 
-    /// Manhattan distance is a metric: symmetric, zero iff equal, triangle.
-    #[test]
-    fn manhattan_is_metric(a in arb_series(), b in arb_series(), c in arb_series()) {
-        prop_assert_eq!(a.manhattan_distance(&b), b.manhattan_distance(&a));
-        prop_assert_eq!(a.manhattan_distance(&a), 0);
+/// Manhattan distance is a metric: symmetric, zero iff equal, triangle.
+#[test]
+fn manhattan_is_metric() {
+    check("manhattan_is_metric", 64, |g| {
+        let (a, b, c) = (gen_series(g), gen_series(g), gen_series(g));
+        assert_eq!(a.manhattan_distance(&b), b.manhattan_distance(&a));
+        assert_eq!(a.manhattan_distance(&a), 0);
         if a.manhattan_distance(&b) == 0 {
-            prop_assert_eq!(a.clone(), b.clone());
+            assert_eq!(a.clone(), b.clone());
         }
-        prop_assert!(
-            a.manhattan_distance(&b) <= a.manhattan_distance(&c) + c.manhattan_distance(&b)
-        );
-    }
+        assert!(a.manhattan_distance(&b) <= a.manhattan_distance(&c) + c.manhattan_distance(&b));
+    });
+}
 
-    /// merge_max dominates both inputs pointwise and never exceeds their max.
-    #[test]
-    fn merge_max_is_pointwise_max(a in arb_series(), b in arb_series()) {
+/// merge_max dominates both inputs pointwise and never exceeds their max.
+#[test]
+fn merge_max_is_pointwise_max() {
+    check("merge_max_is_pointwise_max", 64, |g| {
+        let (a, b) = (gen_series(g), gen_series(g));
         let mut m = a.clone();
         m.merge_max(&b);
         for e in 0..64u32 {
-            prop_assert_eq!(m.get(e), a.get(e).max(b.get(e)));
+            assert_eq!(m.get(e), a.get(e).max(b.get(e)));
         }
-    }
+    });
+}
 
-    /// merge_max is commutative and idempotent.
-    #[test]
-    fn merge_max_algebra(a in arb_series(), b in arb_series()) {
+/// merge_max is commutative and idempotent.
+#[test]
+fn merge_max_algebra() {
+    check("merge_max_algebra", 64, |g| {
+        let (a, b) = (gen_series(g), gen_series(g));
         let mut ab = a.clone();
         ab.merge_max(&b);
         let mut ba = b.clone();
         ba.merge_max(&a);
-        prop_assert_eq!(ab.clone(), ba);
+        assert_eq!(ab.clone(), ba);
         let mut aa = a.clone();
         aa.merge_max(&a);
-        prop_assert_eq!(aa, a.clone());
-    }
+        assert_eq!(aa, a.clone());
+    });
+}
 
-    /// sum_range equals the naive sum of get() over the range.
-    #[test]
-    fn sum_range_matches_naive(s in arb_series(), lo in 0usize..70, len in 0usize..70) {
+/// sum_range equals the naive sum of get() over the range.
+#[test]
+fn sum_range_matches_naive() {
+    check("sum_range_matches_naive", 64, |g| {
+        let s = gen_series(g);
+        let lo = g.usize_in(0..70);
+        let len = g.usize_in(0..70);
         let hi = (lo + len).min(70);
         let naive: u64 = (lo..hi).map(|e| s.get(e as u32)).sum();
-        prop_assert_eq!(s.sum_range(lo..hi), naive);
-    }
+        assert_eq!(s.sum_range(lo..hi), naive);
+    });
+}
 
-    /// epoch_of is consistent with the epoch's own bounds, for fixed and
-    /// varied grids.
-    #[test]
-    fn epoch_of_consistent(
-        lens in proptest::collection::vec(1i64..1_000_000, 1..20),
-        probe in 0i64..20_000_000,
-    ) {
+/// epoch_of is consistent with the epoch's own bounds, for fixed and
+/// varied grids.
+#[test]
+fn epoch_of_consistent() {
+    check("epoch_of_consistent", 64, |g| {
+        let lens = g.vec(1, 20, |g| g.i64_in(1..1_000_000));
+        let probe = g.i64_in(0..20_000_000);
         let mut boundaries = vec![Timestamp(0)];
         let mut t = 0;
         for l in &lens {
@@ -77,47 +94,47 @@ proptest! {
         let ts = Timestamp(probe);
         match grid.epoch_of(ts) {
             Some(e) => {
-                prop_assert!(e.start <= ts && ts < e.end);
-                prop_assert_eq!(grid.epoch(e.index), e);
+                assert!(e.start <= ts && ts < e.end);
+                assert_eq!(grid.epoch(e.index), e);
             }
-            None => prop_assert!(ts < grid.t0() || ts >= grid.tc()),
+            None => assert!(ts < grid.t0() || ts >= grid.tc()),
         }
-    }
+    });
+}
 
-    /// epochs_within returns exactly the epochs whose closed interval is
-    /// contained in the query interval.
-    #[test]
-    fn epochs_within_matches_definition(
-        m in 1usize..30,
-        days in 1i64..10,
-        a in 0i64..400,
-        len in 0i64..400,
-    ) {
+/// epochs_within returns exactly the epochs whose closed interval is
+/// contained in the query interval.
+#[test]
+fn epochs_within_matches_definition() {
+    check("epochs_within_matches_definition", 64, |g| {
+        let m = g.usize_in(1..30);
+        let days = g.i64_in(1..10);
+        let a = g.i64_in(0..400);
+        let len = g.i64_in(0..400);
         let grid = EpochGrid::fixed_days(days, m);
         let iq = TimeInterval::new(Timestamp(a * 3_600), Timestamp((a + len) * 3_600));
         let got = grid.epochs_within(iq);
         for i in 0..m {
             let contained = iq.contains_interval(grid.epoch(i).interval());
-            prop_assert_eq!(got.contains(&i), contained, "epoch {}", i);
+            assert_eq!(got.contains(&i), contained, "epoch {i}");
         }
-    }
+    });
+}
 
-    /// Counting check-ins then summing over the full grid recovers the number
-    /// of in-grid check-ins.
-    #[test]
-    fn aggregate_checkins_conserves_count(
-        times in proptest::collection::vec(0i64..(30 * 86_400), 0..200),
-        pois in proptest::collection::vec(0u32..8, 200),
-    ) {
+/// Counting check-ins then summing over the full grid recovers the number
+/// of in-grid check-ins.
+#[test]
+fn aggregate_checkins_conserves_count() {
+    check("aggregate_checkins_conserves_count", 64, |g| {
+        let times = g.vec(0, 200, |g| g.i64_in(0..(30 * 86_400)));
         let grid = EpochGrid::fixed_days(7, 4); // covers 28 days; some check-ins fall outside
         let checkins: Vec<CheckIn> = times
             .iter()
-            .zip(pois.iter())
-            .map(|(&t, &p)| CheckIn::at(PoiId(p), Timestamp(t)))
+            .map(|&t| CheckIn::at(PoiId(g.u32_in(0..8)), Timestamp(t)))
             .collect();
         let in_grid = checkins.iter().filter(|c| c.time < grid.tc()).count() as u64;
         let agg = aggregate_checkins(&checkins, &grid, AggregateKind::Count, 8);
         let total: u64 = agg.iter().map(|s| s.total()).sum();
-        prop_assert_eq!(total, in_grid);
-    }
+        assert_eq!(total, in_grid);
+    });
 }

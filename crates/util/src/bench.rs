@@ -1,0 +1,326 @@
+//! A wall-clock micro-benchmark runner (replaces `criterion`).
+//!
+//! A suite is a [`Harness`]; benches are grouped ([`Harness::group`]) and
+//! measured through a criterion-like closure surface
+//! (`group.bench("id", |b| b.iter(|| work()))`). Each bench is warmed up,
+//! calibrated to a target sample duration, then timed for a fixed number of
+//! samples; the per-iteration median, p95, mean and min are reported.
+//!
+//! [`Harness::finish`] prints an aligned table and writes
+//! **`BENCH_<suite>.json`** so the performance trajectory of this repository
+//! is machine-readable PR over PR. The JSON schema is documented in
+//! `CHANGES.md`; every field is flat and stable:
+//!
+//! ```json
+//! {
+//!   "suite": "substrates",
+//!   "samples": 10,
+//!   "results": [
+//!     {"group": "mvbt", "bench": "insert_10k", "iters_per_sample": 3,
+//!      "samples": 10, "median_ns": 123, "p95_ns": 130, "mean_ns": 124.5,
+//!      "min_ns": 120}
+//!   ]
+//! }
+//! ```
+//!
+//! Environment knobs:
+//!
+//! * `KNNTA_BENCH_DIR` — directory for the JSON file (default: current
+//!   directory, which under `cargo bench` is the crate root).
+//! * `KNNTA_BENCH_FAST=1` — smoke mode: 3 samples, ~2 ms per sample, for
+//!   CI gates that only verify the runner works end to end.
+//! * `KNNTA_BENCH_SAMPLES` — override the per-group sample count.
+
+use std::fmt::Display;
+use std::fs;
+use std::hint::black_box;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Group name (one group per figure family / subsystem).
+    pub group: String,
+    /// Bench id within the group.
+    pub bench: String,
+    /// Iterations timed per sample.
+    pub iters_per_sample: u64,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Median wall-clock nanoseconds per iteration.
+    pub median_ns: u64,
+    /// 95th-percentile wall-clock nanoseconds per iteration.
+    pub p95_ns: u64,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Minimum wall-clock nanoseconds per iteration.
+    pub min_ns: u64,
+}
+
+fn fast_mode() -> bool {
+    std::env::var("KNNTA_BENCH_FAST").map_or(false, |v| v != "0" && !v.is_empty())
+}
+
+/// A benchmark suite; owns the results and writes `BENCH_<suite>.json`.
+pub struct Harness {
+    suite: String,
+    results: Vec<BenchResult>,
+    default_samples: usize,
+    target_sample: Duration,
+}
+
+impl Harness {
+    /// A suite named `suite` (the JSON file is `BENCH_<suite>.json`).
+    pub fn new(suite: &str) -> Self {
+        let fast = fast_mode();
+        let default_samples = std::env::var("KNNTA_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if fast { 3 } else { 10 });
+        Harness {
+            suite: suite.to_string(),
+            results: Vec::new(),
+            default_samples,
+            target_sample: if fast {
+                Duration::from_millis(2)
+            } else {
+                Duration::from_millis(25)
+            },
+        }
+    }
+
+    /// Opens a named group; benches registered on it share a sample count.
+    pub fn group(&mut self, name: &str) -> Group<'_> {
+        let samples = self.default_samples;
+        Group {
+            harness: self,
+            name: name.to_string(),
+            samples,
+        }
+    }
+
+    /// A group-less single bench (criterion's `bench_function`).
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) {
+        let mut g = self.group("default");
+        g.bench(id, f);
+    }
+
+    /// Prints the result table and writes `BENCH_<suite>.json`; returns the
+    /// JSON path.
+    pub fn finish(self) -> io::Result<PathBuf> {
+        let dir = std::env::var("KNNTA_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+        let path = Path::new(&dir).join(format!("BENCH_{}.json", self.suite));
+        fs::write(&path, self.to_json())?;
+        println!();
+        println!(
+            "{:<24} {:<28} {:>12} {:>12} {:>12}",
+            "group", "bench", "median_ns", "p95_ns", "min_ns"
+        );
+        for r in &self.results {
+            println!(
+                "{:<24} {:<28} {:>12} {:>12} {:>12}",
+                r.group, r.bench, r.median_ns, r.p95_ns, r.min_ns
+            );
+        }
+        println!("\nwrote {}", path.display());
+        Ok(path)
+    }
+
+    /// The JSON document `finish` writes.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"suite\": {},\n", json_str(&self.suite)));
+        out.push_str(&format!("  \"samples\": {},\n", self.default_samples));
+        out.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"group\": {}, \"bench\": {}, \"iters_per_sample\": {}, \
+                 \"samples\": {}, \"median_ns\": {}, \"p95_ns\": {}, \
+                 \"mean_ns\": {:.1}, \"min_ns\": {}}}{}\n",
+                json_str(&r.group),
+                json_str(&r.bench),
+                r.iters_per_sample,
+                r.samples,
+                r.median_ns,
+                r.p95_ns,
+                r.mean_ns,
+                r.min_ns,
+                if i + 1 < self.results.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Completed results so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A named group of benches sharing a sample count.
+pub struct Group<'a> {
+    harness: &'a mut Harness,
+    name: String,
+    samples: usize,
+}
+
+impl Group<'_> {
+    /// Sets the sample count for subsequent benches in this group (ignored
+    /// in fast mode, which caps everything at 3).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if !fast_mode() && std::env::var("KNNTA_BENCH_SAMPLES").is_err() {
+            self.samples = n.max(2);
+        }
+        self
+    }
+
+    /// Measures one bench: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`] (or [`Bencher::iter_batched`]) exactly once.
+    pub fn bench(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.samples,
+            target_sample: self.harness.target_sample,
+            measured: None,
+        };
+        f(&mut b);
+        let (iters, mut per_iter_ns) = b
+            .measured
+            .unwrap_or_else(|| panic!("bench '{}' never called iter()", id));
+        per_iter_ns.sort_unstable();
+        let n = per_iter_ns.len();
+        let median_ns = per_iter_ns[n / 2];
+        let p95_ns = per_iter_ns[((n as f64 * 0.95).ceil() as usize).clamp(1, n) - 1];
+        let mean_ns = per_iter_ns.iter().sum::<u64>() as f64 / n as f64;
+        let min_ns = per_iter_ns[0];
+        self.harness.results.push(BenchResult {
+            group: self.name.clone(),
+            bench: id.to_string(),
+            iters_per_sample: iters,
+            samples: n,
+            median_ns,
+            p95_ns,
+            mean_ns,
+            min_ns,
+        });
+    }
+
+    /// No-op, for criterion-style symmetry.
+    pub fn finish(self) {}
+}
+
+/// Drives the measurement of a single bench.
+pub struct Bencher {
+    samples: usize,
+    target_sample: Duration,
+    /// `(iters_per_sample, per-iteration ns for each sample)`
+    measured: Option<(u64, Vec<u64>)>,
+}
+
+impl Bencher {
+    /// Times `f`, calibrating iterations per sample to the target sample
+    /// duration.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warmup + calibration: one untimed run, then estimate cost.
+        black_box(f());
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.target_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut samples = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push((t0.elapsed().as_nanos() as u64) / iters);
+        }
+        self.measured = Some((iters, samples));
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup cost is excluded
+    /// from the timing. One routine call per sample (criterion's
+    /// `iter_batched` with a large batch).
+    pub fn iter_batched<S, R>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+    ) {
+        // Warmup.
+        black_box(routine(setup()));
+        let mut samples = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            samples.push(t0.elapsed().as_nanos() as u64);
+        }
+        self.measured = Some((1, samples));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_serialises() {
+        let mut h = Harness::new("unit_smoke");
+        let mut g = h.group("math");
+        g.sample_size(3);
+        g.bench("sum_1k", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        g.bench("sum_10k", |b| b.iter(|| (0..10_000u64).sum::<u64>()));
+        drop(g);
+        assert_eq!(h.results().len(), 2);
+        for r in h.results() {
+            assert!(r.median_ns > 0);
+            assert!(r.p95_ns >= r.median_ns);
+            assert!(r.min_ns <= r.median_ns);
+        }
+        let json = h.to_json();
+        assert!(json.contains("\"suite\": \"unit_smoke\""));
+        assert!(json.contains("\"bench\": \"sum_1k\""));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count()
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut h = Harness::new("unit_batched");
+        let mut g = h.group("g");
+        g.sample_size(2);
+        g.bench("consume_vec", |b| {
+            b.iter_batched(|| vec![1u8; 4096], |v| v.iter().map(|&x| x as u64).sum::<u64>())
+        });
+        drop(g);
+        assert_eq!(h.results()[0].iters_per_sample, 1);
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+}

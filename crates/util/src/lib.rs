@@ -1,0 +1,32 @@
+//! # knnta-util — in-repo build substrates for a hermetic workspace
+//!
+//! Everything the kNNTA reproduction needs beyond `std`, implemented in-repo
+//! so `cargo build --release --offline && cargo test -q --offline` succeeds
+//! with an **empty cargo registry**. No crate in this workspace depends on
+//! anything outside the workspace.
+//!
+//! Paper map: this crate is infrastructure for the experimental setup of
+//! Section 8 (deterministic data generation, measurement) rather than an
+//! algorithm of the paper itself.
+//!
+//! * [`rng`] — seeded SplitMix64 / PCG32 pseudo-random generation with the
+//!   `gen_range` / `shuffle` surface the data generators use (replaces the
+//!   `rand` crate).
+//! * [`prop`] — a minimal deterministic property-test harness: seeded case
+//!   generation plus shrink-by-halving of the generation size (replaces
+//!   `proptest`).
+//! * [`bench`] — a wall-clock micro-benchmark runner that records median /
+//!   p95 latencies and emits machine-readable `BENCH_<suite>.json` files
+//!   (replaces `criterion`).
+//! * [`sync`] — `Mutex` / `RwLock` with the poison-free locking surface the
+//!   page store wants, over `std::sync` (replaces `parking_lot`).
+//! * [`codec`] — a little-endian binary codec: cheaply-cloneable [`codec::Bytes`]
+//!   and the growable [`codec::BytesMut`] writer (replaces `bytes` + `serde`).
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod codec;
+pub mod prop;
+pub mod rng;
+pub mod sync;

@@ -1,0 +1,272 @@
+//! A minimal deterministic property-test harness (replaces `proptest`).
+//!
+//! A property is a closure over a [`Gen`]: it draws whatever random input it
+//! needs and asserts with the ordinary `assert!` family. [`check`] runs the
+//! closure for a number of seeded cases; every case's seed is derived from a
+//! stable per-property base seed, so failures reproduce across runs and
+//! machines with no state files.
+//!
+//! **Shrinking** is by halving the *generation size*: when a case fails, the
+//! same seed is replayed with the [`Gen::size_scale`] successively halved
+//! (collections come out shorter, magnitudes are unchanged). The smallest
+//! still-failing scale is reported, together with the seed and a
+//! `KNNTA_PROP_SEED=<seed>` one-liner to replay exactly that case.
+//!
+//! Environment knobs:
+//!
+//! * `KNNTA_PROP_SEED` — run only the single case with this seed (decimal or
+//!   `0x…` hex) at full size, for reproducing a reported failure.
+//! * `KNNTA_PROP_CASES` — override every property's case count (e.g. `1000`
+//!   for a soak run, `4` for a smoke run).
+
+use crate::rng::{splitmix64, Rng, StdRng};
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The random-input source handed to a property closure.
+pub struct Gen {
+    rng: StdRng,
+    scale: f64,
+}
+
+impl Gen {
+    fn new(seed: u64, scale: f64) -> Self {
+        Gen {
+            rng: StdRng::seed_from_u64(seed),
+            scale,
+        }
+    }
+
+    /// The underlying seeded generator, for call-sites that want the full
+    /// [`Rng`] surface.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// The current shrink scale in `(0, 1]`; collection helpers multiply
+    /// their length spans by this.
+    pub fn size_scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// A uniform `bool`.
+    pub fn bool(&mut self) -> bool {
+        self.rng.gen_bool(0.5)
+    }
+
+    /// A uniform `usize` in `range`.
+    pub fn usize_in(&mut self, range: Range<usize>) -> usize {
+        self.rng.gen_range(range)
+    }
+
+    /// A uniform `u32` in `range`.
+    pub fn u32_in(&mut self, range: Range<u32>) -> u32 {
+        self.rng.gen_range(range)
+    }
+
+    /// A uniform `u64` in `range`.
+    pub fn u64_in(&mut self, range: Range<u64>) -> u64 {
+        self.rng.gen_range(range)
+    }
+
+    /// A uniform `i64` in `range`.
+    pub fn i64_in(&mut self, range: Range<i64>) -> i64 {
+        self.rng.gen_range(range)
+    }
+
+    /// A uniform `f64` in `range`.
+    pub fn f64_in(&mut self, range: Range<f64>) -> f64 {
+        self.rng.gen_range(range)
+    }
+
+    /// A collection length in `[lo, hi)`, scaled down by the current shrink
+    /// scale (never below `lo`, so "at least one element" invariants hold
+    /// while shrinking).
+    pub fn len_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "len_in: empty range");
+        let span = hi - lo;
+        let scaled = ((span as f64) * self.scale).ceil() as usize;
+        self.rng.gen_range(lo..lo + scaled.clamp(1, span))
+    }
+
+    /// A vector of `len_in(lo, hi)` elements drawn by `f`.
+    pub fn vec<T>(&mut self, lo: usize, hi: usize, mut f: impl FnMut(&mut Gen) -> T) -> Vec<T> {
+        let n = self.len_in(lo, hi);
+        (0..n).map(|_| f(self)).collect()
+    }
+
+    /// A uniformly chosen element of `items`.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick: empty slice");
+        &items[self.rng.gen_range(0..items.len())]
+    }
+
+    /// An index into `weights`, chosen with probability proportional to the
+    /// weight (the `prop_oneof!` replacement).
+    pub fn weighted(&mut self, weights: &[u32]) -> usize {
+        let total: u64 = weights.iter().map(|&w| w as u64).sum();
+        assert!(total > 0, "weighted: all weights zero");
+        let mut x = self.rng.gen_range(0..total);
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w as u64 {
+                return i;
+            }
+            x -= w as u64;
+        }
+        weights.len() - 1
+    }
+}
+
+/// Stable base seed for a property, derived from its name (FNV-1a).
+fn base_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn run_case(seed: u64, scale: f64, prop: &impl Fn(&mut Gen)) -> Result<(), String> {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut gen = Gen::new(seed, scale);
+        prop(&mut gen);
+    }));
+    outcome.map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "panic with non-string payload".to_string()
+        }
+    })
+}
+
+/// Runs `prop` for `cases` seeded cases; on failure, shrinks by halving the
+/// generation size and panics with the seed of the minimal failing case.
+pub fn check(name: &str, cases: u32, prop: impl Fn(&mut Gen)) {
+    // Reproduction mode: exactly one case, full size.
+    if let Ok(v) = std::env::var("KNNTA_PROP_SEED") {
+        let seed = parse_seed(&v);
+        if let Err(msg) = run_case(seed, 1.0, &prop) {
+            panic!("property '{name}' failed under KNNTA_PROP_SEED={v}: {msg}");
+        }
+        return;
+    }
+    let cases = std::env::var("KNNTA_PROP_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(cases);
+    let base = base_seed(name);
+    let mut failure = None;
+    for case in 0..cases {
+        let mut s = base ^ (case as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+        let seed = splitmix64(&mut s);
+        if let Err(msg) = run_case(seed, 1.0, &prop) {
+            // Shrink: halve the size scale while the property still fails.
+            let (mut best_scale, mut best_msg) = (1.0, msg);
+            let mut scale = 0.5;
+            while scale >= 1.0 / 1024.0 {
+                match run_case(seed, scale, &prop) {
+                    Err(m) => {
+                        best_scale = scale;
+                        best_msg = m;
+                        scale /= 2.0;
+                    }
+                    Ok(()) => break,
+                }
+            }
+            failure = Some((case, seed, best_scale, best_msg));
+            break;
+        }
+    }
+    if let Some((case, seed, scale, msg)) = failure {
+        panic!(
+            "property '{name}' failed at case {case} (seed {seed:#x}, size scale {scale}):\n\
+             {msg}\n\
+             reproduce the full-size case with: KNNTA_PROP_SEED={seed} cargo test {name}"
+        );
+    }
+}
+
+fn parse_seed(v: &str) -> u64 {
+    let v = v.trim();
+    if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).expect("KNNTA_PROP_SEED: bad hex seed")
+    } else {
+        v.parse().expect("KNNTA_PROP_SEED: bad seed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut n = 0u32;
+        // Count via a Cell-free trick: check() takes Fn, so use an atomic.
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let count = AtomicU32::new(0);
+        check("passing_property", 17, |g| {
+            count.fetch_add(1, Ordering::Relaxed);
+            let v = g.vec(0, 10, |g| g.u32_in(0..5));
+            assert!(v.len() < 10);
+        });
+        n += count.load(Ordering::Relaxed);
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_shrinks() {
+        let failed = catch_unwind(AssertUnwindSafe(|| {
+            check("always_fails", 5, |g| {
+                let v = g.vec(1, 100, |g| g.u32_in(0..10));
+                assert!(v.is_empty(), "forced failure");
+            });
+        }));
+        let msg = match failed {
+            Err(payload) => *payload.downcast::<String>().expect("string panic"),
+            Ok(()) => panic!("property must fail"),
+        };
+        assert!(msg.contains("always_fails"), "{msg}");
+        assert!(msg.contains("KNNTA_PROP_SEED="), "{msg}");
+        // Shrink-by-halving must have reduced the size scale below 1.
+        assert!(msg.contains("size scale 0.0"), "{msg}");
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let collect = || {
+            let out = std::sync::Mutex::new(Vec::new());
+            check("determinism_probe", 8, |g| {
+                out.lock().unwrap().push(g.u64_in(0..1_000_000));
+            });
+            out.into_inner().unwrap()
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn shrunk_collections_respect_minimum() {
+        for scale in [1.0, 0.5, 0.01, 1.0 / 1024.0] {
+            let mut g = Gen::new(1, scale);
+            for _ in 0..100 {
+                let n = g.len_in(1, 120);
+                assert!((1..120).contains(&n), "scale {scale} gave len {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_hits_every_arm() {
+        let mut g = Gen::new(3, 1.0);
+        let mut counts = [0u32; 3];
+        for _ in 0..3000 {
+            counts[g.weighted(&[3, 1, 1])] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0));
+        assert!(counts[0] > counts[1] && counts[0] > counts[2], "{counts:?}");
+    }
+}

@@ -1,0 +1,306 @@
+//! Seeded pseudo-random number generation, dependency-free.
+//!
+//! Two small, well-studied generators:
+//!
+//! * [`SplitMix64`] — the 64-bit finaliser-based generator of Steele,
+//!   Lea & Flood; one multiply–xor–shift chain per output. Used here both
+//!   as a generator and as the seed expander for [`Pcg32`].
+//! * [`Pcg32`] — O'Neill's PCG-XSH-RR 64/32: a 64-bit LCG state with a
+//!   permuted 32-bit output. [`StdRng`] aliases it; every call-site in the
+//!   workspace seeds it with [`Pcg32::seed_from_u64`], so all data
+//!   generation is reproducible from one integer.
+//!
+//! The [`Rng`] trait carries the derived surface (`gen_range`, `gen_bool`,
+//! `shuffle`, uniform floats). Integer ranges are sampled with the 128-bit
+//! multiply ("Lemire") method; floats with the 53-bit mantissa ladder.
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64: one 64-bit output per step, full 2^64 period.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed` (any value is fine, including 0).
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Alias of [`SplitMix64::new`], mirroring [`Pcg32::seed_from_u64`].
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self::new(seed)
+    }
+}
+
+/// One SplitMix64 step as a pure function (used for seed derivation).
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+}
+
+/// PCG-XSH-RR 64/32 (O'Neill 2014): the workspace's standard generator.
+#[derive(Debug, Clone)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+
+impl Pcg32 {
+    /// Seeds state and stream from `seed` through a SplitMix64 expander
+    /// (so nearby seeds give uncorrelated streams).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let initstate = splitmix64(&mut sm);
+        let initseq = splitmix64(&mut sm);
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: (initseq << 1) | 1,
+        };
+        rng.step();
+        rng.state = rng.state.wrapping_add(initstate);
+        rng.step();
+        rng
+    }
+
+    fn step(&mut self) {
+        self.state = self.state.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+    }
+
+    /// The next 32-bit output.
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.step();
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+}
+
+impl Rng for Pcg32 {
+    fn next_u64(&mut self) -> u64 {
+        let hi = self.next_u32() as u64;
+        let lo = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+}
+
+/// The workspace's default seeded generator (drop-in for `rand`'s `StdRng`
+/// at the call-sites this workspace uses).
+pub type StdRng = Pcg32;
+
+/// A source of uniform pseudo-random bits plus the derived sampling surface.
+pub trait Rng {
+    /// The next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform `f64` in `[0, 1)` (53 random mantissa bits).
+    fn next_f64(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform sample from `range` (`lo..hi` or `lo..=hi`, integer or
+    /// float).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Fisher–Yates shuffle of `slice` in place.
+    fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A range that [`Rng::gen_range`] can sample uniformly.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// `[0, span)` by the 128-bit multiply method (`span > 0`).
+#[inline]
+fn sample_below<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    (((rng.next_u64() as u128) * (span as u128)) >> 64) as u64
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add(sample_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi.wrapping_sub(lo) as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full domain of a 64-bit type.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(sample_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let u = rng.next_f64() as $t;
+                let x = self.start + (self.end - self.start) * u;
+                // Floating rounding can land exactly on `end`; step back in.
+                if x < self.end { x } else { <$t>::next_down(self.end) }
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let u = ((rng.next_u64() >> 11) as f64
+                    / ((1u64 << 53) - 1) as f64) as $t;
+                (lo + (hi - lo) * u).clamp(lo, hi)
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference values for seed 1234567 from the public-domain
+        // splitmix64.c test program.
+        let mut r = SplitMix64::new(1234567);
+        let got: Vec<u64> = (0..3).map(|_| r.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![6457827717110365317, 3203168211198807973, 9817491932198370423]
+        );
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..2000 {
+            let x = r.gen_range(10..20u32);
+            assert!((10..20).contains(&x));
+            let y = r.gen_range(-5..=5i64);
+            assert!((-5..=5).contains(&y));
+            let z = r.gen_range(0..1usize);
+            assert_eq!(z, 0);
+        }
+    }
+
+    #[test]
+    fn int_range_covers_all_values() {
+        let mut r = StdRng::seed_from_u64(11);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[r.gen_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn float_range_uniformish_and_in_bounds() {
+        let mut r = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = r.gen_range(0.0..1.0f64);
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut r = StdRng::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = StdRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "astronomically unlikely identity shuffle");
+    }
+
+    #[test]
+    fn works_through_unsized_refs() {
+        fn sample<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+            rng.gen_range(0..100u64)
+        }
+        let mut r = StdRng::seed_from_u64(1);
+        let _ = sample(&mut r);
+    }
+}

@@ -11,8 +11,7 @@
 
 use knnta::core::{IndexConfig, KnntaQuery, Poi, TarIndex};
 use knnta::{TimeInterval, Timestamp};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use knnta::util::rng::{Rng, StdRng};
 use rtree::Rect;
 use std::time::Instant;
 

@@ -7,8 +7,7 @@
 
 use knnta::core::{GeoPoint, GeoProjector, IndexConfig, KnntaQuery, LiveIndex, Poi, TarIndex};
 use knnta::{AggregateSeries, CheckIn, EpochGrid, PoiId, TimeInterval, Timestamp};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use knnta::util::rng::{Rng, StdRng};
 
 fn main() {
     // A synthetic "Paris": venues scattered around the city centre.
@@ -55,13 +54,13 @@ fn main() {
     for week in 0..6i64 {
         for _ in 0..3_000 {
             let venue = rng.gen_range(0..4000u32);
-            let t = Timestamp::from_days(week * 7 + rng.gen_range(0..7));
+            let t = Timestamp::from_days(week * 7 + rng.gen_range(0i64..7));
             live.record(CheckIn::at(PoiId(venue), t));
             events += 1;
         }
         for &venue in &trendy {
             for _ in 0..(week as u32 + 1) * 4 {
-                let t = Timestamp::from_days(week * 7 + rng.gen_range(0..7));
+                let t = Timestamp::from_days(week * 7 + rng.gen_range(0i64..7));
                 live.record(CheckIn::at(PoiId(venue), t));
                 events += 1;
             }

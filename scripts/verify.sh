@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 verify gate (see ROADMAP.md): hermetic release build + full test
+# suite, strictly offline. The workspace has no external dependencies, so
+# this must succeed from a clean checkout with an empty cargo registry.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --workspace --offline

@@ -15,12 +15,15 @@
 //! * [`pagestore`] — pages, buffer pool, access statistics.
 //! * [`lbsn`] — synthetic datasets calibrated to the paper's Tables 2 & 4.
 //! * [`costmodel`] — the Section 6 cost analysis as executable code.
+//! * [`util`] (`knnta_util`) — zero-dependency substrates: seeded RNG,
+//!   property-test harness, bench runner, sync primitives, binary codec.
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and
 //! `crates/bench` for the harness regenerating every table and figure of
 //! the paper.
 
 pub use costmodel;
+pub use knnta_util as util;
 pub use knnta_core as core;
 pub use lbsn;
 pub use mvbt;

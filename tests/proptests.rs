@@ -5,8 +5,8 @@
 mod common;
 
 use knnta::core::{Grouping, IndexConfig, ScanBaseline, TarIndex};
+use knnta::util::prop::{check, Gen};
 use knnta::{AggregateSeries, EpochGrid, KnntaQuery, Poi, TimeInterval};
-use proptest::prelude::*;
 use rtree::Rect;
 
 const EPOCHS: usize = 12;
@@ -16,16 +16,15 @@ struct ArbDataset {
     pois: Vec<(Poi, AggregateSeries)>,
 }
 
-fn arb_dataset(max_pois: usize) -> impl Strategy<Value = ArbDataset> {
-    proptest::collection::vec(
+fn gen_dataset(g: &mut Gen, max_pois: usize) -> ArbDataset {
+    let raw = g.vec(1, max_pois, |g| {
         (
-            0.0..100.0f64,
-            0.0..100.0f64,
-            proptest::collection::vec((0..EPOCHS as u32, 0u64..50), 0..8),
-        ),
-        1..max_pois,
-    )
-    .prop_map(|raw| ArbDataset {
+            g.f64_in(0.0..100.0),
+            g.f64_in(0.0..100.0),
+            g.vec(0, 8, |g| (g.u32_in(0..EPOCHS as u32), g.u64_in(0..50))),
+        )
+    });
+    ArbDataset {
         pois: raw
             .into_iter()
             .enumerate()
@@ -33,24 +32,19 @@ fn arb_dataset(max_pois: usize) -> impl Strategy<Value = ArbDataset> {
                 (Poi::new(i as u32, x, y), AggregateSeries::from_pairs(pairs))
             })
             .collect(),
-    })
+    }
 }
 
-fn arb_query() -> impl Strategy<Value = KnntaQuery> {
-    (
-        0.0..100.0f64,
-        0.0..100.0f64,
-        0..EPOCHS as i64,
-        1..=EPOCHS as i64,
-        1usize..20,
-        0.05..0.95f64,
-    )
-        .prop_map(|(x, y, start, len, k, alpha0)| {
-            let end = (start + len).min(EPOCHS as i64);
-            KnntaQuery::new([x, y], TimeInterval::days(7 * start, 7 * end))
-                .with_k(k)
-                .with_alpha0(alpha0)
-        })
+fn gen_query(g: &mut Gen) -> KnntaQuery {
+    let (x, y) = (g.f64_in(0.0..100.0), g.f64_in(0.0..100.0));
+    let start = g.i64_in(0..EPOCHS as i64);
+    let len = g.i64_in(1..EPOCHS as i64 + 1);
+    let k = g.usize_in(1..20);
+    let alpha0 = g.f64_in(0.05..0.95);
+    let end = (start + len).min(EPOCHS as i64);
+    KnntaQuery::new([x, y], TimeInterval::days(7 * start, 7 * end))
+        .with_k(k)
+        .with_alpha0(alpha0)
 }
 
 fn build_all(ds: &ArbDataset) -> (ScanBaseline, Vec<TarIndex>) {
@@ -72,93 +66,114 @@ fn build_all(ds: &ArbDataset) -> (ScanBaseline, Vec<TarIndex>) {
     (baseline, indexes)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Index answers equal oracle answers for every grouping strategy.
-    #[test]
-    fn indexes_match_oracle(ds in arb_dataset(120), q in arb_query()) {
+/// Index answers equal oracle answers for every grouping strategy.
+#[test]
+fn indexes_match_oracle() {
+    check("indexes_match_oracle", 32, |g| {
+        let ds = gen_dataset(g, 120);
+        let q = gen_query(g);
         let (baseline, indexes) = build_all(&ds);
         let want = baseline.query(&q);
         for index in &indexes {
             index.validate();
             let got = index.query(&q);
-            prop_assert_eq!(got.len(), want.len());
-            for (g, w) in got.iter().zip(&want) {
-                prop_assert!((g.score - w.score).abs() < 1e-9,
-                    "{}: {} vs {}", index.grouping(), g.score, w.score);
+            assert_eq!(got.len(), want.len());
+            for (a, b) in got.iter().zip(&want) {
+                assert!(
+                    (a.score - b.score).abs() < 1e-9,
+                    "{}: {} vs {}",
+                    index.grouping(),
+                    a.score,
+                    b.score
+                );
             }
         }
-    }
+    });
+}
 
-    /// The root max-series normaliser upper-bounds every hit's aggregate.
-    #[test]
-    fn normalizer_bounds_aggregates(ds in arb_dataset(80), q in arb_query()) {
+/// The root max-series normaliser upper-bounds every hit's aggregate.
+#[test]
+fn normalizer_bounds_aggregates() {
+    check("normalizer_bounds_aggregates", 32, |g| {
+        let ds = gen_dataset(g, 80);
+        let q = gen_query(g);
         let (_, indexes) = build_all(&ds);
         let index = &indexes[0];
         let gmax = index.aggregate_normalizer(q.interval);
         for hit in index.query(&q) {
-            prop_assert!(hit.aggregate as f64 <= gmax);
-            prop_assert!(hit.s0 >= 0.0 && hit.s0 <= 1.0 + 1e-9);
-            prop_assert!(hit.s1 >= 0.0 && hit.s1 <= 1.0 + 1e-9);
+            assert!(hit.aggregate as f64 <= gmax);
+            assert!(hit.s0 >= 0.0 && hit.s0 <= 1.0 + 1e-9);
+            assert!(hit.s1 >= 0.0 && hit.s1 <= 1.0 + 1e-9);
             let expect = q.alpha0 * hit.s0 + q.alpha1() * hit.s1;
-            prop_assert!((hit.score - expect).abs() < 1e-9);
+            assert!((hit.score - expect).abs() < 1e-9);
         }
-    }
+    });
+}
 
-    /// MWA: the pruning algorithm always agrees with the enumerating one,
-    /// and no boundary lies on the wrong side of α0.
-    #[test]
-    fn mwa_contract(ds in arb_dataset(60), q in arb_query()) {
+/// MWA: the pruning algorithm always agrees with the enumerating one,
+/// and no boundary lies on the wrong side of α0.
+#[test]
+fn mwa_contract() {
+    check("mwa_contract", 32, |g| {
+        let ds = gen_dataset(g, 60);
+        let q = gen_query(g);
         let (_, indexes) = build_all(&ds);
         let index = &indexes[0];
         let (_, adj_p) = index.mwa_pruning(&q);
         let (_, adj_e) = index.mwa_enumerating(&q);
         match (adj_p.lower, adj_e.lower) {
-            (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9),
-            (a, b) => prop_assert_eq!(a.is_some(), b.is_some()),
+            (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9),
+            (a, b) => assert_eq!(a.is_some(), b.is_some()),
         }
         match (adj_p.upper, adj_e.upper) {
-            (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9),
-            (a, b) => prop_assert_eq!(a.is_some(), b.is_some()),
+            (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9),
+            (a, b) => assert_eq!(a.is_some(), b.is_some()),
         }
-        if let Some(l) = adj_p.lower { prop_assert!(l < q.alpha0); }
-        if let Some(u) = adj_p.upper { prop_assert!(u > q.alpha0); }
-    }
+        if let Some(l) = adj_p.lower {
+            assert!(l < q.alpha0);
+        }
+        if let Some(u) = adj_p.upper {
+            assert!(u > q.alpha0);
+        }
+    });
+}
 
-    /// Collective batch processing returns exactly the individual answers.
-    #[test]
-    fn collective_matches_individual(
-        ds in arb_dataset(80),
-        qs in proptest::collection::vec(arb_query(), 1..12),
-    ) {
+/// Collective batch processing returns exactly the individual answers.
+#[test]
+fn collective_matches_individual() {
+    check("collective_matches_individual", 32, |g| {
+        let ds = gen_dataset(g, 80);
+        let qs = g.vec(1, 12, gen_query);
         let (_, indexes) = build_all(&ds);
         let index = &indexes[0];
         let collective = index.query_batch_collective(&qs);
         let individual = index.query_batch_individual(&qs);
         for (c, i) in collective.iter().zip(&individual) {
-            prop_assert_eq!(c.len(), i.len());
+            assert_eq!(c.len(), i.len());
             for (a, b) in c.iter().zip(i) {
-                prop_assert!((a.score - b.score).abs() < 1e-9);
-                prop_assert_eq!(a.aggregate, b.aggregate);
+                assert!((a.score - b.score).abs() < 1e-9);
+                assert_eq!(a.aggregate, b.aggregate);
             }
         }
-    }
+    });
+}
 
-    /// Check-in ingestion is equivalent to building with the final series.
-    #[test]
-    fn ingestion_equivalence(
-        ds in arb_dataset(50),
-        updates in proptest::collection::vec(
-            (0usize..50, 0..EPOCHS, 1u64..30),
-            0..25,
-        ),
-        q in arb_query(),
-    ) {
+/// Check-in ingestion is equivalent to building with the final series.
+#[test]
+fn ingestion_equivalence() {
+    check("ingestion_equivalence", 32, |g| {
+        let ds = gen_dataset(g, 50);
+        let updates = g.vec(0, 25, |g| {
+            (g.usize_in(0..50), g.usize_in(0..EPOCHS), g.u64_in(1..30))
+        });
+        let q = gen_query(g);
         let grid = EpochGrid::fixed_days(7, EPOCHS);
         let bounds = Rect::new([0.0, 0.0], [100.0, 100.0]);
         let mut live = TarIndex::build(
-            IndexConfig { node_size: 256, ..IndexConfig::default() },
+            IndexConfig {
+                node_size: 256,
+                ..IndexConfig::default()
+            },
             grid.clone(),
             bounds,
             ds.pois.iter().cloned(),
@@ -186,16 +201,19 @@ proptest! {
         }
         live.validate();
         let rebuilt = TarIndex::build(
-            IndexConfig { node_size: 256, ..IndexConfig::default() },
+            IndexConfig {
+                node_size: 256,
+                ..IndexConfig::default()
+            },
             grid,
             bounds,
             ds.pois.iter().map(|(p, _)| *p).zip(final_series),
         );
         let a = live.query(&q);
         let b = rebuilt.query(&q);
-        prop_assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
-            prop_assert!((x.score - y.score).abs() < 1e-9, "{} vs {}", x.score, y.score);
+            assert!((x.score - y.score).abs() < 1e-9, "{} vs {}", x.score, y.score);
         }
-    }
+    });
 }

@@ -90,6 +90,36 @@ fn node_size_sweep(h: &mut Harness) {
     group.finish();
 }
 
+/// Intra-query parallelism (ROADMAP: work-stealing frontier): sequential
+/// `query` against `query_parallel` at 1–8 workers, on the traversal shape
+/// that favours it — large k and a wide interval, so the frontier is deep
+/// enough to shard.
+fn parallel_single(h: &mut Harness) {
+    let config = bench_config();
+    let data = load(&lbsn::gw(), &config);
+    let index = data.index(Grouping::TarIntegral);
+    // Fewer, heavier queries: k=200 over the full workload interval mix.
+    let queries = data.queries(16, 200, 0.3, config.seed);
+    let mut group = h.group("parallel_single");
+    group.bench("sequential", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(index.query(q));
+            }
+        })
+    });
+    for threads in [1usize, 2, 4, 8] {
+        group.bench(format!("threads/{threads}"), |b| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(index.query_parallel(q, threads));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Check-in digestion throughput (Section 4.2 maintenance).
 fn ingest(h: &mut Harness) {
     let config = bench_config();
@@ -119,6 +149,7 @@ fn main() {
     grouping_and_k(&mut h);
     alpha_sweep(&mut h);
     node_size_sweep(&mut h);
+    parallel_single(&mut h);
     ingest(&mut h);
     h.finish().expect("write BENCH_queries.json");
 }

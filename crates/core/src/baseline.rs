@@ -134,11 +134,7 @@ impl ScanBaseline {
         }
         impl Ord for MaxByScore {
             fn cmp(&self, o: &Self) -> Ordering {
-                self.0
-                    .score
-                    .partial_cmp(&o.0.score)
-                    .unwrap_or(Ordering::Equal)
-                    .then_with(|| self.0.poi.cmp(&o.0.poi))
+                self.0.ranked_cmp(&o.0)
             }
         }
 
@@ -155,12 +151,7 @@ impl ScanBaseline {
             }
         }
         let mut out: Vec<QueryHit> = heap.into_iter().map(|m| m.0).collect();
-        out.sort_by(|a, b| {
-            a.score
-                .partial_cmp(&b.score)
-                .unwrap_or(Ordering::Equal)
-                .then_with(|| a.poi.cmp(&b.poi))
-        });
+        out.sort_by(QueryHit::ranked_cmp);
         out
     }
 }

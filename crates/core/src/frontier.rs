@@ -1,0 +1,587 @@
+//! Intra-query parallel best-first search: a work-stealing frontier sharded
+//! over subtrees, with a shared lock-free `f(p_k)` bound for pruning.
+//!
+//! [`TarIndex::query`] traverses the tree with a single global priority
+//! queue; this module parallelises *one* query's traversal. The global
+//! frontier is sharded into per-worker binary heaps (seeded by dealing the
+//! root's children round-robin, one subtree at a time), workers expand their
+//! own best node first and steal the best front entry from a victim when
+//! their frontier drains, and all workers prune against a shared atomic
+//! upper bound on `f(p_k)` (see [`SharedBound`]).
+//!
+//! Determinism is the contract, not an aspiration: for every thread count
+//! the result is bit-identical to the sequential search, and the node-access
+//! statistics recorded in [`TarIndex::stats`] are exactly the sequential
+//! counts. DESIGN.md ("Sharded-frontier parallel search") gives the
+//! admissibility argument; the short version lives on each type below.
+
+use crate::augmentation::TiaAug;
+use crate::index::{with_tree, QueryCtx, TarIndex};
+use crate::poi::{KnntaQuery, Poi, QueryHit};
+use knnta_util::sync::Mutex;
+use rtree::{EntryPayload, NodeId, RStarTree};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering as MemOrder};
+use tempora::AggregateSeries;
+
+/// A frontier element: a tree node and the admissible lower bound (Property
+/// 1) on the score of anything inside it.
+///
+/// The `Ord` impl is *reversed* on `(key, id)` so a `BinaryHeap` pops the
+/// smallest key first, with `NodeId` as a deterministic tie-break.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NodeCand {
+    /// Lower bound on `f(p)` for every POI under this node.
+    pub key: f64,
+    /// The node.
+    pub id: NodeId,
+}
+
+impl PartialEq for NodeCand {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for NodeCand {}
+impl PartialOrd for NodeCand {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for NodeCand {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .key
+            .total_cmp(&self.key)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+/// Max-heap wrapper ordering hits by [`QueryHit::ranked_cmp`], so the heap
+/// top is the *worst* retained hit.
+struct RankedHit(QueryHit);
+
+impl PartialEq for RankedHit {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.ranked_cmp(&other.0) == Ordering::Equal
+    }
+}
+impl Eq for RankedHit {}
+impl PartialOrd for RankedHit {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for RankedHit {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.ranked_cmp(&other.0)
+    }
+}
+
+/// A bounded best-`k` accumulator under the `(score, PoiId)` total order.
+///
+/// Hits go straight in here rather than through the node frontier; the
+/// worst retained score (once full) is the search's `f(p_k)` upper bound.
+pub(crate) struct TopK {
+    k: usize,
+    heap: BinaryHeap<RankedHit>,
+}
+
+impl TopK {
+    /// An empty accumulator retaining at most `k` hits.
+    pub fn new(k: usize) -> Self {
+        TopK {
+            k,
+            heap: BinaryHeap::with_capacity(k.saturating_add(1).min(4096)),
+        }
+    }
+
+    /// Offers a hit, evicting the worst retained one if over capacity.
+    pub fn push(&mut self, hit: QueryHit) {
+        if self.heap.len() < self.k {
+            self.heap.push(RankedHit(hit));
+        } else if let Some(worst) = self.heap.peek() {
+            if hit.ranked_cmp(&worst.0) == Ordering::Less {
+                self.heap.pop();
+                self.heap.push(RankedHit(hit));
+            }
+        }
+    }
+
+    /// The current upper bound on `f(p_k)`: the worst retained score once
+    /// `k` hits are held, `+∞` before that.
+    pub fn bound(&self) -> f64 {
+        if self.heap.len() < self.k {
+            f64::INFINITY
+        } else {
+            self.heap.peek().map_or(f64::INFINITY, |w| w.0.score)
+        }
+    }
+
+    /// The retained hits, unordered.
+    pub fn into_hits(self) -> Vec<QueryHit> {
+        self.heap.into_iter().map(|r| r.0).collect()
+    }
+
+    /// The retained hits in ranked order (best first).
+    pub fn into_sorted_vec(self) -> Vec<QueryHit> {
+        let mut v = self.into_hits();
+        v.sort_by(QueryHit::ranked_cmp);
+        v
+    }
+}
+
+/// Lock-free shared upper bound on `f(p_k)`: an `AtomicU64` holding the bit
+/// pattern of an `f64`, monotonically tightened by CAS.
+///
+/// Admissibility under concurrent updates: every value ever stored is some
+/// worker's *local* k-th-best score, published only once that worker holds
+/// `k` genuine hits. A local top-k over a subset of the data is at least the
+/// global `f(p_k)`, so the bound never drops below `f(p_k)` under any
+/// interleaving — pruning `key > bound` can therefore never discard a node
+/// whose lower bound is within the true answer (Property 1 makes `key`
+/// admissible, this makes the threshold admissible).
+pub(crate) struct SharedBound(AtomicU64);
+
+impl SharedBound {
+    /// A bound starting at `+∞`.
+    pub fn new() -> Self {
+        SharedBound(AtomicU64::new(f64::INFINITY.to_bits()))
+    }
+
+    /// The current bound.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(MemOrder::Relaxed))
+    }
+
+    /// Lowers the bound to `candidate` if that is an improvement.
+    pub fn tighten(&self, candidate: f64) {
+        let mut cur = self.0.load(MemOrder::Relaxed);
+        while candidate < f64::from_bits(cur) {
+            match self.0.compare_exchange_weak(
+                cur,
+                candidate.to_bits(),
+                MemOrder::Relaxed,
+                MemOrder::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+/// One frontier pop as observed by a worker (diagnostics / property tests).
+#[derive(Debug, Clone, Copy)]
+pub struct PopEvent {
+    /// The popped candidate's admissible lower bound.
+    pub key: f64,
+    /// Whether the candidate was stolen from another worker's frontier.
+    pub stolen: bool,
+    /// Whether the node was expanded (`false` = pruned against the bound).
+    pub expanded: bool,
+    /// Whether the node is a leaf (meaningful only when `expanded`).
+    pub is_leaf: bool,
+}
+
+/// Per-worker pop logs from one traced parallel query.
+///
+/// Within one worker, popped keys are non-decreasing *between steals*: a
+/// worker pops its own heap best-first, so keys only grow until a steal
+/// imports a candidate from a victim whose frontier may be ahead of or
+/// behind the thief's last key. Entries with `stolen == true` therefore
+/// start a fresh monotone segment.
+#[derive(Debug, Clone, Default)]
+pub struct FrontierTrace {
+    /// One pop sequence per worker, in that worker's processing order.
+    pub pops: Vec<Vec<PopEvent>>,
+}
+
+/// One worker's private state: its best-k accumulator and pop log.
+struct WorkerOutput {
+    topk: TopK,
+    pops: Vec<PopEvent>,
+}
+
+impl WorkerOutput {
+    fn new(k: usize) -> Self {
+        WorkerOutput {
+            topk: TopK::new(k),
+            pops: Vec::new(),
+        }
+    }
+}
+
+/// Flags the shared `poisoned` bit if the owning worker unwinds, so sibling
+/// workers stop spinning instead of waiting forever on `pending`.
+struct PanicGuard<'a>(&'a AtomicBool);
+
+impl Drop for PanicGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.store(true, MemOrder::Release);
+        }
+    }
+}
+
+/// Expands one node: scores every entry exactly as the sequential search
+/// does (same expressions, same f64 operation order — this is what makes
+/// the results bit-identical), feeds data entries to the local top-k, and
+/// hands child candidates to `push_child`. Returns whether the node is a
+/// leaf.
+fn expand_node<const D: usize, S>(
+    tree: &RStarTree<D, Poi, TiaAug, S>,
+    ctx: &QueryCtx<'_>,
+    id: NodeId,
+    bound: &SharedBound,
+    topk: &mut TopK,
+    mut push_child: impl FnMut(NodeCand),
+) -> bool
+where
+    S: rtree::GroupingStrategy<D, AggregateSeries>,
+{
+    let node = tree.node(id);
+    for e in &node.entries {
+        let s0 = e.rect.project2().min_dist2(&ctx.q).sqrt();
+        let agg = e.aug.aggregate_over(ctx.grid, ctx.iq);
+        match &e.payload {
+            EntryPayload::Data(poi) => {
+                let hit = ctx.hit(poi.id, s0, agg);
+                // The bound never drops below f(p_k), so hits above it can
+                // never rank in the global top k.
+                if hit.score <= bound.get() {
+                    topk.push(hit);
+                    bound.tighten(topk.bound());
+                }
+            }
+            EntryPayload::Child(c) => {
+                let (key, _) = ctx.score(s0, agg);
+                if key <= bound.get() {
+                    push_child(NodeCand { key, id: *c });
+                }
+            }
+        }
+    }
+    node.is_leaf()
+}
+
+/// The parallel best-first search over one tree instantiation.
+///
+/// Returns the ranked hits, the per-worker trace, and the deterministic
+/// `(node, leaf)` access counts to record.
+fn parallel_bfs<const D: usize, S>(
+    tree: &RStarTree<D, Poi, TiaAug, S>,
+    ctx: &QueryCtx<'_>,
+    k: usize,
+    threads: usize,
+) -> (Vec<QueryHit>, FrontierTrace, u64, u64)
+where
+    S: rtree::GroupingStrategy<D, AggregateSeries> + Sync,
+{
+    if k == 0 || tree.is_empty() {
+        let trace = FrontierTrace {
+            pops: vec![Vec::new(); threads],
+        };
+        return (Vec::new(), trace, 0, 0);
+    }
+
+    let bound = SharedBound::new();
+    // Number of frontier candidates not yet fully processed (incremented
+    // before a push, decremented after the pop finishes expanding); zero
+    // means the whole traversal is drained.
+    let pending = AtomicUsize::new(0);
+    let poisoned = AtomicBool::new(false);
+
+    // Worker 0 expands the root inline and deals its children round-robin
+    // across the worker frontiers — the initial subtree sharding.
+    let mut heaps: Vec<BinaryHeap<NodeCand>> = (0..threads).map(|_| BinaryHeap::new()).collect();
+    let mut seed = WorkerOutput::new(k);
+    {
+        let root = tree.root_id();
+        let mut dealt = 0usize;
+        let is_leaf = expand_node(tree, ctx, root, &bound, &mut seed.topk, |cand| {
+            pending.fetch_add(1, MemOrder::Release);
+            heaps[dealt % threads].push(cand);
+            dealt += 1;
+        });
+        seed.pops.push(PopEvent {
+            key: 0.0,
+            stolen: false,
+            expanded: true,
+            is_leaf,
+        });
+    }
+    let frontiers: Vec<Mutex<BinaryHeap<NodeCand>>> = heaps.into_iter().map(Mutex::new).collect();
+
+    let run_worker = |me: usize, mut out: WorkerOutput| -> WorkerOutput {
+        let _guard = PanicGuard(&poisoned);
+        loop {
+            // Own frontier first; otherwise steal the best front entry from
+            // the nearest victim with work.
+            let popped = {
+                let own = frontiers[me].lock().pop();
+                match own {
+                    Some(task) => Some((task, false)),
+                    None => (1..frontiers.len()).find_map(|d| {
+                        frontiers[(me + d) % frontiers.len()]
+                            .lock()
+                            .pop()
+                            .map(|task| (task, true))
+                    }),
+                }
+            };
+            let Some((task, stolen)) = popped else {
+                if pending.load(MemOrder::Acquire) == 0 || poisoned.load(MemOrder::Acquire) {
+                    break;
+                }
+                std::thread::yield_now();
+                continue;
+            };
+            // Speculative pruning: the bound may still be above its final
+            // value, so a node with key > f(p_k) can slip through here —
+            // the post-hoc accounting filters those back out.
+            let expanded = task.key <= bound.get();
+            let mut is_leaf = false;
+            if expanded {
+                let mut children = Vec::new();
+                is_leaf = expand_node(tree, ctx, task.id, &bound, &mut out.topk, |cand| {
+                    children.push(cand);
+                });
+                if !children.is_empty() {
+                    pending.fetch_add(children.len(), MemOrder::Release);
+                    let mut own = frontiers[me].lock();
+                    for cand in children {
+                        own.push(cand);
+                    }
+                }
+            }
+            out.pops.push(PopEvent {
+                key: task.key,
+                stolen,
+                expanded,
+                is_leaf,
+            });
+            pending.fetch_sub(1, MemOrder::Release);
+        }
+        out
+    };
+
+    let mut outputs: Vec<WorkerOutput> = Vec::with_capacity(threads);
+    if threads == 1 {
+        outputs.push(run_worker(0, seed));
+    } else {
+        std::thread::scope(|scope| {
+            let run_worker = &run_worker;
+            let handles: Vec<_> = (1..threads)
+                .map(|w| scope.spawn(move || run_worker(w, WorkerOutput::new(k))))
+                .collect();
+            outputs.push(run_worker(0, seed));
+            for handle in handles {
+                match handle.join() {
+                    Ok(out) => outputs.push(out),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+    }
+
+    let mut hits: Vec<QueryHit> = Vec::new();
+    let mut pops: Vec<Vec<PopEvent>> = Vec::with_capacity(threads);
+    for out in outputs {
+        hits.extend(out.topk.into_hits());
+        pops.push(out.pops);
+    }
+    hits.sort_by(QueryHit::ranked_cmp);
+    hits.truncate(k);
+
+    // Deterministic accounting: the sequential search expands exactly the
+    // nodes whose lower bound is ≤ the final f(p_k) (all of them when fewer
+    // than k hits exist). Speculative expansions beyond that are timing
+    // noise, so they are logged but not counted.
+    let fpk = if hits.len() == k {
+        hits[k - 1].score
+    } else {
+        f64::INFINITY
+    };
+    let mut nodes = 0u64;
+    let mut leaves = 0u64;
+    for log in &pops {
+        for ev in log {
+            if ev.expanded && ev.key <= fpk {
+                nodes += 1;
+                if ev.is_leaf {
+                    leaves += 1;
+                }
+            }
+        }
+    }
+    (hits, FrontierTrace { pops }, nodes, leaves)
+}
+
+impl TarIndex {
+    /// Answers a kNNTA query with a work-stealing parallel best-first
+    /// traversal over `threads` workers.
+    ///
+    /// The result is **exactly** [`TarIndex::query`]'s answer — same hits,
+    /// same order, ties broken by `PoiId` — for every thread count, and the
+    /// node accesses recorded in [`TarIndex::stats`] equal the sequential
+    /// counts (speculative expansions are not charged). Worth the fan-out
+    /// for large `k` / wide `Iq` traversals; `threads == 1` runs inline
+    /// without spawning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn query_parallel(&self, query: &KnntaQuery, threads: usize) -> Vec<QueryHit> {
+        self.query_parallel_traced(query, threads).0
+    }
+
+    /// As [`TarIndex::query_parallel`], also returning the per-worker pop
+    /// trace (a diagnostics surface for the determinism property tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn query_parallel_traced(
+        &self,
+        query: &KnntaQuery,
+        threads: usize,
+    ) -> (Vec<QueryHit>, FrontierTrace) {
+        assert!(threads > 0, "at least one worker thread");
+        let ctx = self.ctx(query);
+        let (hits, trace, nodes, leaves) =
+            with_tree!(self, t => parallel_bfs(t, &ctx, query.k, threads));
+        self.stats().record_node_accesses(nodes);
+        self.stats().record_leaf_accesses(leaves);
+        (hits, trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::tests::paper_example;
+    use crate::index::{Grouping, IndexConfig};
+    use tempora::{PoiId, TimeInterval};
+
+    fn build(grouping: Grouping) -> TarIndex {
+        let (grid, bounds, pois) = paper_example();
+        TarIndex::build(IndexConfig::with_grouping(grouping), grid, bounds, pois)
+    }
+
+    #[test]
+    fn shared_bound_tightens_monotonically() {
+        let b = SharedBound::new();
+        assert_eq!(b.get(), f64::INFINITY);
+        b.tighten(0.5);
+        assert_eq!(b.get(), 0.5);
+        b.tighten(0.7); // looser: ignored
+        assert_eq!(b.get(), 0.5);
+        b.tighten(0.25);
+        assert_eq!(b.get(), 0.25);
+    }
+
+    #[test]
+    fn topk_keeps_best_under_ranked_order() {
+        let mk = |id: u32, score: f64| QueryHit {
+            poi: PoiId(id),
+            score,
+            s0: 0.0,
+            s1: 0.0,
+            distance: 0.0,
+            aggregate: 0,
+        };
+        let mut t = TopK::new(2);
+        assert_eq!(t.bound(), f64::INFINITY);
+        t.push(mk(5, 0.3));
+        t.push(mk(1, 0.3)); // ties broken by id: 1 beats 5
+        t.push(mk(9, 0.1));
+        assert_eq!(t.bound(), 0.3);
+        let hits = t.into_sorted_vec();
+        assert_eq!(
+            hits.iter().map(|h| h.poi).collect::<Vec<_>>(),
+            vec![PoiId(9), PoiId(1)]
+        );
+    }
+
+    #[test]
+    fn node_cand_orders_min_first() {
+        let mut heap = BinaryHeap::new();
+        heap.push(NodeCand { key: 0.4, id: NodeId(2) });
+        heap.push(NodeCand { key: 0.1, id: NodeId(7) });
+        heap.push(NodeCand { key: 0.1, id: NodeId(3) });
+        assert_eq!(heap.pop().unwrap().id, NodeId(3));
+        assert_eq!(heap.pop().unwrap().id, NodeId(7));
+        assert_eq!(heap.pop().unwrap().id, NodeId(2));
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_the_paper_example() {
+        for grouping in [Grouping::TarIntegral, Grouping::IndSpa, Grouping::IndAgg] {
+            let index = build(grouping);
+            for k in [1usize, 3, 12, 100] {
+                let q = KnntaQuery::new([4.0, 4.5], TimeInterval::days(0, 3))
+                    .with_k(k)
+                    .with_alpha0(0.3);
+                let want = index.query(&q);
+                for threads in [1, 2, 4, 8] {
+                    let got = index.query_parallel(&q, threads);
+                    assert_eq!(got.len(), want.len(), "{grouping} k={k} t={threads}");
+                    for (a, b) in got.iter().zip(&want) {
+                        assert_eq!(a.poi, b.poi, "{grouping} k={k} t={threads}");
+                        assert_eq!(
+                            a.score.to_bits(),
+                            b.score.to_bits(),
+                            "{grouping} k={k} t={threads}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_accounting_matches_sequential() {
+        let index = build(Grouping::TarIntegral);
+        let q = KnntaQuery::new([4.0, 4.5], TimeInterval::days(0, 3)).with_k(3);
+        index.stats().reset();
+        let _ = index.query(&q);
+        let seq = (index.stats().node_accesses(), index.stats().leaf_node_accesses());
+        for threads in [1, 2, 4, 8] {
+            index.stats().reset();
+            let _ = index.query_parallel(&q, threads);
+            let par = (index.stats().node_accesses(), index.stats().leaf_node_accesses());
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_on_empty_index_and_zero_k() {
+        let (grid, bounds, _) = paper_example();
+        let empty = TarIndex::new(IndexConfig::default(), grid, bounds);
+        let q = KnntaQuery::new([1.0, 1.0], TimeInterval::days(0, 3));
+        assert!(empty.query_parallel(&q, 4).is_empty());
+        let index = build(Grouping::TarIntegral);
+        let q0 = KnntaQuery::new([1.0, 1.0], TimeInterval::days(0, 3)).with_k(0);
+        assert!(index.query_parallel(&q0, 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let index = build(Grouping::TarIntegral);
+        let q = KnntaQuery::new([1.0, 1.0], TimeInterval::days(0, 3));
+        let _ = index.query_parallel(&q, 0);
+    }
+
+    #[test]
+    fn trace_reports_one_log_per_worker() {
+        let index = build(Grouping::TarIntegral);
+        let q = KnntaQuery::new([4.0, 4.5], TimeInterval::days(0, 3)).with_k(5);
+        let (_, trace) = index.query_parallel_traced(&q, 4);
+        assert_eq!(trace.pops.len(), 4);
+        // Worker 0 at minimum logs the root expansion.
+        assert!(trace.pops[0].iter().any(|ev| ev.expanded));
+    }
+}

@@ -3,6 +3,7 @@
 
 use crate::agg_grouping::AggGrouping;
 use crate::augmentation::TiaAug;
+use crate::frontier::{NodeCand, TopK};
 use crate::poi::{KnntaQuery, Poi, QueryHit};
 use pagestore::AccessStats;
 use rtree::{EntryPayload, RStarGrouping, RStarTree, RTreeParams, Rect};
@@ -477,6 +478,11 @@ impl TarIndex {
     }
 
     pub(crate) fn ctx(&self, query: &KnntaQuery) -> QueryCtx<'_> {
+        assert!(
+            query.point[0].is_finite() && query.point[1].is_finite(),
+            "query point must be finite, got {:?}",
+            query.point
+        );
         QueryCtx {
             q: self.norm(query.point),
             iq: query.interval,
@@ -550,7 +556,9 @@ impl QueryCtx<'_> {
     }
 }
 
-/// A prioritised BFS frontier element.
+/// A prioritised BFS frontier element (used by the collective batch
+/// traversal; the single-query paths keep hits out of the frontier — see
+/// [`bfs_query_src`]).
 pub(crate) enum Frontier {
     Node(rtree::NodeId),
     Hit(QueryHit),
@@ -605,6 +613,13 @@ where
 
 /// Best-first kNNTA search with a pluggable aggregate source (the in-memory
 /// series by default; the MVBT-backed disk TIAs via [`crate::DiskTias`]).
+///
+/// The frontier holds only *nodes* (min-heap on `(key, NodeId)`); hits from
+/// expanded leaves go straight into a bounded top-k accumulator under the
+/// `(score, PoiId)` total order. The search stops at the first popped node
+/// whose lower bound exceeds the accumulator's `f(p_k)`, so exactly the
+/// nodes with `key ≤ f(p_k)` are expanded — the schedule-independent set the
+/// parallel traversal in [`crate::frontier`] reproduces bit for bit.
 pub(crate) fn bfs_query_src<const D: usize, S, F>(
     tree: &RStarTree<D, Poi, TiaAug, S>,
     ctx: &QueryCtx<'_>,
@@ -615,49 +630,33 @@ where
     S: rtree::GroupingStrategy<D, AggregateSeries>,
     F: Fn(rtree::NodeId, usize, &AggregateSeries) -> u64,
 {
-    let mut out = Vec::with_capacity(k);
     if k == 0 || tree.is_empty() {
-        return out;
+        return Vec::new();
     }
+    let mut topk = TopK::new(k);
     let mut heap = BinaryHeap::new();
-    heap.push(Prioritised {
-        score: 0.0,
-        item: Frontier::Node(tree.root_id()),
+    heap.push(NodeCand {
+        key: 0.0,
+        id: tree.root_id(),
     });
-    while let Some(Prioritised { item, .. }) = heap.pop() {
-        match item {
-            Frontier::Hit(hit) => {
-                out.push(hit);
-                if out.len() == k {
-                    break;
-                }
-            }
-            Frontier::Node(id) => {
-                let node = tree.access_node(id);
-                for (idx, e) in node.entries.iter().enumerate() {
-                    let s0 = e.rect.project2().min_dist2(&ctx.q).sqrt();
-                    let agg = agg_of(id, idx, &e.aug);
-                    match &e.payload {
-                        EntryPayload::Data(poi) => {
-                            let hit = ctx.hit(poi.id, s0, agg);
-                            heap.push(Prioritised {
-                                score: hit.score,
-                                item: Frontier::Hit(hit),
-                            });
-                        }
-                        EntryPayload::Child(c) => {
-                            let (score, _) = ctx.score(s0, agg);
-                            heap.push(Prioritised {
-                                score,
-                                item: Frontier::Node(*c),
-                            });
-                        }
-                    }
+    while let Some(NodeCand { key, id }) = heap.pop() {
+        if key > topk.bound() {
+            break;
+        }
+        let node = tree.access_node(id);
+        for (idx, e) in node.entries.iter().enumerate() {
+            let s0 = e.rect.project2().min_dist2(&ctx.q).sqrt();
+            let agg = agg_of(id, idx, &e.aug);
+            match &e.payload {
+                EntryPayload::Data(poi) => topk.push(ctx.hit(poi.id, s0, agg)),
+                EntryPayload::Child(c) => {
+                    let (key, _) = ctx.score(s0, agg);
+                    heap.push(NodeCand { key, id: *c });
                 }
             }
         }
     }
-    out
+    topk.into_sorted_vec()
 }
 
 #[cfg(test)]

@@ -23,6 +23,9 @@
 //! * [`TarIndex::query_batch_collective`] — the collective processing
 //!   scheme (Section 7.2) sharing node accesses and aggregate computation
 //!   across a query batch.
+//! * [`TarIndex::query_parallel`] — intra-query parallel best-first search
+//!   over a work-stealing sharded frontier, bit-identical to
+//!   [`TarIndex::query`] for every thread count.
 //! * [`DiskTias`] — an MVBT-backed disk mirror of every entry's TIA, for
 //!   I/O-realistic aggregate computation (the paper's TIAs are disk-resident
 //!   multi-version B-trees with 10 buffer slots each).
@@ -57,6 +60,7 @@ mod augmentation;
 mod baseline;
 mod collective;
 mod disk_tia;
+mod frontier;
 mod geo;
 mod index;
 mod live;
@@ -70,6 +74,7 @@ pub use agg_grouping::AggGrouping;
 pub use augmentation::TiaAug;
 pub use baseline::ScanBaseline;
 pub use disk_tia::DiskTias;
+pub use frontier::{FrontierTrace, PopEvent};
 pub use geo::{haversine_km, GeoPoint, GeoProjector, EARTH_RADIUS_KM};
 pub use index::{Grouping, IndexConfig, TarIndex};
 pub use live::LiveIndex;

@@ -49,12 +49,25 @@ impl TarIndex {
             rest = tail;
         }
         std::thread::scope(|scope| {
-            for ((_, queries), out) in chunks.iter().zip(result_slices) {
-                scope.spawn(move || {
-                    for (q, slot) in queries.iter().zip(out.iter_mut()) {
-                        *slot = self.query(q);
-                    }
-                });
+            let handles: Vec<_> = chunks
+                .iter()
+                .zip(result_slices)
+                .map(|((_, queries), out)| {
+                    scope.spawn(move || {
+                        for (q, slot) in queries.iter().zip(out.iter_mut()) {
+                            *slot = self.query(q);
+                        }
+                    })
+                })
+                .collect();
+            // Join explicitly and re-raise the first worker panic with its
+            // original payload; without this, a panicking worker would
+            // surface only as the scope's generic "a scoped thread panicked"
+            // while the caller's result rows silently stayed `Vec::new()`.
+            for handle in handles {
+                if let Err(payload) = handle.join() {
+                    std::panic::resume_unwind(payload);
+                }
             }
         });
         results
@@ -136,5 +149,17 @@ mod tests {
     fn zero_threads_rejected() {
         let index = index();
         let _ = index.query_batch_parallel(&batch(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "query point must be finite")]
+    fn worker_panic_propagates_with_its_payload() {
+        let index = index();
+        let mut queries = batch();
+        // Inject a query that panics inside a worker thread; the batch API
+        // must re-raise the original payload, not return partial rows.
+        let mid = queries.len() / 2;
+        queries[mid].point = [f64::NAN, 2.0];
+        let _ = index.query_batch_parallel(&queries, 4);
     }
 }

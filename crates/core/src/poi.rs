@@ -92,6 +92,17 @@ pub struct QueryHit {
 }
 
 impl QueryHit {
+    /// The total result order every query path agrees on: ascending score,
+    /// ties broken by ascending [`PoiId`]. Using [`f64::total_cmp`] makes the
+    /// order total (scores are finite and non-negative, so its -0.0/NaN
+    /// quirks never surface), which is what lets the sequential, parallel
+    /// and scan-baseline paths return bit-identical rankings.
+    pub fn ranked_cmp(&self, other: &QueryHit) -> std::cmp::Ordering {
+        self.score
+            .total_cmp(&other.score)
+            .then_with(|| self.poi.cmp(&other.poi))
+    }
+
     /// Whether this hit dominates `other` in `(s0, s1)` space: at least as
     /// good on both criteria and strictly better on one.
     pub fn dominates(&self, other: &QueryHit) -> bool {
@@ -140,6 +151,22 @@ mod tests {
         assert!(mk(0.1, 0.2).dominates(&mk(0.1, 0.3)));
         assert!(!mk(0.1, 0.3).dominates(&mk(0.2, 0.2)));
         assert!(!mk(0.1, 0.1).dominates(&mk(0.1, 0.1)), "equal points do not dominate");
+    }
+
+    #[test]
+    fn ranked_cmp_orders_by_score_then_poi() {
+        let mk = |id: u32, score: f64| QueryHit {
+            poi: PoiId(id),
+            score,
+            s0: 0.0,
+            s1: 0.0,
+            distance: 0.0,
+            aggregate: 0,
+        };
+        use std::cmp::Ordering;
+        assert_eq!(mk(1, 0.2).ranked_cmp(&mk(0, 0.3)), Ordering::Less);
+        assert_eq!(mk(7, 0.5).ranked_cmp(&mk(3, 0.5)), Ordering::Greater);
+        assert_eq!(mk(3, 0.5).ranked_cmp(&mk(3, 0.5)), Ordering::Equal);
     }
 
     #[test]

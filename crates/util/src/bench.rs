@@ -111,6 +111,7 @@ impl Harness {
     /// JSON path.
     pub fn finish(self) -> io::Result<PathBuf> {
         let dir = std::env::var("KNNTA_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+        fs::create_dir_all(&dir)?;
         let path = Path::new(&dir).join(format!("BENCH_{}.json", self.suite));
         fs::write(&path, self.to_json())?;
         println!();
@@ -158,6 +159,321 @@ impl Harness {
     /// Completed results so far.
     pub fn results(&self) -> &[BenchResult] {
         &self.results
+    }
+}
+
+/// A `BENCH_<suite>.json` document parsed back from disk (the bench-diff
+/// tool's input).
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// The suite name.
+    pub suite: String,
+    /// Every measured bench in file order.
+    pub results: Vec<BenchResult>,
+}
+
+impl BenchReport {
+    /// Looks up a bench by `(group, bench)` id.
+    pub fn find(&self, group: &str, bench: &str) -> Option<&BenchResult> {
+        self.results
+            .iter()
+            .find(|r| r.group == group && r.bench == bench)
+    }
+}
+
+/// The p95 comparison of one bench present in both runs.
+#[derive(Debug, Clone)]
+pub struct BenchDelta {
+    /// Group name.
+    pub group: String,
+    /// Bench id within the group.
+    pub bench: String,
+    /// p95 ns/iter in the old run.
+    pub old_p95_ns: u64,
+    /// p95 ns/iter in the new run.
+    pub new_p95_ns: u64,
+    /// Relative change `new/old − 1` (positive = slower).
+    pub change: f64,
+}
+
+impl BenchDelta {
+    /// Whether the new run is slower than the noise threshold allows
+    /// (`threshold = 0.25` flags anything more than 25 % over the old p95).
+    pub fn is_regression(&self, threshold: f64) -> bool {
+        self.change > threshold
+    }
+}
+
+/// Parses a `BENCH_<suite>.json` document produced by [`Harness::finish`].
+///
+/// Accepts any flat JSON matching the documented schema (unknown keys are
+/// ignored; missing numeric fields default to zero), so reports from older
+/// revisions of the runner stay comparable.
+pub fn parse_report(json: &str) -> Result<BenchReport, String> {
+    let mut cur = JsonCursor::new(json);
+    cur.expect(b'{')?;
+    let mut suite = String::new();
+    let mut results = Vec::new();
+    loop {
+        cur.skip_ws();
+        if cur.eat(b'}') {
+            break;
+        }
+        let key = cur.parse_string()?;
+        cur.expect(b':')?;
+        match key.as_str() {
+            "suite" => suite = cur.parse_string()?,
+            "results" => {
+                cur.expect(b'[')?;
+                loop {
+                    cur.skip_ws();
+                    if cur.eat(b']') {
+                        break;
+                    }
+                    results.push(parse_result_object(&mut cur)?);
+                    cur.skip_ws();
+                    cur.eat(b',');
+                }
+            }
+            _ => cur.skip_value()?,
+        }
+        cur.skip_ws();
+        cur.eat(b',');
+    }
+    if suite.is_empty() {
+        return Err("missing \"suite\" field".to_string());
+    }
+    Ok(BenchReport { suite, results })
+}
+
+fn parse_result_object(cur: &mut JsonCursor<'_>) -> Result<BenchResult, String> {
+    cur.expect(b'{')?;
+    let mut r = BenchResult {
+        group: String::new(),
+        bench: String::new(),
+        iters_per_sample: 0,
+        samples: 0,
+        median_ns: 0,
+        p95_ns: 0,
+        mean_ns: 0.0,
+        min_ns: 0,
+    };
+    loop {
+        cur.skip_ws();
+        if cur.eat(b'}') {
+            break;
+        }
+        let key = cur.parse_string()?;
+        cur.expect(b':')?;
+        match key.as_str() {
+            "group" => r.group = cur.parse_string()?,
+            "bench" => r.bench = cur.parse_string()?,
+            "iters_per_sample" => r.iters_per_sample = cur.parse_number()? as u64,
+            "samples" => r.samples = cur.parse_number()? as usize,
+            "median_ns" => r.median_ns = cur.parse_number()? as u64,
+            "p95_ns" => r.p95_ns = cur.parse_number()? as u64,
+            "mean_ns" => r.mean_ns = cur.parse_number()?,
+            "min_ns" => r.min_ns = cur.parse_number()? as u64,
+            _ => cur.skip_value()?,
+        }
+        cur.skip_ws();
+        cur.eat(b',');
+    }
+    if r.group.is_empty() && r.bench.is_empty() {
+        return Err("result object without group/bench".to_string());
+    }
+    Ok(r)
+}
+
+/// Compares two reports bench-by-bench on p95.
+///
+/// Returns the deltas for every `(group, bench)` present in both runs (in
+/// the new run's order) and human-readable notes for benches present in
+/// only one of them — a silent disappearance must not read as "no
+/// regression". Filter the deltas with [`BenchDelta::is_regression`].
+pub fn diff_reports(old: &BenchReport, new: &BenchReport) -> (Vec<BenchDelta>, Vec<String>) {
+    let mut deltas = Vec::new();
+    let mut notes = Vec::new();
+    for n in &new.results {
+        match old.find(&n.group, &n.bench) {
+            Some(o) => {
+                let old_p95 = o.p95_ns.max(1);
+                deltas.push(BenchDelta {
+                    group: n.group.clone(),
+                    bench: n.bench.clone(),
+                    old_p95_ns: o.p95_ns,
+                    new_p95_ns: n.p95_ns,
+                    change: n.p95_ns as f64 / old_p95 as f64 - 1.0,
+                });
+            }
+            None => notes.push(format!("{}/{} only in new run", n.group, n.bench)),
+        }
+    }
+    for o in &old.results {
+        if new.find(&o.group, &o.bench).is_none() {
+            notes.push(format!("{}/{} only in old run", o.group, o.bench));
+        }
+    }
+    (deltas, notes)
+}
+
+/// Minimal cursor over the flat JSON subset the bench runner emits
+/// (objects, arrays, strings with escapes, numbers, literals).
+struct JsonCursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonCursor<'a> {
+    fn new(s: &'a str) -> Self {
+        JsonCursor {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {} of the JSON document",
+                b as char, self.pos
+            ))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos).copied() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Multi-byte UTF-8 sequences pass through byte-wise; the
+                    // input is a &str so they are valid.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|&b| b != b'"' && b != b'\\')
+                    {
+                        self.pos += 1;
+                    }
+                    let _ = b;
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|e| e.to_string())?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<f64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|&b| {
+            b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
+        }) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| e.to_string())?
+            .parse::<f64>()
+            .map_err(|e| format!("bad number at byte {start}: {e}"))
+    }
+
+    /// Skips one value of any type (for unknown keys).
+    fn skip_value(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos).copied() {
+            Some(b'"') => self.parse_string().map(|_| ()),
+            Some(b'{') | Some(b'[') => {
+                let mut depth = 0usize;
+                loop {
+                    match self.bytes.get(self.pos).copied() {
+                        None => return Err("unterminated value".to_string()),
+                        Some(b'"') => {
+                            self.parse_string()?;
+                            continue;
+                        }
+                        Some(b'{') | Some(b'[') => depth += 1,
+                        Some(b'}') | Some(b']') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                self.pos += 1;
+                                return Ok(());
+                            }
+                        }
+                        _ => {}
+                    }
+                    self.pos += 1;
+                }
+            }
+            Some(b't') | Some(b'f') | Some(b'n') => {
+                while self
+                    .bytes
+                    .get(self.pos)
+                    .is_some_and(|b| b.is_ascii_alphabetic())
+                {
+                    self.pos += 1;
+                }
+                Ok(())
+            }
+            _ => self.parse_number().map(|_| ()),
+        }
     }
 }
 
@@ -322,5 +638,79 @@ mod tests {
     #[test]
     fn json_escapes_quotes() {
         assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+
+    #[test]
+    fn parse_round_trips_the_writer() {
+        let mut h = Harness::new("rt");
+        let mut g = h.group("grp");
+        g.sample_size(2);
+        g.bench("fast \"quoted\"", |b| b.iter(|| 1 + 1));
+        drop(g);
+        let report = parse_report(&h.to_json()).expect("parse");
+        assert_eq!(report.suite, "rt");
+        assert_eq!(report.results.len(), 1);
+        let r = &report.results[0];
+        let w = &h.results()[0];
+        assert_eq!(r.group, "grp");
+        assert_eq!(r.bench, "fast \"quoted\"");
+        assert_eq!(r.p95_ns, w.p95_ns);
+        assert_eq!(r.median_ns, w.median_ns);
+        assert_eq!(r.min_ns, w.min_ns);
+        assert_eq!(r.samples, w.samples);
+    }
+
+    #[test]
+    fn parse_ignores_unknown_keys() {
+        let json = r#"{
+          "suite": "s", "samples": 3, "host": {"os": "linux", "cores": [1, 2]},
+          "results": [
+            {"group": "g", "bench": "b", "p95_ns": 200, "median_ns": 150,
+             "extra": "ignored", "flag": true}
+          ]
+        }"#;
+        let report = parse_report(json).expect("parse");
+        assert_eq!(report.results[0].p95_ns, 200);
+        assert_eq!(report.results[0].median_ns, 150);
+        assert_eq!(report.results[0].min_ns, 0, "missing fields default");
+        assert!(parse_report("{\"results\": []}").is_err(), "suite required");
+    }
+
+    #[test]
+    fn diff_flags_p95_regressions() {
+        let mk = |p95: u64| {
+            format!(
+                "{{\"suite\": \"s\", \"results\": [\
+                 {{\"group\": \"g\", \"bench\": \"steady\", \"p95_ns\": 100}},\
+                 {{\"group\": \"g\", \"bench\": \"hot\", \"p95_ns\": {p95}}}]}}"
+            )
+        };
+        let old = parse_report(&mk(100)).unwrap();
+        let new = parse_report(&mk(200)).unwrap();
+        let (deltas, notes) = diff_reports(&old, &new);
+        assert!(notes.is_empty());
+        assert_eq!(deltas.len(), 2);
+        let hot = deltas.iter().find(|d| d.bench == "hot").unwrap();
+        assert!((hot.change - 1.0).abs() < 1e-12);
+        assert!(hot.is_regression(0.25));
+        let steady = deltas.iter().find(|d| d.bench == "steady").unwrap();
+        assert!(!steady.is_regression(0.25));
+    }
+
+    #[test]
+    fn diff_notes_missing_benches() {
+        let old = parse_report(
+            "{\"suite\": \"s\", \"results\": [{\"group\": \"g\", \"bench\": \"gone\", \"p95_ns\": 5}]}",
+        )
+        .unwrap();
+        let new = parse_report(
+            "{\"suite\": \"s\", \"results\": [{\"group\": \"g\", \"bench\": \"born\", \"p95_ns\": 5}]}",
+        )
+        .unwrap();
+        let (deltas, notes) = diff_reports(&old, &new);
+        assert!(deltas.is_empty());
+        assert_eq!(notes.len(), 2);
+        assert!(notes.iter().any(|n| n.contains("only in new run")));
+        assert!(notes.iter().any(|n| n.contains("only in old run")));
     }
 }

@@ -2,8 +2,25 @@
 # Tier-1 verify gate (see ROADMAP.md): hermetic release build + full test
 # suite, strictly offline. The workspace has no external dependencies, so
 # this must succeed from a clean checkout with an empty cargo registry.
+#
+# Opt-in soak lane: KNNTA_SOAK=1 ./scripts/verify.sh additionally re-runs
+# the rtree / mvbt / core property harnesses at KNNTA_PROP_CASES=10000
+# (override the case count by exporting KNNTA_PROP_CASES yourself) and the
+# parallel-search differential oracle at its soak case count. The default
+# fast path is unchanged and stays within the tier-1 budget.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline
 cargo test -q --workspace --offline
+
+if [ "${KNNTA_SOAK:-0}" != "0" ] && [ -n "${KNNTA_SOAK:-}" ]; then
+    export KNNTA_PROP_CASES="${KNNTA_PROP_CASES:-10000}"
+    echo "== soak: property harnesses at KNNTA_PROP_CASES=${KNNTA_PROP_CASES} =="
+    cargo test -q --release --offline -p rtree
+    cargo test -q --release --offline -p mvbt
+    cargo test -q --release --offline -p knnta-core
+    echo "== soak: workspace properties + differential oracle =="
+    cargo test -q --release --offline --test proptests
+    cargo test -q --release --offline --test oracle_equivalence
+fi

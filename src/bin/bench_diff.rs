@@ -1,0 +1,100 @@
+//! Compares two `BENCH_<suite>.json` runs and flags p95 regressions.
+//!
+//! ```text
+//! bench_diff OLD.json NEW.json [--threshold 0.25]
+//! ```
+//!
+//! Prints a per-bench table of p95 changes and exits nonzero if any bench's
+//! p95 grew by more than the noise threshold (default 25 %), so perf PRs can
+//! gate on `bench_diff BENCH_queries.main.json BENCH_queries.json`.
+
+use knnta::util::bench::{diff_reports, parse_report, BenchReport};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: bench_diff OLD.json NEW.json [--threshold FRACTION]
+
+Compares two BENCH_<suite>.json runs produced by the in-repo bench runner.
+Exits 1 if any bench's p95 regressed beyond the threshold (default 0.25,
+i.e. 25% slower), 2 on usage or parse errors.";
+
+fn load(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_report(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run() -> Result<bool, String> {
+    let mut args = std::env::args().skip(1);
+    let mut paths: Vec<String> = Vec::new();
+    let mut threshold = 0.25f64;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let v = args.next().ok_or("--threshold needs a value")?;
+                threshold = v
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad threshold {v:?}: {e}"))?;
+                if !(threshold >= 0.0) {
+                    return Err(format!("threshold must be non-negative, got {threshold}"));
+                }
+            }
+            "-h" | "--help" => return Err(USAGE.to_string()),
+            other => paths.push(other.to_string()),
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        return Err(USAGE.to_string());
+    };
+    let old = load(old_path)?;
+    let new = load(new_path)?;
+    if old.suite != new.suite {
+        eprintln!(
+            "note: comparing different suites ({} vs {})",
+            old.suite, new.suite
+        );
+    }
+
+    let (deltas, notes) = diff_reports(&old, &new);
+    println!(
+        "{:<24} {:<28} {:>12} {:>12} {:>9}",
+        "group", "bench", "old_p95_ns", "new_p95_ns", "change"
+    );
+    let mut regressions = 0usize;
+    for d in &deltas {
+        let flag = if d.is_regression(threshold) {
+            regressions += 1;
+            "  REGRESSION"
+        } else {
+            ""
+        };
+        println!(
+            "{:<24} {:<28} {:>12} {:>12} {:>8.1}%{}",
+            d.group,
+            d.bench,
+            d.old_p95_ns,
+            d.new_p95_ns,
+            d.change * 100.0,
+            flag
+        );
+    }
+    for note in &notes {
+        println!("note: {note}");
+    }
+    println!(
+        "\n{} benches compared, {} regression(s) beyond {:.0}%",
+        deltas.len(),
+        regressions,
+        threshold * 100.0
+    );
+    Ok(regressions > 0)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

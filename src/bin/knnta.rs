@@ -63,6 +63,8 @@ commands:
             [--epoch-days D] [--epochs N]
   stats     --index FILE
   query     --index FILE --x X --y Y --from-day A --to-day B [--k K] [--alpha0 W]
+            [--threads N]   (N > 1 uses the parallel work-stealing traversal;
+                             results are identical for every N)
   mwa       --index FILE --x X --y Y --from-day A --to-day B [--k K] [--alpha0 W]
   skyline   --index FILE --x X --y Y --from-day A --to-day B";
 
@@ -291,7 +293,15 @@ fn parse_query(opts: &Opts) -> Result<KnntaQuery, String> {
 fn query(opts: &Opts) -> Result<(), String> {
     let index = open_index(opts)?;
     let q = parse_query(opts)?;
-    let hits = index.query(&q);
+    let threads: usize = opts.num("threads", 1)?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    let hits = if threads > 1 {
+        index.query_parallel(&q, threads)
+    } else {
+        index.query(&q)
+    };
     println!("rank  poi        score     check-ins  distance");
     for (rank, h) in hits.iter().enumerate() {
         println!(

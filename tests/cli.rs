@@ -60,6 +60,43 @@ fn full_pipeline() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.lines().count() >= 6, "5 hits + header: {text}");
 
+    // query --threads: the parallel traversal must print byte-identical
+    // output (same hits, same order, same node-access count) for any N.
+    let sequential = knnta()
+        .args(["query", "--index", idx.to_str().unwrap()])
+        .args(["--x", "50", "--y", "50", "--from-day", "0", "--to-day", "180"])
+        .args(["--k", "25", "--alpha0", "0.3", "--threads", "1"])
+        .output()
+        .expect("run sequential query");
+    assert!(sequential.status.success());
+    for threads in ["2", "4", "8"] {
+        let out = knnta()
+            .args(["query", "--index", idx.to_str().unwrap()])
+            .args(["--x", "50", "--y", "50", "--from-day", "0", "--to-day", "180"])
+            .args(["--k", "25", "--alpha0", "0.3", "--threads", threads])
+            .output()
+            .expect("run parallel query");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&sequential.stdout),
+            "--threads {threads} diverged"
+        );
+        assert_eq!(
+            String::from_utf8_lossy(&out.stderr),
+            String::from_utf8_lossy(&sequential.stderr),
+            "--threads {threads} node accesses diverged"
+        );
+    }
+    let out = knnta()
+        .args(["query", "--index", idx.to_str().unwrap()])
+        .args(["--x", "50", "--y", "50", "--from-day", "0", "--to-day", "180"])
+        .args(["--threads", "0"])
+        .output()
+        .expect("run zero-thread query");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--threads"));
+
     // mwa
     let out = knnta()
         .args(["mwa", "--index", idx.to_str().unwrap()])
@@ -137,6 +174,60 @@ fn helpful_errors() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("alpha0"));
     let _ = std::fs::remove_file(csv);
     let _ = std::fs::remove_file(idx);
+}
+
+#[test]
+fn bench_diff_flags_regressions_and_exits_nonzero() {
+    let bench_diff = |args: &[&str]| {
+        Command::new(env!("CARGO_BIN_EXE_bench_diff"))
+            .args(args)
+            .output()
+            .expect("run bench_diff")
+    };
+    let report = |p95_a: u64, p95_b: u64| {
+        format!(
+            "{{\"suite\": \"queries\", \"samples\": 10, \"results\": [\n\
+             {{\"group\": \"parallel_single\", \"bench\": \"sequential\", \"p95_ns\": {p95_a}}},\n\
+             {{\"group\": \"parallel_single\", \"bench\": \"threads/4\", \"p95_ns\": {p95_b}}}]}}\n"
+        )
+    };
+    let old = tmp("bench-old.json");
+    let new = tmp("bench-new.json");
+    std::fs::write(&old, report(1000, 1000)).unwrap();
+
+    // Within noise: exit 0.
+    std::fs::write(&new, report(1100, 900)).unwrap();
+    let out = bench_diff(&[old.to_str().unwrap(), new.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("0 regression(s)"));
+
+    // A 2x p95 regression: exit 1 and name the bench.
+    std::fs::write(&new, report(1000, 2000)).unwrap();
+    let out = bench_diff(&[old.to_str().unwrap(), new.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("REGRESSION"), "{text}");
+    assert!(text.contains("threads/4"), "{text}");
+
+    // A loose threshold lets the same diff pass.
+    let out = bench_diff(&[
+        old.to_str().unwrap(),
+        new.to_str().unwrap(),
+        "--threshold",
+        "1.5",
+    ]);
+    assert!(out.status.success());
+
+    // Usage and parse errors: exit 2.
+    assert_eq!(bench_diff(&[]).status.code(), Some(2));
+    let garbage = tmp("bench-garbage.json");
+    std::fs::write(&garbage, "not json").unwrap();
+    let out = bench_diff(&[garbage.to_str().unwrap(), new.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+
+    for f in [&old, &new, &garbage] {
+        let _ = std::fs::remove_file(f);
+    }
 }
 
 #[test]

@@ -9,6 +9,7 @@ mod common;
 use common::{assert_same_answer, baseline_of, index_of, small_dataset};
 use knnta::core::Grouping;
 use knnta::lbsn::{IntervalAnchor, Workload};
+use knnta::util::rng::{Rng, StdRng};
 use knnta::KnntaQuery;
 
 #[test]
@@ -67,6 +68,86 @@ fn short_and_degenerate_intervals() {
     let all = knnta::TimeInterval::new(knnta::Timestamp::ZERO, tc);
     let q = KnntaQuery::new(point, all).with_k(20);
     assert_same_answer(&index.query(&q), &baseline.query(&q), "full interval");
+}
+
+/// Case count for the differential suite: 24 queries per grouping by
+/// default, 10× that under `KNNTA_SOAK=1` (the soak lane in
+/// `scripts/verify.sh`).
+fn differential_cases() -> usize {
+    let soak = std::env::var("KNNTA_SOAK").map_or(false, |v| v != "0" && !v.is_empty());
+    if soak {
+        240
+    } else {
+        24
+    }
+}
+
+#[test]
+fn parallel_query_is_bit_identical_to_sequential_and_oracle() {
+    // The tentpole determinism oracle: for randomized workloads,
+    // `query_parallel` at every thread count returns hit-for-hit identical
+    // results (same POIs, same order, bit-equal scores) to `query`, and
+    // both agree with the brute-force scan, for all three groupings.
+    let dataset = small_dataset();
+    let baseline = baseline_of(&dataset);
+    let cases = differential_cases();
+    let mut rng = StdRng::seed_from_u64(0x5EED_CAFE);
+    for grouping in [Grouping::TarIntegral, Grouping::IndSpa, Grouping::IndAgg] {
+        let index = index_of(&dataset, grouping);
+        let workload = Workload::generate(&dataset, cases, IntervalAnchor::Random, 7);
+        for (i, &(point, interval)) in workload.queries.iter().enumerate() {
+            let k = rng.gen_range(1..=120usize);
+            let alpha0 = rng.gen_range(0.05..0.95);
+            let q = KnntaQuery::new(point, interval).with_k(k).with_alpha0(alpha0);
+            let want = index.query(&q);
+            assert_same_answer(&want, &baseline.query(&q), &format!("{grouping} query {i}"));
+            for threads in [1, 2, 4, 8] {
+                let got = index.query_parallel(&q, threads);
+                assert_eq!(
+                    got.len(),
+                    want.len(),
+                    "{grouping} query {i} k={k} threads={threads}"
+                );
+                for (rank, (a, b)) in got.iter().zip(&want).enumerate() {
+                    assert_eq!(
+                        (a.poi, a.score.to_bits(), a.aggregate),
+                        (b.poi, b.score.to_bits(), b.aggregate),
+                        "{grouping} query {i} k={k} threads={threads} rank {rank}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_node_accounting_equals_sequential() {
+    // The parallel traversal must keep the paper's primary cost metric
+    // exact: recorded node/leaf accesses equal the sequential counts for
+    // every thread count (speculative expansions are not charged).
+    let dataset = small_dataset();
+    let mut rng = StdRng::seed_from_u64(0xACCE_55E5);
+    for grouping in [Grouping::TarIntegral, Grouping::IndSpa, Grouping::IndAgg] {
+        let index = index_of(&dataset, grouping);
+        let workload = Workload::generate(&dataset, 12, IntervalAnchor::Recent, 11);
+        for &(point, interval) in &workload.queries {
+            let k = rng.gen_range(1..=60usize);
+            let q = KnntaQuery::new(point, interval).with_k(k).with_alpha0(0.3);
+            index.stats().reset();
+            let _ = index.query(&q);
+            let seq = index.stats().snapshot();
+            for threads in [1, 2, 4, 8] {
+                index.stats().reset();
+                let _ = index.query_parallel(&q, threads);
+                let par = index.stats().snapshot();
+                assert_eq!(
+                    (par.node_accesses, par.leaf_node_accesses),
+                    (seq.node_accesses, seq.leaf_node_accesses),
+                    "{grouping} k={k} threads={threads}"
+                );
+            }
+        }
+    }
 }
 
 #[test]

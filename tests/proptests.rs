@@ -158,6 +158,71 @@ fn collective_matches_individual() {
     });
 }
 
+/// Frontier-heap invariant of the parallel traversal: within one worker,
+/// popped lower bounds are non-decreasing between steals. A worker drains
+/// its own heap best-first, so keys only grow; a steal imports the victim's
+/// best entry, which may legitimately sit below the thief's last own key,
+/// starting a fresh monotone segment. The traced pop log makes this
+/// checkable per worker, per run.
+#[test]
+fn frontier_pops_are_monotone_per_worker() {
+    check("frontier_pops_are_monotone_per_worker", 24, |g| {
+        let ds = gen_dataset(g, 120);
+        let q = gen_query(g);
+        let (_, indexes) = build_all(&ds);
+        let index = &indexes[g.usize_in(0..3)];
+        let threads = *g.pick(&[2usize, 3, 4, 8]);
+        let (hits, trace) = index.query_parallel_traced(&q, threads);
+        assert_eq!(trace.pops.len(), threads);
+        for (w, log) in trace.pops.iter().enumerate() {
+            let mut last = f64::NEG_INFINITY;
+            for (i, ev) in log.iter().enumerate() {
+                if ev.stolen {
+                    last = f64::NEG_INFINITY; // steals reset the baseline
+                }
+                assert!(
+                    ev.key >= last,
+                    "worker {w} pop {i}: key {} < previous {last}",
+                    ev.key
+                );
+                last = ev.key;
+            }
+        }
+        // The traced path returns the same answer as the plain one.
+        let want = index.query(&q);
+        assert_eq!(hits.len(), want.len());
+        for (a, b) in hits.iter().zip(&want) {
+            assert_eq!((a.poi, a.score.to_bits()), (b.poi, b.score.to_bits()));
+        }
+    });
+}
+
+/// Thread-count invariance of the access statistics: for any dataset and
+/// query, `query_parallel` records exactly the sequential node/leaf access
+/// totals at every thread count.
+#[test]
+fn leaf_access_totals_are_thread_count_invariant() {
+    check("leaf_access_totals_are_thread_count_invariant", 24, |g| {
+        let ds = gen_dataset(g, 120);
+        let q = gen_query(g);
+        let (_, indexes) = build_all(&ds);
+        let index = &indexes[g.usize_in(0..3)];
+        index.stats().reset();
+        let _ = index.query(&q);
+        let seq = index.stats().snapshot();
+        for threads in [1usize, 2, 4, 8] {
+            index.stats().reset();
+            let _ = index.query_parallel(&q, threads);
+            let par = index.stats().snapshot();
+            assert_eq!(
+                (par.node_accesses, par.leaf_node_accesses),
+                (seq.node_accesses, seq.leaf_node_accesses),
+                "threads={threads}"
+            );
+        }
+    });
+}
+
 /// Check-in ingestion is equivalent to building with the final series.
 #[test]
 fn ingestion_equivalence() {

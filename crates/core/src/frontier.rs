@@ -15,15 +15,14 @@
 //! counts. DESIGN.md ("Sharded-frontier parallel search") gives the
 //! admissibility argument; the short version lives on each type below.
 
-use crate::augmentation::TiaAug;
 use crate::index::{with_tree, QueryCtx, TarIndex};
-use crate::poi::{KnntaQuery, Poi, QueryHit};
+use crate::poi::{KnntaQuery, QueryHit};
+use crate::storage::{MemNodes, NodeSource};
 use knnta_util::sync::Mutex;
-use rtree::{EntryPayload, NodeId, RStarTree};
+use rtree::{EntryPayload, NodeId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering as MemOrder};
-use tempora::AggregateSeries;
 
 /// A frontier element: a tree node and the admissible lower bound (Property
 /// 1) on the score of anything inside it.
@@ -230,8 +229,8 @@ impl Drop for PanicGuard<'_> {
 /// the results bit-identical), feeds data entries to the local top-k, and
 /// hands child candidates to `push_child`. Returns whether the node is a
 /// leaf.
-fn expand_node<const D: usize, S>(
-    tree: &RStarTree<D, Poi, TiaAug, S>,
+fn expand_node<const D: usize, N>(
+    nodes: &N,
     ctx: &QueryCtx<'_>,
     id: NodeId,
     bound: &SharedBound,
@@ -239,47 +238,49 @@ fn expand_node<const D: usize, S>(
     mut push_child: impl FnMut(NodeCand),
 ) -> bool
 where
-    S: rtree::GroupingStrategy<D, AggregateSeries>,
+    N: NodeSource<D>,
 {
-    let node = tree.node(id);
-    for e in &node.entries {
-        let s0 = e.rect.project2().min_dist2(&ctx.q).sqrt();
-        let agg = e.aug.aggregate_over(ctx.grid, ctx.iq);
-        match &e.payload {
-            EntryPayload::Data(poi) => {
-                let hit = ctx.hit(poi.id, s0, agg);
-                // The bound never drops below f(p_k), so hits above it can
-                // never rank in the global top k.
-                if hit.score <= bound.get() {
-                    topk.push(hit);
-                    bound.tighten(topk.bound());
+    nodes.with_node(id, |node| {
+        for e in &node.entries {
+            let s0 = e.rect.project2().min_dist2(&ctx.q).sqrt();
+            let agg = e.aug.aggregate_over(ctx.grid, ctx.iq);
+            match &e.payload {
+                EntryPayload::Data(poi) => {
+                    let hit = ctx.hit(poi.id, s0, agg);
+                    // The bound never drops below f(p_k), so hits above it
+                    // can never rank in the global top k.
+                    if hit.score <= bound.get() {
+                        topk.push(hit);
+                        bound.tighten(topk.bound());
+                    }
                 }
-            }
-            EntryPayload::Child(c) => {
-                let (key, _) = ctx.score(s0, agg);
-                if key <= bound.get() {
-                    push_child(NodeCand { key, id: *c });
+                EntryPayload::Child(c) => {
+                    let (key, _) = ctx.score(s0, agg);
+                    if key <= bound.get() {
+                        push_child(NodeCand { key, id: *c });
+                    }
                 }
             }
         }
-    }
-    node.is_leaf()
+        node.is_leaf()
+    })
 }
 
-/// The parallel best-first search over one tree instantiation.
+/// The parallel best-first search over any [`NodeSource`] — the in-memory
+/// arena or a paged snapshot.
 ///
 /// Returns the ranked hits, the per-worker trace, and the deterministic
 /// `(node, leaf)` access counts to record.
-fn parallel_bfs<const D: usize, S>(
-    tree: &RStarTree<D, Poi, TiaAug, S>,
+pub(crate) fn parallel_bfs<const D: usize, N>(
+    nodes: &N,
     ctx: &QueryCtx<'_>,
     k: usize,
     threads: usize,
 ) -> (Vec<QueryHit>, FrontierTrace, u64, u64)
 where
-    S: rtree::GroupingStrategy<D, AggregateSeries> + Sync,
+    N: NodeSource<D> + Sync,
 {
-    if k == 0 || tree.is_empty() {
+    if k == 0 || nodes.is_empty() {
         let trace = FrontierTrace {
             pops: vec![Vec::new(); threads],
         };
@@ -298,9 +299,9 @@ where
     let mut heaps: Vec<BinaryHeap<NodeCand>> = (0..threads).map(|_| BinaryHeap::new()).collect();
     let mut seed = WorkerOutput::new(k);
     {
-        let root = tree.root_id();
+        let root = nodes.root();
         let mut dealt = 0usize;
-        let is_leaf = expand_node(tree, ctx, root, &bound, &mut seed.topk, |cand| {
+        let is_leaf = expand_node(nodes, ctx, root, &bound, &mut seed.topk, |cand| {
             pending.fetch_add(1, MemOrder::Release);
             heaps[dealt % threads].push(cand);
             dealt += 1;
@@ -345,7 +346,7 @@ where
             let mut is_leaf = false;
             if expanded {
                 let mut children = Vec::new();
-                is_leaf = expand_node(tree, ctx, task.id, &bound, &mut out.topk, |cand| {
+                is_leaf = expand_node(nodes, ctx, task.id, &bound, &mut out.topk, |cand| {
                     children.push(cand);
                 });
                 if !children.is_empty() {
@@ -451,7 +452,7 @@ impl TarIndex {
         assert!(threads > 0, "at least one worker thread");
         let ctx = self.ctx(query);
         let (hits, trace, nodes, leaves) =
-            with_tree!(self, t => parallel_bfs(t, &ctx, query.k, threads));
+            with_tree!(self, t => parallel_bfs(&MemNodes(t), &ctx, query.k, threads));
         self.stats().record_node_accesses(nodes);
         self.stats().record_leaf_accesses(leaves);
         (hits, trace)

@@ -5,6 +5,7 @@ use crate::agg_grouping::AggGrouping;
 use crate::augmentation::TiaAug;
 use crate::frontier::{NodeCand, TopK};
 use crate::poi::{KnntaQuery, Poi, QueryHit};
+use crate::storage::{MemNodes, NodeSource};
 use pagestore::AccessStats;
 use rtree::{EntryPayload, RStarGrouping, RStarTree, RTreeParams, Rect};
 use std::cmp::Ordering;
@@ -630,31 +631,54 @@ where
     S: rtree::GroupingStrategy<D, AggregateSeries>,
     F: Fn(rtree::NodeId, usize, &AggregateSeries) -> u64,
 {
-    if k == 0 || tree.is_empty() {
+    bfs_query_nodes(&MemNodes(tree), tree.stats(), ctx, k, agg_of)
+}
+
+/// [`bfs_query_src`] over any [`NodeSource`] — the in-memory arena or a
+/// paged snapshot ([`crate::PagedNodes`]). Logical node/leaf accesses are
+/// recorded in `stats` exactly as `RStarTree::access_node` records them, so
+/// the access profile is backend-independent.
+pub(crate) fn bfs_query_nodes<const D: usize, N, F>(
+    nodes: &N,
+    stats: &AccessStats,
+    ctx: &QueryCtx<'_>,
+    k: usize,
+    agg_of: F,
+) -> Vec<QueryHit>
+where
+    N: NodeSource<D>,
+    F: Fn(rtree::NodeId, usize, &AggregateSeries) -> u64,
+{
+    if k == 0 || nodes.is_empty() {
         return Vec::new();
     }
     let mut topk = TopK::new(k);
     let mut heap = BinaryHeap::new();
     heap.push(NodeCand {
         key: 0.0,
-        id: tree.root_id(),
+        id: nodes.root(),
     });
     while let Some(NodeCand { key, id }) = heap.pop() {
         if key > topk.bound() {
             break;
         }
-        let node = tree.access_node(id);
-        for (idx, e) in node.entries.iter().enumerate() {
-            let s0 = e.rect.project2().min_dist2(&ctx.q).sqrt();
-            let agg = agg_of(id, idx, &e.aug);
-            match &e.payload {
-                EntryPayload::Data(poi) => topk.push(ctx.hit(poi.id, s0, agg)),
-                EntryPayload::Child(c) => {
-                    let (key, _) = ctx.score(s0, agg);
-                    heap.push(NodeCand { key, id: *c });
+        nodes.with_node(id, |node| {
+            stats.record_node_access();
+            if node.is_leaf() {
+                stats.record_leaf_access();
+            }
+            for (idx, e) in node.entries.iter().enumerate() {
+                let s0 = e.rect.project2().min_dist2(&ctx.q).sqrt();
+                let agg = agg_of(id, idx, &e.aug);
+                match &e.payload {
+                    EntryPayload::Data(poi) => topk.push(ctx.hit(poi.id, s0, agg)),
+                    EntryPayload::Child(c) => {
+                        let (key, _) = ctx.score(s0, agg);
+                        heap.push(NodeCand { key, id: *c });
+                    }
                 }
             }
-        }
+        });
     }
     topk.into_sorted_vec()
 }

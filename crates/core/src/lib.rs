@@ -29,6 +29,11 @@
 //! * [`DiskTias`] — an MVBT-backed disk mirror of every entry's TIA, for
 //!   I/O-realistic aggregate computation (the paper's TIAs are disk-resident
 //!   multi-version B-trees with 10 buffer slots each).
+//! * [`PagedNodes`] / [`StorageBackend`] — a paged snapshot of the tree
+//!   nodes themselves behind a replacement-policy-driven buffer pool
+//!   ([`pagestore::BufferPoolConfig`]); [`TarIndex::query_on`] and
+//!   [`TarIndex::query_parallel_on`] answer queries from either backend
+//!   with bit-identical results.
 //!
 //! ## Quick start
 //!
@@ -69,6 +74,7 @@ mod parallel;
 mod persist;
 mod poi;
 mod skyline;
+mod storage;
 
 pub use agg_grouping::AggGrouping;
 pub use augmentation::TiaAug;
@@ -81,3 +87,4 @@ pub use live::LiveIndex;
 pub use mwa::{gamma, WeightAdjustment};
 pub use poi::{KnntaQuery, Poi, QueryHit};
 pub use skyline::{dominates, reversed_skyline_of, skyline_of};
+pub use storage::{PagedNodes, StorageBackend};

@@ -1,0 +1,460 @@
+//! Pluggable node storage: one [`StorageBackend`] over the in-memory arena
+//! and a paged snapshot of the tree.
+//!
+//! The paper keeps the R-tree memory resident and only *counts* node
+//! accesses; this module makes the other end of that spectrum real. A
+//! [`PagedNodes`] snapshot serialises every TAR-tree node onto
+//! [`pagestore::Disk`] pages (via the in-repo codec, bit-exact for floats)
+//! and answers node reads through a policy-driven buffer pool, so both the
+//! sequential and the parallel best-first search can run against genuinely
+//! paged storage. The search code itself is backend-agnostic: it goes
+//! through the crate-private [`NodeSource`] abstraction, and the answers are
+//! **bit-identical** across backends because the bytes of every rect,
+//! position and aggregate round-trip exactly — the differential oracle in
+//! `tests/oracle_equivalence.rs` pins this down.
+//!
+//! Logical node-access accounting is backend-independent (recorded in
+//! [`TarIndex::stats`] either way); the paged backend *additionally* counts
+//! physical page I/O and buffer hits/misses in its own counters
+//! ([`PagedNodes::io_snapshot`]).
+
+use crate::augmentation::TiaAug;
+use crate::index::{Grouping, QueryCtx, TarIndex, TreeImpl};
+use crate::poi::{KnntaQuery, Poi, QueryHit};
+use pagestore::{BufferPoolConfig, Bytes, BytesMut, StatsSnapshot};
+use rtree::{
+    Entry, EntryPayload, GroupingStrategy, Node, NodeCodec, NodeId, PagedNodeStore, RStarTree,
+    Rect,
+};
+use tempora::{AggregateSeries, PoiId};
+
+/// A source of tree nodes for the best-first searches: the in-memory arena
+/// ([`MemNodes`]) or a paged snapshot ([`PagedNodeStore`]).
+///
+/// `with_node` hands out a borrow rather than returning the node because the
+/// paged implementation decodes into a temporary.
+pub(crate) trait NodeSource<const D: usize> {
+    /// The root node id.
+    fn root(&self) -> NodeId;
+    /// Whether the tree holds no data items.
+    fn is_empty(&self) -> bool;
+    /// Applies `f` to node `id` (no logical-access counting here — callers
+    /// account, so speculative parallel expansions stay uncharged).
+    fn with_node<R>(&self, id: NodeId, f: impl FnOnce(&Node<D, Poi, AggregateSeries>) -> R) -> R;
+}
+
+/// The in-memory arena as a [`NodeSource`].
+pub(crate) struct MemNodes<'a, const D: usize, S>(pub &'a RStarTree<D, Poi, TiaAug, S>)
+where
+    S: GroupingStrategy<D, AggregateSeries>;
+
+impl<const D: usize, S> NodeSource<D> for MemNodes<'_, D, S>
+where
+    S: GroupingStrategy<D, AggregateSeries>,
+{
+    fn root(&self) -> NodeId {
+        self.0.root_id()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    fn with_node<R>(&self, id: NodeId, f: impl FnOnce(&Node<D, Poi, AggregateSeries>) -> R) -> R {
+        f(self.0.node(id))
+    }
+}
+
+/// Byte codec for TAR-tree nodes (`Node<D, Poi, AggregateSeries>`).
+///
+/// Layout (all little-endian): `level:u32, count:u32`, then per entry
+/// `min[D]:f64, max[D]:f64, series_len:u32, (epoch:u32, value:u64)*,
+/// tag:u8` with `tag 0 → child:u32` and `tag 1 → poi_id:u32, pos:2×f64`.
+/// Floats travel as raw bits, so decoding reproduces every coordinate and
+/// score input bit for bit.
+pub(crate) struct TarNodeCodec;
+
+impl<const D: usize> NodeCodec<D, Poi, AggregateSeries> for TarNodeCodec {
+    fn encode(&self, node: &Node<D, Poi, AggregateSeries>, buf: &mut BytesMut) {
+        buf.put_u32(node.level);
+        buf.put_u32(node.entries.len() as u32);
+        for e in &node.entries {
+            for d in 0..D {
+                buf.put_f64(e.rect.min[d]);
+            }
+            for d in 0..D {
+                buf.put_f64(e.rect.max[d]);
+            }
+            buf.put_u32(e.aug.len() as u32);
+            for (epoch, value) in e.aug.iter() {
+                buf.put_u32(epoch);
+                buf.put_u64(value);
+            }
+            match &e.payload {
+                EntryPayload::Child(c) => {
+                    buf.put_u8(0);
+                    buf.put_u32(c.0);
+                }
+                EntryPayload::Data(poi) => {
+                    buf.put_u8(1);
+                    buf.put_u32(poi.id.0);
+                    buf.put_f64(poi.pos[0]);
+                    buf.put_f64(poi.pos[1]);
+                }
+            }
+        }
+    }
+
+    fn decode(&self, buf: &mut Bytes) -> Node<D, Poi, AggregateSeries> {
+        let level = buf.get_u32();
+        let count = buf.get_u32() as usize;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut min = [0.0; D];
+            let mut max = [0.0; D];
+            for v in min.iter_mut() {
+                *v = buf.get_f64();
+            }
+            for v in max.iter_mut() {
+                *v = buf.get_f64();
+            }
+            let series_len = buf.get_u32() as usize;
+            let aug = AggregateSeries::from_pairs(
+                (0..series_len).map(|_| (buf.get_u32(), buf.get_u64())),
+            );
+            let payload = match buf.get_u8() {
+                0 => EntryPayload::Child(NodeId(buf.get_u32())),
+                _ => {
+                    let id = PoiId(buf.get_u32());
+                    let pos = [buf.get_f64(), buf.get_f64()];
+                    EntryPayload::Data(Poi { id, pos })
+                }
+            };
+            entries.push(Entry {
+                rect: Rect::new(min, max),
+                aug,
+                payload,
+            });
+        }
+        Node { level, entries }
+    }
+}
+
+impl<const D: usize> NodeSource<D> for PagedNodeStore<D, Poi, AggregateSeries, TarNodeCodec> {
+    fn root(&self) -> NodeId {
+        PagedNodeStore::root(self)
+    }
+
+    fn is_empty(&self) -> bool {
+        PagedNodeStore::is_empty(self)
+    }
+
+    fn with_node<R>(&self, id: NodeId, f: impl FnOnce(&Node<D, Poi, AggregateSeries>) -> R) -> R {
+        let node = self.read_node(id);
+        f(&node)
+    }
+}
+
+/// The concrete paged store behind a [`PagedNodes`], by grouping dimension.
+enum PagedStoreImpl {
+    D3(PagedNodeStore<3, Poi, AggregateSeries, TarNodeCodec>),
+    D2(PagedNodeStore<2, Poi, AggregateSeries, TarNodeCodec>),
+}
+
+/// A paged snapshot of a [`TarIndex`]'s tree nodes.
+///
+/// Like [`crate::DiskTias`], the snapshot is valid until the next structural
+/// or aggregate change of the index; querying through a stale snapshot
+/// panics. Build one with [`TarIndex::materialize_paged_nodes`] and pass it
+/// to the query entry points via [`StorageBackend::Paged`].
+pub struct PagedNodes {
+    store: PagedStoreImpl,
+    grouping: Grouping,
+    config: BufferPoolConfig,
+    built_at: u64,
+}
+
+impl PagedNodes {
+    /// The grouping of the snapshotted index.
+    pub fn grouping(&self) -> Grouping {
+        self.grouping
+    }
+
+    /// The buffer pool's capacity + replacement-policy configuration.
+    pub fn config(&self) -> BufferPoolConfig {
+        self.config
+    }
+
+    /// Number of snapshotted nodes.
+    pub fn node_count(&self) -> usize {
+        match &self.store {
+            PagedStoreImpl::D3(s) => s.node_count(),
+            PagedStoreImpl::D2(s) => s.node_count(),
+        }
+    }
+
+    /// Total pages backing the snapshot.
+    pub fn page_count(&self) -> usize {
+        match &self.store {
+            PagedStoreImpl::D3(s) => s.page_count(),
+            PagedStoreImpl::D2(s) => s.page_count(),
+        }
+    }
+
+    /// Physical I/O and buffer statistics of the node disk.
+    pub fn io_snapshot(&self) -> StatsSnapshot {
+        match &self.store {
+            PagedStoreImpl::D3(s) => s.pool().disk().stats().snapshot(),
+            PagedStoreImpl::D2(s) => s.pool().disk().stats().snapshot(),
+        }
+    }
+
+    /// Resets the I/O statistics.
+    pub fn reset_io(&self) {
+        match &self.store {
+            PagedStoreImpl::D3(s) => s.pool().disk().stats().reset(),
+            PagedStoreImpl::D2(s) => s.pool().disk().stats().reset(),
+        }
+    }
+
+    /// Empties the buffer pool and resets I/O counters, so the next queries
+    /// measure cold-cache behaviour.
+    pub fn cool_down(&self) {
+        match &self.store {
+            PagedStoreImpl::D3(s) => s.cool_down(),
+            PagedStoreImpl::D2(s) => s.cool_down(),
+        }
+    }
+
+    fn check_fresh(&self, content_epoch: u64) {
+        assert_eq!(
+            self.built_at, content_epoch,
+            "paged nodes are stale; rematerialise after index changes"
+        );
+    }
+}
+
+impl std::fmt::Debug for PagedNodes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PagedNodes")
+            .field("grouping", &self.grouping)
+            .field("nodes", &self.node_count())
+            .field("pages", &self.page_count())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+/// Which node storage a query runs against.
+///
+/// `InMemory` is the arena the index maintains; `Paged` reads a
+/// [`PagedNodes`] snapshot through its buffer pool. Results are
+/// bit-identical either way.
+#[derive(Clone, Copy, Default)]
+pub enum StorageBackend<'a> {
+    /// The index's in-memory node arena (the paper's setup).
+    #[default]
+    InMemory,
+    /// A paged snapshot read through a buffer pool.
+    Paged(&'a PagedNodes),
+}
+
+impl std::fmt::Debug for StorageBackend<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageBackend::InMemory => f.write_str("InMemory"),
+            StorageBackend::Paged(p) => f.debug_tuple("Paged").field(p).finish(),
+        }
+    }
+}
+
+impl TarIndex {
+    /// Snapshots every tree node onto paged storage with `page_size`-byte
+    /// pages behind a buffer pool configured by `config`.
+    ///
+    /// The snapshot is read-only and tied to the index's current content
+    /// epoch (querying it after any index mutation panics, exactly like
+    /// [`crate::DiskTias`]).
+    pub fn materialize_paged_nodes(
+        &self,
+        page_size: usize,
+        config: BufferPoolConfig,
+    ) -> PagedNodes {
+        let store = match &self.tree {
+            TreeImpl::Tar(t) => {
+                PagedStoreImpl::D3(PagedNodeStore::build(t, TarNodeCodec, page_size, config))
+            }
+            TreeImpl::Spa(t) => {
+                PagedStoreImpl::D2(PagedNodeStore::build(t, TarNodeCodec, page_size, config))
+            }
+            TreeImpl::Agg(t) => {
+                PagedStoreImpl::D2(PagedNodeStore::build(t, TarNodeCodec, page_size, config))
+            }
+        };
+        PagedNodes {
+            store,
+            grouping: self.grouping(),
+            config,
+            built_at: self.content_epoch,
+        }
+    }
+
+    /// [`TarIndex::query`] against an explicit storage backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a paged backend is stale (the index changed since it was
+    /// materialised).
+    pub fn query_on(&self, query: &KnntaQuery, backend: StorageBackend<'_>) -> Vec<QueryHit> {
+        match backend {
+            StorageBackend::InMemory => self.query(query),
+            StorageBackend::Paged(paged) => {
+                paged.check_fresh(self.content_epoch);
+                let ctx = self.ctx(query);
+                match &paged.store {
+                    PagedStoreImpl::D3(s) => self.bfs_on_nodes(s, &ctx, query.k),
+                    PagedStoreImpl::D2(s) => self.bfs_on_nodes(s, &ctx, query.k),
+                }
+            }
+        }
+    }
+
+    /// [`TarIndex::query_parallel`] against an explicit storage backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or a paged backend is stale.
+    pub fn query_parallel_on(
+        &self,
+        query: &KnntaQuery,
+        threads: usize,
+        backend: StorageBackend<'_>,
+    ) -> Vec<QueryHit> {
+        match backend {
+            StorageBackend::InMemory => self.query_parallel(query, threads),
+            StorageBackend::Paged(paged) => {
+                assert!(threads > 0, "at least one worker thread");
+                paged.check_fresh(self.content_epoch);
+                let ctx = self.ctx(query);
+                let (hits, _, nodes, leaves) = match &paged.store {
+                    PagedStoreImpl::D3(s) => {
+                        crate::frontier::parallel_bfs(s, &ctx, query.k, threads)
+                    }
+                    PagedStoreImpl::D2(s) => {
+                        crate::frontier::parallel_bfs(s, &ctx, query.k, threads)
+                    }
+                };
+                self.stats().record_node_accesses(nodes);
+                self.stats().record_leaf_accesses(leaves);
+                hits
+            }
+        }
+    }
+
+    fn bfs_on_nodes<const D: usize, N: NodeSource<D>>(
+        &self,
+        nodes: &N,
+        ctx: &QueryCtx<'_>,
+        k: usize,
+    ) -> Vec<QueryHit> {
+        crate::index::bfs_query_nodes(nodes, self.stats(), ctx, k, |_, _, series| {
+            series.aggregate_over(ctx.grid, ctx.iq)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::tests::paper_example;
+    use crate::index::IndexConfig;
+    use pagestore::PolicyKind;
+    use tempora::TimeInterval;
+
+    fn example_index(grouping: Grouping) -> TarIndex {
+        let (grid, bounds, pois) = paper_example();
+        TarIndex::build(IndexConfig::with_grouping(grouping), grid, bounds, pois)
+    }
+
+    #[test]
+    fn paged_results_are_bit_identical_for_every_policy() {
+        for grouping in [Grouping::TarIntegral, Grouping::IndSpa, Grouping::IndAgg] {
+            let index = example_index(grouping);
+            for policy in PolicyKind::ALL {
+                let paged =
+                    index.materialize_paged_nodes(256, BufferPoolConfig::new(4, policy));
+                assert_eq!(paged.node_count(), index.node_count());
+                for alpha0 in [0.2, 0.5, 0.8] {
+                    let q = KnntaQuery::new([4.0, 4.5], TimeInterval::days(0, 3))
+                        .with_k(5)
+                        .with_alpha0(alpha0);
+                    let mem = index.query(&q);
+                    let got = index.query_on(&q, StorageBackend::Paged(&paged));
+                    assert_eq!(mem.len(), got.len(), "{grouping} {policy}");
+                    for (a, b) in mem.iter().zip(&got) {
+                        assert_eq!(a.poi, b.poi, "{grouping} {policy}");
+                        assert_eq!(
+                            a.score.to_bits(),
+                            b.score.to_bits(),
+                            "{grouping} {policy}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paged_queries_do_buffered_io_and_accounting_matches() {
+        let index = example_index(Grouping::TarIntegral);
+        let paged = index.materialize_paged_nodes(256, BufferPoolConfig::lru(4));
+        let q = KnntaQuery::new([4.0, 4.5], TimeInterval::days(0, 3)).with_k(3);
+
+        index.stats().reset();
+        let _ = index.query(&q);
+        let seq = (
+            index.stats().node_accesses(),
+            index.stats().leaf_node_accesses(),
+        );
+
+        paged.reset_io();
+        index.stats().reset();
+        let _ = index.query_on(&q, StorageBackend::Paged(&paged));
+        assert_eq!(
+            (
+                index.stats().node_accesses(),
+                index.stats().leaf_node_accesses()
+            ),
+            seq,
+            "logical node accesses are backend-independent"
+        );
+        let io = paged.io_snapshot();
+        assert!(
+            io.buffer_hits + io.buffer_misses > 0,
+            "paged nodes must be read through the buffer pool"
+        );
+        assert!(paged.page_count() > 0);
+    }
+
+    #[test]
+    fn in_memory_backend_is_the_plain_query() {
+        let index = example_index(Grouping::TarIntegral);
+        let q = KnntaQuery::new([4.0, 4.5], TimeInterval::days(0, 3)).with_k(4);
+        let a = index.query(&q);
+        let b = index.query_on(&q, StorageBackend::InMemory);
+        assert_eq!(
+            a.iter().map(|h| (h.poi, h.score.to_bits())).collect::<Vec<_>>(),
+            b.iter().map(|h| (h.poi, h.score.to_bits())).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "stale")]
+    fn stale_paged_snapshot_rejected() {
+        let mut index = example_index(Grouping::TarIntegral);
+        let paged = index.materialize_paged_nodes(256, BufferPoolConfig::default());
+        index.ingest_epoch(0, &[(PoiId(0), 3)]);
+        let q = KnntaQuery::new([4.0, 4.5], TimeInterval::days(0, 3));
+        let _ = index.query_on(&q, StorageBackend::Paged(&paged));
+    }
+}

@@ -1,14 +1,16 @@
-//! An LRU buffer pool over a [`Disk`].
+//! A policy-driven buffer pool over a [`Disk`].
 
 use crate::disk::{Disk, PageId};
-use crate::lru::LruList;
+use crate::policy::{make_policy, BufferPoolConfig, PolicyKind, ReplacementPolicy};
 use crate::stats::AccessStats;
 use knnta_util::codec::Bytes;
 use knnta_util::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// A fixed-capacity LRU page buffer in front of a shared [`Disk`].
+/// A fixed-capacity page buffer in front of a shared [`Disk`], with a
+/// pluggable [`ReplacementPolicy`] (LRU by default, CLOCK and 2Q via
+/// [`BufferPool::with_config`]).
 ///
 /// The paper assigns each TIA "a maximum of 10 buffer slots"; the collective
 /// processing experiment (Section 8.4) then disables buffering for the
@@ -17,13 +19,13 @@ use std::sync::Arc;
 ///
 /// Writes go through the buffer and are flushed lazily on eviction
 /// (write-back); [`BufferPool::flush`] forces everything out. Reads on a miss
-/// fetch from disk and may evict the least-recently-used page.
+/// fetch from disk and may evict the policy's chosen victim.
 #[derive(Debug)]
 pub struct BufferPool {
     disk: Arc<Disk>,
     stats: AccessStats,
     state: Mutex<PoolState>,
-    capacity: usize,
+    config: BufferPoolConfig,
 }
 
 #[derive(Debug)]
@@ -33,17 +35,24 @@ struct PoolState {
     /// slot -> (page, payload, dirty)
     slots: Vec<Option<(PageId, Bytes, bool)>>,
     free: Vec<usize>,
-    lru: LruList,
+    policy: Box<dyn ReplacementPolicy>,
 }
 
 impl BufferPool {
-    /// A pool of `capacity` page slots over `disk`.
+    /// An LRU pool of `capacity` page slots over `disk` (the historical
+    /// constructor; behaviour-identical to the pre-policy pool).
     ///
     /// `capacity == 0` disables buffering: every read/write goes straight to
     /// the disk (and still counts as a miss, so hit-rate metrics stay
     /// meaningful).
     pub fn new(disk: Arc<Disk>, capacity: usize) -> Self {
+        BufferPool::with_config(disk, BufferPoolConfig::lru(capacity))
+    }
+
+    /// A pool with an explicit capacity + replacement-policy configuration.
+    pub fn with_config(disk: Arc<Disk>, config: BufferPoolConfig) -> Self {
         let stats = disk.stats().clone();
+        let capacity = config.capacity;
         BufferPool {
             disk,
             stats,
@@ -51,15 +60,25 @@ impl BufferPool {
                 map: HashMap::with_capacity(capacity),
                 slots: (0..capacity).map(|_| None).collect(),
                 free: (0..capacity).rev().collect(),
-                lru: LruList::new(capacity),
+                policy: make_policy(config.policy, capacity),
             }),
-            capacity,
+            config,
         }
     }
 
     /// The pool's slot capacity.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.config.capacity
+    }
+
+    /// The pool's replacement policy.
+    pub fn policy(&self) -> PolicyKind {
+        self.config.policy
+    }
+
+    /// The pool's full configuration.
+    pub fn config(&self) -> BufferPoolConfig {
+        self.config
     }
 
     /// The underlying disk.
@@ -69,14 +88,14 @@ impl BufferPool {
 
     /// Reads `page` through the buffer.
     pub fn read(&self, page: PageId) -> Bytes {
-        if self.capacity == 0 {
+        if self.config.capacity == 0 {
             self.stats.record_buffer_miss();
             return self.disk.read(page);
         }
         let mut st = self.state.lock();
         if let Some(&slot) = st.map.get(&page) {
             self.stats.record_buffer_hit();
-            st.lru.touch(slot);
+            st.policy.on_hit(slot);
             let (_, data, _) = st.slots[slot].as_ref().expect("mapped slot occupied");
             return data.clone();
         }
@@ -94,7 +113,7 @@ impl BufferPool {
             data.len(),
             self.disk.page_size()
         );
-        if self.capacity == 0 {
+        if self.config.capacity == 0 {
             self.stats.record_buffer_miss();
             self.disk.write(page, data);
             return;
@@ -102,7 +121,7 @@ impl BufferPool {
         let mut st = self.state.lock();
         if let Some(&slot) = st.map.get(&page) {
             self.stats.record_buffer_hit();
-            st.lru.touch(slot);
+            st.policy.on_hit(slot);
             st.slots[slot] = Some((page, data, true));
             return;
         }
@@ -136,21 +155,19 @@ impl BufferPool {
                 if dirty {
                     self.disk.write(page, data);
                 }
-                if st.lru.contains(slot) {
-                    st.lru.remove(slot);
-                }
                 st.free.push(slot);
             }
         }
         st.map.clear();
+        st.policy.reset();
     }
 
-    /// Installs `page` in a slot, evicting the LRU page if needed.
+    /// Installs `page` in a slot, evicting the policy's victim if needed.
     fn install(&self, st: &mut PoolState, page: PageId, data: Bytes, dirty: bool) {
         let slot = if let Some(slot) = st.free.pop() {
             slot
         } else {
-            let victim = st.lru.pop_back().expect("non-empty pool has an LRU tail");
+            let victim = st.policy.evict().expect("non-empty pool has a victim");
             let (vp, vdata, vdirty) = st.slots[victim].take().expect("victim slot occupied");
             st.map.remove(&vp);
             if vdirty {
@@ -161,7 +178,7 @@ impl BufferPool {
         };
         st.slots[slot] = Some((page, data, dirty));
         st.map.insert(page, slot);
-        st.lru.push_front(slot);
+        st.policy.on_insert(slot, page);
     }
 }
 
@@ -264,6 +281,32 @@ mod tests {
         stats.reset();
         assert_eq!(pool.read(p), Bytes::from_static(b"z"));
         assert_eq!(stats.snapshot().page_reads, 1, "cleared pool must re-read");
+    }
+
+    #[test]
+    fn every_policy_round_trips_a_thrashing_workload() {
+        for kind in PolicyKind::ALL {
+            let stats = AccessStats::new();
+            let disk = Arc::new(Disk::new(64, stats.clone()));
+            let pool = BufferPool::with_config(disk, BufferPoolConfig::new(3, kind));
+            assert_eq!(pool.policy(), kind);
+            let ids: Vec<PageId> = (0..16).map(|_| pool.allocate()).collect();
+            for (i, &id) in ids.iter().enumerate() {
+                pool.write(id, Bytes::from(vec![i as u8; 8]));
+            }
+            for _ in 0..3 {
+                for (i, &id) in ids.iter().enumerate() {
+                    assert_eq!(pool.read(id), Bytes::from(vec![i as u8; 8]), "{kind}");
+                }
+            }
+            let s = stats.snapshot();
+            assert!(s.buffer_evictions > 0, "{kind}: workload must evict");
+            assert_eq!(
+                s.buffer_evictions,
+                s.buffer_misses - pool.capacity() as u64,
+                "{kind}: every miss beyond capacity installs over a victim"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,439 @@
+//! Pluggable page-replacement policies for the buffer pool.
+//!
+//! The paper fixes the buffer at 10 LRU slots per TIA; this module turns that
+//! constant into an axis. A policy orders the *slots* of a [`crate::BufferPool`]
+//! (the pool itself maps pages to slots) and picks eviction victims. Three
+//! policies ship:
+//!
+//! * [`LruPolicy`] — least-recently-used via the intrusive [`LruList`];
+//!   behaviour-identical to the pool before the policy trait existed.
+//! * [`ClockPolicy`] — second-chance CLOCK: a reference bit per slot and a
+//!   sweeping hand. Pages are inserted with the bit *clear*, so a page never
+//!   referenced after install is genuinely cold and evictable on the first
+//!   sweep.
+//! * [`TwoQPolicy`] — simplified 2Q (Johnson & Shasha, VLDB '94): a FIFO
+//!   probationary queue `A1in` for first-time pages, a protected LRU `Am` for
+//!   re-referenced ones, and a bounded ghost queue `A1out` of recently evicted
+//!   page ids whose readmission goes straight to `Am`. Unlike textbook 2Q, a
+//!   hit in `A1in` promotes to `Am` immediately; this keeps the hot/cold
+//!   eviction-order guarantee exact (see `tests/policy_props.rs`).
+//!
+//! All operations are O(1) (amortised over a full hand revolution for CLOCK).
+
+use crate::disk::PageId;
+use crate::lru::LruList;
+use std::collections::{HashSet, VecDeque};
+
+/// Which replacement policy a buffer pool runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PolicyKind {
+    /// Least-recently-used (the paper's implicit default).
+    #[default]
+    Lru,
+    /// Second-chance CLOCK.
+    Clock,
+    /// Simplified 2Q with a ghost queue.
+    TwoQ,
+}
+
+impl PolicyKind {
+    /// Every shipped policy, for sweeps.
+    pub const ALL: [PolicyKind; 3] = [PolicyKind::Lru, PolicyKind::Clock, PolicyKind::TwoQ];
+
+    /// Stable lowercase name (`lru`, `clock`, `2q`).
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Lru => "lru",
+            PolicyKind::Clock => "clock",
+            PolicyKind::TwoQ => "2q",
+        }
+    }
+
+    /// Parses a CLI-style policy name; accepts `lru`, `clock`, `2q`/`twoq`.
+    pub fn parse(s: &str) -> Option<PolicyKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "lru" => Some(PolicyKind::Lru),
+            "clock" => Some(PolicyKind::Clock),
+            "2q" | "twoq" => Some(PolicyKind::TwoQ),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Buffer-pool configuration: slot capacity plus replacement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferPoolConfig {
+    /// Number of page slots; `0` disables buffering (pass-through).
+    pub capacity: usize,
+    /// Replacement policy used when the pool is full.
+    pub policy: PolicyKind,
+}
+
+impl BufferPoolConfig {
+    /// A config with the given capacity and policy.
+    pub fn new(capacity: usize, policy: PolicyKind) -> Self {
+        BufferPoolConfig { capacity, policy }
+    }
+
+    /// An LRU config — the historical `BufferPool::new` behaviour.
+    pub fn lru(capacity: usize) -> Self {
+        BufferPoolConfig::new(capacity, PolicyKind::Lru)
+    }
+}
+
+impl Default for BufferPoolConfig {
+    /// The paper's setup: 10 buffer slots, LRU.
+    fn default() -> Self {
+        BufferPoolConfig::lru(10)
+    }
+}
+
+/// A page-replacement policy over buffer slots `0..capacity`.
+///
+/// The pool tells the policy when a page is installed into a slot and when a
+/// resident slot is referenced again; in exchange the policy picks eviction
+/// victims. A slot handed out by [`ReplacementPolicy::evict`] is no longer
+/// tracked until the next [`ReplacementPolicy::on_insert`] for it. The page id
+/// accompanies inserts so history-keeping policies (2Q's ghost queue) can
+/// recognise returning pages.
+pub trait ReplacementPolicy: std::fmt::Debug + Send {
+    /// A page was installed into `slot`.
+    fn on_insert(&mut self, slot: usize, page: PageId);
+    /// The resident page in `slot` was referenced again (read or write hit).
+    fn on_hit(&mut self, slot: usize);
+    /// Picks a victim among tracked slots and stops tracking it.
+    fn evict(&mut self) -> Option<usize>;
+    /// Forgets all tracked slots and history (pool clear).
+    fn reset(&mut self);
+    /// The policy's kind tag (for display and config round-trips).
+    fn kind(&self) -> PolicyKind;
+}
+
+/// Instantiates the policy implementation for `kind` over `capacity` slots.
+pub fn make_policy(kind: PolicyKind, capacity: usize) -> Box<dyn ReplacementPolicy> {
+    match kind {
+        PolicyKind::Lru => Box::new(LruPolicy::new(capacity)),
+        PolicyKind::Clock => Box::new(ClockPolicy::new(capacity)),
+        PolicyKind::TwoQ => Box::new(TwoQPolicy::new(capacity)),
+    }
+}
+
+/// LRU replacement, extracted unchanged from the original pool: the victim is
+/// always the least-recently inserted-or-referenced slot.
+#[derive(Debug)]
+pub struct LruPolicy {
+    list: LruList,
+}
+
+impl LruPolicy {
+    /// An LRU policy over `capacity` slots.
+    pub fn new(capacity: usize) -> Self {
+        LruPolicy {
+            list: LruList::new(capacity),
+        }
+    }
+}
+
+impl ReplacementPolicy for LruPolicy {
+    fn on_insert(&mut self, slot: usize, _page: PageId) {
+        self.list.push_front(slot);
+    }
+
+    fn on_hit(&mut self, slot: usize) {
+        self.list.touch(slot);
+    }
+
+    fn evict(&mut self) -> Option<usize> {
+        self.list.pop_back()
+    }
+
+    fn reset(&mut self) {
+        while self.list.pop_back().is_some() {}
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Lru
+    }
+}
+
+/// Second-chance CLOCK replacement.
+///
+/// Each tracked slot carries a reference bit, set on every hit and *clear on
+/// insert*. Eviction sweeps a hand over the slots, clearing set bits and
+/// stopping at the first clear one — so a slot referenced since the last sweep
+/// always survives one more revolution, while a never-referenced slot can be
+/// taken immediately.
+#[derive(Debug)]
+pub struct ClockPolicy {
+    tracked: Vec<bool>,
+    referenced: Vec<bool>,
+    hand: usize,
+    live: usize,
+}
+
+impl ClockPolicy {
+    /// A CLOCK policy over `capacity` slots.
+    pub fn new(capacity: usize) -> Self {
+        ClockPolicy {
+            tracked: vec![false; capacity],
+            referenced: vec![false; capacity],
+            hand: 0,
+            live: 0,
+        }
+    }
+}
+
+impl ReplacementPolicy for ClockPolicy {
+    fn on_insert(&mut self, slot: usize, _page: PageId) {
+        debug_assert!(!self.tracked[slot], "slot {slot} already tracked");
+        self.tracked[slot] = true;
+        self.referenced[slot] = false;
+        self.live += 1;
+    }
+
+    fn on_hit(&mut self, slot: usize) {
+        debug_assert!(self.tracked[slot], "hit on untracked slot {slot}");
+        self.referenced[slot] = true;
+    }
+
+    fn evict(&mut self) -> Option<usize> {
+        if self.live == 0 {
+            return None;
+        }
+        loop {
+            let slot = self.hand;
+            self.hand = (self.hand + 1) % self.tracked.len();
+            if !self.tracked[slot] {
+                continue;
+            }
+            if self.referenced[slot] {
+                self.referenced[slot] = false;
+            } else {
+                self.tracked[slot] = false;
+                self.live -= 1;
+                return Some(slot);
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.tracked.iter_mut().for_each(|t| *t = false);
+        self.referenced.iter_mut().for_each(|r| *r = false);
+        self.hand = 0;
+        self.live = 0;
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Clock
+    }
+}
+
+/// Simplified 2Q replacement.
+///
+/// First-time pages enter the FIFO `A1in`; a hit promotes a slot to the LRU
+/// `Am`. Eviction drains `A1in`'s tail while it exceeds its target size
+/// (`kin = max(1, capacity/4)`), otherwise takes `Am`'s LRU tail; pages
+/// evicted from `A1in` are remembered in the bounded ghost queue `A1out`
+/// (`kout = max(1, capacity/2)` ids) so a quick return is installed straight
+/// into `Am` — the scan-resistance trick of the original algorithm.
+#[derive(Debug)]
+pub struct TwoQPolicy {
+    /// Resident page per tracked slot (needed to record ghosts on eviction).
+    page_of: Vec<Option<PageId>>,
+    /// Probationary FIFO: head = newest, tail = oldest (reuses the intrusive
+    /// list; `on_hit` never touches it, so order stays insertion order).
+    a1in: LruList,
+    /// Protected LRU of re-referenced slots.
+    am: LruList,
+    /// Ghost queue of page ids recently evicted from `A1in` (front = newest).
+    a1out: VecDeque<PageId>,
+    a1out_set: HashSet<PageId>,
+    kin: usize,
+    kout: usize,
+}
+
+impl TwoQPolicy {
+    /// A 2Q policy over `capacity` slots.
+    pub fn new(capacity: usize) -> Self {
+        TwoQPolicy {
+            page_of: vec![None; capacity],
+            a1in: LruList::new(capacity),
+            am: LruList::new(capacity),
+            a1out: VecDeque::new(),
+            a1out_set: HashSet::new(),
+            kin: (capacity / 4).max(1),
+            kout: (capacity / 2).max(1),
+        }
+    }
+
+    fn remember_ghost(&mut self, page: PageId) {
+        if self.a1out_set.insert(page) {
+            self.a1out.push_front(page);
+            if self.a1out.len() > self.kout {
+                if let Some(old) = self.a1out.pop_back() {
+                    self.a1out_set.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn forget_ghost(&mut self, page: PageId) -> bool {
+        if self.a1out_set.remove(&page) {
+            if let Some(pos) = self.a1out.iter().position(|&p| p == page) {
+                self.a1out.remove(pos);
+            }
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl ReplacementPolicy for TwoQPolicy {
+    fn on_insert(&mut self, slot: usize, page: PageId) {
+        debug_assert!(self.page_of[slot].is_none(), "slot {slot} already tracked");
+        self.page_of[slot] = Some(page);
+        // The ghost queue is bounded by kout ≤ capacity/2 ids, so the scan of
+        // `forget_ghost` is O(capacity) worst case but O(1) for the common
+        // miss; the 2Q paper itself keeps A1out as a small FIFO.
+        if self.forget_ghost(page) {
+            self.am.push_front(slot);
+        } else {
+            self.a1in.push_front(slot);
+        }
+    }
+
+    fn on_hit(&mut self, slot: usize) {
+        if self.am.contains(slot) {
+            self.am.touch(slot);
+        } else {
+            debug_assert!(self.a1in.contains(slot), "hit on untracked slot {slot}");
+            self.a1in.remove(slot);
+            self.am.push_front(slot);
+        }
+    }
+
+    fn evict(&mut self) -> Option<usize> {
+        let from_a1in = if self.a1in.len() > self.kin {
+            true
+        } else if !self.am.is_empty() {
+            false
+        } else {
+            !self.a1in.is_empty()
+        };
+        let slot = if from_a1in {
+            let slot = self.a1in.pop_back()?;
+            if let Some(page) = self.page_of[slot] {
+                self.remember_ghost(page);
+            }
+            slot
+        } else {
+            self.am.pop_back()?
+        };
+        self.page_of[slot] = None;
+        Some(slot)
+    }
+
+    fn reset(&mut self) {
+        self.page_of.iter_mut().for_each(|p| *p = None);
+        while self.a1in.pop_back().is_some() {}
+        while self.am.pop_back().is_some() {}
+        self.a1out.clear();
+        self.a1out_set.clear();
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::TwoQ
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_kind_parse_round_trips() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(PolicyKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(PolicyKind::parse("TWOQ"), Some(PolicyKind::TwoQ));
+        assert_eq!(PolicyKind::parse("mru"), None);
+    }
+
+    #[test]
+    fn lru_policy_matches_list_semantics() {
+        let mut p = LruPolicy::new(3);
+        p.on_insert(0, PageId(10));
+        p.on_insert(1, PageId(11));
+        p.on_insert(2, PageId(12));
+        p.on_hit(0); // 0 becomes MRU; 1 is now LRU
+        assert_eq!(p.evict(), Some(1));
+        assert_eq!(p.evict(), Some(2));
+        assert_eq!(p.evict(), Some(0));
+        assert_eq!(p.evict(), None);
+    }
+
+    #[test]
+    fn clock_gives_second_chance_to_referenced_slots() {
+        let mut p = ClockPolicy::new(3);
+        p.on_insert(0, PageId(0));
+        p.on_insert(1, PageId(1));
+        p.on_insert(2, PageId(2));
+        p.on_hit(0);
+        // Hand at 0: ref bit set → cleared and skipped; slot 1 is cold.
+        assert_eq!(p.evict(), Some(1));
+        // Slot 0's bit was consumed by the sweep; hand sits at 2 (cold).
+        assert_eq!(p.evict(), Some(2));
+        assert_eq!(p.evict(), Some(0));
+        assert_eq!(p.evict(), None);
+    }
+
+    #[test]
+    fn two_q_prefers_probationary_pages_and_promotes_on_hit() {
+        let mut p = TwoQPolicy::new(4); // kin = 1
+        p.on_insert(0, PageId(0));
+        p.on_insert(1, PageId(1));
+        p.on_insert(2, PageId(2));
+        p.on_hit(0); // 0 → Am
+        // A1in = [2, 1] (len 2 > kin) → evict FIFO tail 1, not hot 0.
+        assert_eq!(p.evict(), Some(1));
+        // A1in = [2] (len 1 ≤ kin), Am = [0] → evict Am tail 0.
+        assert_eq!(p.evict(), Some(0));
+        assert_eq!(p.evict(), Some(2));
+        assert_eq!(p.evict(), None);
+    }
+
+    #[test]
+    fn two_q_ghost_readmission_lands_in_am() {
+        let mut p = TwoQPolicy::new(4); // kin = 1, kout = 2
+        p.on_insert(0, PageId(7));
+        p.on_insert(1, PageId(8));
+        assert_eq!(p.evict(), Some(0)); // page 7 → ghost
+        p.on_insert(0, PageId(7)); // returns → straight to Am
+        p.on_insert(2, PageId(9));
+        p.on_insert(3, PageId(10));
+        // A1in = [10, 9, 8] exceeds kin → FIFO tail (page 8's slot 1) goes,
+        // even though page 7's slot 0 was inserted earlier.
+        assert_eq!(p.evict(), Some(1));
+    }
+
+    #[test]
+    fn reset_forgets_everything() {
+        for kind in PolicyKind::ALL {
+            let mut p = make_policy(kind, 4);
+            p.on_insert(0, PageId(0));
+            p.on_insert(1, PageId(1));
+            p.on_hit(0);
+            p.reset();
+            assert_eq!(p.evict(), None, "{kind}: reset must drop tracked slots");
+            p.on_insert(2, PageId(2));
+            assert_eq!(p.evict(), Some(2), "{kind}: usable after reset");
+        }
+    }
+}

@@ -31,12 +31,14 @@
 mod bulk;
 mod geom;
 mod node;
+mod paged;
 mod params;
 mod strategy;
 mod tree;
 
 pub use geom::{dist, Rect};
 pub use node::{Entry, EntryPayload, Node, NodeId};
+pub use paged::{NodeCodec, PagedNodeStore};
 pub use params::{RTreeParams, NODE_HEADER_BYTES};
 pub use strategy::{EntryView, GroupingStrategy, RStarGrouping};
 pub use tree::{Augmentation, NoAug, RStarTree};

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Nightly soak wrapper around the tier-1 gate: runs the full verify suite
+# with the soak lane enabled (KNNTA_SOAK=1 → 10k-case property harnesses and
+# the large differential oracles), and archives the log + any failing seeds
+# under soak_failures/ so a red night is reproducible the next morning.
+#
+# Usage:
+#   ./scripts/soak.sh                  # one soak run
+#   KNNTA_PROP_CASES=50000 ./scripts/soak.sh
+#
+# Nightly cron (run from a checkout that is kept up to date):
+#   17 2 * * * cd /path/to/knnta && ./scripts/soak.sh >> soak.log 2>&1
+#
+# Reproducing an archived failure: each *_seeds.txt lists the
+# `KNNTA_PROP_SEED=...` lines the harness printed; re-export one and re-run
+# the named test (see the sibling *.log for the failing test name).
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+stamp="$(date -u +%Y%m%dT%H%M%SZ)"
+log="$(mktemp)"
+trap 'rm -f "$log"' EXIT
+
+echo "== soak ${stamp}: KNNTA_SOAK=1 ./scripts/verify.sh =="
+if KNNTA_SOAK=1 ./scripts/verify.sh 2>&1 | tee "$log"; then
+    echo "== soak ${stamp}: green =="
+    exit 0
+fi
+
+mkdir -p soak_failures
+cp "$log" "soak_failures/${stamp}.log"
+# Pull out everything needed to replay: printed seeds, failing test names,
+# panic messages.
+grep -E "KNNTA_PROP_SEED|panicked|FAILED|failures:" "$log" \
+    > "soak_failures/${stamp}_seeds.txt" || true
+echo "== soak ${stamp}: FAILED — archived soak_failures/${stamp}.log =="
+exit 1

@@ -8,6 +8,12 @@
 # (override the case count by exporting KNNTA_PROP_CASES yourself) and the
 # parallel-search differential oracle at its soak case count. The default
 # fast path is unchanged and stays within the tier-1 budget.
+# (`./scripts/soak.sh` wraps this lane for nightly cron, archiving failing
+# seeds to soak_failures/.)
+#
+# Opt-in bench-diff lane: KNNTA_BENCH_DIFF=<baseline_dir> runs the bench
+# suites in smoke mode and fails tier-1 if any p95 regresses by more than
+# 25% against the baseline's BENCH_*.json files (via the bench_diff binary).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,4 +29,32 @@ if [ "${KNNTA_SOAK:-0}" != "0" ] && [ -n "${KNNTA_SOAK:-}" ]; then
     echo "== soak: workspace properties + differential oracle =="
     cargo test -q --release --offline --test proptests
     cargo test -q --release --offline --test oracle_equivalence
+fi
+
+if [ -n "${KNNTA_BENCH_DIFF:-}" ]; then
+    baseline="${KNNTA_BENCH_DIFF}"
+    if [ ! -d "$baseline" ]; then
+        echo "KNNTA_BENCH_DIFF: '$baseline' is not a directory" >&2
+        exit 2
+    fi
+    fresh="$(mktemp -d)"
+    trap 'rm -rf "$fresh"' EXIT
+    echo "== bench-diff: smoke bench run vs ${baseline} (fail on >25% p95 regressions) =="
+    KNNTA_BENCH_FAST=1 KNNTA_BENCH_DIR="$fresh" cargo bench --offline -p knnta-bench
+    compared=0
+    for base in "$baseline"/BENCH_*.json; do
+        [ -e "$base" ] || continue
+        name="$(basename "$base")"
+        if [ -f "$fresh/$name" ]; then
+            compared=$((compared + 1))
+            cargo run -q --release --offline --bin bench_diff -- \
+                "$base" "$fresh/$name" --threshold 0.25
+        else
+            echo "bench-diff: baseline $name has no fresh counterpart (skipped)"
+        fi
+    done
+    if [ "$compared" = 0 ]; then
+        echo "KNNTA_BENCH_DIFF: no comparable BENCH_*.json in $baseline" >&2
+        exit 2
+    fi
 fi

@@ -12,7 +12,8 @@
 //! The venues CSV is `id,x,y,epoch,count` (one row per non-zero epoch; a row
 //! with `epoch = -1, count = 0` declares a POI with no check-ins yet).
 
-use knnta::core::{Grouping, IndexConfig, KnntaQuery, Poi, TarIndex};
+use knnta::core::{Grouping, IndexConfig, KnntaQuery, Poi, StorageBackend, TarIndex};
+use knnta::pagestore::{BufferPoolConfig, PolicyKind};
 use knnta::{AggregateSeries, EpochGrid, PoiId, TimeInterval, Timestamp};
 use rtree::Rect;
 use std::collections::BTreeMap;
@@ -65,11 +66,18 @@ commands:
   query     --index FILE --x X --y Y --from-day A --to-day B [--k K] [--alpha0 W]
             [--threads N]   (N > 1 uses the parallel work-stealing traversal;
                              results are identical for every N)
+            [--paged] [--policy lru|clock|2q] [--buffer-slots N]
+                            (--paged answers from tree nodes serialised onto
+                             disk pages behind a buffer pool; results are
+                             byte-identical to the in-memory search)
   mwa       --index FILE --x X --y Y --from-day A --to-day B [--k K] [--alpha0 W]
   skyline   --index FILE --x X --y Y --from-day A --to-day B";
 
-/// Minimal `--key value` option parser.
+/// Minimal `--key value` option parser (plus a few bare `--flag` switches).
 struct Opts(BTreeMap<String, String>);
+
+/// Options that take no value.
+const FLAGS: &[&str] = &["paged"];
 
 impl Opts {
     fn parse(args: &[String]) -> Result<Opts, String> {
@@ -79,6 +87,11 @@ impl Opts {
             let key = args[i]
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected an option, got `{}`", args[i]))?;
+            if FLAGS.contains(&key) {
+                map.insert(key.to_string(), "true".to_string());
+                i += 1;
+                continue;
+            }
             let value = args
                 .get(i + 1)
                 .ok_or_else(|| format!("option --{key} needs a value"))?;
@@ -86,6 +99,10 @@ impl Opts {
             i += 2;
         }
         Ok(Opts(map))
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.0.contains_key(key)
     }
 
     fn str(&self, key: &str) -> Result<&str, String> {
@@ -297,10 +314,29 @@ fn query(opts: &Opts) -> Result<(), String> {
     if threads == 0 {
         return Err("--threads must be at least 1".into());
     }
-    let hits = if threads > 1 {
-        index.query_parallel(&q, threads)
+    let paged = if opts.flag("paged") {
+        let policy_name = opts.num::<String>("policy", "lru".into())?;
+        let policy = PolicyKind::parse(&policy_name)
+            .ok_or(format!("--policy: `{policy_name}` (want lru|clock|2q)"))?;
+        let slots: usize = opts.num("buffer-slots", 10)?;
+        Some(index.materialize_paged_nodes(
+            index.config_node_size(),
+            BufferPoolConfig::new(slots, policy),
+        ))
     } else {
-        index.query(&q)
+        if opts.0.contains_key("policy") || opts.0.contains_key("buffer-slots") {
+            return Err("--policy / --buffer-slots require --paged".into());
+        }
+        None
+    };
+    let backend = match &paged {
+        Some(p) => StorageBackend::Paged(p),
+        None => StorageBackend::InMemory,
+    };
+    let hits = if threads > 1 {
+        index.query_parallel_on(&q, threads, backend)
+    } else {
+        index.query_on(&q, backend)
     };
     println!("rank  poi        score     check-ins  distance");
     for (rank, h) in hits.iter().enumerate() {
@@ -314,6 +350,22 @@ fn query(opts: &Opts) -> Result<(), String> {
         );
     }
     eprintln!("({} node accesses)", index.stats().node_accesses());
+    if let Some(p) = &paged {
+        let io = p.io_snapshot();
+        let hit_rate = if io.buffer_hits + io.buffer_misses > 0 {
+            100.0 * io.buffer_hits as f64 / (io.buffer_hits + io.buffer_misses) as f64
+        } else {
+            0.0
+        };
+        eprintln!(
+            "(paged: {} policy, {} slots, {} pages, {} hits / {} misses, {hit_rate:.1}% hit rate)",
+            p.config().policy,
+            p.config().capacity,
+            p.page_count(),
+            io.buffer_hits,
+            io.buffer_misses,
+        );
+    }
     Ok(())
 }
 

@@ -97,6 +97,52 @@ fn full_pipeline() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--threads"));
 
+    // query --paged: answering from paged node storage must print
+    // byte-identical hits for every policy and thread count.
+    for policy in ["lru", "clock", "2q"] {
+        for threads in ["1", "4"] {
+            let out = knnta()
+                .args(["query", "--index", idx.to_str().unwrap()])
+                .args(["--x", "50", "--y", "50", "--from-day", "0", "--to-day", "180"])
+                .args(["--k", "25", "--alpha0", "0.3", "--threads", threads])
+                .args(["--paged", "--policy", policy, "--buffer-slots", "6"])
+                .output()
+                .expect("run paged query");
+            assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+            assert_eq!(
+                String::from_utf8_lossy(&out.stdout),
+                String::from_utf8_lossy(&sequential.stdout),
+                "--paged --policy {policy} --threads {threads} diverged"
+            );
+            let err = String::from_utf8_lossy(&out.stderr);
+            assert!(
+                err.contains(&format!("paged: {policy} policy, 6 slots")),
+                "--policy {policy}: {err}"
+            );
+            assert!(err.contains("hit rate"), "{err}");
+        }
+    }
+
+    // --policy / --buffer-slots only make sense with --paged.
+    let out = knnta()
+        .args(["query", "--index", idx.to_str().unwrap()])
+        .args(["--x", "50", "--y", "50", "--from-day", "0", "--to-day", "180"])
+        .args(["--policy", "clock"])
+        .output()
+        .expect("run policy-without-paged query");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--paged"));
+
+    // Unknown policies are rejected.
+    let out = knnta()
+        .args(["query", "--index", idx.to_str().unwrap()])
+        .args(["--x", "50", "--y", "50", "--from-day", "0", "--to-day", "180"])
+        .args(["--paged", "--policy", "mru"])
+        .output()
+        .expect("run bad-policy query");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--policy"));
+
     // mwa
     let out = knnta()
         .args(["mwa", "--index", idx.to_str().unwrap()])

@@ -7,8 +7,9 @@
 mod common;
 
 use common::{assert_same_answer, baseline_of, index_of, small_dataset};
-use knnta::core::Grouping;
+use knnta::core::{Grouping, StorageBackend};
 use knnta::lbsn::{IntervalAnchor, Workload};
+use knnta::pagestore::{BufferPoolConfig, PolicyKind};
 use knnta::util::rng::{Rng, StdRng};
 use knnta::KnntaQuery;
 
@@ -146,6 +147,56 @@ fn parallel_node_accounting_equals_sequential() {
                     "{grouping} k={k} threads={threads}"
                 );
             }
+        }
+    }
+}
+
+#[test]
+fn paged_backend_is_bit_identical_to_in_memory() {
+    // The storage-backend oracle: serialising the tree nodes onto disk pages
+    // and querying through a buffer pool — under every replacement policy —
+    // returns hit-for-hit identical results (same POIs, same order, bit-equal
+    // scores) to the in-memory search, sequentially and at every thread
+    // count, for all three groupings.
+    let dataset = small_dataset();
+    let cases = (differential_cases() / 3).max(4);
+    let mut rng = StdRng::seed_from_u64(0xD15C_5EED);
+    for grouping in [Grouping::TarIntegral, Grouping::IndSpa, Grouping::IndAgg] {
+        let index = index_of(&dataset, grouping);
+        let workload = Workload::generate(&dataset, cases, IntervalAnchor::Random, 13);
+        for policy in PolicyKind::ALL {
+            let paged =
+                index.materialize_paged_nodes(1024, BufferPoolConfig::new(8, policy));
+            assert_eq!(paged.node_count(), index.node_count());
+            for (i, &(point, interval)) in workload.queries.iter().enumerate() {
+                let k = rng.gen_range(1..=120usize);
+                let alpha0 = rng.gen_range(0.05..0.95);
+                let q = KnntaQuery::new(point, interval).with_k(k).with_alpha0(alpha0);
+                let want = index.query(&q);
+                let ctx = format!("{grouping} {policy} query {i} k={k}");
+                let got = index.query_on(&q, StorageBackend::Paged(&paged));
+                assert_same_answer(&got, &want, &ctx);
+                for (a, b) in got.iter().zip(&want) {
+                    assert_eq!(a.score.to_bits(), b.score.to_bits(), "{ctx}");
+                }
+                for threads in [1, 2, 4, 8] {
+                    let got =
+                        index.query_parallel_on(&q, threads, StorageBackend::Paged(&paged));
+                    assert_eq!(got.len(), want.len(), "{ctx} threads={threads}");
+                    for (rank, (a, b)) in got.iter().zip(&want).enumerate() {
+                        assert_eq!(
+                            (a.poi, a.score.to_bits(), a.aggregate),
+                            (b.poi, b.score.to_bits(), b.aggregate),
+                            "{ctx} threads={threads} rank {rank}"
+                        );
+                    }
+                }
+            }
+            let io = paged.io_snapshot();
+            assert!(
+                io.buffer_hits + io.buffer_misses > 0,
+                "{grouping} {policy}: paged queries must go through the buffer pool"
+            );
         }
     }
 }

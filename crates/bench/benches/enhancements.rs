@@ -2,7 +2,7 @@
 //! the cost model / power-law machinery (Table 2, Figures 6–7).
 
 use knnta_bench::{aggregates_over, load, BenchConfig};
-use knnta_core::{Grouping, KnntaQuery};
+use knnta_core::{BatchOptions, BatchOrder, Grouping, KnntaQuery};
 use knnta_util::bench::Harness;
 use std::hint::black_box;
 
@@ -41,7 +41,10 @@ fn mwa(h: &mut Harness) {
     group.finish();
 }
 
-/// Figures 15–16: collective vs individual batch processing.
+/// Figures 15–16: collective vs individual batch processing. The
+/// `collective_hilbert` series is the full scheme (Hilbert ordering +
+/// shared aggregate memoisation); `collective_naive` disables both
+/// (input order, no cache) to isolate their contribution.
 fn collective(h: &mut Harness) {
     let config = bench_config();
     let data = load(&lbsn::gs(), &config);
@@ -56,8 +59,16 @@ fn collective(h: &mut Harness) {
             .iter()
             .map(|&(p, iv)| KnntaQuery::new(p, iv).with_k(10).with_alpha0(0.3))
             .collect();
-        group.bench(format!("collective/{count}"), |b| {
+        group.bench(format!("collective_hilbert/{count}"), |b| {
             b.iter(|| black_box(index.query_batch_collective(&queries)))
+        });
+        let naive = BatchOptions {
+            order: BatchOrder::Input,
+            agg_cache: false,
+            ..BatchOptions::default()
+        };
+        group.bench(format!("collective_naive/{count}"), |b| {
+            b.iter(|| black_box(index.query_batch_collective_with(&queries, &naive)))
         });
         group.bench(format!("individual/{count}"), |b| {
             b.iter(|| black_box(index.query_batch_individual(&queries)))

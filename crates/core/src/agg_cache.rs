@@ -1,0 +1,152 @@
+//! Shared TIA aggregate memoisation for collective batch processing.
+//!
+//! The paper's collective scheme (Section 7.2) shares the aggregate
+//! computation `g(p, Iq)` between queries with the *same* time interval.
+//! This cache extends the sharing to **overlapping** intervals: the first
+//! probe of a node builds cumulative per-epoch partial sums
+//! ([`tempora::PrefixSums`]) for each of its entries — once, regardless of
+//! how many distinct intervals the batch contains — and every
+//! `(node, epoch-range)` pair the batch touches is then materialised from
+//! those prefixes with two binary searches per entry and memoised for the
+//! rest of the batch.
+//!
+//! Admissibility: `g(p, Iq)` depends on `Iq` only through the set of epochs
+//! fully contained in it ([`tempora::EpochGrid::epochs_within`]), and prefix
+//! subtraction over `u64` is exact, so a cached value is bit-identical to a
+//! from-scratch recomputation — `crates/core/tests/agg_cache_props.rs`
+//! checks this against a shadow model, and the batch differential oracle
+//! (`tests/batch_oracle.rs`) checks it end to end.
+
+use rtree::NodeId;
+use std::collections::HashMap;
+use std::ops::Range;
+use tempora::{AggregateSeries, PrefixSums};
+
+/// Memoises per-entry temporal aggregates across a query batch.
+///
+/// Keys are `(entry, epoch-range)` pairs, at node granularity: one probe
+/// computes (or reuses) the aggregates of *all* entries of a node over the
+/// probed range, because the batch traversal always consumes whole nodes.
+#[derive(Debug, Default)]
+pub struct AggCache {
+    /// Per-entry prefix partial sums, built on a node's first probe.
+    prefixes: HashMap<NodeId, Vec<PrefixSums>>,
+    /// Memoised per-entry aggregates, keyed by `(range.start, range.end,
+    /// node)`.
+    values: HashMap<(usize, usize, NodeId), Vec<u64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl AggCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The per-entry aggregates of `node` over the epoch range `epochs`.
+    ///
+    /// The first probe of a `(node, epochs)` pair computes every entry's
+    /// aggregate from the node's prefix partial sums (building those on the
+    /// node's first probe under any range) and counts a **miss**; later
+    /// probes return the memoised values and count a **hit**. `series`
+    /// yields the entries' aggregate series in entry order and is only
+    /// consumed on the node's first probe.
+    pub fn node_aggregates<'a>(
+        &mut self,
+        node: NodeId,
+        epochs: Range<usize>,
+        series: impl Iterator<Item = &'a AggregateSeries>,
+    ) -> &[u64] {
+        let key = (epochs.start, epochs.end, node);
+        if self.values.contains_key(&key) {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            let prefixes = self
+                .prefixes
+                .entry(node)
+                .or_insert_with(|| series.map(AggregateSeries::prefix_sums).collect());
+            let values = prefixes
+                .iter()
+                .map(|p| p.sum_range(epochs.clone()))
+                .collect();
+            self.values.insert(key, values);
+        }
+        self.values.get(&key).expect("just checked or inserted")
+    }
+
+    /// The memoised aggregate of one entry — a [`AggCache::node_aggregates`]
+    /// probe that picks out `entry` (test and diagnostic convenience).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry >= series.len()`.
+    pub fn aggregate(
+        &mut self,
+        node: NodeId,
+        entry: usize,
+        epochs: Range<usize>,
+        series: &[&AggregateSeries],
+    ) -> u64 {
+        self.node_aggregates(node, epochs, series.iter().copied())[entry]
+    }
+
+    /// Number of probes answered from the memo.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of probes that had to compute.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of distinct `(node, epoch-range)` values materialised.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the cache has seen no probes.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(pairs: &[(u32, u64)]) -> AggregateSeries {
+        AggregateSeries::from_pairs(pairs.iter().copied())
+    }
+
+    #[test]
+    fn memoises_per_node_and_range() {
+        let mut cache = AggCache::new();
+        let a = series(&[(0, 1), (2, 5)]);
+        let b = series(&[(1, 3)]);
+        let entries = [&a, &b];
+
+        assert_eq!(cache.aggregate(NodeId(7), 0, 0..3, &entries), 6);
+        assert_eq!(cache.aggregate(NodeId(7), 1, 0..3, &entries), 3);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+
+        // Overlapping range: new value, but the prefixes are reused.
+        assert_eq!(cache.aggregate(NodeId(7), 0, 1..3, &entries), 5);
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+        assert_eq!(cache.len(), 2);
+
+        // Different node, same range: its own miss.
+        assert_eq!(cache.aggregate(NodeId(8), 0, 0..3, &entries), 6);
+        assert_eq!((cache.hits(), cache.misses()), (1, 3));
+    }
+
+    #[test]
+    fn empty_range_is_zero() {
+        let mut cache = AggCache::new();
+        let a = series(&[(0, 9)]);
+        assert_eq!(cache.aggregate(NodeId(0), 0, 3..3, &[&a]), 0);
+        assert_eq!(cache.aggregate(NodeId(0), 0, 5..2, &[&a]), 0);
+    }
+}

@@ -1,191 +1,402 @@
 //! Collective (batched) query processing (Section 7.2).
 //!
-//! A batch of kNNTA queries runs one best-first search per query, but node
-//! accesses are shared: at every step the node that is the front entry of
-//! the most queues is fetched once and consumed by all of them ("the queues
-//! containing the most frequent front entry are processed first"). Queries
-//! with the same time interval additionally share the aggregate computation
-//! on the accessed node's TIAs.
+//! A batch of kNNTA queries runs one best-first search per query, but the
+//! physical node fetches and the TIA aggregate computation are shared:
+//!
+//! * **Hilbert ordering.** The batch is sorted along a 3-D Hilbert curve
+//!   over `(x, y, Iq midpoint)` (see [`crate::hilbert`]) and processed in
+//!   fixed-size locality *tiles*. Queries inside a tile open near-identical
+//!   frontiers, so the greedy "most frequent front entry first" rule of the
+//!   paper fetches each hot node once for the whole tile — and the paged
+//!   backend's buffer pool stays resident on the tile's subtree.
+//! * **Shared TIA aggregate memoisation.** `g(p, Iq)` depends on `Iq` only
+//!   through its contained-epoch range, so queries are grouped by epoch
+//!   range (a strict generalisation of the paper's "same query time
+//!   interval" grouping) and an [`AggCache`] memoises per-entry aggregates
+//!   per `(node, epoch-range)`, materialised from per-entry prefix partial
+//!   sums ([`tempora::PrefixSums`]) that are built once per node no matter
+//!   how many distinct ranges probe it. The `f(p_k)` normaliser `gmax` is
+//!   likewise computed once per range, not once per query.
+//!
+//! Every per-query traversal is the *same* bound-pruned best-first search as
+//! [`TarIndex::query`] — hits go into a [`TopK`] under the `(score, PoiId)`
+//! total order, and a query stops at the first frontier node whose lower
+//! bound exceeds its `f(p_k)` — so the batch answers are bit-identical to
+//! the individual ones, per query, on every storage backend
+//! (`tests/batch_oracle.rs` is the differential oracle). Node accesses are
+//! counted once per physical fetch, and since each fetch serves at least one
+//! query's pop (whose pop set equals its individual search's), collective
+//! accesses never exceed individual accesses.
 
-use crate::augmentation::TiaAug;
-use crate::index::{with_tree, Frontier, Prioritised, QueryCtx, TarIndex};
-use crate::poi::{KnntaQuery, Poi, QueryHit};
-use rtree::{EntryPayload, NodeId, RStarTree};
+use crate::agg_cache::AggCache;
+use crate::frontier::{NodeCand, TopK};
+use crate::hilbert;
+use crate::index::{with_tree, QueryCtx, TarIndex};
+use crate::poi::{KnntaQuery, QueryHit};
+use crate::storage::{MemNodes, NodeSource, PagedStoreImpl, StorageBackend};
+use pagestore::AccessStats;
+use rtree::{EntryPayload, NodeId};
 use std::collections::{BinaryHeap, HashMap};
-use tempora::{AggregateSeries, TimeInterval};
+use std::ops::Range;
 
-impl TarIndex {
-    /// Processes a batch of queries collectively, sharing node accesses and
-    /// per-interval aggregate computation. Node accesses are counted once
-    /// per physical fetch in [`TarIndex::stats`].
-    ///
-    /// Returns one result list per query, in input order; each list is
-    /// identical to what [`TarIndex::query`] returns for that query.
-    pub fn query_batch_collective(&self, queries: &[KnntaQuery]) -> Vec<Vec<QueryHit>> {
-        with_tree!(self, t => collective_bfs(t, self, queries))
-    }
-
-    /// Processes the batch one query at a time (the "individual" baseline of
-    /// Section 8.4): every query pays its own node accesses.
-    pub fn query_batch_individual(&self, queries: &[KnntaQuery]) -> Vec<Vec<QueryHit>> {
-        queries.iter().map(|q| self.query(q)).collect()
-    }
+/// How a collective batch is ordered before tiling (the `--batch-order`
+/// CLI flag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchOrder {
+    /// Hilbert-curve locality order over `(x, y, Iq midpoint)`.
+    #[default]
+    Hilbert,
+    /// The queries' input order (the naive scheduler).
+    Input,
 }
 
-struct QueryState<'a> {
-    ctx: QueryCtx<'a>,
-    k: usize,
-    heap: BinaryHeap<Prioritised>,
-    results: Vec<QueryHit>,
-    /// Index of the query's interval group (aggregate cache key).
-    group: usize,
-}
-
-impl QueryState<'_> {
-    fn done(&self) -> bool {
-        self.results.len() >= self.k || self.heap.is_empty()
-    }
-
-    /// Pops ready hits off the front; afterwards the front is a node (or the
-    /// query is done).
-    fn drain_hits(&mut self) {
-        while !self.done() {
-            match self.heap.peek() {
-                Some(Prioritised {
-                    item: Frontier::Hit(_),
-                    ..
-                }) => {
-                    let Some(Prioritised {
-                        item: Frontier::Hit(hit),
-                        ..
-                    }) = self.heap.pop()
-                    else {
-                        unreachable!()
-                    };
-                    self.results.push(hit);
-                }
-                _ => break,
-            }
-        }
-    }
-
-    /// The node at the front, if any.
-    fn front_node(&self) -> Option<NodeId> {
-        match self.heap.peek() {
-            Some(Prioritised {
-                item: Frontier::Node(id),
-                ..
-            }) => Some(*id),
+impl BatchOrder {
+    /// Parses a CLI name (`hilbert` | `input`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "hilbert" => Some(BatchOrder::Hilbert),
+            "input" => Some(BatchOrder::Input),
             _ => None,
         }
     }
 }
 
-/// Per-(interval-group, node) cache of entry aggregates: computed once when
-/// the first query of the group consumes the node.
-type AggCache = HashMap<(usize, NodeId), Vec<u64>>;
-
-fn collective_bfs<const D: usize, S>(
-    tree: &RStarTree<D, Poi, TiaAug, S>,
-    index: &TarIndex,
-    queries: &[KnntaQuery],
-) -> Vec<Vec<QueryHit>>
-where
-    S: rtree::GroupingStrategy<D, AggregateSeries>,
-{
-    // Group queries by identical time interval (Section 7.2: "we group the
-    // queries together if they have the same query time interval").
-    let mut groups: HashMap<TimeInterval, usize> = HashMap::new();
-    let mut states: Vec<QueryState<'_>> = queries
-        .iter()
-        .map(|q| {
-            let next = groups.len();
-            let group = *groups.entry(q.interval).or_insert(next);
-            let mut heap = BinaryHeap::new();
-            if !tree.is_empty() && q.k > 0 {
-                heap.push(Prioritised {
-                    score: 0.0,
-                    item: Frontier::Node(tree.root_id()),
-                });
-            }
-            QueryState {
-                ctx: index.ctx(q),
-                k: q.k,
-                heap,
-                results: Vec::with_capacity(q.k),
-                group,
-            }
+impl std::fmt::Display for BatchOrder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BatchOrder::Hilbert => "hilbert",
+            BatchOrder::Input => "input",
         })
-        .collect();
+    }
+}
 
-    // Bucket the queries by their front node; a lazy max-heap on bucket
-    // sizes implements the paper's greedy "most frequent front entry first"
-    // rule without rescanning every queue per round.
-    let mut buckets: HashMap<NodeId, Vec<usize>> = HashMap::new();
-    let mut sizes: BinaryHeap<(usize, NodeId)> = BinaryHeap::new();
-    let park = |st: &mut QueryState<'_>,
-                    qi: usize,
-                    buckets: &mut HashMap<NodeId, Vec<usize>>,
-                    sizes: &mut BinaryHeap<(usize, NodeId)>| {
-        st.drain_hits();
-        if st.done() {
-            return;
+/// Tuning knobs of [`TarIndex::query_batch_collective_with`]. Every setting
+/// preserves the answers; only the schedule and the amount of sharing
+/// change.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchOptions {
+    /// Batch ordering (default: [`BatchOrder::Hilbert`]).
+    pub order: BatchOrder,
+    /// Whether the shared [`AggCache`] memoises aggregate computation
+    /// across the batch (default: `true`).
+    pub agg_cache: bool,
+    /// Queries per locality tile; node fetches are shared within a tile
+    /// (default: 64; `0` is treated as 1).
+    pub tile: usize,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            order: BatchOrder::default(),
+            agg_cache: true,
+            tile: 64,
         }
-        if let Some(front) = st.front_node() {
-            let bucket = buckets.entry(front).or_default();
-            bucket.push(qi);
-            sizes.push((bucket.len(), front));
-        }
-    };
-    for (qi, st) in states.iter_mut().enumerate() {
-        park(st, qi, &mut buckets, &mut sizes);
+    }
+}
+
+/// Per-axis Hilbert precision of the batch ordering: 16 bits × 3 axes keeps
+/// the key in one `u64` with far finer cells than any realistic batch needs.
+const HILBERT_BITS: u32 = 16;
+
+impl TarIndex {
+    /// Processes a batch of queries collectively with the default options
+    /// (Hilbert ordering, shared aggregate memoisation), sharing node
+    /// accesses and aggregate computation across the batch. Node accesses
+    /// are counted once per physical fetch in [`TarIndex::stats`].
+    ///
+    /// Returns one result list per query, in input order; each list is
+    /// bit-identical to what [`TarIndex::query`] returns for that query.
+    pub fn query_batch_collective(&self, queries: &[KnntaQuery]) -> Vec<Vec<QueryHit>> {
+        self.query_batch_collective_with(queries, &BatchOptions::default())
     }
 
-    let mut cache: AggCache = HashMap::new();
-    while let Some((count, node_id)) = sizes.pop() {
-        // Skip stale heap entries (the bucket grew — a bigger entry exists —
-        // or was already consumed).
-        match buckets.get(&node_id) {
-            Some(waiting) if waiting.len() == count => {}
-            _ => continue,
-        }
-        let waiting = buckets.remove(&node_id).expect("bucket exists");
-        let node = tree.access_node(node_id);
-        for qi in waiting {
-            let st = &mut states[qi];
-            debug_assert_eq!(st.front_node(), Some(node_id));
-            st.heap.pop();
-            // The aggregates of this node's entries over the group's
-            // interval, computed once per (group, node).
-            let aggs = cache.entry((st.group, node_id)).or_insert_with(|| {
-                node.entries
-                    .iter()
-                    .map(|e| e.aug.aggregate_over(st.ctx.grid, st.ctx.iq))
-                    .collect()
-            });
-            for (e, &agg) in node.entries.iter().zip(aggs.iter()) {
-                let s0 = e.rect.project2().min_dist2(&st.ctx.q).sqrt();
-                match &e.payload {
-                    EntryPayload::Data(poi) => {
-                        let hit = st.ctx.hit(poi.id, s0, agg);
-                        st.heap.push(Prioritised {
-                            score: hit.score,
-                            item: Frontier::Hit(hit),
-                        });
+    /// [`TarIndex::query_batch_collective`] with explicit [`BatchOptions`].
+    pub fn query_batch_collective_with(
+        &self,
+        queries: &[KnntaQuery],
+        opts: &BatchOptions,
+    ) -> Vec<Vec<QueryHit>> {
+        with_tree!(self, t => collective_on_nodes(&MemNodes(t), self.stats(), self, queries, opts))
+    }
+
+    /// [`TarIndex::query_batch_collective_with`] against an explicit storage
+    /// backend, so the buffer pool behind [`StorageBackend::Paged`] sees the
+    /// Hilbert ordering's locality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a paged backend is stale (the index changed since it was
+    /// materialised).
+    pub fn query_batch_collective_on(
+        &self,
+        queries: &[KnntaQuery],
+        opts: &BatchOptions,
+        backend: StorageBackend<'_>,
+    ) -> Vec<Vec<QueryHit>> {
+        match backend {
+            StorageBackend::InMemory => self.query_batch_collective_with(queries, opts),
+            StorageBackend::Paged(paged) => {
+                paged.check_fresh(self.content_epoch);
+                match &paged.store {
+                    PagedStoreImpl::D3(s) => {
+                        collective_on_nodes(s, self.stats(), self, queries, opts)
                     }
-                    EntryPayload::Child(c) => {
-                        let (score, _) = st.ctx.score(s0, agg);
-                        st.heap.push(Prioritised {
-                            score,
-                            item: Frontier::Node(*c),
-                        });
+                    PagedStoreImpl::D2(s) => {
+                        collective_on_nodes(s, self.stats(), self, queries, opts)
                     }
                 }
             }
-            park(&mut states[qi], qi, &mut buckets, &mut sizes);
         }
     }
-    states.into_iter().map(|st| st.results).collect()
+
+    /// Processes the batch one query at a time (the "individual" baseline of
+    /// the paper's batch experiments): every query pays its own node
+    /// accesses and recomputes every aggregate.
+    pub fn query_batch_individual(&self, queries: &[KnntaQuery]) -> Vec<Vec<QueryHit>> {
+        queries.iter().map(|q| self.query(q)).collect()
+    }
+
+    /// [`TarIndex::query_batch_individual`] against an explicit storage
+    /// backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a paged backend is stale.
+    pub fn query_batch_individual_on(
+        &self,
+        queries: &[KnntaQuery],
+        backend: StorageBackend<'_>,
+    ) -> Vec<Vec<QueryHit>> {
+        queries.iter().map(|q| self.query_on(q, backend)).collect()
+    }
+
+    /// The processing order [`TarIndex::query_batch_collective_with`] uses
+    /// for `queries`: a permutation of `0..queries.len()`.
+    ///
+    /// The Hilbert order is a pure function of the query *values* — ties on
+    /// the curve key are broken by the full query content — so it is
+    /// deterministic under permutation of the batch: reordering the input
+    /// permutes the returned indices but never the visit sequence of the
+    /// query values themselves (`crates/core/tests/hilbert_props.rs` pins
+    /// this down).
+    pub fn batch_order(&self, queries: &[KnntaQuery], order: BatchOrder) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..queries.len()).collect();
+        if order == BatchOrder::Input {
+            return idx;
+        }
+        let grid = self.grid();
+        let t0 = grid.t0().seconds() as f64;
+        let span = (grid.tc().seconds() - grid.t0().seconds()) as f64;
+        let keys: Vec<u64> = queries
+            .iter()
+            .map(|q| {
+                let p = self.norm(q.point);
+                let mid =
+                    0.5 * (q.interval.start().seconds() as f64 + q.interval.end().seconds() as f64);
+                let t = if span > 0.0 { (mid - t0) / span } else { 0.0 };
+                hilbert::hilbert_key([p[0], p[1], t], HILBERT_BITS)
+            })
+            .collect();
+        // Tie-break by full query content (then input position, which only
+        // separates byte-identical — hence interchangeable — queries), so
+        // the order is a function of the multiset of queries, not of their
+        // arrival order.
+        let content = |q: &KnntaQuery| {
+            (
+                q.point[0].to_bits(),
+                q.point[1].to_bits(),
+                q.interval.start().seconds(),
+                q.interval.end().seconds(),
+                q.k,
+                q.alpha0.to_bits(),
+            )
+        };
+        idx.sort_by(|&a, &b| {
+            keys[a]
+                .cmp(&keys[b])
+                .then_with(|| content(&queries[a]).cmp(&content(&queries[b])))
+                .then(a.cmp(&b))
+        });
+        idx
+    }
+}
+
+/// One query's in-flight state: the same bound-pruned best-first search as
+/// `bfs_query_nodes`, suspended whenever it needs a node fetched.
+struct BatchQuery<'a> {
+    ctx: QueryCtx<'a>,
+    /// The query's contained-epoch range (the aggregate memo key).
+    range: Range<usize>,
+    /// Node frontier (min-heap on `(key, NodeId)`).
+    heap: BinaryHeap<NodeCand>,
+    topk: TopK,
+}
+
+impl BatchQuery<'_> {
+    /// The node the query needs next: its frontier front, unless the front's
+    /// lower bound already exceeds `f(p_k)` — then the query is finished and
+    /// the rest of its frontier is dropped, exactly like the individual
+    /// search's early exit.
+    fn front(&mut self) -> Option<NodeId> {
+        match self.heap.peek() {
+            Some(cand) if cand.key <= self.topk.bound() => Some(cand.id),
+            Some(_) => {
+                self.heap.clear();
+                None
+            }
+            None => None,
+        }
+    }
+}
+
+/// Re-files a query under the bucket of its next front node (or retires it).
+fn park(
+    qi: usize,
+    st: &mut BatchQuery<'_>,
+    buckets: &mut HashMap<NodeId, Vec<usize>>,
+    sizes: &mut BinaryHeap<(usize, NodeId)>,
+) {
+    if let Some(front) = st.front() {
+        let bucket = buckets.entry(front).or_default();
+        bucket.push(qi);
+        sizes.push((bucket.len(), front));
+    }
+}
+
+/// The collective traversal over any node source.
+///
+/// Within a tile, queries are bucketed by their front node and a lazy
+/// max-heap on bucket sizes implements the paper's greedy "most frequent
+/// front entry first" rule; each physical fetch is consumed by every query
+/// currently waiting on that node.
+fn collective_on_nodes<const D: usize, N: NodeSource<D>>(
+    nodes: &N,
+    stats: &AccessStats,
+    index: &TarIndex,
+    queries: &[KnntaQuery],
+    opts: &BatchOptions,
+) -> Vec<Vec<QueryHit>> {
+    let mut results: Vec<Vec<QueryHit>> = vec![Vec::new(); queries.len()];
+    // Empty batches, all-k=0 batches and empty trees terminate here, before
+    // any tree access (including the root-TIA normaliser scan).
+    let active: Vec<usize> = (0..queries.len()).filter(|&i| queries[i].k > 0).collect();
+    if active.is_empty() || nodes.is_empty() {
+        return results;
+    }
+
+    let order: Vec<usize> = {
+        let picked: Vec<KnntaQuery> = active.iter().map(|&i| queries[i]).collect();
+        index
+            .batch_order(&picked, opts.order)
+            .into_iter()
+            .map(|i| active[i])
+            .collect()
+    };
+
+    // Group queries by contained-epoch range (the paper groups by identical
+    // interval; ranges subsume that) and compute the shared `gmax`
+    // normaliser once per distinct range — identical to the per-query value
+    // of `aggregate_normalizer`, which also only depends on the range.
+    let grid = index.grid();
+    let root_max = index.root_max_series();
+    let mut gmax_of: HashMap<(usize, usize), f64> = HashMap::new();
+    let mut ranges: Vec<Range<usize>> = vec![0..0; queries.len()];
+    for &qi in &active {
+        let r = grid.epochs_within(queries[qi].interval);
+        gmax_of
+            .entry((r.start, r.end))
+            .or_insert_with(|| (root_max.sum_range(r.clone()) as f64).max(1.0));
+        ranges[qi] = r;
+    }
+
+    let mut cache = opts.agg_cache.then(AggCache::new);
+    let root = nodes.root();
+
+    for tile in order.chunks(opts.tile.max(1)) {
+        let mut states: HashMap<usize, BatchQuery<'_>> = tile
+            .iter()
+            .map(|&qi| {
+                let q = &queries[qi];
+                let range = ranges[qi].clone();
+                let gmax = gmax_of[&(range.start, range.end)];
+                let mut heap = BinaryHeap::new();
+                heap.push(NodeCand { key: 0.0, id: root });
+                (
+                    qi,
+                    BatchQuery {
+                        ctx: index.ctx_with_normalizer(q, gmax),
+                        range,
+                        heap,
+                        topk: TopK::new(q.k),
+                    },
+                )
+            })
+            .collect();
+
+        // Buckets of queries waiting on the same front node, with a lazy
+        // max-heap on (bucket size, node) selecting the hottest node next.
+        let mut buckets: HashMap<NodeId, Vec<usize>> = HashMap::new();
+        let mut sizes: BinaryHeap<(usize, NodeId)> = BinaryHeap::new();
+        for &qi in tile {
+            let st = states.get_mut(&qi).expect("tile query has state");
+            park(qi, st, &mut buckets, &mut sizes);
+        }
+
+        while let Some((count, node_id)) = sizes.pop() {
+            // Skip stale heap entries: the bucket was already consumed, or
+            // it grew and a larger entry for it exists.
+            match buckets.get(&node_id) {
+                Some(waiting) if waiting.len() == count => {}
+                _ => continue,
+            }
+            let waiting = buckets.remove(&node_id).expect("bucket just checked");
+            nodes.with_node(node_id, |node| {
+                stats.record_node_access();
+                if node.is_leaf() {
+                    stats.record_leaf_access();
+                }
+                for qi in waiting {
+                    let st = states.get_mut(&qi).expect("waiting query has state");
+                    debug_assert_eq!(st.heap.peek().map(|c| c.id), Some(node_id));
+                    st.heap.pop();
+                    let mut scratch: Vec<u64> = Vec::new();
+                    let aggs: &[u64] = match &mut cache {
+                        Some(c) => c.node_aggregates(
+                            node_id,
+                            st.range.clone(),
+                            node.entries.iter().map(|e| &e.aug),
+                        ),
+                        None => {
+                            scratch.extend(
+                                node.entries.iter().map(|e| e.aug.sum_range(st.range.clone())),
+                            );
+                            &scratch
+                        }
+                    };
+                    for (e, &agg) in node.entries.iter().zip(aggs.iter()) {
+                        let s0 = e.rect.project2().min_dist2(&st.ctx.q).sqrt();
+                        match &e.payload {
+                            EntryPayload::Data(poi) => {
+                                let hit = st.ctx.hit(poi.id, s0, agg);
+                                st.topk.push(hit);
+                            }
+                            EntryPayload::Child(c) => {
+                                let (key, _) = st.ctx.score(s0, agg);
+                                st.heap.push(NodeCand { key, id: *c });
+                            }
+                        }
+                    }
+                    park(qi, st, &mut buckets, &mut sizes);
+                }
+            });
+        }
+
+        for (qi, st) in states {
+            results[qi] = st.topk.into_sorted_vec();
+        }
+    }
+    results
 }
 
 #[cfg(test)]
@@ -193,110 +404,193 @@ mod tests {
     use super::*;
     use crate::index::tests::paper_example;
     use crate::index::{Grouping, IndexConfig};
+    use tempora::TimeInterval;
 
-    fn example_index() -> TarIndex {
+    fn example(grouping: Grouping) -> TarIndex {
         let (grid, bounds, pois) = paper_example();
-        TarIndex::build(
-            IndexConfig::with_grouping(Grouping::TarIntegral),
-            grid,
-            bounds,
-            pois,
-        )
+        TarIndex::build(IndexConfig::with_grouping(grouping), grid, bounds, pois)
     }
 
-    fn example_queries() -> Vec<KnntaQuery> {
-        let mut qs = Vec::new();
-        for (i, &(x, y)) in [
-            (1.0, 1.0),
-            (4.0, 4.5),
-            (9.0, 9.0),
-            (5.0, 5.0),
-            (2.0, 8.0),
-            (8.0, 2.0),
+    fn mixed_batch() -> Vec<KnntaQuery> {
+        vec![
+            KnntaQuery::new([4.0, 4.5], TimeInterval::days(0, 3))
+                .with_k(3)
+                .with_alpha0(0.3),
+            KnntaQuery::new([9.4, 2.1], TimeInterval::days(1, 3))
+                .with_k(1)
+                .with_alpha0(0.9),
+            KnntaQuery::new([1.0, 9.0], TimeInterval::days(0, 1))
+                .with_k(5)
+                .with_alpha0(0.5),
+            KnntaQuery::new([6.0, 5.0], TimeInterval::days(0, 2))
+                .with_k(12)
+                .with_alpha0(0.2),
+            KnntaQuery::new([4.0, 4.5], TimeInterval::days(0, 3))
+                .with_k(3)
+                .with_alpha0(0.3),
         ]
-        .iter()
-        .enumerate()
-        {
-            // Two interval types.
-            let iv = if i % 2 == 0 {
-                TimeInterval::days(0, 3)
-            } else {
-                TimeInterval::days(1, 3)
-            };
-            qs.push(KnntaQuery::new([x, y], iv).with_k(3).with_alpha0(0.3));
+    }
+
+    fn assert_bit_identical(a: &[Vec<QueryHit>], b: &[Vec<QueryHit>], tag: &str) {
+        assert_eq!(a.len(), b.len(), "{tag}");
+        for (i, (xs, ys)) in a.iter().zip(b.iter()).enumerate() {
+            assert_eq!(xs.len(), ys.len(), "{tag} query {i}");
+            for (x, y) in xs.iter().zip(ys) {
+                assert_eq!(x.poi, y.poi, "{tag} query {i}");
+                assert_eq!(x.score.to_bits(), y.score.to_bits(), "{tag} query {i}");
+                assert_eq!(x.aggregate, y.aggregate, "{tag} query {i}");
+            }
         }
-        qs
     }
 
     #[test]
     fn collective_matches_individual_results() {
-        let index = example_index();
-        let queries = example_queries();
-        let collective = index.query_batch_collective(&queries);
-        let individual = index.query_batch_individual(&queries);
-        assert_eq!(collective.len(), individual.len());
-        for (c, i) in collective.iter().zip(&individual) {
-            let cs: Vec<_> = c.iter().map(|h| (h.poi, h.aggregate)).collect();
-            let is: Vec<_> = i.iter().map(|h| (h.poi, h.aggregate)).collect();
-            assert_eq!(cs, is);
+        let batch = mixed_batch();
+        for grouping in [Grouping::TarIntegral, Grouping::IndSpa, Grouping::IndAgg] {
+            let index = example(grouping);
+            let individual = index.query_batch_individual(&batch);
+            for order in [BatchOrder::Hilbert, BatchOrder::Input] {
+                for agg_cache in [true, false] {
+                    let opts = BatchOptions {
+                        order,
+                        agg_cache,
+                        ..BatchOptions::default()
+                    };
+                    let collective = index.query_batch_collective_with(&batch, &opts);
+                    assert_bit_identical(
+                        &collective,
+                        &individual,
+                        &format!("{grouping} {order} cache={agg_cache}"),
+                    );
+                }
+            }
         }
     }
 
     #[test]
     fn collective_shares_node_accesses() {
-        let index = example_index();
-        // Many identical queries: the collective scheme should fetch each
-        // node once, the individual scheme once per query.
-        let q = KnntaQuery::new([4.0, 4.5], TimeInterval::days(0, 3)).with_k(3);
-        let queries = vec![q; 20];
+        let index = example(Grouping::TarIntegral);
+        let q = KnntaQuery::new([4.0, 4.5], TimeInterval::days(0, 3))
+            .with_k(3)
+            .with_alpha0(0.3);
+        let batch = vec![q; 20];
+
         index.stats().reset();
-        let _ = index.query_batch_collective(&queries);
-        let shared = index.stats().node_accesses();
-        index.stats().reset();
-        let _ = index.query_batch_individual(&queries);
+        let _ = index.query_batch_individual(&batch);
         let individual = index.stats().node_accesses();
+
+        index.stats().reset();
+        let _ = index.query_batch_collective(&batch);
+        let shared = index.stats().node_accesses();
+
+        assert!(shared >= 1);
         assert!(
             shared * 10 <= individual,
-            "collective {shared} vs individual {individual}"
+            "expected ≥10× sharing on identical queries, got {shared} vs {individual}"
         );
     }
 
     #[test]
-    fn empty_batch() {
-        let index = example_index();
-        assert!(index.query_batch_collective(&[]).is_empty());
+    fn collective_never_exceeds_individual_accesses() {
+        let batch = mixed_batch();
+        for order in [BatchOrder::Hilbert, BatchOrder::Input] {
+            let index = example(Grouping::TarIntegral);
+            index.stats().reset();
+            let _ = index.query_batch_individual(&batch);
+            let individual = index.stats().node_accesses();
+
+            index.stats().reset();
+            let opts = BatchOptions {
+                order,
+                ..BatchOptions::default()
+            };
+            let _ = index.query_batch_collective_with(&batch, &opts);
+            let shared = index.stats().node_accesses();
+            assert!(shared <= individual, "{order}: {shared} > {individual}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_touches_nothing() {
+        let index = example(Grouping::TarIntegral);
+        index.stats().reset();
+        let results = index.query_batch_collective(&[]);
+        assert!(results.is_empty());
+        assert_eq!(index.stats().node_accesses(), 0);
+    }
+
+    #[test]
+    fn all_k_zero_batch_touches_nothing() {
+        let index = example(Grouping::TarIntegral);
+        let batch = vec![
+            KnntaQuery::new([4.0, 4.5], TimeInterval::days(0, 3)).with_k(0),
+            KnntaQuery::new([1.0, 2.0], TimeInterval::days(1, 2)).with_k(0),
+        ];
+        index.stats().reset();
+        let results = index.query_batch_collective(&batch);
+        assert_eq!(results.len(), 2);
+        assert!(results.iter().all(Vec::is_empty));
+        assert_eq!(index.stats().node_accesses(), 0);
     }
 
     #[test]
     fn batch_with_k_zero_query() {
-        let index = example_index();
-        let mut q = KnntaQuery::new([4.0, 4.5], TimeInterval::days(0, 3));
-        q.k = 0;
-        let res = index.query_batch_collective(&[q]);
-        assert_eq!(res.len(), 1);
-        assert!(res[0].is_empty());
+        let index = example(Grouping::TarIntegral);
+        let mut batch = mixed_batch();
+        batch.insert(2, KnntaQuery::new([5.0, 5.0], TimeInterval::days(0, 3)).with_k(0));
+        let collective = index.query_batch_collective(&batch);
+        assert!(collective[2].is_empty());
+        let individual = index.query_batch_individual(&batch);
+        assert_bit_identical(&collective, &individual, "k=0 mixed in");
     }
 
     #[test]
-    fn mixed_parameters_batch() {
-        let index = example_index();
-        let mut queries = Vec::new();
-        for alpha0 in [0.1, 0.5, 0.9] {
-            for k in [1, 5] {
-                queries.push(
-                    KnntaQuery::new([3.0, 3.0], TimeInterval::days(0, 2))
-                        .with_k(k)
-                        .with_alpha0(alpha0),
-                );
-            }
+    fn empty_index_batch_is_empty() {
+        let (grid, bounds, _) = paper_example();
+        let index = TarIndex::new(IndexConfig::default(), grid, bounds);
+        index.stats().reset();
+        let results = index.query_batch_collective(&mixed_batch());
+        assert!(results.iter().all(Vec::is_empty));
+        assert_eq!(index.stats().node_accesses(), 0);
+    }
+
+    #[test]
+    fn tiny_tiles_stay_exact() {
+        let index = example(Grouping::TarIntegral);
+        let batch = mixed_batch();
+        let individual = index.query_batch_individual(&batch);
+        for tile in [1, 2, 3] {
+            let opts = BatchOptions {
+                tile,
+                ..BatchOptions::default()
+            };
+            let collective = index.query_batch_collective_with(&batch, &opts);
+            assert_bit_identical(&collective, &individual, &format!("tile={tile}"));
         }
-        let collective = index.query_batch_collective(&queries);
-        for (q, got) in queries.iter().zip(&collective) {
-            let want = index.query(q);
-            assert_eq!(
-                got.iter().map(|h| h.poi).collect::<Vec<_>>(),
-                want.iter().map(|h| h.poi).collect::<Vec<_>>()
-            );
+    }
+
+    #[test]
+    fn batch_order_is_a_permutation() {
+        let index = example(Grouping::TarIntegral);
+        let batch = mixed_batch();
+        for order in [BatchOrder::Hilbert, BatchOrder::Input] {
+            let mut perm = index.batch_order(&batch, order);
+            assert_eq!(perm.len(), batch.len());
+            perm.sort_unstable();
+            assert_eq!(perm, (0..batch.len()).collect::<Vec<_>>());
         }
+        assert_eq!(
+            index.batch_order(&batch, BatchOrder::Input),
+            (0..batch.len()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn batch_order_parse_roundtrip() {
+        assert_eq!(BatchOrder::parse("hilbert"), Some(BatchOrder::Hilbert));
+        assert_eq!(BatchOrder::parse("input"), Some(BatchOrder::Input));
+        assert_eq!(BatchOrder::parse("zorder"), None);
+        assert_eq!(BatchOrder::Hilbert.to_string(), "hilbert");
+        assert_eq!(BatchOrder::Input.to_string(), "input");
     }
 }

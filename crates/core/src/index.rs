@@ -8,7 +8,6 @@ use crate::poi::{KnntaQuery, Poi, QueryHit};
 use crate::storage::{MemNodes, NodeSource};
 use pagestore::AccessStats;
 use rtree::{EntryPayload, RStarGrouping, RStarTree, RTreeParams, Rect};
-use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 use tempora::{AggregateSeries, EpochGrid, PoiId, TimeInterval};
 
@@ -479,6 +478,15 @@ impl TarIndex {
     }
 
     pub(crate) fn ctx(&self, query: &KnntaQuery) -> QueryCtx<'_> {
+        self.ctx_with_normalizer(query, self.aggregate_normalizer(query.interval))
+    }
+
+    /// [`TarIndex::ctx`] with a caller-supplied `gmax` — the batch paths
+    /// compute the normaliser once per distinct epoch range instead of once
+    /// per query. Passing the value [`TarIndex::aggregate_normalizer`]
+    /// returns for the query's interval yields a context identical to
+    /// [`TarIndex::ctx`]'s.
+    pub(crate) fn ctx_with_normalizer(&self, query: &KnntaQuery, gmax: f64) -> QueryCtx<'_> {
         assert!(
             query.point[0].is_finite() && query.point[1].is_finite(),
             "query point must be finite, got {:?}",
@@ -489,7 +497,7 @@ impl TarIndex {
             iq: query.interval,
             alpha0: query.alpha0,
             alpha1: query.alpha1(),
-            gmax: self.aggregate_normalizer(query.interval),
+            gmax,
             grid: &self.grid,
             scale: self.scale(),
         }
@@ -554,47 +562,6 @@ impl QueryCtx<'_> {
             distance: s0 * self.scale,
             aggregate,
         }
-    }
-}
-
-/// A prioritised BFS frontier element (used by the collective batch
-/// traversal; the single-query paths keep hits out of the frontier — see
-/// [`bfs_query_src`]).
-pub(crate) enum Frontier {
-    Node(rtree::NodeId),
-    Hit(QueryHit),
-}
-
-pub(crate) struct Prioritised {
-    pub score: f64,
-    pub item: Frontier,
-}
-
-impl PartialEq for Prioritised {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
-    }
-}
-impl Eq for Prioritised {}
-impl PartialOrd for Prioritised {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Prioritised {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap by score; on ties, hits pop before nodes (their scores
-        // are exact), then by POI id for determinism.
-        let by_score = other
-            .score
-            .partial_cmp(&self.score)
-            .unwrap_or(Ordering::Equal);
-        by_score.then_with(|| match (&self.item, &other.item) {
-            (Frontier::Hit(a), Frontier::Hit(b)) => b.poi.cmp(&a.poi),
-            (Frontier::Hit(_), Frontier::Node(_)) => Ordering::Greater,
-            (Frontier::Node(_), Frontier::Hit(_)) => Ordering::Less,
-            (Frontier::Node(a), Frontier::Node(b)) => b.cmp(a),
-        })
     }
 }
 

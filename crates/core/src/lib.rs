@@ -22,7 +22,9 @@
 //!   algorithm (BBS over the TAR-tree).
 //! * [`TarIndex::query_batch_collective`] — the collective processing
 //!   scheme (Section 7.2) sharing node accesses and aggregate computation
-//!   across a query batch.
+//!   across a query batch, with Hilbert-curve batch ordering
+//!   ([`BatchOrder`], [`hilbert`]) and shared TIA aggregate memoisation
+//!   ([`AggCache`]).
 //! * [`TarIndex::query_parallel`] — intra-query parallel best-first search
 //!   over a work-stealing sharded frontier, bit-identical to
 //!   [`TarIndex::query`] for every thread count.
@@ -60,6 +62,7 @@
 
 #![warn(missing_docs)]
 
+mod agg_cache;
 mod agg_grouping;
 mod augmentation;
 mod baseline;
@@ -67,6 +70,7 @@ mod collective;
 mod disk_tia;
 mod frontier;
 mod geo;
+pub mod hilbert;
 mod index;
 mod live;
 mod mwa;
@@ -76,9 +80,11 @@ mod poi;
 mod skyline;
 mod storage;
 
+pub use agg_cache::AggCache;
 pub use agg_grouping::AggGrouping;
 pub use augmentation::TiaAug;
 pub use baseline::ScanBaseline;
+pub use collective::{BatchOptions, BatchOrder};
 pub use disk_tia::DiskTias;
 pub use frontier::{FrontierTrace, PopEvent};
 pub use geo::{haversine_km, GeoPoint, GeoProjector, EARTH_RADIUS_KM};

@@ -156,7 +156,7 @@ impl<const D: usize> NodeSource<D> for PagedNodeStore<D, Poi, AggregateSeries, T
 }
 
 /// The concrete paged store behind a [`PagedNodes`], by grouping dimension.
-enum PagedStoreImpl {
+pub(crate) enum PagedStoreImpl {
     D3(PagedNodeStore<3, Poi, AggregateSeries, TarNodeCodec>),
     D2(PagedNodeStore<2, Poi, AggregateSeries, TarNodeCodec>),
 }
@@ -168,7 +168,7 @@ enum PagedStoreImpl {
 /// panics. Build one with [`TarIndex::materialize_paged_nodes`] and pass it
 /// to the query entry points via [`StorageBackend::Paged`].
 pub struct PagedNodes {
-    store: PagedStoreImpl,
+    pub(crate) store: PagedStoreImpl,
     grouping: Grouping,
     config: BufferPoolConfig,
     built_at: u64,
@@ -226,7 +226,7 @@ impl PagedNodes {
         }
     }
 
-    fn check_fresh(&self, content_epoch: u64) {
+    pub(crate) fn check_fresh(&self, content_epoch: u64) {
         assert_eq!(
             self.built_at, content_epoch,
             "paged nodes are stale; rematerialise after index changes"

@@ -1,0 +1,112 @@
+//! Property tests for the shared TIA aggregate memoisation ([`AggCache`]):
+//! a cached `g(p, Iq)` is bit-identical to a from-scratch recomputation for
+//! 10k random probes, and hit/miss accounting matches a plain-`HashMap`
+//! shadow model replaying the same probe sequence.
+
+use knnta_core::AggCache;
+use knnta_util::prop::check;
+use knnta_util::rng::{Rng, StdRng};
+use rtree::NodeId;
+use std::collections::HashMap;
+use tempora::AggregateSeries;
+
+fn random_series(rng: &mut StdRng, epochs: usize) -> AggregateSeries {
+    let mut pairs: Vec<(u32, u64)> = Vec::new();
+    for e in 0..epochs as u32 {
+        if rng.gen_bool(0.6) {
+            pairs.push((e, rng.gen_range(0..1_000_000u64)));
+        }
+    }
+    AggregateSeries::from_pairs(pairs)
+}
+
+#[test]
+fn cached_aggregates_equal_from_scratch_for_10k_probes() {
+    let mut rng = StdRng::seed_from_u64(0xA66C_ACE5);
+    let epochs = 40usize;
+    let nodes = 24usize;
+    // Per node: a stable entry list, as in the tree.
+    let node_series: Vec<Vec<AggregateSeries>> = (0..nodes)
+        .map(|_| {
+            let entries = rng.gen_range(1..=12usize);
+            (0..entries).map(|_| random_series(&mut rng, epochs)).collect()
+        })
+        .collect();
+    let mut cache = AggCache::new();
+    for probe in 0..10_000usize {
+        let node = rng.gen_range(0..nodes);
+        let start = rng.gen_range(0..=epochs);
+        let end = rng.gen_range(0..=epochs);
+        let range = start..end; // empty and inverted ranges included
+        let series = &node_series[node];
+        let got = cache
+            .node_aggregates(NodeId(node as u32), range.clone(), series.iter())
+            .to_vec();
+        let want: Vec<u64> = series.iter().map(|s| s.sum_range(range.clone())).collect();
+        assert_eq!(got, want, "probe {probe}: node {node} range {range:?}");
+    }
+    assert_eq!(cache.hits() + cache.misses(), 10_000);
+    assert_eq!(cache.len() as u64, cache.misses());
+}
+
+#[test]
+fn hit_accounting_matches_a_shadow_model() {
+    check("agg_cache_shadow_model", 150, |g| {
+        let epochs = g.usize_in(2..20);
+        let nodes = g.usize_in(1..8);
+        let node_series: Vec<Vec<AggregateSeries>> = (0..nodes)
+            .map(|_| {
+                let entries = g.usize_in(1..6);
+                (0..entries)
+                    .map(|_| {
+                        let pairs = g.vec(0, epochs, |g| {
+                            (g.u32_in(0..epochs as u32), g.u64_in(0..1000))
+                        });
+                        let mut dedup: Vec<(u32, u64)> = Vec::new();
+                        for (e, v) in pairs {
+                            if !dedup.iter().any(|&(d, _)| d == e) {
+                                dedup.push((e, v));
+                            }
+                        }
+                        dedup.sort_unstable();
+                        AggregateSeries::from_pairs(dedup)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut cache = AggCache::new();
+        let mut shadow: HashMap<(usize, usize, u32), Vec<u64>> = HashMap::new();
+        let (mut hits, mut misses) = (0u64, 0u64);
+        let probes = g.usize_in(1..120);
+        for _ in 0..probes {
+            let node = g.usize_in(0..nodes);
+            let start = g.usize_in(0..epochs + 1);
+            let end = g.usize_in(0..epochs + 1);
+            let key = (start, end, node as u32);
+            let series = &node_series[node];
+            let got = cache
+                .node_aggregates(NodeId(node as u32), start..end, series.iter())
+                .to_vec();
+            match shadow.get(&key) {
+                Some(want) => {
+                    hits += 1;
+                    assert_eq!(&got, want, "cached probe diverged from the model");
+                }
+                None => {
+                    misses += 1;
+                    let want: Vec<u64> =
+                        series.iter().map(|s| s.sum_range(start..end)).collect();
+                    assert_eq!(got, want, "fresh probe diverged from from-scratch");
+                    shadow.insert(key, want);
+                }
+            }
+            assert_eq!(
+                (cache.hits(), cache.misses(), cache.len()),
+                (hits, misses, shadow.len()),
+                "accounting diverged from the shadow model"
+            );
+        }
+        assert_eq!(cache.is_empty(), shadow.is_empty());
+    });
+}

@@ -1,0 +1,163 @@
+//! Property tests for the Hilbert-curve batch ordering (`hilbert.rs` and
+//! [`TarIndex::batch_order`]): bijectivity on the quantised grid, the
+//! locality bound (curve-adjacent ranks are grid-adjacent cells), and
+//! determinism of the batch order under input permutation.
+
+use knnta_core::hilbert::{hilbert_coords, hilbert_index, quantize};
+use knnta_core::{BatchOrder, Grouping, IndexConfig, KnntaQuery, Poi, TarIndex};
+use knnta_util::prop::{check, Gen};
+use knnta_util::rng::Rng;
+use tempora::{AggregateSeries, EpochGrid, TimeInterval, Timestamp};
+
+fn coords<const D: usize>(g: &mut Gen, bits: u32) -> [u32; D] {
+    let mut c = [0u32; D];
+    for v in c.iter_mut() {
+        *v = g.u32_in(0..1u32 << bits);
+    }
+    c
+}
+
+#[test]
+fn index_then_coords_is_identity_3d() {
+    check("hilbert_roundtrip_3d", 400, |g| {
+        let bits = g.u32_in(1..22); // 3·21 = 63 ≤ 64
+        let c = coords::<3>(g, bits);
+        let h = hilbert_index(c, bits);
+        assert_eq!(hilbert_coords::<3>(h, bits), c, "bits={bits} h={h}");
+    });
+}
+
+#[test]
+fn coords_then_index_is_identity_2d() {
+    check("hilbert_roundtrip_2d", 400, |g| {
+        let bits = g.u32_in(1..33);
+        let span = (2u32 * bits).min(63);
+        let h = g.u64_in(0..1u64 << span);
+        let c = hilbert_coords::<2>(h, bits);
+        assert_eq!(hilbert_index(c, bits), h, "bits={bits} h={h}");
+    });
+}
+
+#[test]
+fn distinct_cells_get_distinct_ranks() {
+    check("hilbert_injective", 400, |g| {
+        let bits = g.u32_in(1..17);
+        let a = coords::<3>(g, bits);
+        let b = coords::<3>(g, bits);
+        if a != b {
+            assert_ne!(
+                hilbert_index(a, bits),
+                hilbert_index(b, bits),
+                "bits={bits} {a:?} vs {b:?}"
+            );
+        }
+    });
+}
+
+#[test]
+fn adjacent_ranks_are_adjacent_cells() {
+    // The locality property Z-order lacks: |rank difference| = 1 implies
+    // L1 cell distance exactly 1 (one step along one axis).
+    check("hilbert_locality", 400, |g| {
+        let bits = g.u32_in(1..17);
+        let last = (1u64 << (3 * bits)) - 1;
+        let h = g.u64_in(0..last);
+        let a = hilbert_coords::<3>(h, bits);
+        let b = hilbert_coords::<3>(h + 1, bits);
+        let l1: u64 = a.iter().zip(b.iter()).map(|(x, y)| x.abs_diff(*y) as u64).sum();
+        assert_eq!(l1, 1, "bits={bits} ranks {h},{} at {a:?},{b:?}", h + 1);
+    });
+}
+
+#[test]
+fn quantize_never_leaves_the_grid() {
+    check("hilbert_quantize_clamps", 400, |g| {
+        let bits = g.u32_in(1..17);
+        let wild = |g: &mut Gen| match g.weighted(&[6, 1, 1, 1]) {
+            0 => g.f64_in(-0.5..1.5),
+            1 => f64::NAN,
+            2 => f64::INFINITY,
+            _ => f64::NEG_INFINITY,
+        };
+        let p = [wild(g), wild(g), wild(g)];
+        let c = quantize(p, bits);
+        let limit = 1u64 << bits;
+        for (i, &v) in c.iter().enumerate() {
+            assert!((v as u64) < limit, "axis {i}: {p:?} -> {c:?} at bits={bits}");
+        }
+        // In-range coordinates quantise monotonically.
+        let x = g.f64_in(0.0..1.0);
+        let y = g.f64_in(0.0..1.0);
+        if x <= y {
+            assert!(quantize([x], bits)[0] <= quantize([y], bits)[0]);
+        }
+    });
+}
+
+/// A tiny index: the ordering only needs the grid + bounds normaliser.
+fn tiny_index(g: &mut Gen) -> TarIndex {
+    let epochs = g.usize_in(2..6);
+    let grid = EpochGrid::fixed_days(1, epochs);
+    let side = g.f64_in(10.0..1000.0);
+    let bounds = rtree::Rect::new([0.0, 0.0], [side, side]);
+    let pois = (0..8u32).map(|i| {
+        (
+            Poi::new(i, (i as f64 + 0.5) * side / 8.0, side / 2.0),
+            AggregateSeries::from_pairs([(0u32, i as u64)]),
+        )
+    });
+    TarIndex::build(
+        IndexConfig::with_grouping(Grouping::TarIntegral),
+        grid,
+        bounds,
+        pois,
+    )
+}
+
+fn random_query(g: &mut Gen, side: f64, epochs: usize) -> KnntaQuery {
+    let from = g.i64_in(0..epochs as i64);
+    let to = g.i64_in(from..epochs as i64 + 1);
+    KnntaQuery::new(
+        [g.f64_in(-0.1 * side..1.1 * side), g.f64_in(-0.1 * side..1.1 * side)],
+        TimeInterval::new(Timestamp::from_days(from), Timestamp::from_days(to)),
+    )
+    .with_k(g.usize_in(1..20))
+    .with_alpha0(g.f64_in(0.05..0.95))
+}
+
+#[test]
+fn batch_order_is_a_permutation_and_value_deterministic() {
+    check("batch_order_determinism", 120, |g| {
+        let index = tiny_index(g);
+        let side = index.bounds().max[0];
+        let epochs = index.grid().len();
+        let mut batch = g.vec(0, 40, |g| random_query(g, side, epochs));
+        // Seed some exact duplicates so tie-breaking is exercised.
+        if batch.len() >= 2 {
+            let dup = batch[0];
+            batch.push(dup);
+        }
+        let order = index.batch_order(&batch, BatchOrder::Hilbert);
+        // Permutation of 0..n.
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..batch.len()).collect::<Vec<_>>());
+        // Input order is the identity.
+        assert_eq!(
+            index.batch_order(&batch, BatchOrder::Input),
+            (0..batch.len()).collect::<Vec<_>>()
+        );
+        // Shuffle the batch: the *sequence of visited query values* must not
+        // change (the order is a function of the multiset, not the layout).
+        let mut perm: Vec<usize> = (0..batch.len()).collect();
+        for i in (1..perm.len()).rev() {
+            let j = g.rng().gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        let shuffled: Vec<KnntaQuery> = perm.iter().map(|&i| batch[i]).collect();
+        let reorder = index.batch_order(&shuffled, BatchOrder::Hilbert);
+        let visited_a: Vec<KnntaQuery> = order.iter().map(|&i| batch[i]).collect();
+        let visited_b: Vec<KnntaQuery> = reorder.iter().map(|&i| shuffled[i]).collect();
+        assert_eq!(visited_a, visited_b, "visit sequence changed under permutation");
+    });
+}

@@ -156,6 +156,17 @@ impl MvbtTia {
         }))
     }
 
+    /// Materialises the TIA's current records as cumulative per-epoch
+    /// partial sums under `grid`, in a **single** range scan of the MVBT.
+    ///
+    /// A batch of queries with overlapping intervals can then answer every
+    /// `aggregate_over` from the returned [`PrefixSums`] in `O(log s)`
+    /// without touching the tree again — the disk-side half of the
+    /// collective scheme's shared TIA aggregate memoisation.
+    pub fn partial_sums(&self, grid: &EpochGrid) -> tempora::PrefixSums {
+        self.to_series(grid).prefix_sums()
+    }
+
     /// Loads a whole [`AggregateSeries`] into an empty TIA.
     pub fn load_series(&mut self, grid: &EpochGrid, series: &AggregateSeries) {
         for (epoch, value) in series.iter() {
@@ -271,6 +282,25 @@ mod tests {
         // [1h, 15h] contains epochs 1, 2, 3.
         let iq = TimeInterval::new(Timestamp::from_hours(1), Timestamp::from_hours(15));
         assert_eq!(tia.aggregate_over(iq), 9);
+    }
+
+    #[test]
+    fn partial_sums_match_aggregate_over() {
+        let grid = EpochGrid::fixed_days(7, 40);
+        let (mut tia, _) = tia();
+        for e in (0..40usize).step_by(3) {
+            tia.insert_epoch(&grid, e, (e % 11 + 1) as u64);
+        }
+        let sums = tia.partial_sums(&grid);
+        assert_eq!(sums.total(), tia.aggregate_over(TimeInterval::days(0, 280)));
+        for (a, b) in [(0, 280), (7, 140), (8, 141), (100, 101), (35, 210)] {
+            let iq = TimeInterval::days(a, b);
+            assert_eq!(
+                sums.aggregate_over(&grid, iq),
+                tia.aggregate_over(iq),
+                "interval {iq}"
+            );
+        }
     }
 
     #[test]

@@ -279,6 +279,85 @@ impl FromIterator<(u32, u64)> for AggregateSeries {
     }
 }
 
+/// Cumulative per-epoch partial sums of an [`AggregateSeries`].
+///
+/// Built once per series ([`AggregateSeries::prefix_sums`]), it answers the
+/// temporal aggregate over *any* epoch range in `O(log s)` (two binary
+/// searches and a subtraction) instead of the `O(log s + s)` slice sum of
+/// [`AggregateSeries::sum_range`] — the substrate of the collective batch
+/// scheme's shared TIA aggregate memoisation, where many overlapping query
+/// intervals probe the same entry.
+///
+/// Sums are exact: values are `u64` and the cumulative total of a series
+/// cannot overflow in practice (it would require 2⁶⁴ check-ins).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PrefixSums {
+    /// `(epoch, cumulative sum of all values at epochs ≤ epoch)`, sorted by
+    /// epoch; one record per non-zero epoch of the source series.
+    entries: Vec<(u32, u64)>,
+}
+
+impl PrefixSums {
+    /// Cumulative sum over all epochs strictly before `epoch`.
+    fn cum_before(&self, epoch: usize) -> u64 {
+        let i = self
+            .entries
+            .partition_point(|&(e, _)| (e as usize) < epoch);
+        if i == 0 {
+            0
+        } else {
+            self.entries[i - 1].1
+        }
+    }
+
+    /// Sum of the source series over epoch indices in `range` — equal to
+    /// [`AggregateSeries::sum_range`] on the series this was built from.
+    pub fn sum_range(&self, range: std::ops::Range<usize>) -> u64 {
+        if range.start >= range.end {
+            return 0;
+        }
+        self.cum_before(range.end) - self.cum_before(range.start)
+    }
+
+    /// The temporal aggregate `g(p, Iq)`: sum of the records whose epoch
+    /// `[ts, te] ⊆ iq` — equal to [`AggregateSeries::aggregate_over`].
+    pub fn aggregate_over(&self, grid: &EpochGrid, iq: TimeInterval) -> u64 {
+        self.sum_range(grid.epochs_within(iq))
+    }
+
+    /// Total over all epochs.
+    pub fn total(&self) -> u64 {
+        self.entries.last().map_or(0, |&(_, c)| c)
+    }
+
+    /// Number of non-zero epochs in the source series.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the source series was all-zero.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl AggregateSeries {
+    /// The series' cumulative partial sums (see [`PrefixSums`]).
+    pub fn prefix_sums(&self) -> PrefixSums {
+        let mut cum = 0u64;
+        PrefixSums {
+            entries: self
+                .entries
+                .iter()
+                .map(|&(e, v)| {
+                    cum += v;
+                    (e, cum)
+                })
+                .collect(),
+        }
+    }
+}
+
 /// Aggregates a raw check-in stream into one [`AggregateSeries`] per POI.
 ///
 /// Check-ins outside the grid are ignored. `num_pois` sizes the output; a
@@ -519,6 +598,33 @@ mod tests {
         let avg = aggregate_checkins(&cs, &grid, AggregateKind::Average, 1);
         assert_eq!(avg[0].get(0), 7);
         assert_eq!(avg[0].get(1), 6);
+    }
+
+    #[test]
+    fn prefix_sums_match_sum_range() {
+        let s = series(&[(0, 1), (2, 2), (5, 4), (9, 8)]);
+        let p = s.prefix_sums();
+        assert_eq!(p.total(), 15);
+        assert_eq!(p.len(), 4);
+        for lo in 0..12 {
+            for hi in 0..12 {
+                assert_eq!(p.sum_range(lo..hi), s.sum_range(lo..hi), "{lo}..{hi}");
+            }
+        }
+        let empty = AggregateSeries::new().prefix_sums();
+        assert!(empty.is_empty());
+        assert_eq!(empty.sum_range(0..100), 0);
+    }
+
+    #[test]
+    fn prefix_sums_aggregate_over_matches_series() {
+        let grid = EpochGrid::fixed_days(7, 10);
+        let s = series(&[(0, 3), (3, 1), (4, 7), (9, 2)]);
+        let p = s.prefix_sums();
+        for (a, b) in [(0, 70), (7, 28), (8, 28), (21, 35), (63, 200), (5, 6)] {
+            let iq = TimeInterval::days(a, b);
+            assert_eq!(p.aggregate_over(&grid, iq), s.aggregate_over(&grid, iq));
+        }
     }
 
     #[test]

@@ -30,7 +30,7 @@ mod checkin;
 mod epoch;
 mod time;
 
-pub use aggregate::{aggregate_checkins, AggregateKind, AggregateSeries, EpochRecord};
+pub use aggregate::{aggregate_checkins, AggregateKind, AggregateSeries, EpochRecord, PrefixSums};
 pub use checkin::{CheckIn, PoiId};
 pub use epoch::{Epoch, EpochGrid};
 pub use time::{TimeInterval, Timestamp};

@@ -603,8 +603,19 @@ mod tests {
         let mut h = Harness::new("unit_smoke");
         let mut g = h.group("math");
         g.sample_size(3);
-        g.bench("sum_1k", |b| b.iter(|| (0..1000u64).sum::<u64>()));
-        g.bench("sum_10k", |b| b.iter(|| (0..10_000u64).sum::<u64>()));
+        // A sequential LCG chain: LLVM closed-forms `(0..n).sum()` to a
+        // sub-nanosecond routine whose per-iteration median floors to 0.
+        let mix = |rounds: u64| {
+            let mut x = black_box(0x9e37_79b9_7f4a_7c15u64);
+            for _ in 0..rounds {
+                x = x
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+            }
+            x
+        };
+        g.bench("sum_1k", |b| b.iter(|| mix(1_000)));
+        g.bench("sum_10k", |b| b.iter(|| mix(10_000)));
         drop(g);
         assert_eq!(h.results().len(), 2);
         for r in h.results() {

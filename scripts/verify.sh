@@ -6,7 +6,8 @@
 # Opt-in soak lane: KNNTA_SOAK=1 ./scripts/verify.sh additionally re-runs
 # the rtree / mvbt / core property harnesses at KNNTA_PROP_CASES=10000
 # (override the case count by exporting KNNTA_PROP_CASES yourself) and the
-# parallel-search differential oracle at its soak case count. The default
+# parallel-search and collective-batch differential oracles at their soak
+# case counts. The default
 # fast path is unchanged and stays within the tier-1 budget.
 # (`./scripts/soak.sh` wraps this lane for nightly cron, archiving failing
 # seeds to soak_failures/.)
@@ -26,9 +27,10 @@ if [ "${KNNTA_SOAK:-0}" != "0" ] && [ -n "${KNNTA_SOAK:-}" ]; then
     cargo test -q --release --offline -p rtree
     cargo test -q --release --offline -p mvbt
     cargo test -q --release --offline -p knnta-core
-    echo "== soak: workspace properties + differential oracle =="
+    echo "== soak: workspace properties + differential oracles =="
     cargo test -q --release --offline --test proptests
     cargo test -q --release --offline --test oracle_equivalence
+    cargo test -q --release --offline --test batch_oracle
 fi
 
 if [ -n "${KNNTA_BENCH_DIFF:-}" ]; then
@@ -57,4 +59,9 @@ if [ -n "${KNNTA_BENCH_DIFF:-}" ]; then
         echo "KNNTA_BENCH_DIFF: no comparable BENCH_*.json in $baseline" >&2
         exit 2
     fi
+    echo "== bench-diff: collective-batch gap gate (hilbert <= individual + slack) =="
+    cargo run -q --release --offline --bin bench_diff -- \
+        --within "$fresh/BENCH_enhancements.json" \
+        --assert-le batch/collective_hilbert/1000 batch/individual/1000 \
+        --slack 0.25
 fi

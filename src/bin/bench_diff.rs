@@ -2,20 +2,59 @@
 //!
 //! ```text
 //! bench_diff OLD.json NEW.json [--threshold 0.25]
+//! bench_diff --within REPORT.json --assert-le GROUP/BENCH GROUP/BENCH [--slack 0.25]
 //! ```
 //!
 //! Prints a per-bench table of p95 changes and exits nonzero if any bench's
 //! p95 grew by more than the noise threshold (default 25 %), so perf PRs can
 //! gate on `bench_diff BENCH_queries.main.json BENCH_queries.json`.
+//!
+//! The `--within` mode compares two benches of the *same* report instead:
+//! it exits 1 if the first bench's median exceeds the second's by more than
+//! the slack, so invariants like "collective batching beats individual" can
+//! gate CI without a baseline file.
 
 use knnta::util::bench::{diff_reports, parse_report, BenchReport};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: bench_diff OLD.json NEW.json [--threshold FRACTION]
+       bench_diff --within REPORT.json --assert-le A B [--slack FRACTION]
 
 Compares two BENCH_<suite>.json runs produced by the in-repo bench runner.
 Exits 1 if any bench's p95 regressed beyond the threshold (default 0.25,
-i.e. 25% slower), 2 on usage or parse errors.";
+i.e. 25% slower), 2 on usage or parse errors.
+
+With --within, compares two benches inside one report instead: A and B are
+`group/bench` names, and the tool exits 1 unless
+median(A) <= median(B) * (1 + slack) (default slack 0.25).";
+
+/// Looks up a bench by `group/bench` name; the bench id itself may contain
+/// slashes (e.g. `batch/individual/1000`), so split at the first one only.
+fn median_of(report: &BenchReport, name: &str) -> Result<u64, String> {
+    let (group, bench) = name
+        .split_once('/')
+        .ok_or(format!("bench name {name:?} is not of the form group/bench"))?;
+    report
+        .results
+        .iter()
+        .find(|r| r.group == group && r.bench == bench)
+        .map(|r| r.median_ns)
+        .ok_or(format!("bench {name:?} not found in report"))
+}
+
+fn run_within(report_path: &str, a: &str, b: &str, slack: f64) -> Result<bool, String> {
+    let report = load(report_path)?;
+    let a_ns = median_of(&report, a)?;
+    let b_ns = median_of(&report, b)?;
+    let limit = b_ns as f64 * (1.0 + slack);
+    let ok = a_ns as f64 <= limit;
+    println!(
+        "{a}: median {a_ns} ns\n{b}: median {b_ns} ns\nassert median({a}) <= median({b}) * {:.2}: {}",
+        1.0 + slack,
+        if ok { "OK" } else { "VIOLATED" }
+    );
+    Ok(!ok)
+}
 
 fn load(path: &str) -> Result<BenchReport, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -26,6 +65,9 @@ fn run() -> Result<bool, String> {
     let mut args = std::env::args().skip(1);
     let mut paths: Vec<String> = Vec::new();
     let mut threshold = 0.25f64;
+    let mut slack = 0.25f64;
+    let mut within: Option<String> = None;
+    let mut assert_le: Option<(String, String)> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--threshold" => {
@@ -37,9 +79,36 @@ fn run() -> Result<bool, String> {
                     return Err(format!("threshold must be non-negative, got {threshold}"));
                 }
             }
+            "--within" => {
+                within = Some(args.next().ok_or("--within needs a report path")?);
+            }
+            "--assert-le" => {
+                let a = args.next().ok_or("--assert-le needs two bench names")?;
+                let b = args.next().ok_or("--assert-le needs two bench names")?;
+                assert_le = Some((a, b));
+            }
+            "--slack" => {
+                let v = args.next().ok_or("--slack needs a value")?;
+                slack = v
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad slack {v:?}: {e}"))?;
+                if !(slack >= 0.0) {
+                    return Err(format!("slack must be non-negative, got {slack}"));
+                }
+            }
             "-h" | "--help" => return Err(USAGE.to_string()),
             other => paths.push(other.to_string()),
         }
+    }
+    if let Some(report_path) = within {
+        let (a, b) = assert_le.ok_or("--within requires --assert-le A B")?;
+        if !paths.is_empty() {
+            return Err(USAGE.to_string());
+        }
+        return run_within(&report_path, &a, &b, slack);
+    }
+    if assert_le.is_some() {
+        return Err("--assert-le requires --within REPORT.json".to_string());
     }
     let [old_path, new_path] = paths.as_slice() else {
         return Err(USAGE.to_string());

@@ -12,7 +12,9 @@
 //! The venues CSV is `id,x,y,epoch,count` (one row per non-zero epoch; a row
 //! with `epoch = -1, count = 0` declares a POI with no check-ins yet).
 
-use knnta::core::{Grouping, IndexConfig, KnntaQuery, Poi, StorageBackend, TarIndex};
+use knnta::core::{
+    BatchOptions, BatchOrder, Grouping, IndexConfig, KnntaQuery, Poi, StorageBackend, TarIndex,
+};
 use knnta::pagestore::{BufferPoolConfig, PolicyKind};
 use knnta::{AggregateSeries, EpochGrid, PoiId, TimeInterval, Timestamp};
 use rtree::Rect;
@@ -39,6 +41,7 @@ fn main() -> ExitCode {
         "build" => build(&opts),
         "stats" => stats(&opts),
         "query" => query(&opts),
+        "batch" => batch(&opts),
         "mwa" => mwa(&opts),
         "skyline" => skyline(&opts),
         "help" | "--help" | "-h" => {
@@ -70,6 +73,14 @@ commands:
                             (--paged answers from tree nodes serialised onto
                              disk pages behind a buffer pool; results are
                              byte-identical to the in-memory search)
+  batch     --index FILE --queries FILE [--batch-order hilbert|input]
+            [--individual] [--no-agg-cache]
+            [--paged] [--policy lru|clock|2q] [--buffer-slots N]
+                            (processes a query batch collectively — Hilbert
+                             ordering + shared aggregate memoisation — or one
+                             query at a time with --individual; answers are
+                             identical either way. The queries CSV is
+                             `x,y,from_day,to_day[,k[,alpha0]]`.)
   mwa       --index FILE --x X --y Y --from-day A --to-day B [--k K] [--alpha0 W]
   skyline   --index FILE --x X --y Y --from-day A --to-day B";
 
@@ -77,7 +88,7 @@ commands:
 struct Opts(BTreeMap<String, String>);
 
 /// Options that take no value.
-const FLAGS: &[&str] = &["paged"];
+const FLAGS: &[&str] = &["paged", "individual", "no-agg-cache"];
 
 impl Opts {
     fn parse(args: &[String]) -> Result<Opts, String> {
@@ -307,6 +318,26 @@ fn parse_query(opts: &Opts) -> Result<KnntaQuery, String> {
     .with_alpha0(alpha0))
 }
 
+/// Materialises the paged node store when `--paged` is set (and rejects
+/// paged-only options otherwise).
+fn paged_nodes_of(opts: &Opts, index: &TarIndex) -> Result<Option<knnta::core::PagedNodes>, String> {
+    if opts.flag("paged") {
+        let policy_name = opts.num::<String>("policy", "lru".into())?;
+        let policy = PolicyKind::parse(&policy_name)
+            .ok_or(format!("--policy: `{policy_name}` (want lru|clock|2q)"))?;
+        let slots: usize = opts.num("buffer-slots", 10)?;
+        Ok(Some(index.materialize_paged_nodes(
+            index.config_node_size(),
+            BufferPoolConfig::new(slots, policy),
+        )))
+    } else {
+        if opts.0.contains_key("policy") || opts.0.contains_key("buffer-slots") {
+            return Err("--policy / --buffer-slots require --paged".into());
+        }
+        Ok(None)
+    }
+}
+
 fn query(opts: &Opts) -> Result<(), String> {
     let index = open_index(opts)?;
     let q = parse_query(opts)?;
@@ -314,21 +345,7 @@ fn query(opts: &Opts) -> Result<(), String> {
     if threads == 0 {
         return Err("--threads must be at least 1".into());
     }
-    let paged = if opts.flag("paged") {
-        let policy_name = opts.num::<String>("policy", "lru".into())?;
-        let policy = PolicyKind::parse(&policy_name)
-            .ok_or(format!("--policy: `{policy_name}` (want lru|clock|2q)"))?;
-        let slots: usize = opts.num("buffer-slots", 10)?;
-        Some(index.materialize_paged_nodes(
-            index.config_node_size(),
-            BufferPoolConfig::new(slots, policy),
-        ))
-    } else {
-        if opts.0.contains_key("policy") || opts.0.contains_key("buffer-slots") {
-            return Err("--policy / --buffer-slots require --paged".into());
-        }
-        None
-    };
+    let paged = paged_nodes_of(opts, &index)?;
     let backend = match &paged {
         Some(p) => StorageBackend::Paged(p),
         None => StorageBackend::InMemory,
@@ -366,6 +383,109 @@ fn query(opts: &Opts) -> Result<(), String> {
             io.buffer_misses,
         );
     }
+    Ok(())
+}
+
+/// Parses a batch-query CSV: `x,y,from_day,to_day[,k[,alpha0]]` per row
+/// (header row optional, `#` comments ignored).
+fn read_batch_queries(path: &str) -> Result<Vec<KnntaQuery>, String> {
+    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut queries = Vec::new();
+    for (lineno, line) in BufReader::new(file).lines().enumerate() {
+        let line = line.map_err(|e| e.to_string())?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if lineno == 0 && trimmed.starts_with("x,") {
+            continue; // header
+        }
+        let fields: Vec<&str> = trimmed.split(',').collect();
+        if !(4..=6).contains(&fields.len()) {
+            return Err(format!(
+                "{path}:{}: expected 4–6 fields (x,y,from_day,to_day[,k[,alpha0]])",
+                lineno + 1
+            ));
+        }
+        let bad = |f: &str| format!("{path}:{}: bad field `{f}`", lineno + 1);
+        let x: f64 = fields[0].trim().parse().map_err(|_| bad(fields[0]))?;
+        let y: f64 = fields[1].trim().parse().map_err(|_| bad(fields[1]))?;
+        let from: i64 = fields[2].trim().parse().map_err(|_| bad(fields[2]))?;
+        let to: i64 = fields[3].trim().parse().map_err(|_| bad(fields[3]))?;
+        if from > to {
+            return Err(format!("{path}:{}: from_day exceeds to_day", lineno + 1));
+        }
+        let k: usize = match fields.get(4) {
+            Some(f) => f.trim().parse().map_err(|_| bad(f))?,
+            None => 10,
+        };
+        let alpha0: f64 = match fields.get(5) {
+            Some(f) => f.trim().parse().map_err(|_| bad(f))?,
+            None => 0.3,
+        };
+        if !(alpha0 > 0.0 && alpha0 < 1.0) {
+            return Err(format!(
+                "{path}:{}: alpha0 must lie strictly between 0 and 1",
+                lineno + 1
+            ));
+        }
+        queries.push(
+            KnntaQuery::new(
+                [x, y],
+                TimeInterval::new(Timestamp::from_days(from), Timestamp::from_days(to)),
+            )
+            .with_k(k)
+            .with_alpha0(alpha0),
+        );
+    }
+    Ok(queries)
+}
+
+fn batch(opts: &Opts) -> Result<(), String> {
+    let index = open_index(opts)?;
+    let queries = read_batch_queries(opts.str("queries")?)?;
+    let order_name = opts.num::<String>("batch-order", "hilbert".into())?;
+    let order = BatchOrder::parse(&order_name)
+        .ok_or(format!("--batch-order: `{order_name}` (want hilbert|input)"))?;
+    let paged = paged_nodes_of(opts, &index)?;
+    let backend = match &paged {
+        Some(p) => StorageBackend::Paged(p),
+        None => StorageBackend::InMemory,
+    };
+    index.stats().reset();
+    let results = if opts.flag("individual") {
+        index.query_batch_individual_on(&queries, backend)
+    } else {
+        let bopts = BatchOptions {
+            order,
+            agg_cache: !opts.flag("no-agg-cache"),
+            ..BatchOptions::default()
+        };
+        index.query_batch_collective_on(&queries, &bopts, backend)
+    };
+    for (i, hits) in results.iter().enumerate() {
+        println!("query {i}: {} hit(s)", hits.len());
+        for (rank, h) in hits.iter().enumerate() {
+            println!(
+                "{:>4}  {:<9}  {:<10.6}  {:>9}  {:.3}",
+                rank + 1,
+                h.poi.0,
+                h.score,
+                h.aggregate,
+                h.distance
+            );
+        }
+    }
+    eprintln!(
+        "({} queries, {} node accesses, {} mode)",
+        queries.len(),
+        index.stats().node_accesses(),
+        if opts.flag("individual") {
+            "individual".to_string()
+        } else {
+            format!("collective/{order}")
+        }
+    );
     Ok(())
 }
 

@@ -277,6 +277,183 @@ fn bench_diff_flags_regressions_and_exits_nonzero() {
 }
 
 #[test]
+fn batch_command_is_mode_invariant() {
+    let csv = tmp("venues4.csv");
+    let idx = tmp("city4.idx");
+    let queries = tmp("batch-queries.csv");
+    let out = knnta()
+        .args(["generate", "--dataset", "GS", "--scale", "0.003", "--seed", "5"])
+        .args(["--out", csv.to_str().unwrap()])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = knnta()
+        .args(["build", "--input", csv.to_str().unwrap()])
+        .args(["--out", idx.to_str().unwrap(), "--grouping", "tar"])
+        .output()
+        .expect("run build");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Header + comment + defaults (k, alpha0 omitted) + a duplicate + k=0.
+    std::fs::write(
+        &queries,
+        "x,y,from_day,to_day,k,alpha0\n\
+         # near the centre, recent month\n\
+         50,50,150,180,5,0.3\n\
+         50,50,150,180,5,0.3\n\
+         10,80,0,180\n\
+         70,20,60,120,0\n\
+         30,30,0,30,3,0.7\n",
+    )
+    .unwrap();
+
+    // The collective scheme must print byte-identical per-query results in
+    // every configuration — orderings, cache settings, paged storage — and
+    // match the one-at-a-time reference.
+    let reference = knnta()
+        .args(["batch", "--index", idx.to_str().unwrap()])
+        .args(["--queries", queries.to_str().unwrap(), "--individual"])
+        .output()
+        .expect("run individual batch");
+    assert!(
+        reference.status.success(),
+        "{}",
+        String::from_utf8_lossy(&reference.stderr)
+    );
+    let want = String::from_utf8_lossy(&reference.stdout);
+    assert!(want.contains("query 0: 5 hit(s)"), "{want}");
+    assert!(want.contains("query 3: 0 hit(s)"), "{want}");
+    let variants: [&[&str]; 5] = [
+        &[],
+        &["--batch-order", "hilbert"],
+        &["--batch-order", "input"],
+        &["--no-agg-cache"],
+        &["--batch-order", "input", "--no-agg-cache"],
+    ];
+    for extra in variants {
+        let out = knnta()
+            .args(["batch", "--index", idx.to_str().unwrap()])
+            .args(["--queries", queries.to_str().unwrap()])
+            .args(extra)
+            .output()
+            .expect("run collective batch");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout),
+            want,
+            "collective {extra:?} diverged from individual"
+        );
+    }
+    for policy in ["lru", "clock", "2q"] {
+        let out = knnta()
+            .args(["batch", "--index", idx.to_str().unwrap()])
+            .args(["--queries", queries.to_str().unwrap()])
+            .args(["--paged", "--policy", policy, "--buffer-slots", "6"])
+            .output()
+            .expect("run paged batch");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout),
+            want,
+            "--paged --policy {policy} diverged"
+        );
+    }
+
+    // Unknown orderings are rejected.
+    let out = knnta()
+        .args(["batch", "--index", idx.to_str().unwrap()])
+        .args(["--queries", queries.to_str().unwrap()])
+        .args(["--batch-order", "zorder"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--batch-order"));
+
+    // Malformed rows are rejected with the offending line.
+    let bad = tmp("batch-bad.csv");
+    std::fs::write(&bad, "50,50,180,150\n").unwrap();
+    let out = knnta()
+        .args(["batch", "--index", idx.to_str().unwrap()])
+        .args(["--queries", bad.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("from_day"));
+    std::fs::write(&bad, "50,50,0,30,5,1.5\n").unwrap();
+    let out = knnta()
+        .args(["batch", "--index", idx.to_str().unwrap()])
+        .args(["--queries", bad.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("alpha0"));
+
+    for f in [&csv, &idx, &queries, &bad] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
+fn bench_diff_within_gates_batch_invariants() {
+    let bench_diff = |args: &[&str]| {
+        Command::new(env!("CARGO_BIN_EXE_bench_diff"))
+            .args(args)
+            .output()
+            .expect("run bench_diff")
+    };
+    let report = |hilbert: u64, individual: u64| {
+        format!(
+            "{{\"suite\": \"enhancements\", \"samples\": 10, \"results\": [\n\
+             {{\"group\": \"batch\", \"bench\": \"collective_hilbert/1000\", \"median_ns\": {hilbert}}},\n\
+             {{\"group\": \"batch\", \"bench\": \"individual/1000\", \"median_ns\": {individual}}}]}}\n"
+        )
+    };
+    let path = tmp("bench-within.json");
+    let assert_le = [
+        "--assert-le",
+        "batch/collective_hilbert/1000",
+        "batch/individual/1000",
+    ];
+
+    // Collective faster than individual: the gate passes.
+    std::fs::write(&path, report(800, 1000)).unwrap();
+    let out = bench_diff(&[&["--within", path.to_str().unwrap()], &assert_le[..]].concat());
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("OK"));
+
+    // Collective slower beyond the slack: exit 1.
+    std::fs::write(&path, report(1500, 1000)).unwrap();
+    let out = bench_diff(&[&["--within", path.to_str().unwrap()], &assert_le[..]].concat());
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("VIOLATED"));
+
+    // A looser slack lets the same report pass.
+    let out = bench_diff(
+        &[
+            &["--within", path.to_str().unwrap()],
+            &assert_le[..],
+            &["--slack", "0.6"],
+        ]
+        .concat(),
+    );
+    assert!(out.status.success());
+
+    // Missing benches and missing --assert-le: exit 2.
+    let out = bench_diff(&[
+        "--within",
+        path.to_str().unwrap(),
+        "--assert-le",
+        "batch/nonexistent",
+        "batch/individual/1000",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = bench_diff(&["--within", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
 fn build_rejects_too_small_epoch_count() {
     let csv = tmp("venues3.csv");
     std::fs::write(&csv, "id,x,y,epoch,count\n0,1.0,1.0,5,3\n1,2.0,2.0,-1,0\n").unwrap();

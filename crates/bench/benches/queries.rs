@@ -120,6 +120,46 @@ fn parallel_single(h: &mut Harness) {
     group.finish();
 }
 
+/// Observability overhead guard: the same query mix on three indexes —
+/// untouched (obs never set), obs explicitly disabled, and obs fully
+/// enabled. The `KNNTA_OBS_CHECK` verify lane asserts
+/// `median(disabled) <= median(baseline) * 1.05` via `bench_diff --within`,
+/// pinning the disabled-mode cost to one branch per instrumentation site.
+fn obs_overhead(h: &mut Harness) {
+    let config = bench_config();
+    let data = load(&lbsn::gs(), &config);
+    let queries = data.queries(config.queries, 10, 0.3, config.seed);
+    let mut group = h.group("obs_overhead");
+    let baseline = data.index(Grouping::TarIntegral);
+    group.bench("baseline", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(baseline.query(q));
+            }
+        })
+    });
+    let mut disabled = data.index(Grouping::TarIntegral);
+    disabled.set_obs(knnta_core::Obs::disabled());
+    group.bench("disabled", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(disabled.query(q));
+            }
+        })
+    });
+    let mut enabled = data.index(Grouping::TarIntegral);
+    enabled.set_obs(knnta_core::Obs::enabled());
+    group.bench("enabled", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(enabled.query(q));
+            }
+        });
+        b.counters(enabled.obs().counter_deltas());
+    });
+    group.finish();
+}
+
 /// Check-in digestion throughput (Section 4.2 maintenance).
 fn ingest(h: &mut Harness) {
     let config = bench_config();
@@ -150,6 +190,7 @@ fn main() {
     alpha_sweep(&mut h);
     node_size_sweep(&mut h);
     parallel_single(&mut h);
+    obs_overhead(&mut h);
     ingest(&mut h);
     h.finish().expect("write BENCH_queries.json");
 }

@@ -102,6 +102,11 @@ impl AggCache {
         self.misses
     }
 
+    /// Number of nodes whose per-entry prefix sums were materialised.
+    pub fn prefix_builds(&self) -> u64 {
+        self.prefixes.len() as u64
+    }
+
     /// Number of distinct `(node, epoch-range)` values materialised.
     pub fn len(&self) -> usize {
         self.values.len()

@@ -32,8 +32,10 @@ use crate::agg_cache::AggCache;
 use crate::frontier::{NodeCand, TopK};
 use crate::hilbert;
 use crate::index::{with_tree, QueryCtx, TarIndex};
+use crate::observe::{self, PhaseAcc, QueryScope};
 use crate::poi::{KnntaQuery, QueryHit};
 use crate::storage::{MemNodes, NodeSource, PagedStoreImpl, StorageBackend};
+use knnta_obs::{AttrValue, Obs, SpanId};
 use pagestore::AccessStats;
 use rtree::{EntryPayload, NodeId};
 use std::collections::{BinaryHeap, HashMap};
@@ -117,7 +119,21 @@ impl TarIndex {
         queries: &[KnntaQuery],
         opts: &BatchOptions,
     ) -> Vec<Vec<QueryHit>> {
-        with_tree!(self, t => collective_on_nodes(&MemNodes(t), self.stats(), self, queries, opts))
+        let scope = QueryScope::begin(
+            self.obs(),
+            self.stats(),
+            "batch",
+            "collective",
+            None,
+            batch_attrs(queries, opts),
+        );
+        let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
+        let results = with_tree!(self, t => collective_on_nodes(
+            &MemNodes(t), self.stats(), self, queries, opts, self.obs(), parent));
+        if let Some(scope) = scope {
+            scope.finish(results.iter().map(Vec::len).sum());
+        }
+        results
     }
 
     /// [`TarIndex::query_batch_collective_with`] against an explicit storage
@@ -138,14 +154,27 @@ impl TarIndex {
             StorageBackend::InMemory => self.query_batch_collective_with(queries, opts),
             StorageBackend::Paged(paged) => {
                 paged.check_fresh(self.content_epoch);
-                match &paged.store {
+                let scope = QueryScope::begin(
+                    self.obs(),
+                    self.stats(),
+                    "batch",
+                    "collective",
+                    Some(paged),
+                    batch_attrs(queries, opts),
+                );
+                let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
+                let results = match &paged.store {
                     PagedStoreImpl::D3(s) => {
-                        collective_on_nodes(s, self.stats(), self, queries, opts)
+                        collective_on_nodes(s, self.stats(), self, queries, opts, self.obs(), parent)
                     }
                     PagedStoreImpl::D2(s) => {
-                        collective_on_nodes(s, self.stats(), self, queries, opts)
+                        collective_on_nodes(s, self.stats(), self, queries, opts, self.obs(), parent)
                     }
+                };
+                if let Some(scope) = scope {
+                    scope.finish(results.iter().map(Vec::len).sum());
                 }
+                results
             }
         }
     }
@@ -222,6 +251,16 @@ impl TarIndex {
     }
 }
 
+/// The root `batch` span's attributes: batch size and schedule knobs.
+fn batch_attrs(queries: &[KnntaQuery], opts: &BatchOptions) -> Vec<(String, AttrValue)> {
+    vec![
+        ("queries".to_string(), AttrValue::from(queries.len() as u64)),
+        ("order".to_string(), AttrValue::from(opts.order.to_string())),
+        ("tile".to_string(), AttrValue::from(opts.tile as u64)),
+        ("agg_cache".to_string(), AttrValue::from(opts.agg_cache)),
+    ]
+}
+
 /// One query's in-flight state: the same bound-pruned best-first search as
 /// `bfs_query_nodes`, suspended whenever it needs a node fetched.
 struct BatchQuery<'a> {
@@ -276,6 +315,8 @@ fn collective_on_nodes<const D: usize, N: NodeSource<D>>(
     index: &TarIndex,
     queries: &[KnntaQuery],
     opts: &BatchOptions,
+    obs: &Obs,
+    parent: SpanId,
 ) -> Vec<Vec<QueryHit>> {
     let mut results: Vec<Vec<QueryHit>> = vec![Vec::new(); queries.len()];
     // Empty batches, all-k=0 batches and empty trees terminate here, before
@@ -312,8 +353,11 @@ fn collective_on_nodes<const D: usize, N: NodeSource<D>>(
 
     let mut cache = opts.agg_cache.then(AggCache::new);
     let root = nodes.root();
+    let enabled = obs.is_enabled();
 
-    for tile in order.chunks(opts.tile.max(1)) {
+    for (ti, tile) in order.chunks(opts.tile.max(1)).enumerate() {
+        let tile_start = obs.now_ns();
+        let mut phases = PhaseAcc::default();
         let mut states: HashMap<usize, BatchQuery<'_>> = tile
             .iter()
             .map(|&qi| {
@@ -351,7 +395,54 @@ fn collective_on_nodes<const D: usize, N: NodeSource<D>>(
                 _ => continue,
             }
             let waiting = buckets.remove(&node_id).expect("bucket just checked");
-            nodes.with_node(node_id, |node| {
+            if !enabled {
+                nodes.with_node(node_id, |node| {
+                    stats.record_node_access();
+                    if node.is_leaf() {
+                        stats.record_leaf_access();
+                    }
+                    for qi in waiting {
+                        let st = states.get_mut(&qi).expect("waiting query has state");
+                        debug_assert_eq!(st.heap.peek().map(|c| c.id), Some(node_id));
+                        st.heap.pop();
+                        let mut scratch: Vec<u64> = Vec::new();
+                        let aggs: &[u64] = match &mut cache {
+                            Some(c) => c.node_aggregates(
+                                node_id,
+                                st.range.clone(),
+                                node.entries.iter().map(|e| &e.aug),
+                            ),
+                            None => {
+                                scratch.extend(
+                                    node.entries.iter().map(|e| e.aug.sum_range(st.range.clone())),
+                                );
+                                &scratch
+                            }
+                        };
+                        for (e, &agg) in node.entries.iter().zip(aggs.iter()) {
+                            let s0 = e.rect.project2().min_dist2(&st.ctx.q).sqrt();
+                            match &e.payload {
+                                EntryPayload::Data(poi) => {
+                                    let hit = st.ctx.hit(poi.id, s0, agg);
+                                    st.topk.push(hit);
+                                }
+                                EntryPayload::Child(c) => {
+                                    let (key, _) = st.ctx.score(s0, agg);
+                                    st.heap.push(NodeCand { key, id: *c });
+                                }
+                            }
+                        }
+                        park(qi, st, &mut buckets, &mut sizes);
+                    }
+                });
+                continue;
+            }
+            // Instrumented twin: identical probes and arithmetic, plus the
+            // per-tile phase timing (fetch I/O and aggregate computation).
+            let mut io_ns = 0u64;
+            let mut tia_ns = 0u64;
+            let t_fetch = std::time::Instant::now();
+            nodes.with_node_timed(node_id, &mut io_ns, |node| {
                 stats.record_node_access();
                 if node.is_leaf() {
                     stats.record_leaf_access();
@@ -361,6 +452,7 @@ fn collective_on_nodes<const D: usize, N: NodeSource<D>>(
                     debug_assert_eq!(st.heap.peek().map(|c| c.id), Some(node_id));
                     st.heap.pop();
                     let mut scratch: Vec<u64> = Vec::new();
+                    let t_agg = std::time::Instant::now();
                     let aggs: &[u64] = match &mut cache {
                         Some(c) => c.node_aggregates(
                             node_id,
@@ -374,6 +466,7 @@ fn collective_on_nodes<const D: usize, N: NodeSource<D>>(
                             &scratch
                         }
                     };
+                    tia_ns += t_agg.elapsed().as_nanos() as u64;
                     for (e, &agg) in node.entries.iter().zip(aggs.iter()) {
                         let s0 = e.rect.project2().min_dist2(&st.ctx.q).sqrt();
                         match &e.payload {
@@ -390,10 +483,41 @@ fn collective_on_nodes<const D: usize, N: NodeSource<D>>(
                     park(qi, st, &mut buckets, &mut sizes);
                 }
             });
+            phases.busy_ns += t_fetch.elapsed().as_nanos() as u64;
+            phases.io_ns += io_ns;
+            phases.tia_ns += tia_ns;
+        }
+
+        if enabled {
+            if let Some(tracer) = obs.tracer() {
+                let tile_end = tracer.now_ns().max(tile_start);
+                let span = tracer.add_span(
+                    "batch.tile",
+                    parent,
+                    tile_start,
+                    tile_end,
+                    vec![
+                        ("tile".to_string(), AttrValue::from(ti as u64)),
+                        ("queries".to_string(), AttrValue::from(tile.len() as u64)),
+                    ],
+                );
+                observe::emit_phase_spans(obs, span, tile_start, tile_end, &phases);
+            }
+            obs.counter(observe::M_BATCH_TILES).inc();
+            obs.counter(observe::M_BATCH_QUERIES).add(tile.len() as u64);
         }
 
         for (qi, st) in states {
             results[qi] = st.topk.into_sorted_vec();
+        }
+    }
+
+    if enabled {
+        if let Some(c) = &cache {
+            obs.counter(observe::M_AGG_CACHE_HITS).add(c.hits());
+            obs.counter(observe::M_AGG_CACHE_MISSES).add(c.misses());
+            obs.counter(observe::M_AGG_CACHE_PREFIX_BUILDS)
+                .add(c.prefix_builds());
         }
     }
     results

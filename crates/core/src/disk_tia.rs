@@ -14,7 +14,9 @@
 //! measurement methodology.
 
 use crate::index::{bfs_query_src, with_tree, TarIndex};
+use crate::observe::{self, QueryScope};
 use crate::poi::{KnntaQuery, QueryHit};
+use knnta_obs::SpanId;
 use mvbt::MvbtTia;
 use pagestore::{AccessStats, BufferPoolConfig, Disk, StatsSnapshot};
 use rtree::NodeId;
@@ -109,12 +111,25 @@ impl TarIndex {
             "disk TIAs are stale; rematerialise after index changes"
         );
         let ctx = self.ctx(query);
-        with_tree!(self, t => bfs_query_src(t, &ctx, query.k, |node, idx, _series| {
+        let scope = QueryScope::begin_query(self.obs(), self.stats(), "disk_tia", None, query, 1);
+        let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
+        let probes_before = scope
+            .is_some()
+            .then(|| tias.tias.values().map(MvbtTia::probes).sum::<u64>());
+        let hits = with_tree!(self, t => bfs_query_src(t, &ctx, query.k, |node, idx, _series| {
             tias.tias
                 .get(&(node, idx))
                 .expect("every entry has a mirrored TIA")
                 .aggregate_over(ctx.iq)
-        }))
+        }, self.obs(), parent));
+        if let Some(scope) = scope {
+            let probes: u64 = tias.tias.values().map(MvbtTia::probes).sum();
+            self.obs()
+                .counter(observe::M_TIA_PROBES)
+                .add(probes - probes_before.unwrap_or(0));
+            scope.finish(hits.len());
+        }
+        hits
     }
 }
 

@@ -16,8 +16,10 @@
 //! admissibility argument; the short version lives on each type below.
 
 use crate::index::{with_tree, QueryCtx, TarIndex};
+use crate::observe::{self, PhaseAcc, QueryScope};
 use crate::poi::{KnntaQuery, QueryHit};
 use crate::storage::{MemNodes, NodeSource};
+use knnta_obs::{AttrValue, Counter, Obs, SpanId};
 use knnta_util::sync::Mutex;
 use rtree::{EntryPayload, NodeId};
 use std::cmp::Ordering;
@@ -154,8 +156,9 @@ impl SharedBound {
         f64::from_bits(self.0.load(MemOrder::Relaxed))
     }
 
-    /// Lowers the bound to `candidate` if that is an improvement.
-    pub fn tighten(&self, candidate: f64) {
+    /// Lowers the bound to `candidate` if that is an improvement; reports
+    /// whether the bound actually moved (feeds the `bound_updates` counter).
+    pub fn tighten(&self, candidate: f64) -> bool {
         let mut cur = self.0.load(MemOrder::Relaxed);
         while candidate < f64::from_bits(cur) {
             match self.0.compare_exchange_weak(
@@ -164,16 +167,18 @@ impl SharedBound {
                 MemOrder::Relaxed,
                 MemOrder::Relaxed,
             ) {
-                Ok(_) => return,
+                Ok(_) => return true,
                 Err(actual) => cur = actual,
             }
         }
+        false
     }
 }
 
-/// One frontier pop as observed by a worker (diagnostics / property tests).
+/// One frontier pop as observed by a worker. Surfaced externally as `pop`
+/// events on the per-worker trace spans of the observability layer.
 #[derive(Debug, Clone, Copy)]
-pub struct PopEvent {
+pub(crate) struct PopEvent {
     /// The popped candidate's admissible lower bound.
     pub key: f64,
     /// Whether the candidate was stolen from another worker's frontier.
@@ -182,25 +187,16 @@ pub struct PopEvent {
     pub expanded: bool,
     /// Whether the node is a leaf (meaningful only when `expanded`).
     pub is_leaf: bool,
+    /// Tracer timestamp of the pop (0 when observability is disabled).
+    pub t_ns: u64,
 }
 
-/// Per-worker pop logs from one traced parallel query.
-///
-/// Within one worker, popped keys are non-decreasing *between steals*: a
-/// worker pops its own heap best-first, so keys only grow until a steal
-/// imports a candidate from a victim whose frontier may be ahead of or
-/// behind the thief's last key. Entries with `stolen == true` therefore
-/// start a fresh monotone segment.
-#[derive(Debug, Clone, Default)]
-pub struct FrontierTrace {
-    /// One pop sequence per worker, in that worker's processing order.
-    pub pops: Vec<Vec<PopEvent>>,
-}
-
-/// One worker's private state: its best-k accumulator and pop log.
+/// One worker's private state: its best-k accumulator, pop log and (when
+/// observability is enabled) phase-time accumulator.
 struct WorkerOutput {
     topk: TopK,
     pops: Vec<PopEvent>,
+    phases: PhaseAcc,
 }
 
 impl WorkerOutput {
@@ -208,6 +204,7 @@ impl WorkerOutput {
         WorkerOutput {
             topk: TopK::new(k),
             pops: Vec::new(),
+            phases: PhaseAcc::default(),
         }
     }
 }
@@ -224,11 +221,21 @@ impl Drop for PanicGuard<'_> {
     }
 }
 
+/// Timing + counter hooks threaded into [`expand_node`] when observability
+/// is enabled. `io_ns`/`tia_ns` accumulate the page-I/O and aggregation
+/// shares of the expansion; `bound_updates` counts successful tightenings.
+struct ExpandTimers<'a> {
+    io_ns: &'a mut u64,
+    tia_ns: &'a mut u64,
+    bound_updates: &'a Counter,
+}
+
 /// Expands one node: scores every entry exactly as the sequential search
 /// does (same expressions, same f64 operation order — this is what makes
 /// the results bit-identical), feeds data entries to the local top-k, and
 /// hands child candidates to `push_child`. Returns whether the node is a
-/// leaf.
+/// leaf. `timers` is `None` on the disabled-observability path, which then
+/// performs no timing calls at all.
 fn expand_node<const D: usize, N>(
     nodes: &N,
     ctx: &QueryCtx<'_>,
@@ -236,22 +243,53 @@ fn expand_node<const D: usize, N>(
     bound: &SharedBound,
     topk: &mut TopK,
     mut push_child: impl FnMut(NodeCand),
+    timers: Option<ExpandTimers<'_>>,
 ) -> bool
 where
     N: NodeSource<D>,
 {
-    nodes.with_node(id, |node| {
+    let Some(t) = timers else {
+        return nodes.with_node(id, |node| {
+            for e in &node.entries {
+                let s0 = e.rect.project2().min_dist2(&ctx.q).sqrt();
+                let agg = e.aug.aggregate_over(ctx.grid, ctx.iq);
+                match &e.payload {
+                    EntryPayload::Data(poi) => {
+                        let hit = ctx.hit(poi.id, s0, agg);
+                        // The bound never drops below f(p_k), so hits above
+                        // it can never rank in the global top k.
+                        if hit.score <= bound.get() {
+                            topk.push(hit);
+                            bound.tighten(topk.bound());
+                        }
+                    }
+                    EntryPayload::Child(c) => {
+                        let (key, _) = ctx.score(s0, agg);
+                        if key <= bound.get() {
+                            push_child(NodeCand { key, id: *c });
+                        }
+                    }
+                }
+            }
+            node.is_leaf()
+        });
+    };
+    // Instrumented twin: identical arithmetic and pruning, plus timing.
+    let tia_ns = t.tia_ns;
+    nodes.with_node_timed(id, t.io_ns, |node| {
         for e in &node.entries {
             let s0 = e.rect.project2().min_dist2(&ctx.q).sqrt();
+            let t_agg = std::time::Instant::now();
             let agg = e.aug.aggregate_over(ctx.grid, ctx.iq);
+            *tia_ns += t_agg.elapsed().as_nanos() as u64;
             match &e.payload {
                 EntryPayload::Data(poi) => {
                     let hit = ctx.hit(poi.id, s0, agg);
-                    // The bound never drops below f(p_k), so hits above it
-                    // can never rank in the global top k.
                     if hit.score <= bound.get() {
                         topk.push(hit);
-                        bound.tighten(topk.bound());
+                        if bound.tighten(topk.bound()) {
+                            t.bound_updates.inc();
+                        }
                     }
                 }
                 EntryPayload::Child(c) => {
@@ -270,23 +308,29 @@ where
 /// arena or a paged snapshot.
 ///
 /// Returns the ranked hits, the per-worker trace, and the deterministic
-/// `(node, leaf)` access counts to record.
+/// `(node, leaf)` access counts to record. When `obs` is enabled, the
+/// traversal additionally emits one `worker` span per worker (bracketing
+/// the whole parallel section) carrying its pop log as `pop` events and its
+/// `phase.*` decomposition, plus the frontier counters; `parent` is the
+/// enclosing query span.
 pub(crate) fn parallel_bfs<const D: usize, N>(
     nodes: &N,
     ctx: &QueryCtx<'_>,
     k: usize,
     threads: usize,
-) -> (Vec<QueryHit>, FrontierTrace, u64, u64)
+    obs: &Obs,
+    parent: SpanId,
+) -> (Vec<QueryHit>, u64, u64)
 where
     N: NodeSource<D> + Sync,
 {
     if k == 0 || nodes.is_empty() {
-        let trace = FrontierTrace {
-            pops: vec![Vec::new(); threads],
-        };
-        return (Vec::new(), trace, 0, 0);
+        return (Vec::new(), 0, 0);
     }
 
+    let enabled = obs.is_enabled();
+    let bound_updates = obs.counter(observe::M_BOUND_UPDATES);
+    let start_ns = obs.now_ns();
     let bound = SharedBound::new();
     // Number of frontier candidates not yet fully processed (incremented
     // before a push, decremented after the pop finishes expanding); zero
@@ -301,16 +345,38 @@ where
     {
         let root = nodes.root();
         let mut dealt = 0usize;
-        let is_leaf = expand_node(nodes, ctx, root, &bound, &mut seed.topk, |cand| {
-            pending.fetch_add(1, MemOrder::Release);
-            heaps[dealt % threads].push(cand);
-            dealt += 1;
+        let mut io_ns = 0u64;
+        let mut tia_ns = 0u64;
+        let t_seed = enabled.then(std::time::Instant::now);
+        let timers = enabled.then(|| ExpandTimers {
+            io_ns: &mut io_ns,
+            tia_ns: &mut tia_ns,
+            bound_updates: &bound_updates,
         });
+        let is_leaf = expand_node(
+            nodes,
+            ctx,
+            root,
+            &bound,
+            &mut seed.topk,
+            |cand| {
+                pending.fetch_add(1, MemOrder::Release);
+                heaps[dealt % threads].push(cand);
+                dealt += 1;
+            },
+            timers,
+        );
+        if let Some(t0) = t_seed {
+            seed.phases.busy_ns += t0.elapsed().as_nanos() as u64;
+            seed.phases.io_ns += io_ns;
+            seed.phases.tia_ns += tia_ns;
+        }
         seed.pops.push(PopEvent {
             key: 0.0,
             stolen: false,
             expanded: true,
             is_leaf,
+            t_ns: obs.now_ns(),
         });
     }
     let frontiers: Vec<Mutex<BinaryHeap<NodeCand>>> = heaps.into_iter().map(Mutex::new).collect();
@@ -346,9 +412,30 @@ where
             let mut is_leaf = false;
             if expanded {
                 let mut children = Vec::new();
-                is_leaf = expand_node(nodes, ctx, task.id, &bound, &mut out.topk, |cand| {
-                    children.push(cand);
+                let mut io_ns = 0u64;
+                let mut tia_ns = 0u64;
+                let t_work = enabled.then(std::time::Instant::now);
+                let timers = enabled.then(|| ExpandTimers {
+                    io_ns: &mut io_ns,
+                    tia_ns: &mut tia_ns,
+                    bound_updates: &bound_updates,
                 });
+                is_leaf = expand_node(
+                    nodes,
+                    ctx,
+                    task.id,
+                    &bound,
+                    &mut out.topk,
+                    |cand| {
+                        children.push(cand);
+                    },
+                    timers,
+                );
+                if let Some(t0) = t_work {
+                    out.phases.busy_ns += t0.elapsed().as_nanos() as u64;
+                    out.phases.io_ns += io_ns;
+                    out.phases.tia_ns += tia_ns;
+                }
                 if !children.is_empty() {
                     pending.fetch_add(children.len(), MemOrder::Release);
                     let mut own = frontiers[me].lock();
@@ -362,6 +449,7 @@ where
                 stolen,
                 expanded,
                 is_leaf,
+                t_ns: obs.now_ns(),
             });
             pending.fetch_sub(1, MemOrder::Release);
         }
@@ -389,9 +477,11 @@ where
 
     let mut hits: Vec<QueryHit> = Vec::new();
     let mut pops: Vec<Vec<PopEvent>> = Vec::with_capacity(threads);
+    let mut phases: Vec<PhaseAcc> = Vec::with_capacity(threads);
     for out in outputs {
         hits.extend(out.topk.into_hits());
         pops.push(out.pops);
+        phases.push(out.phases);
     }
     hits.sort_by(QueryHit::ranked_cmp);
     hits.truncate(k);
@@ -405,19 +495,86 @@ where
     } else {
         f64::INFINITY
     };
-    let mut nodes = 0u64;
+    let mut nodes_count = 0u64;
     let mut leaves = 0u64;
     for log in &pops {
         for ev in log {
             if ev.expanded && ev.key <= fpk {
-                nodes += 1;
+                nodes_count += 1;
                 if ev.is_leaf {
                     leaves += 1;
                 }
             }
         }
     }
-    (hits, FrontierTrace { pops }, nodes, leaves)
+
+    if enabled {
+        emit_frontier_trace(obs, parent, start_ns, &pops, &phases, fpk);
+    }
+    (hits, nodes_count, leaves)
+}
+
+/// Emits the per-worker spans, pop events, per-worker phase decomposition
+/// and frontier counters of one parallel traversal. All worker spans share
+/// the same bracket `[start_ns, end_ns]` — workers are concurrent for the
+/// whole section — and each carries its pop log as `pop` events with the
+/// post-hoc `counted` verdict (`expanded && key <= f(p_k)`) attached.
+fn emit_frontier_trace(
+    obs: &Obs,
+    parent: SpanId,
+    start_ns: u64,
+    pops: &[Vec<PopEvent>],
+    phases: &[PhaseAcc],
+    fpk: f64,
+) {
+    let Some(tracer) = obs.tracer() else { return };
+    let end_ns = tracer.now_ns().max(start_ns);
+    let mut total_pops = 0u64;
+    let mut total_steals = 0u64;
+    let mut speculative = 0u64;
+    for (w, log) in pops.iter().enumerate() {
+        let steals = log.iter().filter(|ev| ev.stolen).count() as u64;
+        let expanded = log.iter().filter(|ev| ev.expanded).count() as u64;
+        total_pops += log.len() as u64;
+        total_steals += steals;
+        speculative += log
+            .iter()
+            .filter(|ev| ev.expanded && ev.key > fpk)
+            .count() as u64;
+        let span = tracer.add_span(
+            "worker",
+            parent,
+            start_ns,
+            end_ns,
+            vec![
+                ("worker".to_string(), AttrValue::from(w as u64)),
+                ("pops".to_string(), AttrValue::from(log.len() as u64)),
+                ("steals".to_string(), AttrValue::from(steals)),
+                ("expanded".to_string(), AttrValue::from(expanded)),
+            ],
+        );
+        observe::emit_phase_spans(obs, span, start_ns, end_ns, &phases[w]);
+        for ev in log {
+            tracer.add_event(
+                span,
+                "pop",
+                ev.t_ns.clamp(start_ns, end_ns),
+                vec![
+                    ("key".to_string(), AttrValue::from(ev.key)),
+                    ("stolen".to_string(), AttrValue::from(ev.stolen)),
+                    ("expanded".to_string(), AttrValue::from(ev.expanded)),
+                    ("is_leaf".to_string(), AttrValue::from(ev.is_leaf)),
+                    (
+                        "counted".to_string(),
+                        AttrValue::from(ev.expanded && ev.key <= fpk),
+                    ),
+                ],
+            );
+        }
+    }
+    obs.counter(observe::M_FRONTIER_POPS).add(total_pops);
+    obs.counter(observe::M_FRONTIER_STEALS).add(total_steals);
+    obs.counter(observe::M_FRONTIER_SPECULATIVE).add(speculative);
 }
 
 impl TarIndex {
@@ -435,27 +592,19 @@ impl TarIndex {
     ///
     /// Panics if `threads == 0`.
     pub fn query_parallel(&self, query: &KnntaQuery, threads: usize) -> Vec<QueryHit> {
-        self.query_parallel_traced(query, threads).0
-    }
-
-    /// As [`TarIndex::query_parallel`], also returning the per-worker pop
-    /// trace (a diagnostics surface for the determinism property tests).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `threads == 0`.
-    pub fn query_parallel_traced(
-        &self,
-        query: &KnntaQuery,
-        threads: usize,
-    ) -> (Vec<QueryHit>, FrontierTrace) {
         assert!(threads > 0, "at least one worker thread");
         let ctx = self.ctx(query);
-        let (hits, trace, nodes, leaves) =
-            with_tree!(self, t => parallel_bfs(&MemNodes(t), &ctx, query.k, threads));
+        let scope =
+            QueryScope::begin_query(self.obs(), self.stats(), "par", None, query, threads);
+        let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
+        let (hits, nodes, leaves) =
+            with_tree!(self, t => parallel_bfs(&MemNodes(t), &ctx, query.k, threads, self.obs(), parent));
         self.stats().record_node_accesses(nodes);
         self.stats().record_leaf_accesses(leaves);
-        (hits, trace)
+        if let Some(scope) = scope {
+            scope.finish(hits.len());
+        }
+        hits
     }
 }
 
@@ -577,12 +726,43 @@ mod tests {
     }
 
     #[test]
-    fn trace_reports_one_log_per_worker() {
-        let index = build(Grouping::TarIntegral);
+    fn trace_reports_one_span_per_worker() {
+        let mut index = build(Grouping::TarIntegral);
+        index.set_obs(Obs::enabled());
         let q = KnntaQuery::new([4.0, 4.5], TimeInterval::days(0, 3)).with_k(5);
-        let (_, trace) = index.query_parallel_traced(&q, 4);
-        assert_eq!(trace.pops.len(), 4);
-        // Worker 0 at minimum logs the root expansion.
-        assert!(trace.pops[0].iter().any(|ev| ev.expanded));
+        let _ = index.query_parallel(&q, 4);
+        let trace = index.obs().trace_snapshot();
+        let workers: Vec<_> = trace.spans.iter().filter(|s| s.name == "worker").collect();
+        assert_eq!(workers.len(), 4);
+        // Every worker span hangs off the root query span.
+        let query = trace
+            .spans
+            .iter()
+            .find(|s| s.name == "query")
+            .expect("query span");
+        assert!(workers.iter().all(|w| w.parent == query.id));
+        // Worker 0 at minimum logs the root expansion as a pop event.
+        let w0 = workers[0];
+        assert!(trace
+            .events
+            .iter()
+            .any(|ev| ev.span == w0.id && ev.name == "pop"));
+    }
+
+    #[test]
+    fn instrumented_parallel_query_matches_disabled() {
+        let plain = build(Grouping::TarIntegral);
+        let mut observed = build(Grouping::TarIntegral);
+        observed.set_obs(Obs::enabled());
+        let q = KnntaQuery::new([4.0, 4.5], TimeInterval::days(0, 3)).with_k(6);
+        for threads in [1, 2, 4] {
+            let want = plain.query_parallel(&q, threads);
+            let got = observed.query_parallel(&q, threads);
+            assert_eq!(want.len(), got.len(), "threads={threads}");
+            for (a, b) in want.iter().zip(&got) {
+                assert_eq!(a.poi, b.poi, "threads={threads}");
+                assert_eq!(a.score.to_bits(), b.score.to_bits(), "threads={threads}");
+            }
+        }
     }
 }

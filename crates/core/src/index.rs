@@ -4,8 +4,10 @@
 use crate::agg_grouping::AggGrouping;
 use crate::augmentation::TiaAug;
 use crate::frontier::{NodeCand, TopK};
+use crate::observe::{self, PhaseAcc, QueryScope};
 use crate::poi::{KnntaQuery, Poi, QueryHit};
 use crate::storage::{MemNodes, NodeSource};
+use knnta_obs::{Obs, SpanId};
 use pagestore::AccessStats;
 use rtree::{EntryPayload, RStarGrouping, RStarTree, RTreeParams, Rect};
 use std::collections::{BinaryHeap, HashMap};
@@ -115,6 +117,9 @@ pub struct TarIndex {
     max_rate: f64,
     positions: Vec<Option<[f64; 2]>>,
     stats: AccessStats,
+    /// Observability sinks shared by every query entry point; disabled by
+    /// default (one branch per instrumentation site, no allocation).
+    pub(crate) obs: Obs,
     /// Bumped on every structural or aggregate change (used by the disk-TIA
     /// mirror to detect staleness).
     pub(crate) content_epoch: u64,
@@ -161,6 +166,7 @@ impl TarIndex {
             max_rate: 0.0,
             positions: Vec::new(),
             stats,
+            obs: Obs::disabled(),
             content_epoch: 0,
         }
     }
@@ -325,6 +331,18 @@ impl TarIndex {
     /// The shared access statistics (node accesses, TIA I/O).
     pub fn stats(&self) -> &AccessStats {
         &self.stats
+    }
+
+    /// Attaches an observability handle: every subsequent query entry point
+    /// emits spans and counters into it. Pass [`Obs::disabled`] to turn
+    /// instrumentation back off (the default).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// The index's observability handle.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Normalises a raw position into the unit query space.
@@ -506,10 +524,33 @@ impl TarIndex {
     /// Answers a kNNTA query with best-first search over the index
     /// (Section 4.3), counting node accesses in [`TarIndex::stats`].
     ///
-    /// Hits are returned best (smallest score) first.
+    /// Hits are returned best (smallest score) first. When an enabled
+    /// [`Obs`] handle is attached ([`TarIndex::set_obs`]) the search emits a
+    /// `query` span with `phase.*` children and publishes its counters; the
+    /// answers are bit-identical either way.
     pub fn query(&self, query: &KnntaQuery) -> Vec<QueryHit> {
         let ctx = self.ctx(query);
-        with_tree!(self, t => bfs_query(t, &ctx, query.k))
+        let Some(scope) =
+            QueryScope::begin_query(&self.obs, &self.stats, "seq", None, query, 1)
+        else {
+            return with_tree!(self, t => bfs_query(t, &ctx, query.k, &self.obs, SpanId::NONE));
+        };
+        let epochs = self.obs.counter(observe::M_EPOCHS_SCANNED);
+        let parent = scope.span_id();
+        let hits = with_tree!(self, t => bfs_query_src(
+            t,
+            &ctx,
+            query.k,
+            |_, _, series| {
+                let (v, n) = series.aggregate_over_counted(ctx.grid, ctx.iq);
+                epochs.add(n);
+                v
+            },
+            &self.obs,
+            parent
+        ));
+        scope.finish(hits.len());
+        hits
     }
 
     /// Checks every structural and TIA-summary invariant (test helper).
@@ -570,13 +611,20 @@ pub(crate) fn bfs_query<const D: usize, S>(
     tree: &RStarTree<D, Poi, TiaAug, S>,
     ctx: &QueryCtx<'_>,
     k: usize,
+    obs: &Obs,
+    parent: SpanId,
 ) -> Vec<QueryHit>
 where
     S: rtree::GroupingStrategy<D, AggregateSeries>,
 {
-    bfs_query_src(tree, ctx, k, |_, _, series| {
-        series.aggregate_over(ctx.grid, ctx.iq)
-    })
+    bfs_query_src(
+        tree,
+        ctx,
+        k,
+        |_, _, series| series.aggregate_over(ctx.grid, ctx.iq),
+        obs,
+        parent,
+    )
 }
 
 /// Best-first kNNTA search with a pluggable aggregate source (the in-memory
@@ -593,12 +641,14 @@ pub(crate) fn bfs_query_src<const D: usize, S, F>(
     ctx: &QueryCtx<'_>,
     k: usize,
     agg_of: F,
+    obs: &Obs,
+    parent: SpanId,
 ) -> Vec<QueryHit>
 where
     S: rtree::GroupingStrategy<D, AggregateSeries>,
     F: Fn(rtree::NodeId, usize, &AggregateSeries) -> u64,
 {
-    bfs_query_nodes(&MemNodes(tree), tree.stats(), ctx, k, agg_of)
+    bfs_query_nodes(&MemNodes(tree), tree.stats(), ctx, k, agg_of, obs, parent)
 }
 
 /// [`bfs_query_src`] over any [`NodeSource`] — the in-memory arena or a
@@ -611,6 +661,8 @@ pub(crate) fn bfs_query_nodes<const D: usize, N, F>(
     ctx: &QueryCtx<'_>,
     k: usize,
     agg_of: F,
+    obs: &Obs,
+    parent: SpanId,
 ) -> Vec<QueryHit>
 where
     N: NodeSource<D>,
@@ -618,6 +670,9 @@ where
 {
     if k == 0 || nodes.is_empty() {
         return Vec::new();
+    }
+    if obs.is_enabled() {
+        return bfs_query_nodes_observed(nodes, stats, ctx, k, agg_of, obs, parent);
     }
     let mut topk = TopK::new(k);
     let mut heap = BinaryHeap::new();
@@ -648,6 +703,88 @@ where
         });
     }
     topk.into_sorted_vec()
+}
+
+/// The instrumented twin of the sequential loop above: identical score
+/// arithmetic and traversal order (same expressions, same f64 operation
+/// order), plus timing and counters. Kept separate so the disabled path
+/// stays textually byte-identical to the pre-observability code.
+fn bfs_query_nodes_observed<const D: usize, N, F>(
+    nodes: &N,
+    stats: &AccessStats,
+    ctx: &QueryCtx<'_>,
+    k: usize,
+    agg_of: F,
+    obs: &Obs,
+    parent: SpanId,
+) -> Vec<QueryHit>
+where
+    N: NodeSource<D>,
+    F: Fn(rtree::NodeId, usize, &AggregateSeries) -> u64,
+{
+    let span = obs.span("search.seq", parent);
+    let start_ns = obs.now_ns();
+    let pushes = obs.counter(observe::M_HEAP_PUSHES);
+    let pops = obs.counter(observe::M_HEAP_POPS);
+    let bound_updates = obs.counter(observe::M_BOUND_UPDATES);
+    let paged = nodes.kind() == "paged";
+    let fetch_hist = obs.histogram(observe::M_PAGED_FETCH_NS, observe::PAGED_FETCH_BOUNDS);
+
+    let mut io_ns = 0u64;
+    let mut tia_ns = 0u64;
+    let mut topk = TopK::new(k);
+    let mut heap = BinaryHeap::new();
+    heap.push(NodeCand {
+        key: 0.0,
+        id: nodes.root(),
+    });
+    pushes.inc();
+    while let Some(NodeCand { key, id }) = heap.pop() {
+        pops.inc();
+        if key > topk.bound() {
+            break;
+        }
+        let io_before = io_ns;
+        nodes.with_node_timed(id, &mut io_ns, |node| {
+            stats.record_node_access();
+            if node.is_leaf() {
+                stats.record_leaf_access();
+            }
+            for (idx, e) in node.entries.iter().enumerate() {
+                let s0 = e.rect.project2().min_dist2(&ctx.q).sqrt();
+                let t_agg = std::time::Instant::now();
+                let agg = agg_of(id, idx, &e.aug);
+                tia_ns += t_agg.elapsed().as_nanos() as u64;
+                match &e.payload {
+                    EntryPayload::Data(poi) => {
+                        let before = topk.bound();
+                        topk.push(ctx.hit(poi.id, s0, agg));
+                        if topk.bound() < before {
+                            bound_updates.inc();
+                        }
+                    }
+                    EntryPayload::Child(c) => {
+                        let (key, _) = ctx.score(s0, agg);
+                        heap.push(NodeCand { key, id: *c });
+                        pushes.inc();
+                    }
+                }
+            }
+        });
+        if paged {
+            fetch_hist.record(io_ns - io_before);
+        }
+    }
+    let hits = topk.into_sorted_vec();
+    let end_ns = obs.now_ns();
+    let acc = PhaseAcc {
+        busy_ns: end_ns.saturating_sub(start_ns),
+        tia_ns,
+        io_ns,
+    };
+    observe::emit_phase_spans(obs, span.id(), start_ns, end_ns, &acc);
+    span.finish();
+    hits
 }
 
 #[cfg(test)]

@@ -74,6 +74,7 @@ pub mod hilbert;
 mod index;
 mod live;
 mod mwa;
+mod observe;
 mod parallel;
 mod persist;
 mod poi;
@@ -86,8 +87,8 @@ pub use augmentation::TiaAug;
 pub use baseline::ScanBaseline;
 pub use collective::{BatchOptions, BatchOrder};
 pub use disk_tia::DiskTias;
-pub use frontier::{FrontierTrace, PopEvent};
 pub use geo::{haversine_km, GeoPoint, GeoProjector, EARTH_RADIUS_KM};
+pub use knnta_obs::Obs;
 pub use index::{Grouping, IndexConfig, TarIndex};
 pub use live::LiveIndex;
 pub use mwa::{gamma, WeightAdjustment};

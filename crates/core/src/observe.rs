@@ -1,0 +1,227 @@
+//! Observability plumbing for the query path: metric names, the per-phase
+//! cost accumulator, and the scope helper every query entry point uses to
+//! emit its span and publish counter deltas.
+//!
+//! Everything here is inert when the index's [`Obs`] handle is disabled:
+//! [`QueryScope::begin`] returns `None`, the phase accumulator is never
+//! touched, and no timestamps are taken — the disabled query path stays
+//! byte-identical to the pre-observability code (pinned by
+//! `tests/obs_overhead.rs`).
+//!
+//! Metric names follow `knnta.<crate>.<subsystem>.<name>`. The node-access
+//! and buffer counters are published from [`AccessStats`] snapshot deltas,
+//! so they *are* the oracle accounting by construction — schedule invariant,
+//! bit-identical across backends and thread counts.
+
+use crate::poi::KnntaQuery;
+use crate::storage::PagedNodes;
+use knnta_obs::{AttrValue, Obs, SpanGuard, SpanId};
+use pagestore::{AccessStats, StatsSnapshot};
+
+/// `knnta.core.search.node_accesses` — logical node accesses (oracle
+/// accounting delta).
+pub(crate) const M_NODE_ACCESSES: &str = "knnta.core.search.node_accesses";
+/// `knnta.core.search.leaf_accesses` — the leaf subset of the above.
+pub(crate) const M_LEAF_ACCESSES: &str = "knnta.core.search.leaf_accesses";
+/// `knnta.core.search.heap_pushes` — frontier pushes (sequential search).
+pub(crate) const M_HEAP_PUSHES: &str = "knnta.core.search.heap_pushes";
+/// `knnta.core.search.heap_pops` — frontier pops (sequential search).
+pub(crate) const M_HEAP_POPS: &str = "knnta.core.search.heap_pops";
+/// `knnta.core.search.bound_updates` — times `f(p_k)` tightened.
+pub(crate) const M_BOUND_UPDATES: &str = "knnta.core.search.bound_updates";
+/// `knnta.core.frontier.pops` — parallel frontier pops (all workers).
+pub(crate) const M_FRONTIER_POPS: &str = "knnta.core.frontier.pops";
+/// `knnta.core.frontier.steals` — pops taken from another worker's heap.
+pub(crate) const M_FRONTIER_STEALS: &str = "knnta.core.frontier.steals";
+/// `knnta.core.frontier.speculative` — expansions beyond the final `f(p_k)`
+/// (timing noise, excluded from the oracle accounting).
+pub(crate) const M_FRONTIER_SPECULATIVE: &str = "knnta.core.frontier.speculative";
+/// `knnta.core.batch.tiles` — locality tiles processed.
+pub(crate) const M_BATCH_TILES: &str = "knnta.core.batch.tiles";
+/// `knnta.core.batch.queries` — active queries across processed batches.
+pub(crate) const M_BATCH_QUERIES: &str = "knnta.core.batch.queries";
+/// `knnta.core.agg_cache.hits` — memoised aggregate probes.
+pub(crate) const M_AGG_CACHE_HITS: &str = "knnta.core.agg_cache.hits";
+/// `knnta.core.agg_cache.misses` — computed aggregate probes.
+pub(crate) const M_AGG_CACHE_MISSES: &str = "knnta.core.agg_cache.misses";
+/// `knnta.core.agg_cache.prefix_builds` — nodes whose prefix sums were built.
+pub(crate) const M_AGG_CACHE_PREFIX_BUILDS: &str = "knnta.core.agg_cache.prefix_builds";
+/// `knnta.tempora.series.epochs_scanned` — stored epoch records scanned by
+/// in-memory aggregate computation.
+pub(crate) const M_EPOCHS_SCANNED: &str = "knnta.tempora.series.epochs_scanned";
+/// `knnta.mvbt.tia.probes` — disk-TIA aggregate probes.
+pub(crate) const M_TIA_PROBES: &str = "knnta.mvbt.tia.probes";
+/// `knnta.core.storage.paged.fetch_ns` — per-node paged fetch latency
+/// histogram.
+pub(crate) const M_PAGED_FETCH_NS: &str = "knnta.core.storage.paged.fetch_ns";
+/// Bucket upper bounds (ns) of [`M_PAGED_FETCH_NS`].
+pub(crate) const PAGED_FETCH_BOUNDS: &[u64] =
+    &[250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 1_000_000];
+
+/// Accumulated per-search phase costs in nanoseconds, decomposed
+/// Fig. 12-style: total measured work, the TIA-aggregation share and the
+/// page-I/O share. Filter (scoring) time is the remainder.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct PhaseAcc {
+    /// Total measured work time (the whole search loop, or one worker's
+    /// expansion time).
+    pub busy_ns: u64,
+    /// Time spent computing temporal aggregates.
+    pub tia_ns: u64,
+    /// Time spent fetching + decoding nodes from paged storage.
+    pub io_ns: u64,
+}
+
+impl PhaseAcc {
+    /// The filter (distance scoring + heap maintenance) share: whatever is
+    /// left of `busy_ns` after TIA aggregation and page I/O.
+    pub fn filter_ns(&self) -> u64 {
+        self.busy_ns
+            .saturating_sub(self.tia_ns)
+            .saturating_sub(self.io_ns)
+    }
+}
+
+/// Emits the three stacked `phase.*` child spans under `parent`, laid out
+/// back to back from `start_ns` (filter, then TIA, then I/O) and clamped to
+/// `end_ns` so they always nest inside the parent interval.
+pub(crate) fn emit_phase_spans(
+    obs: &Obs,
+    parent: SpanId,
+    start_ns: u64,
+    end_ns: u64,
+    acc: &PhaseAcc,
+) {
+    let Some(tracer) = obs.tracer() else { return };
+    let mut t = start_ns;
+    for (name, ns) in [
+        ("phase.filter", acc.filter_ns()),
+        ("phase.tia", acc.tia_ns),
+        ("phase.io", acc.io_ns),
+    ] {
+        let end = t.saturating_add(ns).min(end_ns).max(t);
+        tracer.add_span(name, parent, t, end, vec![]);
+        t = end;
+    }
+}
+
+/// Publishes the paged backend's physical I/O delta as counters, namespaced
+/// by replacement policy: `knnta.pagestore.buffer.<policy>.*` plus
+/// `knnta.pagestore.disk.page_*`.
+pub(crate) fn publish_paged_io(obs: &Obs, policy: &str, d: &StatsSnapshot) {
+    obs.counter("knnta.pagestore.disk.page_reads").add(d.page_reads);
+    obs.counter("knnta.pagestore.disk.page_writes").add(d.page_writes);
+    obs.counter(&format!("knnta.pagestore.buffer.{policy}.hits"))
+        .add(d.buffer_hits);
+    obs.counter(&format!("knnta.pagestore.buffer.{policy}.misses"))
+        .add(d.buffer_misses);
+    obs.counter(&format!("knnta.pagestore.buffer.{policy}.evictions"))
+        .add(d.buffer_evictions);
+}
+
+/// One instrumented query (or batch) entry point: opens the root span,
+/// snapshots the oracle accounting (and the paged backend's I/O counters)
+/// on entry, and publishes the deltas as metrics + span attributes on
+/// [`QueryScope::finish`].
+pub(crate) struct QueryScope<'a> {
+    obs: &'a Obs,
+    span: SpanGuard<'a>,
+    stats: &'a AccessStats,
+    before: StatsSnapshot,
+    paged: Option<&'a PagedNodes>,
+    io_before: Option<StatsSnapshot>,
+}
+
+impl<'a> QueryScope<'a> {
+    /// Opens the scope, or `None` when `obs` is disabled.
+    pub fn begin(
+        obs: &'a Obs,
+        stats: &'a AccessStats,
+        name: &str,
+        mode: &str,
+        paged: Option<&'a PagedNodes>,
+        attrs: Vec<(String, AttrValue)>,
+    ) -> Option<Self> {
+        if !obs.is_enabled() {
+            return None;
+        }
+        let span = obs.span(name, SpanId::NONE);
+        let mut all = vec![
+            ("mode".to_string(), AttrValue::from(mode)),
+            (
+                "backend".to_string(),
+                AttrValue::from(if paged.is_some() { "paged" } else { "mem" }),
+            ),
+        ];
+        all.extend(attrs);
+        span.set_attrs(all);
+        Some(QueryScope {
+            obs,
+            span,
+            stats,
+            before: stats.snapshot(),
+            paged,
+            io_before: paged.map(|p| p.io_snapshot()),
+        })
+    }
+
+    /// A [`QueryScope::begin`] with the standard per-query attributes.
+    pub fn begin_query(
+        obs: &'a Obs,
+        stats: &'a AccessStats,
+        mode: &str,
+        paged: Option<&'a PagedNodes>,
+        query: &KnntaQuery,
+        threads: usize,
+    ) -> Option<Self> {
+        Self::begin(
+            obs,
+            stats,
+            "query",
+            mode,
+            paged,
+            vec![
+                ("k".to_string(), AttrValue::from(query.k as u64)),
+                ("alpha0".to_string(), AttrValue::from(query.alpha0)),
+                ("threads".to_string(), AttrValue::from(threads as u64)),
+            ],
+        )
+    }
+
+    /// The open root span (parent for search/worker/phase spans).
+    pub fn span_id(&self) -> SpanId {
+        self.span.id()
+    }
+
+    /// Publishes the accounting deltas and closes the span.
+    pub fn finish(self, hits: usize) {
+        let d = self.stats.snapshot().since(self.before);
+        self.obs.counter(M_NODE_ACCESSES).add(d.node_accesses);
+        self.obs.counter(M_LEAF_ACCESSES).add(d.leaf_node_accesses);
+        let mut attrs = vec![
+            ("hits".to_string(), AttrValue::from(hits as u64)),
+            (
+                "node_accesses".to_string(),
+                AttrValue::from(d.node_accesses),
+            ),
+            (
+                "leaf_accesses".to_string(),
+                AttrValue::from(d.leaf_node_accesses),
+            ),
+        ];
+        if let (Some(paged), Some(before)) = (self.paged, self.io_before) {
+            let io = paged.io_snapshot().since(before);
+            let policy = paged.config().policy.to_string();
+            publish_paged_io(self.obs, &policy, &io);
+            attrs.push(("policy".to_string(), AttrValue::from(policy)));
+            attrs.push(("buffer_hits".to_string(), AttrValue::from(io.buffer_hits)));
+            attrs.push((
+                "buffer_misses".to_string(),
+                AttrValue::from(io.buffer_misses),
+            ));
+            attrs.push(("page_reads".to_string(), AttrValue::from(io.page_reads)));
+        }
+        self.span.set_attrs(attrs);
+        self.span.finish();
+    }
+}

@@ -20,7 +20,9 @@
 
 use crate::augmentation::TiaAug;
 use crate::index::{Grouping, QueryCtx, TarIndex, TreeImpl};
+use crate::observe::QueryScope;
 use crate::poi::{KnntaQuery, Poi, QueryHit};
+use knnta_obs::SpanId;
 use pagestore::{BufferPoolConfig, Bytes, BytesMut, StatsSnapshot};
 use rtree::{
     Entry, EntryPayload, GroupingStrategy, Node, NodeCodec, NodeId, PagedNodeStore, RStarTree,
@@ -41,6 +43,21 @@ pub(crate) trait NodeSource<const D: usize> {
     /// Applies `f` to node `id` (no logical-access counting here — callers
     /// account, so speculative parallel expansions stay uncharged).
     fn with_node<R>(&self, id: NodeId, f: impl FnOnce(&Node<D, Poi, AggregateSeries>) -> R) -> R;
+    /// Backend label for trace attributes: `"mem"` or `"paged"`.
+    fn kind(&self) -> &'static str;
+    /// [`NodeSource::with_node`] accumulating the nanoseconds the node fetch
+    /// itself took into `io_ns`. The in-memory arena hands out a borrow at
+    /// zero cost, so the default adds nothing; the paged store times its
+    /// buffered read + decode.
+    fn with_node_timed<R>(
+        &self,
+        id: NodeId,
+        io_ns: &mut u64,
+        f: impl FnOnce(&Node<D, Poi, AggregateSeries>) -> R,
+    ) -> R {
+        let _ = io_ns;
+        self.with_node(id, f)
+    }
 }
 
 /// The in-memory arena as a [`NodeSource`].
@@ -62,6 +79,10 @@ where
 
     fn with_node<R>(&self, id: NodeId, f: impl FnOnce(&Node<D, Poi, AggregateSeries>) -> R) -> R {
         f(self.0.node(id))
+    }
+
+    fn kind(&self) -> &'static str {
+        "mem"
     }
 }
 
@@ -151,6 +172,20 @@ impl<const D: usize> NodeSource<D> for PagedNodeStore<D, Poi, AggregateSeries, T
 
     fn with_node<R>(&self, id: NodeId, f: impl FnOnce(&Node<D, Poi, AggregateSeries>) -> R) -> R {
         let node = self.read_node(id);
+        f(&node)
+    }
+
+    fn kind(&self) -> &'static str {
+        "paged"
+    }
+
+    fn with_node_timed<R>(
+        &self,
+        id: NodeId,
+        io_ns: &mut u64,
+        f: impl FnOnce(&Node<D, Poi, AggregateSeries>) -> R,
+    ) -> R {
+        let node = self.read_node_timed(id, io_ns);
         f(&node)
     }
 }
@@ -311,10 +346,23 @@ impl TarIndex {
             StorageBackend::Paged(paged) => {
                 paged.check_fresh(self.content_epoch);
                 let ctx = self.ctx(query);
-                match &paged.store {
-                    PagedStoreImpl::D3(s) => self.bfs_on_nodes(s, &ctx, query.k),
-                    PagedStoreImpl::D2(s) => self.bfs_on_nodes(s, &ctx, query.k),
+                let scope = QueryScope::begin_query(
+                    self.obs(),
+                    self.stats(),
+                    "seq",
+                    Some(paged),
+                    query,
+                    1,
+                );
+                let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
+                let hits = match &paged.store {
+                    PagedStoreImpl::D3(s) => self.bfs_on_nodes(s, &ctx, query.k, parent),
+                    PagedStoreImpl::D2(s) => self.bfs_on_nodes(s, &ctx, query.k, parent),
+                };
+                if let Some(scope) = scope {
+                    scope.finish(hits.len());
                 }
+                hits
             }
         }
     }
@@ -336,16 +384,28 @@ impl TarIndex {
                 assert!(threads > 0, "at least one worker thread");
                 paged.check_fresh(self.content_epoch);
                 let ctx = self.ctx(query);
-                let (hits, _, nodes, leaves) = match &paged.store {
+                let scope = QueryScope::begin_query(
+                    self.obs(),
+                    self.stats(),
+                    "par",
+                    Some(paged),
+                    query,
+                    threads,
+                );
+                let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
+                let (hits, nodes, leaves) = match &paged.store {
                     PagedStoreImpl::D3(s) => {
-                        crate::frontier::parallel_bfs(s, &ctx, query.k, threads)
+                        crate::frontier::parallel_bfs(s, &ctx, query.k, threads, self.obs(), parent)
                     }
                     PagedStoreImpl::D2(s) => {
-                        crate::frontier::parallel_bfs(s, &ctx, query.k, threads)
+                        crate::frontier::parallel_bfs(s, &ctx, query.k, threads, self.obs(), parent)
                     }
                 };
                 self.stats().record_node_accesses(nodes);
                 self.stats().record_leaf_accesses(leaves);
+                if let Some(scope) = scope {
+                    scope.finish(hits.len());
+                }
                 hits
             }
         }
@@ -356,10 +416,33 @@ impl TarIndex {
         nodes: &N,
         ctx: &QueryCtx<'_>,
         k: usize,
+        parent: SpanId,
     ) -> Vec<QueryHit> {
-        crate::index::bfs_query_nodes(nodes, self.stats(), ctx, k, |_, _, series| {
-            series.aggregate_over(ctx.grid, ctx.iq)
-        })
+        if self.obs().is_enabled() {
+            let epochs = self.obs().counter(crate::observe::M_EPOCHS_SCANNED);
+            return crate::index::bfs_query_nodes(
+                nodes,
+                self.stats(),
+                ctx,
+                k,
+                |_, _, series| {
+                    let (v, n) = series.aggregate_over_counted(ctx.grid, ctx.iq);
+                    epochs.add(n);
+                    v
+                },
+                self.obs(),
+                parent,
+            );
+        }
+        crate::index::bfs_query_nodes(
+            nodes,
+            self.stats(),
+            ctx,
+            k,
+            |_, _, series| series.aggregate_over(ctx.grid, ctx.iq),
+            self.obs(),
+            parent,
+        )
     }
 }
 

@@ -29,6 +29,9 @@ pub struct MvbtTia {
     pool: Arc<BufferPool>,
     /// Monotonic operation clock: every mutation advances the MVBT version.
     clock: u64,
+    /// Aggregate probes served ([`MvbtTia::aggregate_over`] calls), for the
+    /// observability layer's `knnta.mvbt.tia.probes` counter.
+    probes: std::sync::atomic::AtomicU64,
 }
 
 impl MvbtTia {
@@ -46,7 +49,13 @@ impl MvbtTia {
             tree: Mvbt::new(Arc::clone(&pool)),
             pool,
             clock: 0,
+            probes: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// Number of [`MvbtTia::aggregate_over`] probes served so far.
+    pub fn probes(&self) -> u64 {
+        self.probes.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// The TIA buffer pool's configuration.
@@ -117,6 +126,8 @@ impl MvbtTia {
     /// The temporal aggregate over `iq`: the sum of records whose epoch
     /// `[ts, te] ⊆ iq` (Section 4.3).
     pub fn aggregate_over(&self, iq: TimeInterval) -> u64 {
+        self.probes
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         // Record keys are epoch starts; a record qualifies iff
         // ts >= iq.start and te <= iq.end. Scan the key range and filter on
         // the stored te — grid-independent, so varied-length epochs work.
@@ -212,6 +223,21 @@ mod tests {
             tia.aggregate_over(TimeInterval::new(Timestamp(10), Timestamp(20))),
             0
         );
+    }
+
+    #[test]
+    fn probe_counter_tracks_aggregate_queries() {
+        let grid = EpochGrid::fixed_days(1, 3);
+        let (mut tia, _) = tia();
+        tia.insert_epoch(&grid, 0, 3);
+        assert_eq!(tia.probes(), 0);
+        let _ = tia.aggregate_over(TimeInterval::days(0, 3));
+        let _ = tia.aggregate_over(TimeInterval::days(1, 3));
+        assert_eq!(tia.probes(), 2);
+        // Point lookups and mutations are not aggregate probes.
+        let _ = tia.epoch_value(&grid, 0);
+        tia.insert_epoch(&grid, 1, 5);
+        assert_eq!(tia.probes(), 2);
     }
 
     #[test]

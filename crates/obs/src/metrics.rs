@@ -1,0 +1,501 @@
+//! Lock-cheap metrics registry: counters, gauges, fixed-bucket histograms.
+//!
+//! Registration (name → handle) takes a mutex once per call site; the
+//! handles themselves are bare atomics, so the hot path never locks.
+//! Names follow `knnta.<crate>.<subsystem>.<name>` (see DESIGN.md §11).
+//!
+//! Snapshots serialize to the stable `knnta.metrics.v1` schema:
+//!
+//! ```json
+//! {
+//!   "schema": "knnta.metrics.v1",
+//!   "counters": {"knnta.core.search.pops": 12},
+//!   "gauges": {"knnta.core.batch.active": 3},
+//!   "histograms": [
+//!     {"name": "knnta.core.storage.paged.fetch_ns",
+//!      "bounds": [1000, 10000], "buckets": [5, 2, 1],
+//!      "count": 8, "sum": 31250}
+//!   ]
+//! }
+//! ```
+//!
+//! Histogram `buckets` has one more entry than `bounds` (the overflow
+//! bucket); `bounds` are inclusive upper bounds in ascending order.
+
+use knnta_util::json::{escape_string, JsonValue};
+use knnta_util::sync::Mutex;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter handle (no-op when vended by a
+/// disabled [`crate::Obs`]).
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    pub(crate) fn noop() -> Self {
+        Self(None)
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (a single atomic add; `0` is skipped).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            if n > 0 {
+                c.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Current value (0 for a no-op handle).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A set-or-adjust gauge handle (no-op when vended by a disabled
+/// [`crate::Obs`]).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Option<Arc<AtomicI64>>);
+
+impl Gauge {
+    pub(crate) fn noop() -> Self {
+        Self(None)
+    }
+
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if let Some(g) = &self.0 {
+            g.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adjusts the gauge by `delta`.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if let Some(g) = &self.0 {
+            g.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a no-op handle).
+    pub fn get(&self) -> i64 {
+        self.0.as_ref().map_or(0, |g| g.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct HistCore {
+    bounds: Vec<u64>,
+    /// `bounds.len() + 1` slots; the last is the overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A fixed-bucket histogram handle (no-op when vended by a disabled
+/// [`crate::Obs`]). Bucket bounds are inclusive upper bounds.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Option<Arc<HistCore>>);
+
+impl Histogram {
+    pub(crate) fn noop() -> Self {
+        Self(None)
+    }
+
+    /// Records one observation of `v`.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(h) = &self.0 {
+            let idx = h
+                .bounds
+                .iter()
+                .position(|&b| v <= b)
+                .unwrap_or(h.bounds.len());
+            h.buckets[idx].fetch_add(1, Ordering::Relaxed);
+            h.count.fetch_add(1, Ordering::Relaxed);
+            h.sum.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Total number of observations (0 for a no-op handle).
+    pub fn count(&self) -> u64 {
+        self.0.as_ref().map_or(0, |h| h.count.load(Ordering::Relaxed))
+    }
+
+    /// Sum of all observed values (0 for a no-op handle).
+    pub fn sum(&self) -> u64 {
+        self.0.as_ref().map_or(0, |h| h.sum.load(Ordering::Relaxed))
+    }
+}
+
+/// The name → handle registry behind an enabled [`crate::Obs`].
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistCore>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or fetches) the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock();
+        let cell = map
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+        Counter(Some(Arc::clone(cell)))
+    }
+
+    /// Registers (or fetches) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.gauges.lock();
+        let cell = map
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicI64::new(0)));
+        Gauge(Some(Arc::clone(cell)))
+    }
+
+    /// Registers (or fetches) the histogram `name`. For a fresh
+    /// registration, `bounds` must be strictly ascending; for an existing
+    /// name the already-registered bounds win.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let mut map = self.histograms.lock();
+        let cell = map.entry(name.to_string()).or_insert_with(|| {
+            Arc::new(HistCore {
+                bounds: bounds.to_vec(),
+                buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            })
+        });
+        Histogram(Some(Arc::clone(cell)))
+    }
+
+    /// A point-in-time copy of every metric, sorted by name.
+    pub fn snapshot(&self) -> MetricsDoc {
+        let counters = self
+            .counters
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .iter()
+            .map(|(k, h)| HistogramDoc {
+                name: k.clone(),
+                bounds: h.bounds.clone(),
+                buckets: h
+                    .buckets
+                    .iter()
+                    .map(|b| b.load(Ordering::Relaxed))
+                    .collect(),
+                count: h.count.load(Ordering::Relaxed),
+                sum: h.sum.load(Ordering::Relaxed),
+            })
+            .collect();
+        MetricsDoc {
+            schema: crate::METRICS_SCHEMA.to_string(),
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// One histogram in a [`MetricsDoc`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramDoc {
+    /// Metric name.
+    pub name: String,
+    /// Inclusive upper bucket bounds, ascending.
+    pub bounds: Vec<u64>,
+    /// Per-bucket observation counts; `bounds.len() + 1` entries, the last
+    /// being the overflow bucket.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+}
+
+/// A metrics artifact: a snapshot of the registry, or a parsed
+/// `knnta.metrics.v1` JSON document.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsDoc {
+    /// Schema identifier (`knnta.metrics.v1`).
+    pub schema: String,
+    /// Counter (name, value) pairs sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge (name, value) pairs sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histograms sorted by name.
+    pub histograms: Vec<HistogramDoc>,
+}
+
+impl MetricsDoc {
+    /// The counter value for `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Serializes to the `knnta.metrics.v1` schema.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": {},", escape_string(crate::METRICS_SCHEMA));
+        out.push_str("  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {}: {}", escape_string(name), v);
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {}: {}", escape_string(name), v);
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"histograms\": [");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {{\"name\": {}, \"bounds\": [", escape_string(&h.name));
+            for (j, b) in h.bounds.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{b}");
+            }
+            out.push_str("], \"buckets\": [");
+            for (j, b) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{b}");
+            }
+            let _ = write!(out, "], \"count\": {}, \"sum\": {}}}", h.count, h.sum);
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Parses a `knnta.metrics.v1` document (round-trips [`MetricsDoc::to_json`]).
+    pub fn parse(s: &str) -> Result<MetricsDoc, String> {
+        let v = JsonValue::parse(s)?;
+        let schema = v
+            .get("schema")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing schema")?
+            .to_string();
+        let mut counters = Vec::new();
+        for (name, val) in v
+            .get("counters")
+            .and_then(JsonValue::as_obj)
+            .ok_or("missing counters object")?
+        {
+            counters.push((
+                name.clone(),
+                val.as_u64().ok_or_else(|| format!("counter {name} not a number"))?,
+            ));
+        }
+        let mut gauges = Vec::new();
+        for (name, val) in v
+            .get("gauges")
+            .and_then(JsonValue::as_obj)
+            .ok_or("missing gauges object")?
+        {
+            gauges.push((
+                name.clone(),
+                val.as_f64().ok_or_else(|| format!("gauge {name} not a number"))? as i64,
+            ));
+        }
+        let mut histograms = Vec::new();
+        for h in v
+            .get("histograms")
+            .and_then(JsonValue::as_arr)
+            .ok_or("missing histograms array")?
+        {
+            let nums = |key: &str| -> Result<Vec<u64>, String> {
+                h.get(key)
+                    .and_then(JsonValue::as_arr)
+                    .ok_or_else(|| format!("histogram missing {key}"))?
+                    .iter()
+                    .map(|x| x.as_u64().ok_or_else(|| format!("bad {key} entry")))
+                    .collect()
+            };
+            histograms.push(HistogramDoc {
+                name: h
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("histogram missing name")?
+                    .to_string(),
+                bounds: nums("bounds")?,
+                buckets: nums("buckets")?,
+                count: h.get("count").and_then(JsonValue::as_u64).ok_or("histogram missing count")?,
+                sum: h.get("sum").and_then(JsonValue::as_u64).ok_or("histogram missing sum")?,
+            });
+        }
+        Ok(MetricsDoc {
+            schema,
+            counters,
+            gauges,
+            histograms,
+        })
+    }
+
+    /// Structural validation: schema identifier, sorted unique names,
+    /// histogram bucket arithmetic.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema != crate::METRICS_SCHEMA {
+            return Err(format!("unexpected schema {:?}", self.schema));
+        }
+        for names in [
+            self.counters.iter().map(|(k, _)| k).collect::<Vec<_>>(),
+            self.gauges.iter().map(|(k, _)| k).collect(),
+            self.histograms.iter().map(|h| &h.name).collect(),
+        ] {
+            if names.windows(2).any(|w| w[0] >= w[1]) {
+                return Err("metric names not sorted/unique".to_string());
+            }
+        }
+        for h in &self.histograms {
+            if h.buckets.len() != h.bounds.len() + 1 {
+                return Err(format!("histogram {} bucket/bound mismatch", h.name));
+            }
+            if h.buckets.iter().sum::<u64>() != h.count {
+                return Err(format!("histogram {} count mismatch", h.name));
+            }
+            if h.bounds.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("histogram {} bounds not ascending", h.name));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_register_once() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("knnta.x");
+        let b = reg.counter("knnta.x");
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5);
+        let g = reg.gauge("knnta.g");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(reg.gauge("knnta.g").get(), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("knnta.h", &[10, 100]);
+        for v in [1, 10, 11, 100, 101, 5000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1 + 10 + 11 + 100 + 101 + 5000);
+        let doc = reg.snapshot();
+        assert_eq!(doc.histograms[0].buckets, vec![2, 2, 2]);
+        doc.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn histogram_rejects_unsorted_bounds() {
+        MetricsRegistry::new().histogram("knnta.bad", &[10, 10]);
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let reg = MetricsRegistry::new();
+        reg.counter("knnta.core.search.pops").add(12);
+        reg.counter("knnta.core.search.pushes").add(30);
+        reg.gauge("knnta.core.batch.active").set(-2);
+        let h = reg.histogram("knnta.core.storage.paged.fetch_ns", &[1_000, 10_000]);
+        h.record(500);
+        h.record(20_000);
+        let doc = reg.snapshot();
+        doc.validate().unwrap();
+        let json = doc.to_json();
+        let back = MetricsDoc::parse(&json).unwrap();
+        back.validate().unwrap();
+        assert_eq!(back, doc);
+        assert_eq!(back.counter("knnta.core.search.pops"), Some(12));
+        assert_eq!(back.counter("absent"), None);
+    }
+
+    #[test]
+    fn empty_registry_serializes_and_validates() {
+        let doc = MetricsRegistry::new().snapshot();
+        let back = MetricsDoc::parse(&doc.to_json()).unwrap();
+        back.validate().unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn validate_rejects_broken_docs() {
+        let mut doc = MetricsRegistry::new().snapshot();
+        doc.schema = "bogus".to_string();
+        assert!(doc.validate().is_err());
+        let mut doc = MetricsRegistry::new().snapshot();
+        doc.counters = vec![("b".into(), 1), ("a".into(), 2)];
+        assert!(doc.validate().is_err());
+        let mut doc = MetricsRegistry::new().snapshot();
+        doc.histograms = vec![HistogramDoc {
+            name: "h".into(),
+            bounds: vec![1],
+            buckets: vec![1, 2],
+            count: 99,
+            sum: 0,
+        }];
+        assert!(doc.validate().is_err());
+    }
+}

@@ -1,0 +1,186 @@
+//! Renders a per-phase breakdown table from a trace artifact.
+//!
+//! This backs `knnta report <trace.json>`: it aggregates the synthetic
+//! `phase.*` spans the query path emits (filter scoring vs. TIA aggregation
+//! vs. page I/O) into the per-phase cost decomposition the paper reports
+//! (Fig. 12-style), plus a per-span-name summary and, when a metrics
+//! artifact is supplied, the counter table.
+
+use crate::metrics::MetricsDoc;
+use crate::trace::TraceDoc;
+use std::fmt::Write as _;
+
+/// Pretty-prints `ns` with an adaptive unit.
+pub fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// One aggregated row of the report.
+#[derive(Debug, Clone, PartialEq)]
+struct Row {
+    name: String,
+    count: u64,
+    total_ns: u64,
+}
+
+fn aggregate<'a>(names: impl Iterator<Item = (&'a str, u64)>) -> Vec<Row> {
+    let mut rows: Vec<Row> = Vec::new();
+    for (name, ns) in names {
+        match rows.iter_mut().find(|r| r.name == name) {
+            Some(r) => {
+                r.count += 1;
+                r.total_ns += ns;
+            }
+            None => rows.push(Row {
+                name: name.to_string(),
+                count: 1,
+                total_ns: ns,
+            }),
+        }
+    }
+    rows
+}
+
+/// Renders the human-readable report for `trace`, with the counter table
+/// appended when `metrics` is given.
+pub fn render_report(trace: &TraceDoc, metrics: Option<&MetricsDoc>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace: {} spans, {} events ({})",
+        trace.spans.len(),
+        trace.events.len(),
+        trace.schema
+    );
+
+    // Top-level work: every span whose name is a root-ish unit of work.
+    let queries: Vec<_> = trace
+        .spans
+        .iter()
+        .filter(|s| s.parent == 0)
+        .collect();
+    let total_ns: u64 = queries.iter().map(|s| s.duration_ns()).sum();
+    let _ = writeln!(
+        out,
+        "root spans: {} (total {})",
+        queries.len(),
+        format_ns(total_ns)
+    );
+
+    // Fig. 12-style decomposition from the synthetic phase.* spans.
+    let phases = aggregate(
+        trace
+            .spans
+            .iter()
+            .filter(|s| s.name.starts_with("phase."))
+            .map(|s| (s.name.as_str(), s.duration_ns())),
+    );
+    if !phases.is_empty() {
+        let phase_total: u64 = phases.iter().map(|r| r.total_ns).sum();
+        out.push_str("\nper-phase breakdown:\n");
+        let _ = writeln!(out, "  {:<14} {:>8} {:>12} {:>7}", "phase", "spans", "total", "share");
+        for r in &phases {
+            let share = if phase_total > 0 {
+                100.0 * r.total_ns as f64 / phase_total as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>8} {:>12} {:>6.1}%",
+                r.name.trim_start_matches("phase."),
+                r.count,
+                format_ns(r.total_ns),
+                share
+            );
+        }
+    }
+
+    let others = aggregate(
+        trace
+            .spans
+            .iter()
+            .filter(|s| !s.name.starts_with("phase."))
+            .map(|s| (s.name.as_str(), s.duration_ns())),
+    );
+    if !others.is_empty() {
+        out.push_str("\nspans:\n");
+        let _ = writeln!(out, "  {:<14} {:>8} {:>12}", "name", "count", "total");
+        for r in &others {
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>8} {:>12}",
+                r.name,
+                r.count,
+                format_ns(r.total_ns)
+            );
+        }
+    }
+
+    if let Some(m) = metrics {
+        if !m.counters.is_empty() {
+            out.push_str("\ncounters:\n");
+            for (name, v) in &m.counters {
+                let _ = writeln!(out, "  {name:<44} {v:>12}");
+            }
+        }
+        for h in &m.histograms {
+            let _ = writeln!(
+                out,
+                "  {:<44} {:>12} obs, mean {}",
+                h.name,
+                h.count,
+                format_ns(if h.count > 0 { h.sum / h.count } else { 0 })
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{SpanId, Tracer};
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn report_aggregates_phases_and_counters() {
+        let t = Tracer::new();
+        let q = t.add_span("query", SpanId::NONE, 0, 1_000_000, vec![]);
+        t.add_span("phase.filter", q, 0, 600_000, vec![]);
+        t.add_span("phase.tia", q, 600_000, 900_000, vec![]);
+        t.add_span("phase.io", q, 900_000, 1_000_000, vec![]);
+        let reg = MetricsRegistry::new();
+        reg.counter("knnta.core.search.node_accesses").add(42);
+        let report = render_report(&t.snapshot(), Some(&reg.snapshot()));
+        assert!(report.contains("per-phase breakdown"));
+        assert!(report.contains("filter"));
+        assert!(report.contains("60.0%"));
+        assert!(report.contains("tia"));
+        assert!(report.contains("io"));
+        assert!(report.contains("knnta.core.search.node_accesses"));
+        assert!(report.contains("42"));
+    }
+
+    #[test]
+    fn report_handles_empty_trace() {
+        let report = render_report(&Tracer::new().snapshot(), None);
+        assert!(report.contains("0 spans"));
+    }
+
+    #[test]
+    fn format_ns_units() {
+        assert_eq!(format_ns(5), "5 ns");
+        assert_eq!(format_ns(1_500), "1.500 us");
+        assert_eq!(format_ns(2_500_000), "2.500 ms");
+        assert_eq!(format_ns(3_000_000_000), "3.000 s");
+    }
+}

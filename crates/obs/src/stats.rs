@@ -1,4 +1,11 @@
 //! Shared access counters.
+//!
+//! Moved here verbatim from `pagestore::stats` so that exactly one type
+//! defines hit/miss/access semantics for the whole stack (`pagestore`
+//! re-exports it for backward compatibility). These counters are the
+//! *oracle* accounting: schedule-invariant and bit-identical across
+//! storage backends and thread counts — the metrics registry mirrors
+//! them but never replaces them.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -37,9 +44,9 @@ pub struct StatsSnapshot {
     /// The subset of node accesses that hit leaf nodes (Section 6.3's
     /// analysis estimates leaf accesses only).
     pub leaf_node_accesses: u64,
-    /// Physical page reads from the [`crate::Disk`].
+    /// Physical page reads from the pagestore `Disk`.
     pub page_reads: u64,
-    /// Physical page writes to the [`crate::Disk`].
+    /// Physical page writes to the pagestore `Disk`.
     pub page_writes: u64,
     /// Buffer pool hits.
     pub buffer_hits: u64,

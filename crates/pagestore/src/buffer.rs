@@ -2,7 +2,7 @@
 
 use crate::disk::{Disk, PageId};
 use crate::policy::{make_policy, BufferPoolConfig, PolicyKind, ReplacementPolicy};
-use crate::stats::AccessStats;
+use knnta_obs::AccessStats;
 use knnta_util::codec::Bytes;
 use knnta_util::sync::Mutex;
 use std::collections::HashMap;

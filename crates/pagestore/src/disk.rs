@@ -1,6 +1,6 @@
 //! An in-memory "disk" of fixed-size byte pages.
 
-use crate::stats::AccessStats;
+use knnta_obs::AccessStats;
 use knnta_util::codec::Bytes;
 use knnta_util::sync::RwLock;
 

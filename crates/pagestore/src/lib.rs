@@ -25,14 +25,13 @@ mod buffer;
 mod disk;
 mod lru;
 mod policy;
-mod stats;
 
 pub use buffer::BufferPool;
 pub use disk::{Disk, PageId};
+pub use knnta_obs::{AccessStats, StatsSnapshot};
 pub use knnta_util::codec::{Bytes, BytesMut};
 pub use lru::LruList;
 pub use policy::{
     make_policy, BufferPoolConfig, ClockPolicy, LruPolicy, PolicyKind, ReplacementPolicy,
     TwoQPolicy,
 };
-pub use stats::{AccessStats, StatsSnapshot};

@@ -161,10 +161,36 @@ impl AggregateSeries {
         self.entries[lo..hi].iter().map(|&(_, v)| v).sum()
     }
 
+    /// [`AggregateSeries::sum_range`] also reporting how many stored epoch
+    /// records the sum scanned (the instrumentation currency of the
+    /// observability layer). The sum is computed by the exact same code
+    /// path, so it is bit-identical to `sum_range`.
+    pub fn sum_range_counted(&self, range: std::ops::Range<usize>) -> (u64, u64) {
+        if range.is_empty() {
+            return (0, 0);
+        }
+        let lo = self
+            .entries
+            .partition_point(|&(e, _)| (e as usize) < range.start);
+        let hi = self
+            .entries
+            .partition_point(|&(e, _)| (e as usize) < range.end);
+        (
+            self.entries[lo..hi].iter().map(|&(_, v)| v).sum(),
+            (hi - lo) as u64,
+        )
+    }
+
     /// The temporal aggregate `g(p, Iq)` before normalisation: the sum of the
     /// records whose epoch `[ts, te] ⊆ iq` (Section 4.3).
     pub fn aggregate_over(&self, grid: &EpochGrid, iq: TimeInterval) -> u64 {
         self.sum_range(grid.epochs_within(iq))
+    }
+
+    /// [`AggregateSeries::aggregate_over`] also reporting the number of
+    /// stored epoch records scanned.
+    pub fn aggregate_over_counted(&self, grid: &EpochGrid, iq: TimeInterval) -> (u64, u64) {
+        self.sum_range_counted(grid.epochs_within(iq))
     }
 
     /// Total over all epochs (`Σ vi`).
@@ -477,6 +503,25 @@ mod tests {
         assert_eq!(s.sum_range(2..6), 6);
         assert_eq!(s.sum_range(6..9), 0);
         assert_eq!(s.sum_range(3..3), 0);
+    }
+
+    #[test]
+    fn counted_variants_match_uncounted() {
+        let grid = EpochGrid::fixed_days(7, 10);
+        let s = series(&[(0, 1), (2, 2), (5, 4), (9, 8)]);
+        for range in [0..3, 2..6, 6..9, 3..3, 0..10] {
+            let (sum, n) = s.sum_range_counted(range.clone());
+            assert_eq!(sum, s.sum_range(range.clone()));
+            let expect = s
+                .iter()
+                .filter(|&(e, _)| range.contains(&(e as usize)))
+                .count() as u64;
+            assert_eq!(n, expect, "range {range:?}");
+        }
+        let iq = TimeInterval::days(0, 70);
+        let (sum, n) = s.aggregate_over_counted(&grid, iq);
+        assert_eq!(sum, s.aggregate_over(&grid, iq));
+        assert_eq!(n, 4);
     }
 
     #[test]

@@ -23,6 +23,12 @@
 //! }
 //! ```
 //!
+//! A bench may also attach observability counter deltas via
+//! [`Bencher::counters`] (e.g. node accesses or pool hit counts from a
+//! `knnta-obs` metrics snapshot); they are serialized as an extra
+//! `"counters": {"<name>": <u64>, ...}` member on that result only, so
+//! reports without counters are byte-identical to the original schema.
+//!
 //! Environment knobs:
 //!
 //! * `KNNTA_BENCH_DIR` — directory for the JSON file (default: current
@@ -31,6 +37,7 @@
 //!   CI gates that only verify the runner works end to end.
 //! * `KNNTA_BENCH_SAMPLES` — override the per-group sample count.
 
+use crate::json::escape_string as json_str;
 use std::fmt::Display;
 use std::fs;
 use std::hint::black_box;
@@ -57,6 +64,9 @@ pub struct BenchResult {
     pub mean_ns: f64,
     /// Minimum wall-clock nanoseconds per iteration.
     pub min_ns: u64,
+    /// Optional observability counter deltas attached by the bench body
+    /// (empty for ordinary timing-only benches).
+    pub counters: Vec<(String, u64)>,
 }
 
 fn fast_mode() -> bool {
@@ -137,10 +147,21 @@ impl Harness {
         out.push_str(&format!("  \"samples\": {},\n", self.default_samples));
         out.push_str("  \"results\": [\n");
         for (i, r) in self.results.iter().enumerate() {
+            let mut counters = String::new();
+            if !r.counters.is_empty() {
+                counters.push_str(", \"counters\": {");
+                for (j, (name, v)) in r.counters.iter().enumerate() {
+                    if j > 0 {
+                        counters.push_str(", ");
+                    }
+                    counters.push_str(&format!("{}: {}", json_str(name), v));
+                }
+                counters.push('}');
+            }
             out.push_str(&format!(
                 "    {{\"group\": {}, \"bench\": {}, \"iters_per_sample\": {}, \
                  \"samples\": {}, \"median_ns\": {}, \"p95_ns\": {}, \
-                 \"mean_ns\": {:.1}, \"min_ns\": {}}}{}\n",
+                 \"mean_ns\": {:.1}, \"min_ns\": {}{}}}{}\n",
                 json_str(&r.group),
                 json_str(&r.bench),
                 r.iters_per_sample,
@@ -149,6 +170,7 @@ impl Harness {
                 r.p95_ns,
                 r.mean_ns,
                 r.min_ns,
+                counters,
                 if i + 1 < self.results.len() { "," } else { "" }
             ));
         }
@@ -208,77 +230,56 @@ impl BenchDelta {
 ///
 /// Accepts any flat JSON matching the documented schema (unknown keys are
 /// ignored; missing numeric fields default to zero), so reports from older
-/// revisions of the runner stay comparable.
+/// revisions of the runner stay comparable. Built on
+/// [`crate::json::JsonValue`], the same parser that reads trace and metrics
+/// artifacts.
 pub fn parse_report(json: &str) -> Result<BenchReport, String> {
-    let mut cur = JsonCursor::new(json);
-    cur.expect(b'{')?;
-    let mut suite = String::new();
+    let doc = crate::json::JsonValue::parse(json)?;
+    let suite = doc
+        .get("suite")
+        .and_then(crate::json::JsonValue::as_str)
+        .ok_or("missing \"suite\" field")?
+        .to_string();
     let mut results = Vec::new();
-    loop {
-        cur.skip_ws();
-        if cur.eat(b'}') {
-            break;
-        }
-        let key = cur.parse_string()?;
-        cur.expect(b':')?;
-        match key.as_str() {
-            "suite" => suite = cur.parse_string()?,
-            "results" => {
-                cur.expect(b'[')?;
-                loop {
-                    cur.skip_ws();
-                    if cur.eat(b']') {
-                        break;
-                    }
-                    results.push(parse_result_object(&mut cur)?);
-                    cur.skip_ws();
-                    cur.eat(b',');
-                }
-            }
-            _ => cur.skip_value()?,
-        }
-        cur.skip_ws();
-        cur.eat(b',');
-    }
-    if suite.is_empty() {
-        return Err("missing \"suite\" field".to_string());
+    for obj in doc
+        .get("results")
+        .and_then(crate::json::JsonValue::as_arr)
+        .unwrap_or(&[])
+    {
+        results.push(parse_result_object(obj)?);
     }
     Ok(BenchReport { suite, results })
 }
 
-fn parse_result_object(cur: &mut JsonCursor<'_>) -> Result<BenchResult, String> {
-    cur.expect(b'{')?;
-    let mut r = BenchResult {
-        group: String::new(),
-        bench: String::new(),
-        iters_per_sample: 0,
-        samples: 0,
-        median_ns: 0,
-        p95_ns: 0,
-        mean_ns: 0.0,
-        min_ns: 0,
+fn parse_result_object(obj: &crate::json::JsonValue) -> Result<BenchResult, String> {
+    let string = |key: &str| {
+        obj.get(key)
+            .and_then(crate::json::JsonValue::as_str)
+            .unwrap_or("")
+            .to_string()
     };
-    loop {
-        cur.skip_ws();
-        if cur.eat(b'}') {
-            break;
+    let num = |key: &str| obj.get(key).and_then(crate::json::JsonValue::as_f64).unwrap_or(0.0);
+    let mut counters = Vec::new();
+    if let Some(members) = obj.get("counters").and_then(crate::json::JsonValue::as_obj) {
+        for (name, v) in members {
+            counters.push((
+                name.clone(),
+                v.as_u64()
+                    .ok_or_else(|| format!("counter {name} not a number"))?,
+            ));
         }
-        let key = cur.parse_string()?;
-        cur.expect(b':')?;
-        match key.as_str() {
-            "group" => r.group = cur.parse_string()?,
-            "bench" => r.bench = cur.parse_string()?,
-            "iters_per_sample" => r.iters_per_sample = cur.parse_number()? as u64,
-            "samples" => r.samples = cur.parse_number()? as usize,
-            "median_ns" => r.median_ns = cur.parse_number()? as u64,
-            "p95_ns" => r.p95_ns = cur.parse_number()? as u64,
-            "mean_ns" => r.mean_ns = cur.parse_number()?,
-            "min_ns" => r.min_ns = cur.parse_number()? as u64,
-            _ => cur.skip_value()?,
-        }
-        cur.skip_ws();
-        cur.eat(b',');
     }
+    let r = BenchResult {
+        group: string("group"),
+        bench: string("bench"),
+        iters_per_sample: num("iters_per_sample") as u64,
+        samples: num("samples") as usize,
+        median_ns: num("median_ns") as u64,
+        p95_ns: num("p95_ns") as u64,
+        mean_ns: num("mean_ns"),
+        min_ns: num("min_ns") as u64,
+        counters,
+    };
     if r.group.is_empty() && r.bench.is_empty() {
         return Err("result object without group/bench".to_string());
     }
@@ -317,182 +318,6 @@ pub fn diff_reports(old: &BenchReport, new: &BenchReport) -> (Vec<BenchDelta>, V
     (deltas, notes)
 }
 
-/// Minimal cursor over the flat JSON subset the bench runner emits
-/// (objects, arrays, strings with escapes, numbers, literals).
-struct JsonCursor<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> JsonCursor<'a> {
-    fn new(s: &'a str) -> Self {
-        JsonCursor {
-            bytes: s.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn skip_ws(&mut self) {
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b.is_ascii_whitespace())
-        {
-            self.pos += 1;
-        }
-    }
-
-    fn eat(&mut self, b: u8) -> bool {
-        self.skip_ws();
-        if self.bytes.get(self.pos) == Some(&b) {
-            self.pos += 1;
-            true
-        } else {
-            false
-        }
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.eat(b) {
-            Ok(())
-        } else {
-            Err(format!(
-                "expected '{}' at byte {} of the JSON document",
-                b as char, self.pos
-            ))
-        }
-    }
-
-    fn parse_string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.bytes.get(self.pos).copied() {
-                None => return Err("unterminated string".to_string()),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.bytes.get(self.pos).copied() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or("truncated \\u escape")?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
-                                16,
-                            )
-                            .map_err(|e| e.to_string())?;
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                            self.pos += 4;
-                        }
-                        other => return Err(format!("bad escape {other:?}")),
-                    }
-                    self.pos += 1;
-                }
-                Some(b) => {
-                    // Multi-byte UTF-8 sequences pass through byte-wise; the
-                    // input is a &str so they are valid.
-                    let start = self.pos;
-                    self.pos += 1;
-                    while self
-                        .bytes
-                        .get(self.pos)
-                        .is_some_and(|&b| b != b'"' && b != b'\\')
-                    {
-                        self.pos += 1;
-                    }
-                    let _ = b;
-                    out.push_str(
-                        std::str::from_utf8(&self.bytes[start..self.pos])
-                            .map_err(|e| e.to_string())?,
-                    );
-                }
-            }
-        }
-    }
-
-    fn parse_number(&mut self) -> Result<f64, String> {
-        self.skip_ws();
-        let start = self.pos;
-        while self.bytes.get(self.pos).is_some_and(|&b| {
-            b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
-        }) {
-            self.pos += 1;
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|e| e.to_string())?
-            .parse::<f64>()
-            .map_err(|e| format!("bad number at byte {start}: {e}"))
-    }
-
-    /// Skips one value of any type (for unknown keys).
-    fn skip_value(&mut self) -> Result<(), String> {
-        self.skip_ws();
-        match self.bytes.get(self.pos).copied() {
-            Some(b'"') => self.parse_string().map(|_| ()),
-            Some(b'{') | Some(b'[') => {
-                let mut depth = 0usize;
-                loop {
-                    match self.bytes.get(self.pos).copied() {
-                        None => return Err("unterminated value".to_string()),
-                        Some(b'"') => {
-                            self.parse_string()?;
-                            continue;
-                        }
-                        Some(b'{') | Some(b'[') => depth += 1,
-                        Some(b'}') | Some(b']') => {
-                            depth -= 1;
-                            if depth == 0 {
-                                self.pos += 1;
-                                return Ok(());
-                            }
-                        }
-                        _ => {}
-                    }
-                    self.pos += 1;
-                }
-            }
-            Some(b't') | Some(b'f') | Some(b'n') => {
-                while self
-                    .bytes
-                    .get(self.pos)
-                    .is_some_and(|b| b.is_ascii_alphabetic())
-                {
-                    self.pos += 1;
-                }
-                Ok(())
-            }
-            _ => self.parse_number().map(|_| ()),
-        }
-    }
-}
-
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
 /// A named group of benches sharing a sample count.
 pub struct Group<'a> {
     harness: &'a mut Harness,
@@ -517,6 +342,7 @@ impl Group<'_> {
             samples: self.samples,
             target_sample: self.harness.target_sample,
             measured: None,
+            counters: Vec::new(),
         };
         f(&mut b);
         let (iters, mut per_iter_ns) = b
@@ -537,6 +363,7 @@ impl Group<'_> {
             p95_ns,
             mean_ns,
             min_ns,
+            counters: b.counters,
         });
     }
 
@@ -550,9 +377,17 @@ pub struct Bencher {
     target_sample: Duration,
     /// `(iters_per_sample, per-iteration ns for each sample)`
     measured: Option<(u64, Vec<u64>)>,
+    counters: Vec<(String, u64)>,
 }
 
 impl Bencher {
+    /// Attaches observability counter deltas to this bench's result (e.g.
+    /// `obs.counter_deltas()` from a `knnta-obs` handle). Replaces any
+    /// previously attached set.
+    pub fn counters(&mut self, counters: Vec<(String, u64)>) {
+        self.counters = counters;
+    }
+
     /// Times `f`, calibrating iterations per sample to the target sample
     /// duration.
     pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
@@ -669,6 +504,34 @@ mod tests {
         assert_eq!(r.median_ns, w.median_ns);
         assert_eq!(r.min_ns, w.min_ns);
         assert_eq!(r.samples, w.samples);
+    }
+
+    #[test]
+    fn counters_round_trip_and_stay_optional() {
+        let mut h = Harness::new("ctr");
+        let mut g = h.group("grp");
+        g.sample_size(2);
+        g.bench("plain", |b| b.iter(|| 1 + 1));
+        g.bench("counted", |b| {
+            b.iter(|| 1 + 1);
+            b.counters(vec![
+                ("knnta.core.search.node_accesses".to_string(), 42),
+                ("knnta.pagestore.buffer.lru.hits".to_string(), 7),
+            ]);
+        });
+        drop(g);
+        let json = h.to_json();
+        // The counter-less result keeps the original schema exactly.
+        assert_eq!(json.matches("\"counters\"").count(), 1);
+        let report = parse_report(&json).expect("parse");
+        assert!(report.find("grp", "plain").unwrap().counters.is_empty());
+        assert_eq!(
+            report.find("grp", "counted").unwrap().counters,
+            vec![
+                ("knnta.core.search.node_accesses".to_string(), 42),
+                ("knnta.pagestore.buffer.lru.hits".to_string(), 7),
+            ]
+        );
     }
 
     #[test]

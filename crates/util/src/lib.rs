@@ -22,11 +22,15 @@
 //!   page store wants, over `std::sync` (replaces `parking_lot`).
 //! * [`codec`] — a little-endian binary codec: cheaply-cloneable [`codec::Bytes`]
 //!   and the growable [`codec::BytesMut`] writer (replaces `bytes` + `serde`).
+//! * [`json`] — a recursive-descent JSON parser + string escaper used to
+//!   round-trip every machine-readable artifact the workspace emits
+//!   (bench reports, traces, metrics dumps).
 
 #![warn(missing_docs)]
 
 pub mod bench;
 pub mod codec;
+pub mod json;
 pub mod prop;
 pub mod rng;
 pub mod sync;

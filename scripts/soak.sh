@@ -33,5 +33,21 @@ cp "$log" "soak_failures/${stamp}.log"
 # panic messages.
 grep -E "KNNTA_PROP_SEED|panicked|FAILED|failures:" "$log" \
     > "soak_failures/${stamp}_seeds.txt" || true
+
+# Replay each failing seed with observability enabled and archive the trace
+# alongside the seed: the panic hook in tests/common (KNNTA_OBS_TRACE_DIR)
+# dumps knnta.trace.v1 + knnta.metrics.v1 artifacts for the failing test.
+# Obs-enabled execution is oracle-identical, so the replay fails the same way.
+traces="soak_failures/${stamp}_traces"
+grep -oE "KNNTA_PROP_SEED=[0-9a-fxA-FX]+ cargo test [A-Za-z0-9_:]+" "$log" | sort -u \
+    | while IFS=' ' read -r seedvar _ _ test; do
+        seed="${seedvar#KNNTA_PROP_SEED=}"
+        echo "== soak ${stamp}: replaying ${test} (seed ${seed}) with tracing =="
+        KNNTA_PROP_SEED="$seed" KNNTA_OBS_TRACE_DIR="$traces" \
+            cargo test -q --release --offline --workspace "$test" || true
+    done
+if [ -d "$traces" ]; then
+    echo "== soak ${stamp}: archived traces in ${traces}/ =="
+fi
 echo "== soak ${stamp}: FAILED — archived soak_failures/${stamp}.log =="
 exit 1

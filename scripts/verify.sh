@@ -15,6 +15,13 @@
 # Opt-in bench-diff lane: KNNTA_BENCH_DIFF=<baseline_dir> runs the bench
 # suites in smoke mode and fails tier-1 if any p95 regresses by more than
 # 25% against the baseline's BENCH_*.json files (via the bench_diff binary).
+#
+# Opt-in observability lane: KNNTA_OBS_CHECK=1 runs a traced query + batch
+# through the knnta CLI, validates both JSON artifacts against the
+# knnta.trace.v1 / knnta.metrics.v1 schemas (failing on orphaned spans via
+# `knnta report --check`), and gates the disabled-mode overhead:
+# median(obs_overhead/disabled) <= median(obs_overhead/baseline) * 1.05
+# in BENCH_queries.json via `bench_diff --within`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -64,4 +71,32 @@ if [ -n "${KNNTA_BENCH_DIFF:-}" ]; then
         --within "$fresh/BENCH_enhancements.json" \
         --assert-le batch/collective_hilbert/1000 batch/individual/1000 \
         --slack 0.25
+fi
+
+if [ "${KNNTA_OBS_CHECK:-0}" != "0" ] && [ -n "${KNNTA_OBS_CHECK:-}" ]; then
+    obsdir="$(mktemp -d)"
+    # (re-traps to also cover $fresh if the bench-diff lane ran above)
+    trap 'rm -rf "$obsdir" "${fresh:-}"' EXIT
+    knnta="target/release/knnta"
+    echo "== obs-check: traced query + batch, schema validation =="
+    "$knnta" generate --dataset GS --out "$obsdir/gs.csv" --scale 0.004 --seed 20260704
+    "$knnta" build --input "$obsdir/gs.csv" --out "$obsdir/gs.idx"
+    "$knnta" query --index "$obsdir/gs.idx" --x 40 --y 55 --from-day 0 --to-day 63 \
+        --k 5 --paged --threads 4 \
+        --trace-out "$obsdir/query_trace.json" --metrics-out "$obsdir/query_metrics.json"
+    printf '40,55,0,63,5\n10,20,7,28,3\n80,75,14,63,8\n' > "$obsdir/batch.csv"
+    "$knnta" batch --index "$obsdir/gs.idx" --queries "$obsdir/batch.csv" \
+        --trace-out "$obsdir/batch_trace.json" --metrics-out "$obsdir/batch_metrics.json"
+    # --check fails on orphaned spans, escaped child intervals, or events
+    # outside their span; the artifact writer already validated at emit time,
+    # so this also proves the files round-trip through the parser.
+    "$knnta" report "$obsdir/query_trace.json" --metrics "$obsdir/query_metrics.json" --check
+    "$knnta" report "$obsdir/batch_trace.json" --metrics "$obsdir/batch_metrics.json" --check
+    echo "== obs-check: disabled-mode overhead gate (<= baseline * 1.05) =="
+    KNNTA_BENCH_FAST=1 KNNTA_BENCH_SAMPLES=21 KNNTA_BENCH_DIR="$obsdir" \
+        cargo bench --offline -p knnta-bench --bench queries
+    cargo run -q --release --offline --bin bench_diff -- \
+        --within "$obsdir/BENCH_queries.json" \
+        --assert-le obs_overhead/disabled obs_overhead/baseline \
+        --slack 0.05
 fi

@@ -15,6 +15,7 @@
 use knnta::core::{
     BatchOptions, BatchOrder, Grouping, IndexConfig, KnntaQuery, Poi, StorageBackend, TarIndex,
 };
+use knnta::obs::{render_report, MetricsDoc, Obs, TraceDoc};
 use knnta::pagestore::{BufferPoolConfig, PolicyKind};
 use knnta::{AggregateSeries, EpochGrid, PoiId, TimeInterval, Timestamp};
 use rtree::Rect;
@@ -29,7 +30,14 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    let opts = match Opts::parse(rest) {
+    // `report` takes a positional trace path; everything else is `--key value`.
+    let (positional, flagged): (Vec<&String>, Vec<String>) = if cmd == "report" {
+        let pos: Vec<&String> = rest.iter().take_while(|a| !a.starts_with("--")).collect();
+        (pos.clone(), rest[pos.len()..].to_vec())
+    } else {
+        (Vec::new(), rest.to_vec())
+    };
+    let opts = match Opts::parse(&flagged) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
@@ -42,6 +50,7 @@ fn main() -> ExitCode {
         "stats" => stats(&opts),
         "query" => query(&opts),
         "batch" => batch(&opts),
+        "report" => report(&positional, &opts),
         "mwa" => mwa(&opts),
         "skyline" => skyline(&opts),
         "help" | "--help" | "-h" => {
@@ -73,14 +82,24 @@ commands:
                             (--paged answers from tree nodes serialised onto
                              disk pages behind a buffer pool; results are
                              byte-identical to the in-memory search)
+            [--trace-out FILE] [--metrics-out FILE]
+                            (record a knnta.trace.v1 span trace and/or a
+                             knnta.metrics.v1 counter snapshot; answers and
+                             node-access accounting are unchanged)
   batch     --index FILE --queries FILE [--batch-order hilbert|input]
             [--individual] [--no-agg-cache]
             [--paged] [--policy lru|clock|2q] [--buffer-slots N]
+            [--trace-out FILE] [--metrics-out FILE]
                             (processes a query batch collectively — Hilbert
                              ordering + shared aggregate memoisation — or one
                              query at a time with --individual; answers are
                              identical either way. The queries CSV is
                              `x,y,from_day,to_day[,k[,alpha0]]`.)
+  report    TRACE [--metrics FILE] [--check]
+                            (per-phase breakdown table — filter vs. TIA
+                             aggregation vs. page I/O — from a --trace-out
+                             artifact; --check validates span nesting and
+                             fails on orphaned spans)
   mwa       --index FILE --x X --y Y --from-day A --to-day B [--k K] [--alpha0 W]
   skyline   --index FILE --x X --y Y --from-day A --to-day B";
 
@@ -88,7 +107,7 @@ commands:
 struct Opts(BTreeMap<String, String>);
 
 /// Options that take no value.
-const FLAGS: &[&str] = &["paged", "individual", "no-agg-cache"];
+const FLAGS: &[&str] = &["paged", "individual", "no-agg-cache", "check"];
 
 impl Opts {
     fn parse(args: &[String]) -> Result<Opts, String> {
@@ -338,8 +357,39 @@ fn paged_nodes_of(opts: &Opts, index: &TarIndex) -> Result<Option<knnta::core::P
     }
 }
 
+/// Enables observability on the index when `--trace-out` / `--metrics-out`
+/// is given; returns whether it did.
+fn enable_obs(opts: &Opts, index: &mut TarIndex) -> bool {
+    let wanted = opts.0.contains_key("trace-out") || opts.0.contains_key("metrics-out");
+    if wanted {
+        index.set_obs(Obs::enabled());
+    }
+    wanted
+}
+
+/// Writes the trace/metrics artifacts requested on the command line.
+fn write_obs_artifacts(opts: &Opts, index: &TarIndex) -> Result<(), String> {
+    if let Some(path) = opts.0.get("trace-out") {
+        let doc = index.obs().trace_snapshot();
+        doc.validate()?;
+        std::fs::write(path, doc.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("(trace: {} spans, {} events -> {path})", doc.spans.len(), doc.events.len());
+    }
+    if let Some(path) = opts.0.get("metrics-out") {
+        let doc = index.obs().metrics_snapshot();
+        std::fs::write(path, doc.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!(
+            "(metrics: {} counters, {} histograms -> {path})",
+            doc.counters.len(),
+            doc.histograms.len()
+        );
+    }
+    Ok(())
+}
+
 fn query(opts: &Opts) -> Result<(), String> {
-    let index = open_index(opts)?;
+    let mut index = open_index(opts)?;
+    enable_obs(opts, &mut index);
     let q = parse_query(opts)?;
     let threads: usize = opts.num("threads", 1)?;
     if threads == 0 {
@@ -383,6 +433,7 @@ fn query(opts: &Opts) -> Result<(), String> {
             io.buffer_misses,
         );
     }
+    write_obs_artifacts(opts, &index)?;
     Ok(())
 }
 
@@ -442,7 +493,8 @@ fn read_batch_queries(path: &str) -> Result<Vec<KnntaQuery>, String> {
 }
 
 fn batch(opts: &Opts) -> Result<(), String> {
-    let index = open_index(opts)?;
+    let mut index = open_index(opts)?;
+    enable_obs(opts, &mut index);
     let queries = read_batch_queries(opts.str("queries")?)?;
     let order_name = opts.num::<String>("batch-order", "hilbert".into())?;
     let order = BatchOrder::parse(&order_name)
@@ -486,6 +538,28 @@ fn batch(opts: &Opts) -> Result<(), String> {
             format!("collective/{order}")
         }
     );
+    write_obs_artifacts(opts, &index)?;
+    Ok(())
+}
+
+fn report(positional: &[&String], opts: &Opts) -> Result<(), String> {
+    let [trace_path] = positional else {
+        return Err("report needs exactly one trace file argument".into());
+    };
+    let raw = std::fs::read_to_string(trace_path).map_err(|e| format!("{trace_path}: {e}"))?;
+    let trace = TraceDoc::parse(&raw).map_err(|e| format!("{trace_path}: {e}"))?;
+    if opts.flag("check") {
+        trace.validate().map_err(|e| format!("{trace_path}: {e}"))?;
+        eprintln!("(trace well-formed: every span parented, nested, and event-contained)");
+    }
+    let metrics = match opts.0.get("metrics") {
+        Some(path) => {
+            let raw = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            Some(MetricsDoc::parse(&raw).map_err(|e| format!("{path}: {e}"))?)
+        }
+        None => None,
+    };
+    print!("{}", render_report(&trace, metrics.as_ref()));
     Ok(())
 }
 

@@ -17,12 +17,15 @@
 //! * [`costmodel`] — the Section 6 cost analysis as executable code.
 //! * [`util`] (`knnta_util`) — zero-dependency substrates: seeded RNG,
 //!   property-test harness, bench runner, sync primitives, binary codec.
+//! * [`obs`] (`knnta_obs`) — the unified tracing + metrics layer: spans,
+//!   counters, histograms, per-phase query breakdowns.
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and
 //! `crates/bench` for the harness regenerating every table and figure of
 //! the paper.
 
 pub use costmodel;
+pub use knnta_obs as obs;
 pub use knnta_util as util;
 pub use knnta_core as core;
 pub use lbsn;

@@ -2,10 +2,46 @@
 
 //! Shared helpers for the workspace-level integration tests.
 
-use knnta::core::{Grouping, IndexConfig, QueryHit, ScanBaseline, TarIndex};
+use knnta::core::{Grouping, IndexConfig, Obs, QueryHit, ScanBaseline, TarIndex};
 use knnta::lbsn::LbsnDataset;
 use knnta::{AggregateSeries, EpochGrid, Poi};
 use rtree::Rect;
+use std::sync::OnceLock;
+
+/// When `KNNTA_OBS_TRACE_DIR` is set (the soak lane's failing-seed replay),
+/// every index built through these helpers shares one enabled [`Obs`]
+/// handle, and a panic hook archives its trace + metrics JSON into that
+/// directory — so a failing seed ships with the spans that led up to it.
+/// Enabling obs never changes an answer or an access count
+/// (`tests/obs_overhead.rs`), so the replay fails identically.
+fn archive_obs() -> Option<Obs> {
+    static ARCHIVE: OnceLock<Option<Obs>> = OnceLock::new();
+    ARCHIVE
+        .get_or_init(|| {
+            let dir = std::env::var("KNNTA_OBS_TRACE_DIR").ok()?;
+            let obs = Obs::enabled();
+            let hook_obs = obs.clone();
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let test = std::thread::current()
+                    .name()
+                    .unwrap_or("test")
+                    .replace("::", "_");
+                let _ = std::fs::create_dir_all(&dir);
+                let _ = std::fs::write(
+                    format!("{dir}/{test}.trace.json"),
+                    hook_obs.trace_json(),
+                );
+                let _ = std::fs::write(
+                    format!("{dir}/{test}.metrics.json"),
+                    hook_obs.metrics_json(),
+                );
+                prev(info);
+            }));
+            Some(obs)
+        })
+        .clone()
+}
 
 /// Builds an index of the given grouping over a generated dataset snapshot.
 pub fn index_of(dataset: &LbsnDataset, grouping: Grouping) -> TarIndex {
@@ -18,12 +54,16 @@ pub fn index_with_config(dataset: &LbsnDataset, config: IndexConfig) -> TarIndex
         .snapshot(dataset.grid.len())
         .into_iter()
         .map(|(id, pos, series)| (Poi { id, pos }, series));
-    TarIndex::build(
+    let mut index = TarIndex::build(
         config,
         dataset.grid.clone(),
         Rect::new(dataset.bounds.0, dataset.bounds.1),
         pois,
-    )
+    );
+    if let Some(obs) = archive_obs() {
+        index.set_obs(obs);
+    }
+    index
 }
 
 /// Builds the sequential-scan oracle over the same snapshot.

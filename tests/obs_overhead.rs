@@ -1,0 +1,128 @@
+//! Observability overhead guard: a query run with observability fully
+//! disabled must produce byte-identical hits and node-access counts to the
+//! pre-obs oracle fixture in `tests/fixtures/pre_obs_oracle.txt`.
+//!
+//! The fixture was generated from the tree *before* the `knnta-obs` layer
+//! landed (regenerate deliberately with `KNNTA_REGEN_FIXTURES=1 cargo test
+//! --test obs_overhead` — doing so redefines the oracle, so only do it when
+//! the traversal itself legitimately changes). Each line captures one
+//! deterministic query's full answer (POI, score bits, aggregate) plus the
+//! node/leaf access counts, across sequential, parallel and paged
+//! executions.
+
+mod common;
+
+use common::{index_of, small_dataset};
+use knnta::core::{Grouping, StorageBackend, TarIndex};
+use knnta::lbsn::{IntervalAnchor, Workload};
+use knnta::pagestore::BufferPoolConfig;
+use knnta::KnntaQuery;
+use std::fmt::Write as _;
+use std::path::Path;
+
+const FIXTURE: &str = "tests/fixtures/pre_obs_oracle.txt";
+
+fn fixture_queries(index: &TarIndex) -> Vec<KnntaQuery> {
+    let dataset = small_dataset();
+    let workload = Workload::generate(&dataset, 12, IntervalAnchor::Random, 7);
+    let _ = index;
+    workload
+        .queries
+        .iter()
+        .enumerate()
+        .map(|(i, &(point, interval))| {
+            KnntaQuery::new(point, interval)
+                .with_k([1, 5, 10, 25][i % 4])
+                .with_alpha0([0.2, 0.3, 0.5, 0.8][i % 4])
+        })
+        .collect()
+}
+
+/// One execution's oracle line: `case <i> <mode> accesses=<n> leaves=<n>
+/// hits=<poi>:<score-bits>:<aggregate>,...`.
+fn oracle_line(i: usize, mode: &str, index: &TarIndex, run: impl FnOnce() -> Vec<knnta::core::QueryHit>) -> String {
+    index.stats().reset();
+    let hits = run();
+    let mut line = format!(
+        "case {i} {mode} accesses={} leaves={} hits=",
+        index.stats().node_accesses(),
+        index.stats().leaf_node_accesses()
+    );
+    for (j, h) in hits.iter().enumerate() {
+        if j > 0 {
+            line.push(',');
+        }
+        let _ = write!(line, "{}:{:016x}:{}", h.poi.0, h.score.to_bits(), h.aggregate);
+    }
+    line
+}
+
+fn oracle_dump() -> String {
+    let dataset = small_dataset();
+    let index = index_of(&dataset, Grouping::TarIntegral);
+    dump_with(index)
+}
+
+fn dump_with(index: TarIndex) -> String {
+    let queries = fixture_queries(&index);
+    let paged = index.materialize_paged_nodes(index.config_node_size(), BufferPoolConfig::lru(10));
+    let mut out = String::new();
+    for (i, q) in queries.iter().enumerate() {
+        out.push_str(&oracle_line(i, "seq", &index, || index.query(q)));
+        out.push('\n');
+        out.push_str(&oracle_line(i, "par4", &index, || index.query_parallel(q, 4)));
+        out.push('\n');
+        out.push_str(&oracle_line(i, "paged", &index, || {
+            index.query_on(q, StorageBackend::Paged(&paged))
+        }));
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn disabled_obs_matches_pre_obs_oracle() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(FIXTURE);
+    let dump = oracle_dump();
+    if std::env::var("KNNTA_REGEN_FIXTURES").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &dump).unwrap();
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{}: {e} (regenerate with KNNTA_REGEN_FIXTURES=1)", path.display()));
+    let want_lines: Vec<&str> = want.lines().collect();
+    let got_lines: Vec<&str> = dump.lines().collect();
+    assert_eq!(
+        got_lines.len(),
+        want_lines.len(),
+        "oracle fixture line count drifted"
+    );
+    for (g, w) in got_lines.iter().zip(&want_lines) {
+        assert_eq!(g, w, "disabled-obs execution diverged from the pre-obs oracle");
+    }
+}
+
+/// The instrumented paths must *also* reproduce the pre-obs oracle exactly:
+/// enabling observability may add spans and counters but can never change a
+/// hit, a score bit, or the node-access accounting.
+#[test]
+fn enabled_obs_matches_pre_obs_oracle() {
+    if std::env::var("KNNTA_REGEN_FIXTURES").is_ok() {
+        return; // the disabled-path test owns fixture regeneration
+    }
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(FIXTURE);
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{}: {e} (regenerate with KNNTA_REGEN_FIXTURES=1)", path.display()));
+    let dataset = small_dataset();
+    let mut index = index_of(&dataset, Grouping::TarIntegral);
+    index.set_obs(knnta::obs::Obs::enabled());
+    let dump = dump_with(index);
+    let want_lines: Vec<&str> = want.lines().collect();
+    let got_lines: Vec<&str> = dump.lines().collect();
+    assert_eq!(got_lines.len(), want_lines.len());
+    for (g, w) in got_lines.iter().zip(&want_lines) {
+        assert_eq!(g, w, "obs-enabled execution diverged from the pre-obs oracle");
+    }
+}

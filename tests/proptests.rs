@@ -162,33 +162,40 @@ fn collective_matches_individual() {
 /// popped lower bounds are non-decreasing between steals. A worker drains
 /// its own heap best-first, so keys only grow; a steal imports the victim's
 /// best entry, which may legitimately sit below the thief's last own key,
-/// starting a fresh monotone segment. The traced pop log makes this
-/// checkable per worker, per run.
+/// starting a fresh monotone segment. The observability trace records each
+/// worker's pop log as `pop` events on its `worker` span, which makes the
+/// invariant checkable per worker, per run.
 #[test]
 fn frontier_pops_are_monotone_per_worker() {
     check("frontier_pops_are_monotone_per_worker", 24, |g| {
         let ds = gen_dataset(g, 120);
         let q = gen_query(g);
-        let (_, indexes) = build_all(&ds);
-        let index = &indexes[g.usize_in(0..3)];
+        let (_, mut indexes) = build_all(&ds);
+        let index = &mut indexes[g.usize_in(0..3)];
+        index.set_obs(knnta::core::Obs::enabled());
         let threads = *g.pick(&[2usize, 3, 4, 8]);
-        let (hits, trace) = index.query_parallel_traced(&q, threads);
-        assert_eq!(trace.pops.len(), threads);
-        for (w, log) in trace.pops.iter().enumerate() {
+        let hits = index.query_parallel(&q, threads);
+        let trace = index.obs().trace_snapshot();
+        let mut workers: Vec<_> = trace.spans.iter().filter(|s| s.name == "worker").collect();
+        workers.sort_by_key(|s| s.attr("worker").and_then(|v| v.as_u64()));
+        assert_eq!(workers.len(), threads);
+        for (w, span) in workers.iter().enumerate() {
             let mut last = f64::NEG_INFINITY;
-            for (i, ev) in log.iter().enumerate() {
-                if ev.stolen {
+            let log = trace
+                .events
+                .iter()
+                .filter(|ev| ev.span == span.id && ev.name == "pop");
+            for (i, ev) in log.enumerate() {
+                let key = ev.attr("key").and_then(|v| v.as_f64()).unwrap();
+                let stolen = ev.attr("stolen").and_then(|v| v.as_bool()).unwrap();
+                if stolen {
                     last = f64::NEG_INFINITY; // steals reset the baseline
                 }
-                assert!(
-                    ev.key >= last,
-                    "worker {w} pop {i}: key {} < previous {last}",
-                    ev.key
-                );
-                last = ev.key;
+                assert!(key >= last, "worker {w} pop {i}: key {key} < previous {last}");
+                last = key;
             }
         }
-        // The traced path returns the same answer as the plain one.
+        // The instrumented path returns the same answer as the plain one.
         let want = index.query(&q);
         assert_eq!(hits.len(), want.len());
         for (a, b) in hits.iter().zip(&want) {

@@ -90,6 +90,31 @@ fn node_size_sweep(h: &mut Harness) {
     group.finish();
 }
 
+/// Packed immutable serving tier (DESIGN.md §12): the same workload as
+/// `query_latency`, answered from the Hilbert-packed single-buffer image.
+/// The `KNNTA_BENCH_DIFF` lane of `scripts/verify.sh` gates
+/// `packed/TAR-tree/{k}` against `query_latency/TAR-tree/{k}` on median
+/// *and* p95 via `bench_diff --within --metric both`: the packed tier has
+/// to actually beat the pointer-based tree, or it has no reason to exist.
+fn packed(h: &mut Harness) {
+    let config = bench_config();
+    let data = load(&lbsn::gw(), &config);
+    let index = data.index(Grouping::TarIntegral);
+    let packed = index.pack();
+    let mut group = h.group("packed");
+    for k in [1usize, 10, 100] {
+        let queries = data.queries(config.queries, k, 0.3, config.seed);
+        group.bench(format!("TAR-tree/{k}"), |b| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(index.query_on(q, knnta_core::StorageBackend::Packed(&packed)));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Intra-query parallelism (ROADMAP: work-stealing frontier): sequential
 /// `query` against `query_parallel` at 1–8 workers, on the traversal shape
 /// that favours it — large k and a wide interval, so the frontier is deep
@@ -187,6 +212,7 @@ fn ingest(h: &mut Harness) {
 fn main() {
     let mut h = Harness::new("queries");
     grouping_and_k(&mut h);
+    packed(&mut h);
     alpha_sweep(&mut h);
     node_size_sweep(&mut h);
     parallel_single(&mut h);

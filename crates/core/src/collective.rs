@@ -32,12 +32,13 @@ use crate::agg_cache::AggCache;
 use crate::frontier::{NodeCand, TopK};
 use crate::hilbert;
 use crate::index::{with_tree, QueryCtx, TarIndex};
-use crate::observe::{self, PhaseAcc, QueryScope};
+use crate::observe::{self, PhaseAcc, QueryScope, ScopeBackend};
+use crate::packed::PackedSource;
 use crate::poi::{KnntaQuery, QueryHit};
-use crate::storage::{MemNodes, NodeSource, PagedStoreImpl, StorageBackend};
+use crate::storage::{EntryTarget, MemNodes, NodeSource, PagedStoreImpl, StorageBackend};
 use knnta_obs::{AttrValue, Obs, SpanId};
 use pagestore::AccessStats;
-use rtree::{EntryPayload, NodeId};
+use rtree::NodeId;
 use std::collections::{BinaryHeap, HashMap};
 use std::ops::Range;
 
@@ -99,7 +100,9 @@ impl Default for BatchOptions {
 
 /// Per-axis Hilbert precision of the batch ordering: 16 bits × 3 axes keeps
 /// the key in one `u64` with far finer cells than any realistic batch needs.
-const HILBERT_BITS: u32 = 16;
+/// The packed bulk-load ([`crate::PackedTarTree`]) reuses the same precision
+/// so both locality orderings quantize identically.
+pub(crate) const HILBERT_BITS: u32 = 16;
 
 impl TarIndex {
     /// Processes a batch of queries collectively with the default options
@@ -124,7 +127,7 @@ impl TarIndex {
             self.stats(),
             "batch",
             "collective",
-            None,
+            ScopeBackend::Mem,
             batch_attrs(queries, opts),
         );
         let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
@@ -159,7 +162,7 @@ impl TarIndex {
                     self.stats(),
                     "batch",
                     "collective",
-                    Some(paged),
+                    ScopeBackend::Paged(paged),
                     batch_attrs(queries, opts),
                 );
                 let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
@@ -171,6 +174,31 @@ impl TarIndex {
                         collective_on_nodes(s, self.stats(), self, queries, opts, self.obs(), parent)
                     }
                 };
+                if let Some(scope) = scope {
+                    scope.finish(results.iter().map(Vec::len).sum());
+                }
+                results
+            }
+            StorageBackend::Packed(packed) => {
+                packed.check_fresh(self.content_epoch);
+                let scope = QueryScope::begin(
+                    self.obs(),
+                    self.stats(),
+                    "batch",
+                    "collective",
+                    ScopeBackend::Packed(packed),
+                    batch_attrs(queries, opts),
+                );
+                let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
+                let results = collective_on_nodes::<2, _>(
+                    &PackedSource(packed),
+                    self.stats(),
+                    self,
+                    queries,
+                    opts,
+                    self.obs(),
+                    parent,
+                );
                 if let Some(scope) = scope {
                     scope.finish(results.iter().map(Vec::len).sum());
                 }
@@ -401,34 +429,44 @@ fn collective_on_nodes<const D: usize, N: NodeSource<D>>(
                     if node.is_leaf() {
                         stats.record_leaf_access();
                     }
+                    let mem = node.mem_entries();
                     for qi in waiting {
                         let st = states.get_mut(&qi).expect("waiting query has state");
                         debug_assert_eq!(st.heap.peek().map(|c| c.id), Some(node_id));
                         st.heap.pop();
                         let mut scratch: Vec<u64> = Vec::new();
-                        let aggs: &[u64] = match &mut cache {
-                            Some(c) => c.node_aggregates(
+                        // Arena nodes share the AggCache's memoised prefix
+                        // sums; packed nodes carry their own prefix blocks,
+                        // which answer each probe directly.
+                        let aggs: &[u64] = match (mem, &mut cache) {
+                            (Some(entries), Some(c)) => c.node_aggregates(
                                 node_id,
                                 st.range.clone(),
-                                node.entries.iter().map(|e| &e.aug),
+                                entries.iter().map(|e| &e.aug),
                             ),
-                            None => {
+                            (Some(entries), None) => {
                                 scratch.extend(
-                                    node.entries.iter().map(|e| e.aug.sum_range(st.range.clone())),
+                                    entries.iter().map(|e| e.aug.sum_range(st.range.clone())),
+                                );
+                                &scratch
+                            }
+                            (None, _) => {
+                                scratch.extend(
+                                    node.entries().map(|e| e.agg.sum_range(st.range.clone())),
                                 );
                                 &scratch
                             }
                         };
-                        for (e, &agg) in node.entries.iter().zip(aggs.iter()) {
-                            let s0 = e.rect.project2().min_dist2(&st.ctx.q).sqrt();
-                            match &e.payload {
-                                EntryPayload::Data(poi) => {
-                                    let hit = st.ctx.hit(poi.id, s0, agg);
+                        for (e, &agg) in node.entries().zip(aggs.iter()) {
+                            let s0 = e.rect2.min_dist2(&st.ctx.q).sqrt();
+                            match e.target {
+                                EntryTarget::Data(poi) => {
+                                    let hit = st.ctx.hit(poi, s0, agg);
                                     st.topk.push(hit);
                                 }
-                                EntryPayload::Child(c) => {
+                                EntryTarget::Child(c) => {
                                     let (key, _) = st.ctx.score(s0, agg);
-                                    st.heap.push(NodeCand { key, id: *c });
+                                    st.heap.push(NodeCand { key, id: c });
                                 }
                             }
                         }
@@ -447,36 +485,43 @@ fn collective_on_nodes<const D: usize, N: NodeSource<D>>(
                 if node.is_leaf() {
                     stats.record_leaf_access();
                 }
+                let mem = node.mem_entries();
                 for qi in waiting {
                     let st = states.get_mut(&qi).expect("waiting query has state");
                     debug_assert_eq!(st.heap.peek().map(|c| c.id), Some(node_id));
                     st.heap.pop();
                     let mut scratch: Vec<u64> = Vec::new();
                     let t_agg = std::time::Instant::now();
-                    let aggs: &[u64] = match &mut cache {
-                        Some(c) => c.node_aggregates(
+                    let aggs: &[u64] = match (mem, &mut cache) {
+                        (Some(entries), Some(c)) => c.node_aggregates(
                             node_id,
                             st.range.clone(),
-                            node.entries.iter().map(|e| &e.aug),
+                            entries.iter().map(|e| &e.aug),
                         ),
-                        None => {
+                        (Some(entries), None) => {
                             scratch.extend(
-                                node.entries.iter().map(|e| e.aug.sum_range(st.range.clone())),
+                                entries.iter().map(|e| e.aug.sum_range(st.range.clone())),
+                            );
+                            &scratch
+                        }
+                        (None, _) => {
+                            scratch.extend(
+                                node.entries().map(|e| e.agg.sum_range(st.range.clone())),
                             );
                             &scratch
                         }
                     };
                     tia_ns += t_agg.elapsed().as_nanos() as u64;
-                    for (e, &agg) in node.entries.iter().zip(aggs.iter()) {
-                        let s0 = e.rect.project2().min_dist2(&st.ctx.q).sqrt();
-                        match &e.payload {
-                            EntryPayload::Data(poi) => {
-                                let hit = st.ctx.hit(poi.id, s0, agg);
+                    for (e, &agg) in node.entries().zip(aggs.iter()) {
+                        let s0 = e.rect2.min_dist2(&st.ctx.q).sqrt();
+                        match e.target {
+                            EntryTarget::Data(poi) => {
+                                let hit = st.ctx.hit(poi, s0, agg);
                                 st.topk.push(hit);
                             }
-                            EntryPayload::Child(c) => {
+                            EntryTarget::Child(c) => {
                                 let (key, _) = st.ctx.score(s0, agg);
-                                st.heap.push(NodeCand { key, id: *c });
+                                st.heap.push(NodeCand { key, id: c });
                             }
                         }
                     }

@@ -14,7 +14,8 @@
 //! measurement methodology.
 
 use crate::index::{bfs_query_src, with_tree, TarIndex};
-use crate::observe::{self, QueryScope};
+use crate::observe::{self, QueryScope, ScopeBackend};
+use crate::storage::AggRef;
 use crate::poi::{KnntaQuery, QueryHit};
 use knnta_obs::SpanId;
 use mvbt::MvbtTia;
@@ -111,12 +112,19 @@ impl TarIndex {
             "disk TIAs are stale; rematerialise after index changes"
         );
         let ctx = self.ctx(query);
-        let scope = QueryScope::begin_query(self.obs(), self.stats(), "disk_tia", None, query, 1);
+        let scope = QueryScope::begin_query(
+            self.obs(),
+            self.stats(),
+            "disk_tia",
+            ScopeBackend::Mem,
+            query,
+            1,
+        );
         let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
         let probes_before = scope
             .is_some()
             .then(|| tias.tias.values().map(MvbtTia::probes).sum::<u64>());
-        let hits = with_tree!(self, t => bfs_query_src(t, &ctx, query.k, |node, idx, _series| {
+        let hits = with_tree!(self, t => bfs_query_src(t, &ctx, query.k, |node, idx, _series: &AggRef<'_>| {
             tias.tias
                 .get(&(node, idx))
                 .expect("every entry has a mirrored TIA")

@@ -18,10 +18,11 @@
 use crate::index::{with_tree, QueryCtx, TarIndex};
 use crate::observe::{self, PhaseAcc, QueryScope};
 use crate::poi::{KnntaQuery, QueryHit};
-use crate::storage::{MemNodes, NodeSource};
+use crate::observe::ScopeBackend;
+use crate::storage::{EntryTarget, MemNodes, NodeSource};
 use knnta_obs::{AttrValue, Counter, Obs, SpanId};
 use knnta_util::sync::Mutex;
-use rtree::{EntryPayload, NodeId};
+use rtree::NodeId;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering as MemOrder};
@@ -250,12 +251,12 @@ where
 {
     let Some(t) = timers else {
         return nodes.with_node(id, |node| {
-            for e in &node.entries {
-                let s0 = e.rect.project2().min_dist2(&ctx.q).sqrt();
-                let agg = e.aug.aggregate_over(ctx.grid, ctx.iq);
-                match &e.payload {
-                    EntryPayload::Data(poi) => {
-                        let hit = ctx.hit(poi.id, s0, agg);
+            for e in node.entries() {
+                let s0 = e.rect2.min_dist2(&ctx.q).sqrt();
+                let agg = e.agg.aggregate_over(ctx.grid, ctx.iq);
+                match e.target {
+                    EntryTarget::Data(poi) => {
+                        let hit = ctx.hit(poi, s0, agg);
                         // The bound never drops below f(p_k), so hits above
                         // it can never rank in the global top k.
                         if hit.score <= bound.get() {
@@ -263,10 +264,10 @@ where
                             bound.tighten(topk.bound());
                         }
                     }
-                    EntryPayload::Child(c) => {
+                    EntryTarget::Child(c) => {
                         let (key, _) = ctx.score(s0, agg);
                         if key <= bound.get() {
-                            push_child(NodeCand { key, id: *c });
+                            push_child(NodeCand { key, id: c });
                         }
                     }
                 }
@@ -277,14 +278,14 @@ where
     // Instrumented twin: identical arithmetic and pruning, plus timing.
     let tia_ns = t.tia_ns;
     nodes.with_node_timed(id, t.io_ns, |node| {
-        for e in &node.entries {
-            let s0 = e.rect.project2().min_dist2(&ctx.q).sqrt();
+        for e in node.entries() {
+            let s0 = e.rect2.min_dist2(&ctx.q).sqrt();
             let t_agg = std::time::Instant::now();
-            let agg = e.aug.aggregate_over(ctx.grid, ctx.iq);
+            let agg = e.agg.aggregate_over(ctx.grid, ctx.iq);
             *tia_ns += t_agg.elapsed().as_nanos() as u64;
-            match &e.payload {
-                EntryPayload::Data(poi) => {
-                    let hit = ctx.hit(poi.id, s0, agg);
+            match e.target {
+                EntryTarget::Data(poi) => {
+                    let hit = ctx.hit(poi, s0, agg);
                     if hit.score <= bound.get() {
                         topk.push(hit);
                         if bound.tighten(topk.bound()) {
@@ -292,10 +293,10 @@ where
                         }
                     }
                 }
-                EntryPayload::Child(c) => {
+                EntryTarget::Child(c) => {
                     let (key, _) = ctx.score(s0, agg);
                     if key <= bound.get() {
-                        push_child(NodeCand { key, id: *c });
+                        push_child(NodeCand { key, id: c });
                     }
                 }
             }
@@ -595,7 +596,7 @@ impl TarIndex {
         assert!(threads > 0, "at least one worker thread");
         let ctx = self.ctx(query);
         let scope =
-            QueryScope::begin_query(self.obs(), self.stats(), "par", None, query, threads);
+            QueryScope::begin_query(self.obs(), self.stats(), "par", ScopeBackend::Mem, query, threads);
         let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
         let (hits, nodes, leaves) =
             with_tree!(self, t => parallel_bfs(&MemNodes(t), &ctx, query.k, threads, self.obs(), parent));

@@ -4,12 +4,12 @@
 use crate::agg_grouping::AggGrouping;
 use crate::augmentation::TiaAug;
 use crate::frontier::{NodeCand, TopK};
-use crate::observe::{self, PhaseAcc, QueryScope};
+use crate::observe::{self, PhaseAcc, QueryScope, ScopeBackend};
 use crate::poi::{KnntaQuery, Poi, QueryHit};
-use crate::storage::{MemNodes, NodeSource};
+use crate::storage::{AggRef, EntryTarget, MemNodes, NodeSource};
 use knnta_obs::{Obs, SpanId};
 use pagestore::AccessStats;
-use rtree::{EntryPayload, RStarGrouping, RStarTree, RTreeParams, Rect};
+use rtree::{RStarGrouping, RStarTree, RTreeParams, Rect};
 use std::collections::{BinaryHeap, HashMap};
 use tempora::{AggregateSeries, EpochGrid, PoiId, TimeInterval};
 
@@ -531,7 +531,7 @@ impl TarIndex {
     pub fn query(&self, query: &KnntaQuery) -> Vec<QueryHit> {
         let ctx = self.ctx(query);
         let Some(scope) =
-            QueryScope::begin_query(&self.obs, &self.stats, "seq", None, query, 1)
+            QueryScope::begin_query(&self.obs, &self.stats, "seq", ScopeBackend::Mem, query, 1)
         else {
             return with_tree!(self, t => bfs_query(t, &ctx, query.k, &self.obs, SpanId::NONE));
         };
@@ -541,7 +541,7 @@ impl TarIndex {
             t,
             &ctx,
             query.k,
-            |_, _, series| {
+            |_, _, series: &AggRef<'_>| {
                 let (v, n) = series.aggregate_over_counted(ctx.grid, ctx.iq);
                 epochs.add(n);
                 v
@@ -621,7 +621,7 @@ where
         tree,
         ctx,
         k,
-        |_, _, series| series.aggregate_over(ctx.grid, ctx.iq),
+        |_, _, series: &AggRef<'_>| series.aggregate_over(ctx.grid, ctx.iq),
         obs,
         parent,
     )
@@ -646,7 +646,7 @@ pub(crate) fn bfs_query_src<const D: usize, S, F>(
 ) -> Vec<QueryHit>
 where
     S: rtree::GroupingStrategy<D, AggregateSeries>,
-    F: Fn(rtree::NodeId, usize, &AggregateSeries) -> u64,
+    F: Fn(rtree::NodeId, usize, &AggRef<'_>) -> u64,
 {
     bfs_query_nodes(&MemNodes(tree), tree.stats(), ctx, k, agg_of, obs, parent)
 }
@@ -666,7 +666,7 @@ pub(crate) fn bfs_query_nodes<const D: usize, N, F>(
 ) -> Vec<QueryHit>
 where
     N: NodeSource<D>,
-    F: Fn(rtree::NodeId, usize, &AggregateSeries) -> u64,
+    F: Fn(rtree::NodeId, usize, &AggRef<'_>) -> u64,
 {
     if k == 0 || nodes.is_empty() {
         return Vec::new();
@@ -689,14 +689,14 @@ where
             if node.is_leaf() {
                 stats.record_leaf_access();
             }
-            for (idx, e) in node.entries.iter().enumerate() {
-                let s0 = e.rect.project2().min_dist2(&ctx.q).sqrt();
-                let agg = agg_of(id, idx, &e.aug);
-                match &e.payload {
-                    EntryPayload::Data(poi) => topk.push(ctx.hit(poi.id, s0, agg)),
-                    EntryPayload::Child(c) => {
+            for (idx, e) in node.entries().enumerate() {
+                let s0 = e.rect2.min_dist2(&ctx.q).sqrt();
+                let agg = agg_of(id, idx, &e.agg);
+                match e.target {
+                    EntryTarget::Data(poi) => topk.push(ctx.hit(poi, s0, agg)),
+                    EntryTarget::Child(c) => {
                         let (key, _) = ctx.score(s0, agg);
-                        heap.push(NodeCand { key, id: *c });
+                        heap.push(NodeCand { key, id: c });
                     }
                 }
             }
@@ -720,7 +720,7 @@ fn bfs_query_nodes_observed<const D: usize, N, F>(
 ) -> Vec<QueryHit>
 where
     N: NodeSource<D>,
-    F: Fn(rtree::NodeId, usize, &AggregateSeries) -> u64,
+    F: Fn(rtree::NodeId, usize, &AggRef<'_>) -> u64,
 {
     let span = obs.span("search.seq", parent);
     let start_ns = obs.now_ns();
@@ -750,22 +750,22 @@ where
             if node.is_leaf() {
                 stats.record_leaf_access();
             }
-            for (idx, e) in node.entries.iter().enumerate() {
-                let s0 = e.rect.project2().min_dist2(&ctx.q).sqrt();
+            for (idx, e) in node.entries().enumerate() {
+                let s0 = e.rect2.min_dist2(&ctx.q).sqrt();
                 let t_agg = std::time::Instant::now();
-                let agg = agg_of(id, idx, &e.aug);
+                let agg = agg_of(id, idx, &e.agg);
                 tia_ns += t_agg.elapsed().as_nanos() as u64;
-                match &e.payload {
-                    EntryPayload::Data(poi) => {
+                match e.target {
+                    EntryTarget::Data(poi) => {
                         let before = topk.bound();
-                        topk.push(ctx.hit(poi.id, s0, agg));
+                        topk.push(ctx.hit(poi, s0, agg));
                         if topk.bound() < before {
                             bound_updates.inc();
                         }
                     }
-                    EntryPayload::Child(c) => {
+                    EntryTarget::Child(c) => {
                         let (key, _) = ctx.score(s0, agg);
-                        heap.push(NodeCand { key, id: *c });
+                        heap.push(NodeCand { key, id: c });
                         pushes.inc();
                     }
                 }

@@ -36,6 +36,11 @@
 //!   ([`pagestore::BufferPoolConfig`]); [`TarIndex::query_on`] and
 //!   [`TarIndex::query_parallel_on`] answer queries from either backend
 //!   with bit-identical results.
+//! * [`PackedTarTree`] — a packed immutable serving image of the index
+//!   ([`TarIndex::pack`]): one contiguous word buffer, Hilbert bulk-packed,
+//!   searched zero-copy through [`StorageBackend::Packed`] and serialisable
+//!   page-by-page ([`PackedPages`]); `docs/FORMAT.md` is the normative
+//!   byte-layout spec.
 //!
 //! ## Quick start
 //!
@@ -75,6 +80,7 @@ mod index;
 mod live;
 mod mwa;
 mod observe;
+mod packed;
 mod parallel;
 mod persist;
 mod poi;
@@ -92,6 +98,7 @@ pub use knnta_obs::Obs;
 pub use index::{Grouping, IndexConfig, TarIndex};
 pub use live::LiveIndex;
 pub use mwa::{gamma, WeightAdjustment};
+pub use packed::{PackedPages, PackedTarTree, PACKED_FANOUT};
 pub use poi::{KnntaQuery, Poi, QueryHit};
 pub use skyline::{dominates, reversed_skyline_of, skyline_of};
 pub use storage::{PagedNodes, StorageBackend};

@@ -13,6 +13,7 @@
 //! so they *are* the oracle accounting by construction — schedule invariant,
 //! bit-identical across backends and thread counts.
 
+use crate::packed::PackedTarTree;
 use crate::poi::KnntaQuery;
 use crate::storage::PagedNodes;
 use knnta_obs::{AttrValue, Obs, SpanGuard, SpanId};
@@ -54,6 +55,9 @@ pub(crate) const M_TIA_PROBES: &str = "knnta.mvbt.tia.probes";
 /// `knnta.core.storage.paged.fetch_ns` — per-node paged fetch latency
 /// histogram.
 pub(crate) const M_PAGED_FETCH_NS: &str = "knnta.core.storage.paged.fetch_ns";
+/// `knnta.core.storage.packed.fetches` — node reads served by a packed
+/// serving image (zero-copy; counted, not timed).
+pub(crate) const M_PACKED_FETCHES: &str = "knnta.core.storage.packed.fetches";
 /// Bucket upper bounds (ns) of [`M_PAGED_FETCH_NS`].
 pub(crate) const PAGED_FETCH_BOUNDS: &[u64] =
     &[250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 1_000_000];
@@ -119,17 +123,43 @@ pub(crate) fn publish_paged_io(obs: &Obs, policy: &str, d: &StatsSnapshot) {
         .add(d.buffer_evictions);
 }
 
+/// The storage backend a [`QueryScope`] observes, with whatever handle that
+/// backend's accounting needs: paged I/O snapshots or the packed fetch
+/// counter. The `backend` span attribute carries [`ScopeBackend::label`].
+#[derive(Clone, Copy)]
+pub(crate) enum ScopeBackend<'a> {
+    /// The in-memory arena — no backend-specific accounting.
+    Mem,
+    /// A paged snapshot; physical I/O deltas are published on finish.
+    Paged(&'a PagedNodes),
+    /// A packed serving image; the fetch-counter delta is published on
+    /// finish.
+    Packed(&'a PackedTarTree),
+}
+
+impl ScopeBackend<'_> {
+    /// The `backend` span-attribute value.
+    fn label(&self) -> &'static str {
+        match self {
+            ScopeBackend::Mem => "mem",
+            ScopeBackend::Paged(_) => "paged",
+            ScopeBackend::Packed(_) => "packed",
+        }
+    }
+}
+
 /// One instrumented query (or batch) entry point: opens the root span,
-/// snapshots the oracle accounting (and the paged backend's I/O counters)
-/// on entry, and publishes the deltas as metrics + span attributes on
+/// snapshots the oracle accounting (and the backend's own counters) on
+/// entry, and publishes the deltas as metrics + span attributes on
 /// [`QueryScope::finish`].
 pub(crate) struct QueryScope<'a> {
     obs: &'a Obs,
     span: SpanGuard<'a>,
     stats: &'a AccessStats,
     before: StatsSnapshot,
-    paged: Option<&'a PagedNodes>,
+    backend: ScopeBackend<'a>,
     io_before: Option<StatsSnapshot>,
+    fetches_before: u64,
 }
 
 impl<'a> QueryScope<'a> {
@@ -139,7 +169,7 @@ impl<'a> QueryScope<'a> {
         stats: &'a AccessStats,
         name: &str,
         mode: &str,
-        paged: Option<&'a PagedNodes>,
+        backend: ScopeBackend<'a>,
         attrs: Vec<(String, AttrValue)>,
     ) -> Option<Self> {
         if !obs.is_enabled() {
@@ -148,20 +178,26 @@ impl<'a> QueryScope<'a> {
         let span = obs.span(name, SpanId::NONE);
         let mut all = vec![
             ("mode".to_string(), AttrValue::from(mode)),
-            (
-                "backend".to_string(),
-                AttrValue::from(if paged.is_some() { "paged" } else { "mem" }),
-            ),
+            ("backend".to_string(), AttrValue::from(backend.label())),
         ];
         all.extend(attrs);
         span.set_attrs(all);
+        let io_before = match backend {
+            ScopeBackend::Paged(p) => Some(p.io_snapshot()),
+            _ => None,
+        };
+        let fetches_before = match backend {
+            ScopeBackend::Packed(p) => p.fetches(),
+            _ => 0,
+        };
         Some(QueryScope {
             obs,
             span,
             stats,
             before: stats.snapshot(),
-            paged,
-            io_before: paged.map(|p| p.io_snapshot()),
+            backend,
+            io_before,
+            fetches_before,
         })
     }
 
@@ -170,7 +206,7 @@ impl<'a> QueryScope<'a> {
         obs: &'a Obs,
         stats: &'a AccessStats,
         mode: &str,
-        paged: Option<&'a PagedNodes>,
+        backend: ScopeBackend<'a>,
         query: &KnntaQuery,
         threads: usize,
     ) -> Option<Self> {
@@ -179,7 +215,7 @@ impl<'a> QueryScope<'a> {
             stats,
             "query",
             mode,
-            paged,
+            backend,
             vec![
                 ("k".to_string(), AttrValue::from(query.k as u64)),
                 ("alpha0".to_string(), AttrValue::from(query.alpha0)),
@@ -209,17 +245,27 @@ impl<'a> QueryScope<'a> {
                 AttrValue::from(d.leaf_node_accesses),
             ),
         ];
-        if let (Some(paged), Some(before)) = (self.paged, self.io_before) {
-            let io = paged.io_snapshot().since(before);
-            let policy = paged.config().policy.to_string();
-            publish_paged_io(self.obs, &policy, &io);
-            attrs.push(("policy".to_string(), AttrValue::from(policy)));
-            attrs.push(("buffer_hits".to_string(), AttrValue::from(io.buffer_hits)));
-            attrs.push((
-                "buffer_misses".to_string(),
-                AttrValue::from(io.buffer_misses),
-            ));
-            attrs.push(("page_reads".to_string(), AttrValue::from(io.page_reads)));
+        match self.backend {
+            ScopeBackend::Mem => {}
+            ScopeBackend::Paged(paged) => {
+                if let Some(before) = self.io_before {
+                    let io = paged.io_snapshot().since(before);
+                    let policy = paged.config().policy.to_string();
+                    publish_paged_io(self.obs, &policy, &io);
+                    attrs.push(("policy".to_string(), AttrValue::from(policy)));
+                    attrs.push(("buffer_hits".to_string(), AttrValue::from(io.buffer_hits)));
+                    attrs.push((
+                        "buffer_misses".to_string(),
+                        AttrValue::from(io.buffer_misses),
+                    ));
+                    attrs.push(("page_reads".to_string(), AttrValue::from(io.page_reads)));
+                }
+            }
+            ScopeBackend::Packed(packed) => {
+                let fetches = packed.fetches().saturating_sub(self.fetches_before);
+                self.obs.counter(M_PACKED_FETCHES).add(fetches);
+                attrs.push(("packed_fetches".to_string(), AttrValue::from(fetches)));
+            }
         }
         self.span.set_attrs(attrs);
         self.span.finish();

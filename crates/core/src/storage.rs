@@ -20,21 +20,181 @@
 
 use crate::augmentation::TiaAug;
 use crate::index::{Grouping, QueryCtx, TarIndex, TreeImpl};
-use crate::observe::QueryScope;
+use crate::observe::{QueryScope, ScopeBackend};
+use crate::packed::{PackedSource, PackedTarTree};
 use crate::poi::{KnntaQuery, Poi, QueryHit};
 use knnta_obs::SpanId;
 use pagestore::{BufferPoolConfig, Bytes, BytesMut, StatsSnapshot};
 use rtree::{
     Entry, EntryPayload, GroupingStrategy, Node, NodeCodec, NodeId, PagedNodeStore, RStarTree,
-    Rect,
+    Rect, TiaBlock,
 };
-use tempora::{AggregateSeries, PoiId};
+use std::ops::Range;
+use tempora::{AggregateSeries, EpochGrid, PoiId, TimeInterval};
+
+/// A borrowed temporal-aggregate source inside a [`NodeView`] entry: the
+/// arena's in-memory series, or an inline prefix block of a packed tree.
+///
+/// Both answer the same queries with the same `u64` values — prefix
+/// subtraction is exact — so the search arithmetic downstream is
+/// representation-independent.
+pub(crate) enum AggRef<'a> {
+    /// An [`AggregateSeries`] (in-memory arena and paged snapshots).
+    Series(&'a AggregateSeries),
+    /// An inline `(epoch, cumulative)` prefix block of a packed tree.
+    Packed(TiaBlock<'a>),
+}
+
+impl AggRef<'_> {
+    /// The temporal aggregate `g(p, Iq)` — equal on both representations.
+    pub fn aggregate_over(&self, grid: &EpochGrid, iq: TimeInterval) -> u64 {
+        match self {
+            AggRef::Series(s) => s.aggregate_over(grid, iq),
+            AggRef::Packed(b) => b.sum_range(grid.epochs_within(iq)),
+        }
+    }
+
+    /// [`AggRef::aggregate_over`] also reporting the number of stored epoch
+    /// records scanned (a prefix block answers with two binary searches and
+    /// scans none).
+    pub fn aggregate_over_counted(&self, grid: &EpochGrid, iq: TimeInterval) -> (u64, u64) {
+        match self {
+            AggRef::Series(s) => s.aggregate_over_counted(grid, iq),
+            AggRef::Packed(b) => (b.sum_range(grid.epochs_within(iq)), 0),
+        }
+    }
+
+    /// Aggregate over a pre-computed contained-epoch range (the collective
+    /// batch path, which resolves `Iq` to a range once per query).
+    pub fn sum_range(&self, range: Range<usize>) -> u64 {
+        match self {
+            AggRef::Series(s) => s.sum_range(range),
+            AggRef::Packed(b) => b.sum_range(range),
+        }
+    }
+}
+
+/// Where a [`NodeView`] entry points: a data item or a child node.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum EntryTarget {
+    /// Leaf entry: the POI.
+    Data(PoiId),
+    /// Internal entry: the child node.
+    Child(NodeId),
+}
+
+/// One entry of a [`NodeView`], in exactly the shape the searches consume:
+/// the 2-D spatial box (bit-identical to `rect.project2()` of the arena
+/// entry — the packed format stores those projected bits verbatim), the
+/// aggregate source, and the target.
+pub(crate) struct EntryRef<'a> {
+    /// The entry's box projected to the two spatial dimensions.
+    pub rect2: Rect<2>,
+    /// The entry's TIA.
+    pub agg: AggRef<'a>,
+    /// What the entry points at.
+    pub target: EntryTarget,
+}
+
+/// A borrowed view of one tree node, handed out by [`NodeSource::with_node`]:
+/// an arena node (in-memory, or decoded from a paged snapshot) or a packed
+/// node read zero-copy out of its word buffer.
+pub(crate) enum NodeView<'a, const D: usize> {
+    /// A borrowed arena node.
+    Mem(&'a Node<D, Poi, AggregateSeries>),
+    /// A node of a packed single-buffer tree.
+    Packed {
+        /// The owning buffer (entries are read through absolute indices).
+        tree: &'a rtree::PackedTree,
+        /// The node's entry window.
+        node: rtree::PackedNode,
+    },
+}
+
+impl<'a, const D: usize> NodeView<'a, D> {
+    /// Whether this node is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        match self {
+            NodeView::Mem(n) => n.is_leaf(),
+            NodeView::Packed { node, .. } => node.is_leaf(),
+        }
+    }
+
+    /// The node's entries, allocation-free.
+    pub fn entries(&self) -> EntryIter<'a, D> {
+        match self {
+            NodeView::Mem(n) => EntryIter::Mem(n.entries.iter()),
+            NodeView::Packed { tree, node } => EntryIter::Packed {
+                tree,
+                leaf: node.is_leaf(),
+                range: node.entries(),
+            },
+        }
+    }
+
+    /// The borrowed entry slice when this is an arena node — the collective
+    /// batch path uses it to feed the [`crate::AggCache`], which memoises
+    /// `&AggregateSeries` prefix sums. Packed nodes return `None`: their TIA
+    /// blocks *are* prefix sums already, so that path reads them directly.
+    pub fn mem_entries(&self) -> Option<&'a [Entry<D, Poi, AggregateSeries>]> {
+        match self {
+            NodeView::Mem(n) => Some(&n.entries),
+            NodeView::Packed { .. } => None,
+        }
+    }
+}
+
+/// Iterator over a [`NodeView`]'s entries as [`EntryRef`]s.
+pub(crate) enum EntryIter<'a, const D: usize> {
+    /// Arena entries.
+    Mem(std::slice::Iter<'a, Entry<D, Poi, AggregateSeries>>),
+    /// Packed entries, read per index out of the word buffer.
+    Packed {
+        /// The owning buffer.
+        tree: &'a rtree::PackedTree,
+        /// Whether the targets are items (leaf) or child nodes.
+        leaf: bool,
+        /// Remaining absolute entry indices.
+        range: Range<usize>,
+    },
+}
+
+impl<'a, const D: usize> Iterator for EntryIter<'a, D> {
+    type Item = EntryRef<'a>;
+
+    fn next(&mut self) -> Option<EntryRef<'a>> {
+        match self {
+            EntryIter::Mem(it) => it.next().map(|e| EntryRef {
+                rect2: e.rect.project2(),
+                agg: AggRef::Series(&e.aug),
+                target: match &e.payload {
+                    EntryPayload::Data(poi) => EntryTarget::Data(poi.id),
+                    EntryPayload::Child(c) => EntryTarget::Child(*c),
+                },
+            }),
+            EntryIter::Packed { tree, leaf, range } => range.next().map(|i| {
+                let r = tree.entry_rect(i);
+                EntryRef {
+                    rect2: Rect::new([r[0], r[1]], [r[2], r[3]]),
+                    agg: AggRef::Packed(tree.entry_tia(i)),
+                    target: if *leaf {
+                        EntryTarget::Data(PoiId(tree.entry_target(i) as u32))
+                    } else {
+                        EntryTarget::Child(NodeId(tree.entry_target(i) as u32))
+                    },
+                }
+            }),
+        }
+    }
+}
 
 /// A source of tree nodes for the best-first searches: the in-memory arena
-/// ([`MemNodes`]) or a paged snapshot ([`PagedNodeStore`]).
+/// ([`MemNodes`]), a paged snapshot ([`PagedNodeStore`]), or a packed tree
+/// ([`crate::packed::PackedSource`]).
 ///
-/// `with_node` hands out a borrow rather than returning the node because the
-/// paged implementation decodes into a temporary.
+/// `with_node` hands out a borrowed [`NodeView`] rather than returning the
+/// node because the paged implementation decodes into a temporary (and the
+/// packed one borrows from its buffer).
 pub(crate) trait NodeSource<const D: usize> {
     /// The root node id.
     fn root(&self) -> NodeId;
@@ -42,8 +202,8 @@ pub(crate) trait NodeSource<const D: usize> {
     fn is_empty(&self) -> bool;
     /// Applies `f` to node `id` (no logical-access counting here — callers
     /// account, so speculative parallel expansions stay uncharged).
-    fn with_node<R>(&self, id: NodeId, f: impl FnOnce(&Node<D, Poi, AggregateSeries>) -> R) -> R;
-    /// Backend label for trace attributes: `"mem"` or `"paged"`.
+    fn with_node<R>(&self, id: NodeId, f: impl FnOnce(NodeView<'_, D>) -> R) -> R;
+    /// Backend label for trace attributes: `"mem"`, `"paged"` or `"packed"`.
     fn kind(&self) -> &'static str;
     /// [`NodeSource::with_node`] accumulating the nanoseconds the node fetch
     /// itself took into `io_ns`. The in-memory arena hands out a borrow at
@@ -53,7 +213,7 @@ pub(crate) trait NodeSource<const D: usize> {
         &self,
         id: NodeId,
         io_ns: &mut u64,
-        f: impl FnOnce(&Node<D, Poi, AggregateSeries>) -> R,
+        f: impl FnOnce(NodeView<'_, D>) -> R,
     ) -> R {
         let _ = io_ns;
         self.with_node(id, f)
@@ -77,8 +237,8 @@ where
         self.0.is_empty()
     }
 
-    fn with_node<R>(&self, id: NodeId, f: impl FnOnce(&Node<D, Poi, AggregateSeries>) -> R) -> R {
-        f(self.0.node(id))
+    fn with_node<R>(&self, id: NodeId, f: impl FnOnce(NodeView<'_, D>) -> R) -> R {
+        f(NodeView::Mem(self.0.node(id)))
     }
 
     fn kind(&self) -> &'static str {
@@ -170,9 +330,9 @@ impl<const D: usize> NodeSource<D> for PagedNodeStore<D, Poi, AggregateSeries, T
         PagedNodeStore::is_empty(self)
     }
 
-    fn with_node<R>(&self, id: NodeId, f: impl FnOnce(&Node<D, Poi, AggregateSeries>) -> R) -> R {
+    fn with_node<R>(&self, id: NodeId, f: impl FnOnce(NodeView<'_, D>) -> R) -> R {
         let node = self.read_node(id);
-        f(&node)
+        f(NodeView::Mem(&node))
     }
 
     fn kind(&self) -> &'static str {
@@ -183,10 +343,10 @@ impl<const D: usize> NodeSource<D> for PagedNodeStore<D, Poi, AggregateSeries, T
         &self,
         id: NodeId,
         io_ns: &mut u64,
-        f: impl FnOnce(&Node<D, Poi, AggregateSeries>) -> R,
+        f: impl FnOnce(NodeView<'_, D>) -> R,
     ) -> R {
         let node = self.read_node_timed(id, io_ns);
-        f(&node)
+        f(NodeView::Mem(&node))
     }
 }
 
@@ -283,8 +443,9 @@ impl std::fmt::Debug for PagedNodes {
 /// Which node storage a query runs against.
 ///
 /// `InMemory` is the arena the index maintains; `Paged` reads a
-/// [`PagedNodes`] snapshot through its buffer pool. Results are
-/// bit-identical either way.
+/// [`PagedNodes`] snapshot through its buffer pool; `Packed` searches a
+/// [`PackedTarTree`] serving image zero-copy (`docs/FORMAT.md`). Results are
+/// bit-identical on all three.
 #[derive(Clone, Copy, Default)]
 pub enum StorageBackend<'a> {
     /// The index's in-memory node arena (the paper's setup).
@@ -292,6 +453,8 @@ pub enum StorageBackend<'a> {
     InMemory,
     /// A paged snapshot read through a buffer pool.
     Paged(&'a PagedNodes),
+    /// A packed immutable serving image, searched in place.
+    Packed(&'a PackedTarTree),
 }
 
 impl std::fmt::Debug for StorageBackend<'_> {
@@ -299,6 +462,7 @@ impl std::fmt::Debug for StorageBackend<'_> {
         match self {
             StorageBackend::InMemory => f.write_str("InMemory"),
             StorageBackend::Paged(p) => f.debug_tuple("Paged").field(p).finish(),
+            StorageBackend::Packed(p) => f.debug_tuple("Packed").field(p).finish(),
         }
     }
 }
@@ -350,7 +514,7 @@ impl TarIndex {
                     self.obs(),
                     self.stats(),
                     "seq",
-                    Some(paged),
+                    ScopeBackend::Paged(paged),
                     query,
                     1,
                 );
@@ -359,6 +523,25 @@ impl TarIndex {
                     PagedStoreImpl::D3(s) => self.bfs_on_nodes(s, &ctx, query.k, parent),
                     PagedStoreImpl::D2(s) => self.bfs_on_nodes(s, &ctx, query.k, parent),
                 };
+                if let Some(scope) = scope {
+                    scope.finish(hits.len());
+                }
+                hits
+            }
+            StorageBackend::Packed(packed) => {
+                packed.check_fresh(self.content_epoch);
+                let ctx = self.ctx(query);
+                let scope = QueryScope::begin_query(
+                    self.obs(),
+                    self.stats(),
+                    "seq",
+                    ScopeBackend::Packed(packed),
+                    query,
+                    1,
+                );
+                let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
+                let hits =
+                    self.bfs_on_nodes::<2, _>(&PackedSource(packed), &ctx, query.k, parent);
                 if let Some(scope) = scope {
                     scope.finish(hits.len());
                 }
@@ -388,7 +571,7 @@ impl TarIndex {
                     self.obs(),
                     self.stats(),
                     "par",
-                    Some(paged),
+                    ScopeBackend::Paged(paged),
                     query,
                     threads,
                 );
@@ -401,6 +584,34 @@ impl TarIndex {
                         crate::frontier::parallel_bfs(s, &ctx, query.k, threads, self.obs(), parent)
                     }
                 };
+                self.stats().record_node_accesses(nodes);
+                self.stats().record_leaf_accesses(leaves);
+                if let Some(scope) = scope {
+                    scope.finish(hits.len());
+                }
+                hits
+            }
+            StorageBackend::Packed(packed) => {
+                assert!(threads > 0, "at least one worker thread");
+                packed.check_fresh(self.content_epoch);
+                let ctx = self.ctx(query);
+                let scope = QueryScope::begin_query(
+                    self.obs(),
+                    self.stats(),
+                    "par",
+                    ScopeBackend::Packed(packed),
+                    query,
+                    threads,
+                );
+                let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
+                let (hits, nodes, leaves) = crate::frontier::parallel_bfs::<2, _>(
+                    &PackedSource(packed),
+                    &ctx,
+                    query.k,
+                    threads,
+                    self.obs(),
+                    parent,
+                );
                 self.stats().record_node_accesses(nodes);
                 self.stats().record_leaf_accesses(leaves);
                 if let Some(scope) = scope {
@@ -425,7 +636,7 @@ impl TarIndex {
                 self.stats(),
                 ctx,
                 k,
-                |_, _, series| {
+                |_, _, series: &AggRef<'_>| {
                     let (v, n) = series.aggregate_over_counted(ctx.grid, ctx.iq);
                     epochs.add(n);
                     v
@@ -439,7 +650,7 @@ impl TarIndex {
             self.stats(),
             ctx,
             k,
-            |_, _, series| series.aggregate_over(ctx.grid, ctx.iq),
+            |_, _, series: &AggRef<'_>| series.aggregate_over(ctx.grid, ctx.iq),
             self.obs(),
             parent,
         )

@@ -171,7 +171,7 @@ impl MvbtTia {
     /// partial sums under `grid`, in a **single** range scan of the MVBT.
     ///
     /// A batch of queries with overlapping intervals can then answer every
-    /// `aggregate_over` from the returned [`PrefixSums`] in `O(log s)`
+    /// `aggregate_over` from the returned [`tempora::PrefixSums`] in `O(log s)`
     /// without touching the tree again — the disk-side half of the
     /// collective scheme's shared TIA aggregate memoisation.
     pub fn partial_sums(&self, grid: &EpochGrid) -> tempora::PrefixSums {

@@ -21,6 +21,10 @@
 //! * [`RTreeParams`] — fanout derived from the node size in bytes exactly as
 //!   in the paper's setup (1024-byte nodes ⇒ 50 two-dimensional or 36
 //!   three-dimensional entries).
+//! * [`PackedTree`] — a packed immutable single-buffer static tree (the
+//!   read-optimised serving layout; byte format specified in
+//!   `docs/FORMAT.md`), bulk-loaded bottom-up from a caller-sorted item
+//!   sequence with inline temporal-aggregate prefix blocks.
 //!
 //! Logical node accesses — the paper's primary cost metric — are counted
 //! through [`pagestore::AccessStats`]; query entry points count accesses,
@@ -31,6 +35,7 @@
 mod bulk;
 mod geom;
 mod node;
+mod packed;
 mod paged;
 mod params;
 mod strategy;
@@ -38,6 +43,9 @@ mod tree;
 
 pub use geom::{dist, Rect};
 pub use node::{Entry, EntryPayload, Node, NodeId};
+pub use packed::{
+    PackItem, PackedNode, PackedTree, TiaBlock, PACKED_HEADER_WORDS, PACKED_MAGIC, PACKED_VERSION,
+};
 pub use paged::{NodeCodec, PagedNodeStore};
 pub use params::{RTreeParams, NODE_HEADER_BYTES};
 pub use strategy::{EntryView, GroupingStrategy, RStarGrouping};

@@ -1,0 +1,244 @@
+//! Hilbert space-filling curve shared by every locality-sensitive ordering
+//! in the workspace.
+//!
+//! Two consumers order work along this curve: the collective batch scheme
+//! (Section 7.2, `knnta-core/src/collective.rs`) orders a query batch along
+//! a 3-D curve over `(x, y, Iq midpoint)` so consecutive queries open
+//! near-identical search frontiers, and the packed serving tier
+//! (`knnta-rtree/src/packed.rs`, `docs/FORMAT.md`) bulk-packs leaf entries
+//! in curve order so tree siblings are spatially tight. Keeping one
+//! implementation here guarantees the two orderings cannot silently
+//! diverge.
+//!
+//! The curve is computed with Skilling's transpose algorithm (*Programming
+//! the Hilbert curve*, AIP Conf. Proc. 707, 2004), generic over the
+//! dimension `D` and the per-axis precision `bits`. Unlike a Z-order curve,
+//! curve-adjacent cells are always spatially adjacent (they differ by
+//! exactly one step along exactly one axis), which is the locality property
+//! both orderings rely on; `crates/core/tests/hilbert_props.rs` pins
+//! bijectivity, the locality bound, and ordering determinism down as
+//! properties.
+
+/// Converts axis coordinates into Skilling's "transposed" Hilbert form, in
+/// place. Each element of `x` must be `< 2^bits`.
+fn axes_to_transpose<const D: usize>(x: &mut [u32; D], bits: u32) {
+    let m = 1u32 << (bits - 1);
+    // Inverse undo.
+    let mut q = m;
+    while q > 1 {
+        let p = q - 1;
+        for i in 0..D {
+            if x[i] & q != 0 {
+                x[0] ^= p;
+            } else {
+                let t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q >>= 1;
+    }
+    // Gray encode.
+    for i in 1..D {
+        x[i] ^= x[i - 1];
+    }
+    let mut t = 0;
+    let mut q = m;
+    while q > 1 {
+        if x[D - 1] & q != 0 {
+            t ^= q - 1;
+        }
+        q >>= 1;
+    }
+    for v in x.iter_mut() {
+        *v ^= t;
+    }
+}
+
+/// Inverse of [`axes_to_transpose`].
+fn transpose_to_axes<const D: usize>(x: &mut [u32; D], bits: u32) {
+    let n = 2u32 << (bits - 1);
+    // Gray decode by H ^ (H/2).
+    let t = x[D - 1] >> 1;
+    for i in (1..D).rev() {
+        x[i] ^= x[i - 1];
+    }
+    x[0] ^= t;
+    // Undo excess work.
+    let mut q = 2;
+    while q != n {
+        let p = q - 1;
+        for i in (0..D).rev() {
+            if x[i] & q != 0 {
+                x[0] ^= p;
+            } else {
+                let t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q <<= 1;
+    }
+}
+
+/// Interleaves the transposed form into the scalar Hilbert rank: bit `b` of
+/// axis `i` lands at position `b·D + (D−1−i)` of the rank.
+fn transpose_to_index<const D: usize>(x: &[u32; D], bits: u32) -> u64 {
+    let mut index = 0u64;
+    for b in (0..bits).rev() {
+        for v in x.iter() {
+            index = (index << 1) | ((v >> b) & 1) as u64;
+        }
+    }
+    index
+}
+
+/// Inverse of [`transpose_to_index`].
+fn index_to_transpose<const D: usize>(index: u64, bits: u32) -> [u32; D] {
+    let mut x = [0u32; D];
+    let mut bit = bits * D as u32;
+    for b in (0..bits).rev() {
+        for v in x.iter_mut() {
+            bit -= 1;
+            *v |= (((index >> bit) & 1) as u32) << b;
+        }
+    }
+    x
+}
+
+/// Checks the (coords, bits) contract shared by both directions.
+fn check_args<const D: usize>(bits: u32) {
+    assert!(D > 0, "hilbert curve needs at least one dimension");
+    assert!(
+        bits >= 1 && (D as u32) * bits <= 64,
+        "need 1 <= bits and D*bits <= 64, got D={D} bits={bits}"
+    );
+}
+
+/// The Hilbert rank of a cell on the `D`-dimensional `2^bits`-per-axis grid.
+///
+/// The mapping is a bijection between `[0, 2^bits)^D` and
+/// `[0, 2^(D·bits))`; consecutive ranks are spatially adjacent cells.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`, `D·bits > 64`, or any coordinate is `>= 2^bits`.
+pub fn hilbert_index<const D: usize>(coords: [u32; D], bits: u32) -> u64 {
+    check_args::<D>(bits);
+    let limit = 1u64 << bits;
+    for (i, &c) in coords.iter().enumerate() {
+        assert!(
+            (c as u64) < limit,
+            "coordinate {i} = {c} outside the 2^{bits} grid"
+        );
+    }
+    let mut x = coords;
+    axes_to_transpose(&mut x, bits);
+    transpose_to_index(&x, bits)
+}
+
+/// The grid cell at Hilbert rank `index` — inverse of [`hilbert_index`].
+///
+/// # Panics
+///
+/// Panics if `bits == 0`, `D·bits > 64`, or `index >= 2^(D·bits)`.
+pub fn hilbert_coords<const D: usize>(index: u64, bits: u32) -> [u32; D] {
+    check_args::<D>(bits);
+    let total_bits = (D as u32) * bits;
+    if total_bits < 64 {
+        assert!(
+            index < 1u64 << total_bits,
+            "index {index} outside the 2^{total_bits} curve"
+        );
+    }
+    let mut x = index_to_transpose::<D>(index, bits);
+    transpose_to_axes(&mut x, bits);
+    x
+}
+
+/// Quantises a unit-cube point onto the `2^bits` grid (clamping coordinates
+/// outside `[0, 1]`, which query points outside the data bounds produce).
+pub fn quantize<const D: usize>(p: [f64; D], bits: u32) -> [u32; D] {
+    check_args::<D>(bits);
+    let cells = (1u64 << bits) as f64;
+    let max = (1u64 << bits) - 1;
+    let mut out = [0u32; D];
+    for (o, v) in out.iter_mut().zip(p.iter()) {
+        // NaN-safe: clamp() keeps NaN, so route through a match.
+        let cell = (v * cells).floor();
+        *o = if cell.is_nan() || cell < 0.0 {
+            0
+        } else if cell >= max as f64 {
+            max as u32
+        } else {
+            cell as u32
+        };
+    }
+    out
+}
+
+/// The Hilbert rank of a unit-cube point on the `2^bits` grid — the sort key
+/// of both the batch ordering and the packed bulk-load.
+pub fn hilbert_key<const D: usize>(p: [f64; D], bits: u32) -> u64 {
+    hilbert_index(quantize(p, bits), bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_exhaustive_2d() {
+        for bits in 1..=5u32 {
+            let cells = 1u64 << (2 * bits);
+            let mut seen = vec![false; cells as usize];
+            for h in 0..cells {
+                let c = hilbert_coords::<2>(h, bits);
+                assert_eq!(hilbert_index(c, bits), h, "bits={bits} h={h}");
+                assert!(!seen[h as usize]);
+                seen[h as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_exhaustive_3d() {
+        for bits in 1..=3u32 {
+            let cells = 1u64 << (3 * bits);
+            for h in 0..cells {
+                let c = hilbert_coords::<3>(h, bits);
+                assert_eq!(hilbert_index(c, bits), h, "bits={bits} h={h}");
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_ranks_are_adjacent_cells_2d() {
+        let bits = 4;
+        for h in 0..(1u64 << (2 * bits)) - 1 {
+            let a = hilbert_coords::<2>(h, bits);
+            let b = hilbert_coords::<2>(h + 1, bits);
+            let dist: u32 = a.iter().zip(b.iter()).map(|(x, y)| x.abs_diff(*y)).sum();
+            assert_eq!(dist, 1, "ranks {h},{} at {a:?},{b:?}", h + 1);
+        }
+    }
+
+    #[test]
+    fn quantize_clamps() {
+        assert_eq!(quantize([0.0, 1.0], 4), [0, 15]);
+        assert_eq!(quantize([-3.0, 7.5], 4), [0, 15]);
+        assert_eq!(quantize([f64::NAN, 0.5], 4), [0, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the")]
+    fn rejects_out_of_grid_coordinates() {
+        let _ = hilbert_index([4, 0], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits")]
+    fn rejects_overflowing_precision() {
+        let _ = hilbert_index([0u32; 3], 22);
+    }
+}

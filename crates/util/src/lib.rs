@@ -15,7 +15,7 @@
 //! * [`prop`] — a minimal deterministic property-test harness: seeded case
 //!   generation plus shrink-by-halving of the generation size (replaces
 //!   `proptest`).
-//! * [`bench`] — a wall-clock micro-benchmark runner that records median /
+//! * [`mod@bench`] — a wall-clock micro-benchmark runner that records median /
 //!   p95 latencies and emits machine-readable `BENCH_<suite>.json` files
 //!   (replaces `criterion`).
 //! * [`sync`] — `Mutex` / `RwLock` with the poison-free locking surface the
@@ -25,11 +25,15 @@
 //! * [`json`] — a recursive-descent JSON parser + string escaper used to
 //!   round-trip every machine-readable artifact the workspace emits
 //!   (bench reports, traces, metrics dumps).
+//! * [`hilbert`] — the Skilling-transpose Hilbert curve shared by the
+//!   collective batch ordering and the packed-tree bulk-load, so the two
+//!   locality orderings cannot diverge.
 
 #![warn(missing_docs)]
 
 pub mod bench;
 pub mod codec;
+pub mod hilbert;
 pub mod json;
 pub mod prop;
 pub mod rng;

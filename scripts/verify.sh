@@ -12,9 +12,17 @@
 # (`./scripts/soak.sh` wraps this lane for nightly cron, archiving failing
 # seeds to soak_failures/.)
 #
+# Docs lane (always on): `cargo doc --no-deps` must be warning-clean
+# (RUSTDOCFLAGS="-D warnings"), and the packed-image golden fixture
+# (docs/FORMAT.md, tests/fixtures/packed_v1.golden) must match the writer
+# byte-for-byte.
+#
 # Opt-in bench-diff lane: KNNTA_BENCH_DIFF=<baseline_dir> runs the bench
 # suites in smoke mode and fails tier-1 if any p95 regresses by more than
-# 25% against the baseline's BENCH_*.json files (via the bench_diff binary).
+# 25% against the baseline's BENCH_*.json files (via the bench_diff binary),
+# then gates the packed serving tier: packed/TAR-tree/{k} must beat
+# query_latency/TAR-tree/{k} on median AND p95 (bench_diff --within
+# --metric both, zero slack).
 #
 # Opt-in observability lane: KNNTA_OBS_CHECK=1 runs a traced query + batch
 # through the knnta CLI, validates both JSON artifacts against the
@@ -27,6 +35,10 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --offline
 cargo test -q --workspace --offline
+
+echo "== docs: rustdoc warning-clean + packed-format golden fixture =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
+cargo test -q --offline --test format_golden
 
 if [ "${KNNTA_SOAK:-0}" != "0" ] && [ -n "${KNNTA_SOAK:-}" ]; then
     export KNNTA_PROP_CASES="${KNNTA_PROP_CASES:-10000}"
@@ -71,6 +83,13 @@ if [ -n "${KNNTA_BENCH_DIFF:-}" ]; then
         --within "$fresh/BENCH_enhancements.json" \
         --assert-le batch/collective_hilbert/1000 batch/individual/1000 \
         --slack 0.25
+    echo "== bench-diff: packed serving-tier gate (beats pointer-based on median + p95) =="
+    for k in 1 10 100; do
+        cargo run -q --release --offline --bin bench_diff -- \
+            --within "$fresh/BENCH_queries.json" \
+            --assert-le "packed/TAR-tree/$k" "query_latency/TAR-tree/$k" \
+            --slack 0.0 --metric both
+    done
 fi
 
 if [ "${KNNTA_OBS_CHECK:-0}" != "0" ] && [ -n "${KNNTA_OBS_CHECK:-}" ]; then

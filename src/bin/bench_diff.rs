@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! bench_diff OLD.json NEW.json [--threshold 0.25]
-//! bench_diff --within REPORT.json --assert-le GROUP/BENCH GROUP/BENCH [--slack 0.25]
+//! bench_diff --within REPORT.json --assert-le GROUP/BENCH GROUP/BENCH \
+//!            [--slack 0.25] [--metric median|p95|both]
 //! ```
 //!
 //! Prints a per-bench table of p95 changes and exits nonzero if any bench's
@@ -10,15 +11,17 @@
 //! gate on `bench_diff BENCH_queries.main.json BENCH_queries.json`.
 //!
 //! The `--within` mode compares two benches of the *same* report instead:
-//! it exits 1 if the first bench's median exceeds the second's by more than
-//! the slack, so invariants like "collective batching beats individual" can
-//! gate CI without a baseline file.
+//! it exits 1 if the first bench exceeds the second by more than the slack
+//! on the selected metric(s) — median by default, `--metric both` for
+//! median *and* p95 (the packed-serving-tier gate) — so invariants like
+//! "collective batching beats individual" can gate CI without a baseline
+//! file.
 
 use knnta::util::bench::{diff_reports, parse_report, BenchReport};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: bench_diff OLD.json NEW.json [--threshold FRACTION]
-       bench_diff --within REPORT.json --assert-le A B [--slack FRACTION]
+       bench_diff --within REPORT.json --assert-le A B [--slack FRACTION] [--metric median|p95|both]
 
 Compares two BENCH_<suite>.json runs produced by the in-repo bench runner.
 Exits 1 if any bench's p95 regressed beyond the threshold (default 0.25,
@@ -26,11 +29,47 @@ i.e. 25% slower), 2 on usage or parse errors.
 
 With --within, compares two benches inside one report instead: A and B are
 `group/bench` names, and the tool exits 1 unless
-median(A) <= median(B) * (1 + slack) (default slack 0.25).";
+metric(A) <= metric(B) * (1 + slack) (default slack 0.25) for every
+selected metric: the median (default), the p95, or both.";
+
+/// Which latency statistic(s) a `--within` assertion checks.
+#[derive(Clone, Copy)]
+enum Metric {
+    Median,
+    P95,
+    Both,
+}
+
+impl Metric {
+    fn parse(s: &str) -> Result<Metric, String> {
+        match s {
+            "median" => Ok(Metric::Median),
+            "p95" => Ok(Metric::P95),
+            "both" => Ok(Metric::Both),
+            other => Err(format!("bad metric {other:?} (want median, p95 or both)")),
+        }
+    }
+
+    fn checks(self) -> &'static [(&'static str, fn(&Stats) -> u64)] {
+        match self {
+            Metric::Median => &[("median", |s: &Stats| s.median_ns)],
+            Metric::P95 => &[("p95", |s: &Stats| s.p95_ns)],
+            Metric::Both => &[
+                ("median", |s: &Stats| s.median_ns),
+                ("p95", |s: &Stats| s.p95_ns),
+            ],
+        }
+    }
+}
+
+struct Stats {
+    median_ns: u64,
+    p95_ns: u64,
+}
 
 /// Looks up a bench by `group/bench` name; the bench id itself may contain
 /// slashes (e.g. `batch/individual/1000`), so split at the first one only.
-fn median_of(report: &BenchReport, name: &str) -> Result<u64, String> {
+fn stats_of(report: &BenchReport, name: &str) -> Result<Stats, String> {
     let (group, bench) = name
         .split_once('/')
         .ok_or(format!("bench name {name:?} is not of the form group/bench"))?;
@@ -38,22 +77,36 @@ fn median_of(report: &BenchReport, name: &str) -> Result<u64, String> {
         .results
         .iter()
         .find(|r| r.group == group && r.bench == bench)
-        .map(|r| r.median_ns)
+        .map(|r| Stats {
+            median_ns: r.median_ns,
+            p95_ns: r.p95_ns,
+        })
         .ok_or(format!("bench {name:?} not found in report"))
 }
 
-fn run_within(report_path: &str, a: &str, b: &str, slack: f64) -> Result<bool, String> {
+fn run_within(
+    report_path: &str,
+    a: &str,
+    b: &str,
+    slack: f64,
+    metric: Metric,
+) -> Result<bool, String> {
     let report = load(report_path)?;
-    let a_ns = median_of(&report, a)?;
-    let b_ns = median_of(&report, b)?;
-    let limit = b_ns as f64 * (1.0 + slack);
-    let ok = a_ns as f64 <= limit;
-    println!(
-        "{a}: median {a_ns} ns\n{b}: median {b_ns} ns\nassert median({a}) <= median({b}) * {:.2}: {}",
-        1.0 + slack,
-        if ok { "OK" } else { "VIOLATED" }
-    );
-    Ok(!ok)
+    let a_stats = stats_of(&report, a)?;
+    let b_stats = stats_of(&report, b)?;
+    let mut violated = false;
+    for &(label, pick) in metric.checks() {
+        let a_ns = pick(&a_stats);
+        let b_ns = pick(&b_stats);
+        let ok = a_ns as f64 <= b_ns as f64 * (1.0 + slack);
+        violated |= !ok;
+        println!(
+            "{a}: {label} {a_ns} ns\n{b}: {label} {b_ns} ns\nassert {label}({a}) <= {label}({b}) * {:.2}: {}",
+            1.0 + slack,
+            if ok { "OK" } else { "VIOLATED" }
+        );
+    }
+    Ok(violated)
 }
 
 fn load(path: &str) -> Result<BenchReport, String> {
@@ -68,8 +121,13 @@ fn run() -> Result<bool, String> {
     let mut slack = 0.25f64;
     let mut within: Option<String> = None;
     let mut assert_le: Option<(String, String)> = None;
+    let mut metric = Metric::Median;
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--metric" => {
+                let v = args.next().ok_or("--metric needs a value")?;
+                metric = Metric::parse(&v)?;
+            }
             "--threshold" => {
                 let v = args.next().ok_or("--threshold needs a value")?;
                 threshold = v
@@ -105,7 +163,7 @@ fn run() -> Result<bool, String> {
         if !paths.is_empty() {
             return Err(USAGE.to_string());
         }
-        return run_within(&report_path, &a, &b, slack);
+        return run_within(&report_path, &a, &b, slack, metric);
     }
     if assert_le.is_some() {
         return Err("--assert-le requires --within REPORT.json".to_string());

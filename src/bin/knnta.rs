@@ -82,13 +82,17 @@ commands:
                             (--paged answers from tree nodes serialised onto
                              disk pages behind a buffer pool; results are
                              byte-identical to the in-memory search)
+            [--packed]      (bulk-packs the index into an immutable
+                             single-buffer serving image — docs/FORMAT.md —
+                             and answers from it zero-copy; results are
+                             byte-identical. Mutually exclusive with --paged)
             [--trace-out FILE] [--metrics-out FILE]
                             (record a knnta.trace.v1 span trace and/or a
                              knnta.metrics.v1 counter snapshot; answers and
                              node-access accounting are unchanged)
   batch     --index FILE --queries FILE [--batch-order hilbert|input]
             [--individual] [--no-agg-cache]
-            [--paged] [--policy lru|clock|2q] [--buffer-slots N]
+            [--paged] [--policy lru|clock|2q] [--buffer-slots N] [--packed]
             [--trace-out FILE] [--metrics-out FILE]
                             (processes a query batch collectively — Hilbert
                              ordering + shared aggregate memoisation — or one
@@ -107,7 +111,7 @@ commands:
 struct Opts(BTreeMap<String, String>);
 
 /// Options that take no value.
-const FLAGS: &[&str] = &["paged", "individual", "no-agg-cache", "check"];
+const FLAGS: &[&str] = &["paged", "packed", "individual", "no-agg-cache", "check"];
 
 impl Opts {
     fn parse(args: &[String]) -> Result<Opts, String> {
@@ -337,6 +341,17 @@ fn parse_query(opts: &Opts) -> Result<KnntaQuery, String> {
     .with_alpha0(alpha0))
 }
 
+/// Packs the index into an immutable serving image when `--packed` is set.
+fn packed_tree_of(opts: &Opts, index: &TarIndex) -> Result<Option<knnta::core::PackedTarTree>, String> {
+    if !opts.flag("packed") {
+        return Ok(None);
+    }
+    if opts.flag("paged") {
+        return Err("--packed and --paged are mutually exclusive".into());
+    }
+    Ok(Some(index.pack()))
+}
+
 /// Materialises the paged node store when `--paged` is set (and rejects
 /// paged-only options otherwise).
 fn paged_nodes_of(opts: &Opts, index: &TarIndex) -> Result<Option<knnta::core::PagedNodes>, String> {
@@ -395,10 +410,12 @@ fn query(opts: &Opts) -> Result<(), String> {
     if threads == 0 {
         return Err("--threads must be at least 1".into());
     }
+    let packed = packed_tree_of(opts, &index)?;
     let paged = paged_nodes_of(opts, &index)?;
-    let backend = match &paged {
-        Some(p) => StorageBackend::Paged(p),
-        None => StorageBackend::InMemory,
+    let backend = match (&packed, &paged) {
+        (Some(p), _) => StorageBackend::Packed(p),
+        (None, Some(p)) => StorageBackend::Paged(p),
+        (None, None) => StorageBackend::InMemory,
     };
     let hits = if threads > 1 {
         index.query_parallel_on(&q, threads, backend)
@@ -417,6 +434,14 @@ fn query(opts: &Opts) -> Result<(), String> {
         );
     }
     eprintln!("({} node accesses)", index.stats().node_accesses());
+    if let Some(p) = &packed {
+        eprintln!(
+            "(packed: {} nodes, {} levels, {} bytes)",
+            p.node_count(),
+            p.level_count(),
+            p.byte_len(),
+        );
+    }
     if let Some(p) = &paged {
         let io = p.io_snapshot();
         let hit_rate = if io.buffer_hits + io.buffer_misses > 0 {
@@ -499,10 +524,12 @@ fn batch(opts: &Opts) -> Result<(), String> {
     let order_name = opts.num::<String>("batch-order", "hilbert".into())?;
     let order = BatchOrder::parse(&order_name)
         .ok_or(format!("--batch-order: `{order_name}` (want hilbert|input)"))?;
+    let packed = packed_tree_of(opts, &index)?;
     let paged = paged_nodes_of(opts, &index)?;
-    let backend = match &paged {
-        Some(p) => StorageBackend::Paged(p),
-        None => StorageBackend::InMemory,
+    let backend = match (&packed, &paged) {
+        (Some(p), _) => StorageBackend::Packed(p),
+        (None, Some(p)) => StorageBackend::Paged(p),
+        (None, None) => StorageBackend::InMemory,
     };
     index.stats().reset();
     let results = if opts.flag("individual") {

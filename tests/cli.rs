@@ -123,6 +123,36 @@ fn full_pipeline() {
         }
     }
 
+    // query --packed: the packed serving image must print byte-identical
+    // hits, sequential and parallel.
+    for threads in ["1", "4"] {
+        let out = knnta()
+            .args(["query", "--index", idx.to_str().unwrap()])
+            .args(["--x", "50", "--y", "50", "--from-day", "0", "--to-day", "180"])
+            .args(["--k", "25", "--alpha0", "0.3", "--threads", threads])
+            .args(["--packed"])
+            .output()
+            .expect("run packed query");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&sequential.stdout),
+            "--packed --threads {threads} diverged"
+        );
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("packed:"), "{err}");
+    }
+
+    // --packed and --paged are mutually exclusive.
+    let out = knnta()
+        .args(["query", "--index", idx.to_str().unwrap()])
+        .args(["--x", "50", "--y", "50", "--from-day", "0", "--to-day", "180"])
+        .args(["--packed", "--paged"])
+        .output()
+        .expect("run packed+paged query");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("mutually exclusive"));
+
     // --policy / --buffer-slots only make sense with --paged.
     let out = knnta()
         .args(["query", "--index", idx.to_str().unwrap()])
@@ -358,6 +388,18 @@ fn batch_command_is_mode_invariant() {
             "--paged --policy {policy} diverged"
         );
     }
+    let out = knnta()
+        .args(["batch", "--index", idx.to_str().unwrap()])
+        .args(["--queries", queries.to_str().unwrap()])
+        .args(["--packed"])
+        .output()
+        .expect("run packed batch");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        want,
+        "--packed batch diverged"
+    );
 
     // Unknown orderings are rejected.
     let out = knnta()

@@ -7,9 +7,9 @@
 mod common;
 
 use common::{assert_same_answer, baseline_of, index_of, small_dataset};
-use knnta::core::{Grouping, StorageBackend};
+use knnta::core::{Grouping, PackedTarTree, StorageBackend};
 use knnta::lbsn::{IntervalAnchor, Workload};
-use knnta::pagestore::{BufferPoolConfig, PolicyKind};
+use knnta::pagestore::{AccessStats, BufferPoolConfig, Disk, PolicyKind};
 use knnta::util::rng::{Rng, StdRng};
 use knnta::KnntaQuery;
 
@@ -197,6 +197,96 @@ fn paged_backend_is_bit_identical_to_in_memory() {
                 io.buffer_hits + io.buffer_misses > 0,
                 "{grouping} {policy}: paged queries must go through the buffer pool"
             );
+        }
+    }
+}
+
+#[test]
+fn packed_backend_is_bit_identical_to_in_memory() {
+    // The serving-tier oracle: the bulk-packed immutable image
+    // (`docs/FORMAT.md`) returns hit-for-hit identical results (same POIs,
+    // same order, bit-equal scores and aggregates) to the in-memory search,
+    // sequentially and at every thread count, for all three groupings — and
+    // so does the same image after a serialise → disk → deserialise round
+    // trip.
+    let dataset = small_dataset();
+    let cases = (differential_cases() / 3).max(4);
+    let mut rng = StdRng::seed_from_u64(0xD15C_5EED);
+    for grouping in [Grouping::TarIntegral, Grouping::IndSpa, Grouping::IndAgg] {
+        let index = index_of(&dataset, grouping);
+        let packed = index.pack();
+        assert_eq!(packed.item_count(), index.len());
+        assert_eq!(packed.grouping(), grouping);
+        let stats = AccessStats::new();
+        let disk = Disk::new(4096, stats);
+        let pages = packed.save_to_disk(&disk);
+        let loaded = PackedTarTree::load_from_disk(&disk, &pages).expect("valid packed image");
+        let workload = Workload::generate(&dataset, cases, IntervalAnchor::Random, 17);
+        for (i, &(point, interval)) in workload.queries.iter().enumerate() {
+            let k = rng.gen_range(1..=120usize);
+            let alpha0 = rng.gen_range(0.05..0.95);
+            let q = KnntaQuery::new(point, interval).with_k(k).with_alpha0(alpha0);
+            let want = index.query(&q);
+            let ctx = format!("{grouping} packed query {i} k={k}");
+            let got = index.query_on(&q, StorageBackend::Packed(&packed));
+            assert_same_answer(&got, &want, &ctx);
+            for (a, b) in got.iter().zip(&want) {
+                assert_eq!(a.score.to_bits(), b.score.to_bits(), "{ctx}");
+            }
+            let reloaded = index.query_on(&q, StorageBackend::Packed(&loaded));
+            assert_eq!(got.len(), reloaded.len(), "{ctx} (reloaded)");
+            for (rank, (a, b)) in reloaded.iter().zip(&got).enumerate() {
+                assert_eq!(
+                    (a.poi, a.score.to_bits(), a.aggregate),
+                    (b.poi, b.score.to_bits(), b.aggregate),
+                    "{ctx} reloaded rank {rank}"
+                );
+            }
+            for threads in [1, 2, 4, 8] {
+                let par = index.query_parallel_on(&q, threads, StorageBackend::Packed(&packed));
+                assert_eq!(par.len(), want.len(), "{ctx} threads={threads}");
+                for (rank, (a, b)) in par.iter().zip(&want).enumerate() {
+                    assert_eq!(
+                        (a.poi, a.score.to_bits(), a.aggregate),
+                        (b.poi, b.score.to_bits(), b.aggregate),
+                        "{ctx} threads={threads} rank {rank}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn packed_node_accounting_is_thread_count_invariant() {
+    // The packed image has its own bulk-loaded structure, so its access
+    // counts legitimately differ from the pointer-based tree's; what must
+    // hold is the paper's cost-metric exactness *within* the backend: the
+    // parallel packed traversal records exactly the sequential packed
+    // node/leaf access counts at every thread count.
+    let dataset = small_dataset();
+    let mut rng = StdRng::seed_from_u64(0xACCE_55E5);
+    for grouping in [Grouping::TarIntegral, Grouping::IndSpa, Grouping::IndAgg] {
+        let index = index_of(&dataset, grouping);
+        let packed = index.pack();
+        let workload = Workload::generate(&dataset, 12, IntervalAnchor::Recent, 19);
+        for &(point, interval) in &workload.queries {
+            let k = rng.gen_range(1..=60usize);
+            let q = KnntaQuery::new(point, interval).with_k(k).with_alpha0(0.3);
+            index.stats().reset();
+            let _ = index.query_on(&q, StorageBackend::Packed(&packed));
+            let seq = index.stats().snapshot();
+            assert!(seq.node_accesses > 0, "{grouping}: packed queries must be counted");
+            for threads in [1, 2, 4, 8] {
+                index.stats().reset();
+                let _ = index.query_parallel_on(&q, threads, StorageBackend::Packed(&packed));
+                let par = index.stats().snapshot();
+                assert_eq!(
+                    (par.node_accesses, par.leaf_node_accesses),
+                    (seq.node_accesses, seq.leaf_node_accesses),
+                    "{grouping} k={k} threads={threads}"
+                );
+            }
         }
     }
 }

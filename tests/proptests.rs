@@ -230,6 +230,41 @@ fn leaf_access_totals_are_thread_count_invariant() {
     });
 }
 
+/// Packed serving image (`docs/FORMAT.md`): for arbitrary datasets and
+/// every grouping, pack → serialise → load → serialise is byte-identical
+/// (both through plain bytes and through disk pages of arbitrary size),
+/// and the reloaded image answers queries bit-identically to the freshly
+/// packed one.
+#[test]
+fn packed_image_roundtrip_is_byte_identical() {
+    use knnta::core::{PackedTarTree, StorageBackend};
+    use knnta::pagestore::{AccessStats, Disk};
+    check("packed_image_roundtrip_is_byte_identical", 24, |g| {
+        let ds = gen_dataset(g, 100);
+        let q = gen_query(g);
+        let (_, indexes) = build_all(&ds);
+        let index = &indexes[g.usize_in(0..3)];
+        let packed = index.pack();
+        let image = packed.to_bytes();
+        let loaded = PackedTarTree::from_bytes(&image).expect("own image must parse");
+        assert_eq!(image, loaded.to_bytes(), "to_bytes→from_bytes→to_bytes drifted");
+        let page_size = *g.pick(&[64usize, 512, 4096]);
+        let disk = Disk::new(page_size, AccessStats::new());
+        let pages = packed.save_to_disk(&disk);
+        let reloaded = PackedTarTree::load_from_disk(&disk, &pages).expect("disk image must parse");
+        assert_eq!(image, reloaded.to_bytes(), "disk round trip drifted");
+        let want = index.query_on(&q, StorageBackend::Packed(&packed));
+        let got = index.query_on(&q, StorageBackend::Packed(&reloaded));
+        assert_eq!(want.len(), got.len());
+        for (a, b) in want.iter().zip(&got) {
+            assert_eq!(
+                (a.poi, a.score.to_bits(), a.aggregate),
+                (b.poi, b.score.to_bits(), b.aggregate)
+            );
+        }
+    });
+}
+
 /// Check-in ingestion is equivalent to building with the final series.
 #[test]
 fn ingestion_equivalence() {

@@ -131,8 +131,9 @@ impl TarIndex {
             batch_attrs(queries, opts),
         );
         let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
+        let root_max = self.root_max_series();
         let results = with_tree!(self, t => collective_on_nodes(
-            &MemNodes(t), self.stats(), self, queries, opts, self.obs(), parent));
+            &MemNodes(t), self.stats(), self, &root_max, queries, opts, self.obs(), parent));
         if let Some(scope) = scope {
             scope.finish(results.iter().map(Vec::len).sum());
         }
@@ -166,13 +167,14 @@ impl TarIndex {
                     batch_attrs(queries, opts),
                 );
                 let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
+                let root_max = self.root_max_series();
                 let results = match &paged.store {
-                    PagedStoreImpl::D3(s) => {
-                        collective_on_nodes(s, self.stats(), self, queries, opts, self.obs(), parent)
-                    }
-                    PagedStoreImpl::D2(s) => {
-                        collective_on_nodes(s, self.stats(), self, queries, opts, self.obs(), parent)
-                    }
+                    PagedStoreImpl::D3(s) => collective_on_nodes(
+                        s, self.stats(), self, &root_max, queries, opts, self.obs(), parent,
+                    ),
+                    PagedStoreImpl::D2(s) => collective_on_nodes(
+                        s, self.stats(), self, &root_max, queries, opts, self.obs(), parent,
+                    ),
                 };
                 if let Some(scope) = scope {
                     scope.finish(results.iter().map(Vec::len).sum());
@@ -190,10 +192,12 @@ impl TarIndex {
                     batch_attrs(queries, opts),
                 );
                 let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
+                let root_max = self.root_max_series();
                 let results = collective_on_nodes::<2, _>(
                     &PackedSource(packed),
                     self.stats(),
                     self,
+                    &root_max,
                     queries,
                     opts,
                     self.obs(),
@@ -280,7 +284,7 @@ impl TarIndex {
 }
 
 /// The root `batch` span's attributes: batch size and schedule knobs.
-fn batch_attrs(queries: &[KnntaQuery], opts: &BatchOptions) -> Vec<(String, AttrValue)> {
+pub(crate) fn batch_attrs(queries: &[KnntaQuery], opts: &BatchOptions) -> Vec<(String, AttrValue)> {
     vec![
         ("queries".to_string(), AttrValue::from(queries.len() as u64)),
         ("order".to_string(), AttrValue::from(opts.order.to_string())),
@@ -337,10 +341,16 @@ fn park(
 /// max-heap on bucket sizes implements the paper's greedy "most frequent
 /// front entry first" rule; each physical fetch is consumed by every query
 /// currently waiting on that node.
-fn collective_on_nodes<const D: usize, N: NodeSource<D>>(
+///
+/// `root_max` is the per-epoch root maximum the `f(p_k)` normaliser `gmax`
+/// is computed from — the index's own [`TarIndex::root_max_series`] for
+/// plain batches, or a live snapshot's overlay-adjusted series (which keeps
+/// batch answers bit-identical to a merged index).
+pub(crate) fn collective_on_nodes<const D: usize, N: NodeSource<D>>(
     nodes: &N,
     stats: &AccessStats,
     index: &TarIndex,
+    root_max: &tempora::AggregateSeries,
     queries: &[KnntaQuery],
     opts: &BatchOptions,
     obs: &Obs,
@@ -368,7 +378,6 @@ fn collective_on_nodes<const D: usize, N: NodeSource<D>>(
     // normaliser once per distinct range — identical to the per-query value
     // of `aggregate_normalizer`, which also only depends on the range.
     let grid = index.grid();
-    let root_max = index.root_max_series();
     let mut gmax_of: HashMap<(usize, usize), f64> = HashMap::new();
     let mut ranges: Vec<Range<usize>> = vec![0..0; queries.len()];
     for &qi in &active {

@@ -96,7 +96,7 @@ pub use disk_tia::DiskTias;
 pub use geo::{haversine_km, GeoPoint, GeoProjector, EARTH_RADIUS_KM};
 pub use knnta_obs::Obs;
 pub use index::{Grouping, IndexConfig, TarIndex};
-pub use live::LiveIndex;
+pub use live::{LiveIndex, LiveOptions, SnapshotBackend, SnapshotView};
 pub use mwa::{gamma, WeightAdjustment};
 pub use packed::{PackedPages, PackedTarTree, PACKED_FANOUT};
 pub use poi::{KnntaQuery, Poi, QueryHit};

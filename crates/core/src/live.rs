@@ -1,113 +1,1002 @@
-//! Live check-in ingestion: the paper's epoch lifecycle as an API.
+//! Concurrent live check-in ingestion with epoch-snapshot reads.
 //!
 //! Section 4.2: "When an epoch ends, we compute the aggregate of each POI by
 //! the check-ins (in this epoch), and then insert the non-zero aggregates in
-//! a batch fashion." [`LiveIndex`] owns that loop: raw [`CheckIn`] events
-//! accumulate in an in-memory buffer for the open epoch; sealing the epoch
-//! digests the buffer into the TAR-tree in one batch. Late events for
-//! already-sealed epochs are digested immediately (the TIA accepts
-//! per-epoch additions at any time), so out-of-order streams stay correct.
+//! a batch fashion." [`LiveIndex`] turns that loop into a concurrent tier:
+//!
+//! * **Sharded write path** — [`LiveIndex::record`] hashes each event's POI
+//!   onto one of `shards` lock-striped accumulators, so independent writer
+//!   threads almost never contend. Per event the hot path is one uncontended
+//!   reader-writer acquisition (the epoch roll), one shard mutex and one
+//!   hash-map upsert.
+//! * **Epoch-snapshot read path** — [`LiveIndex::snapshot`] hands out an
+//!   immutable [`SnapshotView`]: the current base TAR-tree plus a frozen
+//!   *delta overlay* of sealed-but-unmerged epochs, tagged with an
+//!   [`EpochWatermark`]. Snapshot queries never block writers (the snapshot
+//!   is two `Arc` clones under a briefly-held read lock) and writers never
+//!   block snapshot readers. Every query a snapshot answers is bit-identical
+//!   to the same query on an index that had the snapshot's deltas digested
+//!   via [`TarIndex::ingest_epoch`] — `tests/snapshot_oracle.rs` is the
+//!   differential proof.
+//! * **Background merge** — [`LiveIndex::merge_sealed`] folds sealed deltas
+//!   into a rebuilt base tree off the hot path (re-materialising the paged /
+//!   packed serving images when [`LiveOptions`] asks for them). In-flight
+//!   snapshots keep their old `Arc`s; answers before and after a merge are
+//!   bit-identical because the ranking's `(score, PoiId)` total order makes
+//!   results independent of tree shape.
+//!
+//! Sealing an epoch ([`LiveIndex::seal_epoch`] or the automatic roll when an
+//! event from a future epoch arrives) drains every shard into a
+//! `DeltaOverlay`; *late* events for already-sealed epochs are attributed
+//! to their own epoch and become visible at the next seal — including at the
+//! end of the grid, where the open epoch saturates at `grid.len()` and seals
+//! keep draining without advancing (and without misattributing anything to
+//! the final epoch).
+//!
+//! The exactness argument for overlay reads lives with the data: leaf
+//! aggregates are `base + delta` (exact in `u64`); internal entries use
+//! `base + Σdelta`, an admissible upper bound that never changes answers;
+//! and the `gmax` normaliser comes from the snapshot's overlay-adjusted root
+//! maximum, which equals the merged index's root maximum epoch by epoch
+//! because per-POI cumulative deltas are monotone. See `DESIGN.md` §13.
 
-use crate::index::TarIndex;
+use crate::collective::{batch_attrs, collective_on_nodes, BatchOptions};
+use crate::index::{bfs_query_nodes, with_tree, IndexConfig, QueryCtx, TarIndex};
+use crate::frontier::parallel_bfs;
+use crate::observe::{self, QueryScope, ScopeBackend};
+use crate::packed::PackedSource;
 use crate::poi::{KnntaQuery, QueryHit};
-use std::collections::HashMap;
-use tempora::{CheckIn, PoiId};
+use crate::storage::{AggRef, MemNodes, NodeSource, OverlayNodes, PagedStoreImpl};
+use knnta_obs::{Obs, SpanId};
+use knnta_util::sync::{Mutex, RwLock};
+use pagestore::BufferPoolConfig;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tempora::{AggregateSeries, CheckIn, EpochGrid, EpochWatermark, PoiId, TimeInterval};
 
-/// A [`TarIndex`] fed by a live check-in stream.
-pub struct LiveIndex {
+/// Configuration of a [`LiveIndex`]'s ingestion and serving tiers.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveOptions {
+    /// Number of lock-striped write shards (floored at 1). More shards mean
+    /// less writer contention; 8 sustains >1M check-ins/sec on one node.
+    pub shards: usize,
+    /// When set, every base state additionally materialises a paged node
+    /// snapshot (`(page_size, pool_config)`) so snapshots can serve
+    /// [`SnapshotBackend::Paged`] queries.
+    pub serve_paged: Option<(usize, BufferPoolConfig)>,
+    /// When `true`, every base state additionally packs an immutable serving
+    /// image so snapshots can serve [`SnapshotBackend::Packed`] queries.
+    pub serve_packed: bool,
+}
+
+impl Default for LiveOptions {
+    fn default() -> Self {
+        LiveOptions {
+            shards: 8,
+            serve_paged: None,
+            serve_packed: false,
+        }
+    }
+}
+
+/// One lock stripe of the write path: per-POI aggregates of the open epoch,
+/// late aggregates keyed by their own (sealed) epoch, and the event count
+/// backing [`LiveIndex::pending`].
+#[derive(Default)]
+struct ShardBuf {
+    open: HashMap<PoiId, u64>,
+    late: HashMap<(usize, PoiId), u64>,
+    events: u64,
+}
+
+/// The epoch roll. `record` holds the read side while classifying an event
+/// against `open_epoch` *and* inserting it into a shard, so a concurrent
+/// seal (which takes the write side) can never observe a half-classified
+/// event.
+struct Roll {
+    /// The open (not yet sealed) epoch; saturates at `grid.len()`.
+    open_epoch: usize,
+}
+
+/// The deltas drained by one seal, keyed by `(epoch, poi)`. Retained until
+/// a merge folds them into the base tree.
+struct SealBatch {
+    deltas: HashMap<(usize, PoiId), u64>,
+}
+
+/// A frozen overlay of every sealed-but-unmerged delta, shared immutably by
+/// snapshots.
+struct DeltaOverlay {
+    /// Cumulative per-POI delta series (exact leaf adjustments).
+    per_poi: HashMap<PoiId, AggregateSeries>,
+    /// Per-epoch sum of all deltas — the admissible upper-bound adjustment
+    /// applied to internal entries.
+    total: AggregateSeries,
+    /// Per-epoch max of `base[poi] + delta[poi]` over the delta'd POIs; the
+    /// snapshot's root maximum is `max(base.root_max, combined_max)`, which
+    /// equals a merged index's root maximum exactly.
+    combined_max: AggregateSeries,
+    /// Seal counter + open epoch at freeze time.
+    watermark: EpochWatermark,
+}
+
+impl DeltaOverlay {
+    fn empty(watermark: EpochWatermark) -> Self {
+        DeltaOverlay {
+            per_poi: HashMap::new(),
+            total: AggregateSeries::new(),
+            combined_max: AggregateSeries::new(),
+            watermark,
+        }
+    }
+}
+
+/// Per-epoch max of `base[poi] + delta[poi]` over the POIs in `per_poi`.
+/// A pure function of (base series, overlay) — recomputed from scratch at
+/// every seal and merge so its value never depends on seal history.
+fn combined_max_of(
+    base: &HashMap<PoiId, AggregateSeries>,
+    per_poi: &HashMap<PoiId, AggregateSeries>,
+) -> AggregateSeries {
+    let mut max = AggregateSeries::new();
+    for (poi, delta) in per_poi {
+        let base = base.get(poi);
+        for (epoch, v) in delta.iter() {
+            let b = base.map_or(0, |s| s.get(epoch));
+            max.raise_to(epoch, b + v);
+        }
+    }
+    max
+}
+
+/// An immutable base the snapshots read: the TAR-tree plus everything the
+/// overlay algebra and the differential oracle need to know about it.
+struct BaseState {
     index: TarIndex,
-    /// The open (not yet sealed) epoch.
-    current_epoch: usize,
-    /// Check-ins of the open epoch, aggregated per POI.
-    buffer: HashMap<PoiId, u64>,
-    /// Events that referenced unknown POIs or times outside the grid.
-    dropped: u64,
+    /// Per-POI base series (the tree's leaf TIAs), for `combined_max`.
+    series: HashMap<PoiId, AggregateSeries>,
+    /// The base tree's root maximum series, computed once.
+    root_max: AggregateSeries,
+    /// Cumulative deltas folded into this base by merges since the
+    /// [`LiveIndex`] was constructed (for [`SnapshotView::cumulative_deltas`]).
+    merged: HashMap<PoiId, AggregateSeries>,
+    /// Paged node snapshot, when [`LiveOptions::serve_paged`] asks for one.
+    paged: Option<crate::storage::PagedNodes>,
+    /// Packed serving image, when [`LiveOptions::serve_packed`] asks for one.
+    packed: Option<crate::packed::PackedTarTree>,
+}
+
+impl BaseState {
+    fn materialise(
+        index: TarIndex,
+        merged: HashMap<PoiId, AggregateSeries>,
+        opts: &LiveOptions,
+    ) -> Self {
+        let series: HashMap<PoiId, AggregateSeries> = index
+            .export_pois()
+            .into_iter()
+            .map(|(p, s)| (p.id, s))
+            .collect();
+        let root_max = index.root_max_series();
+        let paged = opts
+            .serve_paged
+            .map(|(page_size, config)| index.materialize_paged_nodes(page_size, config));
+        let packed = opts.serve_packed.then(|| index.pack());
+        BaseState {
+            index,
+            series,
+            root_max,
+            merged,
+            paged,
+            packed,
+        }
+    }
+}
+
+/// What snapshots see, swapped atomically under one lock so no reader can
+/// observe a new base with a stale overlay (or vice versa).
+struct Published {
+    base: Arc<BaseState>,
+    overlay: Arc<DeltaOverlay>,
+    /// Sealed batches not yet folded into `base`, oldest first.
+    batches: Vec<Arc<SealBatch>>,
+}
+
+/// A [`TarIndex`] fed by a concurrent live check-in stream.
+///
+/// All methods take `&self`; the index is `Sync` and meant to be shared by
+/// writer and reader threads (e.g. via `std::thread::scope`). See the
+/// module docs for the write / snapshot / merge architecture.
+pub struct LiveIndex {
+    grid: EpochGrid,
+    /// POIs known to the index. Events for unknown POIs are dropped *at
+    /// record time* — an unknown-POI overlay entry would inflate the
+    /// snapshot's root maximum relative to a merged index (where
+    /// `ingest_epoch` silently ignores unknown POIs) and break bit-identity.
+    members: HashSet<PoiId>,
+    shards: Vec<Mutex<ShardBuf>>,
+    roll: RwLock<Roll>,
+    state: RwLock<Published>,
+    /// Serialises merges (never held while a query or `record` runs).
+    merge_lock: Mutex<()>,
+    recorded: AtomicU64,
+    dropped: AtomicU64,
+    sealed_events: AtomicU64,
+    opts: LiveOptions,
+    obs: Obs,
 }
 
 impl LiveIndex {
     /// Wraps an index whose epochs `0..first_open_epoch` are already
-    /// digested; ingestion starts with `first_open_epoch` open.
+    /// digested; ingestion starts with `first_open_epoch` open. Uses
+    /// [`LiveOptions::default`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `first_open_epoch > grid.len()`.
     pub fn new(index: TarIndex, first_open_epoch: usize) -> Self {
+        Self::with_options(index, first_open_epoch, LiveOptions::default())
+    }
+
+    /// [`LiveIndex::new`] with explicit [`LiveOptions`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `first_open_epoch > grid.len()`.
+    pub fn with_options(index: TarIndex, first_open_epoch: usize, opts: LiveOptions) -> Self {
         assert!(
             first_open_epoch <= index.grid().len(),
             "open epoch outside the grid"
         );
+        let grid = index.grid().clone();
+        let obs = index.obs().clone();
+        let base = BaseState::materialise(index, HashMap::new(), &opts);
+        let members = base.series.keys().copied().collect();
+        let shard_count = opts.shards.max(1);
         LiveIndex {
-            index,
-            current_epoch: first_open_epoch,
-            buffer: HashMap::new(),
-            dropped: 0,
+            grid,
+            members,
+            shards: (0..shard_count).map(|_| Mutex::new(ShardBuf::default())).collect(),
+            roll: RwLock::new(Roll {
+                open_epoch: first_open_epoch,
+            }),
+            state: RwLock::new(Published {
+                overlay: Arc::new(DeltaOverlay::empty(EpochWatermark::initial(
+                    first_open_epoch,
+                ))),
+                base: Arc::new(base),
+                batches: Vec::new(),
+            }),
+            merge_lock: Mutex::new(()),
+            recorded: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            sealed_events: AtomicU64::new(0),
+            opts,
+            obs,
         }
     }
 
-    /// The wrapped index (sealed epochs only — the open epoch's buffer is
-    /// not yet visible to queries).
-    pub fn index(&self) -> &TarIndex {
-        &self.index
+    /// The epoch grid shared by the index and its stream.
+    pub fn grid(&self) -> &EpochGrid {
+        &self.grid
     }
 
-    /// The open epoch's position.
+    /// The open epoch's position (== `grid.len()` once time has run past the
+    /// grid).
     pub fn current_epoch(&self) -> usize {
-        self.current_epoch
+        self.roll.read().open_epoch
     }
 
-    /// Buffered (unsealed) check-ins.
+    /// Events recorded so far (including dropped ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Events buffered in the shards, not yet drained by a seal.
+    ///
+    /// At quiescence `pending() + sealed_events() + dropped() == recorded()`.
     pub fn pending(&self) -> u64 {
-        self.buffer.values().sum()
+        self.shards.iter().map(|s| s.lock().events).sum()
+    }
+
+    /// Events drained into sealed batches so far.
+    pub fn sealed_events(&self) -> u64 {
+        self.sealed_events.load(Ordering::Relaxed)
     }
 
     /// Events dropped because their POI or timestamp was unknown.
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        self.dropped.load(Ordering::Relaxed)
     }
 
-    /// Records one check-in.
+    fn shard_of(&self, poi: PoiId) -> usize {
+        let h = (poi.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((h >> 32) as usize) % self.shards.len()
+    }
+
+    /// Records one check-in. Safe to call from any number of threads.
     ///
-    /// * In the open epoch: buffered until [`LiveIndex::seal_epoch`].
-    /// * In a *sealed* epoch (late event): digested into the index at once.
+    /// * In the open epoch: buffered in a shard until the next seal.
+    /// * In a *sealed* epoch (late event): buffered against its own epoch,
+    ///   visible at the next seal.
     /// * In a *future* epoch: the intervening epochs are sealed first (time
     ///   moved on), then the event is buffered.
-    /// * Outside the grid: counted as dropped.
-    pub fn record(&mut self, checkin: CheckIn) {
-        let Some(epoch) = self.index.grid().epoch_of(checkin.time) else {
-            self.dropped += 1;
+    /// * Outside the grid, or for a POI the index does not know: counted as
+    ///   dropped.
+    pub fn record(&self, checkin: CheckIn) {
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        self.obs.counter(observe::M_LIVE_RECORDED).add(1);
+        let Some(epoch) = self.grid.epoch_of(checkin.time) else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            self.obs.counter(observe::M_LIVE_DROPPED).add(1);
             return;
         };
+        if !self.members.contains(&checkin.poi) {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            self.obs.counter(observe::M_LIVE_DROPPED).add(1);
+            return;
+        }
         let value = checkin.value as u64;
-        match epoch.index.cmp(&self.current_epoch) {
-            std::cmp::Ordering::Less => {
-                // Late event: the TIA accepts additions to past epochs.
-                self.index.ingest_epoch(epoch.index, &[(checkin.poi, value)]);
+        loop {
+            let roll = self.roll.read();
+            let open = roll.open_epoch;
+            if epoch.index > open {
+                drop(roll);
+                self.roll_to(epoch.index);
+                continue;
             }
-            std::cmp::Ordering::Equal => {
-                *self.buffer.entry(checkin.poi).or_insert(0) += value;
-            }
-            std::cmp::Ordering::Greater => {
-                while self.current_epoch < epoch.index {
-                    self.seal_epoch();
+            // Holding the roll read lock across the shard insert keeps the
+            // open/late classification consistent with any concurrent seal.
+            let mut shard = self.shards[self.shard_of(checkin.poi)].lock();
+            if value != 0 {
+                if epoch.index == open {
+                    *shard.open.entry(checkin.poi).or_insert(0) += value;
+                } else {
+                    *shard.late.entry((epoch.index, checkin.poi)).or_insert(0) += value;
                 }
-                *self.buffer.entry(checkin.poi).or_insert(0) += value;
+            }
+            shard.events += 1;
+            return;
+        }
+    }
+
+    /// Seals epochs until `target` is the open epoch. Racing rollers are
+    /// fine: whoever wins the write lock seals, the rest see the new epoch.
+    fn roll_to(&self, target: usize) {
+        let mut roll = self.roll.write();
+        while roll.open_epoch < target {
+            self.seal_locked(&mut roll);
+        }
+    }
+
+    /// Seals the open epoch: drains every shard (the open epoch's
+    /// aggregates plus all buffered late aggregates, each attributed to its
+    /// own epoch) into a frozen delta overlay and advances the open
+    /// epoch, saturating at `grid.len()`. Once saturated, further seals
+    /// keep draining late events without advancing.
+    ///
+    /// Returns the number of distinct POIs whose deltas were drained.
+    pub fn seal_epoch(&self) -> usize {
+        let mut roll = self.roll.write();
+        self.seal_locked(&mut roll)
+    }
+
+    fn seal_locked(&self, roll: &mut Roll) -> usize {
+        let open = roll.open_epoch;
+        let mut deltas: HashMap<(usize, PoiId), u64> = HashMap::new();
+        let mut events = 0u64;
+        for shard in &self.shards {
+            let mut s = shard.lock();
+            for (poi, v) in s.open.drain() {
+                *deltas.entry((open, poi)).or_insert(0) += v;
+            }
+            for ((e, poi), v) in s.late.drain() {
+                *deltas.entry((e, poi)).or_insert(0) += v;
+            }
+            events += s.events;
+            s.events = 0;
+        }
+        roll.open_epoch = (open + 1).min(self.grid.len());
+        let changed = {
+            let mut pois: Vec<PoiId> = deltas.keys().map(|&(_, p)| p).collect();
+            pois.sort_unstable();
+            pois.dedup();
+            pois.len()
+        };
+
+        let mut st = self.state.write();
+        let watermark = st.overlay.watermark.sealed(roll.open_epoch);
+        let mut per_poi = st.overlay.per_poi.clone();
+        let mut total = st.overlay.total.clone();
+        if !deltas.is_empty() {
+            // HashMap iteration order is irrelevant: every fold is a
+            // commutative sum over distinct (epoch, poi) keys.
+            for (&(e, poi), &v) in &deltas {
+                per_poi
+                    .entry(poi)
+                    .or_insert_with(AggregateSeries::new)
+                    .add(e as u32, v);
+                total.add(e as u32, v);
+            }
+            st.batches.push(Arc::new(SealBatch { deltas }));
+        }
+        let combined_max = combined_max_of(&st.base.series, &per_poi);
+        st.overlay = Arc::new(DeltaOverlay {
+            per_poi,
+            total,
+            combined_max,
+            watermark,
+        });
+        drop(st);
+
+        self.sealed_events.fetch_add(events, Ordering::Relaxed);
+        self.obs.counter(observe::M_LIVE_SEALS).add(1);
+        self.obs.counter(observe::M_LIVE_SEALED).add(events);
+        changed
+    }
+
+    /// Takes an immutable snapshot of everything sealed so far: the base
+    /// tree plus the frozen delta overlay, tagged with the watermark at
+    /// which it was taken. Two `Arc` clones under a briefly-held read lock —
+    /// writers are never blocked by however long the snapshot is queried.
+    pub fn snapshot(&self) -> SnapshotView {
+        let st = self.state.read();
+        let mut adjusted = st.base.root_max.clone();
+        adjusted.merge_max(&st.overlay.combined_max);
+        let view = SnapshotView {
+            base: Arc::clone(&st.base),
+            overlay: Arc::clone(&st.overlay),
+            adjusted_root_max: adjusted,
+        };
+        drop(st);
+        self.obs.counter(observe::M_LIVE_SNAPSHOTS).add(1);
+        view
+    }
+
+    /// Folds every currently-sealed batch into a rebuilt base tree (and
+    /// re-materialises the paged / packed serving images per
+    /// [`LiveOptions`]), off the hot path: no lock is held during the
+    /// rebuild, writers keep streaming, and in-flight snapshots keep their
+    /// old state. Answers are unaffected — the `(score, PoiId)` total order
+    /// makes them independent of tree shape.
+    ///
+    /// Returns the number of sealed batches folded (0 when there was
+    /// nothing to merge). Concurrent callers are serialised.
+    pub fn merge_sealed(&self) -> usize {
+        let _guard = self.merge_lock.lock();
+        let (base, batches) = {
+            let st = self.state.read();
+            (Arc::clone(&st.base), st.batches.clone())
+        };
+        if batches.is_empty() {
+            return 0;
+        }
+        let folded_n = batches.len();
+        let mut folded: HashMap<PoiId, AggregateSeries> = HashMap::new();
+        for b in &batches {
+            for (&(e, poi), &v) in &b.deltas {
+                folded
+                    .entry(poi)
+                    .or_insert_with(AggregateSeries::new)
+                    .add(e as u32, v);
+            }
+        }
+
+        let mut pois = base.index.export_pois();
+        for (poi, series) in &mut pois {
+            if let Some(d) = folded.get(&poi.id) {
+                for (e, v) in d.iter() {
+                    series.add(e, v);
+                }
+            }
+        }
+        let config = IndexConfig {
+            grouping: base.index.grouping(),
+            node_size: base.index.config_node_size(),
+            forced_reinsert: base.index.config_forced_reinsert(),
+        };
+        let mut index = TarIndex::build(config, self.grid.clone(), *base.index.bounds(), pois);
+        index.set_obs(self.obs.clone());
+        let mut merged = base.merged.clone();
+        for (poi, d) in &folded {
+            let m = merged.entry(*poi).or_insert_with(AggregateSeries::new);
+            for (e, v) in d.iter() {
+                m.add(e, v);
+            }
+        }
+        let fresh = BaseState::materialise(index, merged, &self.opts);
+
+        let mut st = self.state.write();
+        // Seals that happened during the rebuild appended to `batches`;
+        // keep those and recompute the remainder overlay against the new
+        // base from scratch.
+        let remaining = st.batches.split_off(folded_n);
+        let mut per_poi: HashMap<PoiId, AggregateSeries> = HashMap::new();
+        let mut total = AggregateSeries::new();
+        for b in &remaining {
+            for (&(e, poi), &v) in &b.deltas {
+                per_poi
+                    .entry(poi)
+                    .or_insert_with(AggregateSeries::new)
+                    .add(e as u32, v);
+                total.add(e as u32, v);
+            }
+        }
+        let combined_max = combined_max_of(&fresh.series, &per_poi);
+        st.overlay = Arc::new(DeltaOverlay {
+            per_poi,
+            total,
+            combined_max,
+            watermark: st.overlay.watermark,
+        });
+        st.base = Arc::new(fresh);
+        st.batches = remaining;
+        drop(st);
+
+        self.obs.counter(observe::M_LIVE_MERGES).add(1);
+        folded_n
+    }
+
+    /// Answers a query over the sealed epochs (shorthand for
+    /// `snapshot().query(query)`; the open epoch's shard buffers are not
+    /// yet visible, exactly as before the concurrent tier existed).
+    pub fn query(&self, query: &KnntaQuery) -> Vec<QueryHit> {
+        self.snapshot().query(query)
+    }
+
+    /// Checks every structural and TIA-summary invariant of the current
+    /// base tree (test helper).
+    pub fn validate(&self) {
+        let st = self.state.read();
+        st.base.index.validate();
+    }
+}
+
+/// Which serving materialisation a [`SnapshotView`] query runs against.
+///
+/// Unlike [`crate::StorageBackend`] this is a plain selector: the paged and
+/// packed images are owned by the snapshot's base state (built per
+/// [`LiveOptions`]), not passed in by the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotBackend {
+    /// The base tree's in-memory node arena.
+    InMemory,
+    /// The paged node snapshot ([`LiveOptions::serve_paged`]).
+    Paged,
+    /// The packed serving image ([`LiveOptions::serve_packed`]).
+    Packed,
+}
+
+/// An immutable epoch snapshot of a [`LiveIndex`]: a base TAR-tree plus the
+/// frozen delta overlay of sealed-but-unmerged epochs.
+///
+/// Every query entry point answers **bit-identically** to the same query on
+/// an index holding the merged state (base + [`SnapshotView::cumulative_deltas`]
+/// digested via [`TarIndex::ingest_epoch`]) — at every thread count, on
+/// every backend. The view is cheap to clone and keeps its state alive
+/// independently of subsequent seals and merges.
+#[derive(Clone)]
+pub struct SnapshotView {
+    base: Arc<BaseState>,
+    overlay: Arc<DeltaOverlay>,
+    /// `max(base.root_max, overlay.combined_max)` per epoch — bit-equal to
+    /// the merged index's root maximum series, so `gmax` matches a replay.
+    adjusted_root_max: AggregateSeries,
+}
+
+impl SnapshotView {
+    /// The watermark at which this snapshot was taken.
+    pub fn watermark(&self) -> EpochWatermark {
+        self.overlay.watermark
+    }
+
+    /// The epoch grid.
+    pub fn grid(&self) -> &EpochGrid {
+        self.base.index.grid()
+    }
+
+    /// The snapshot's base [`TarIndex`] — sealed-and-**merged** state only;
+    /// the frozen overlay's deltas are *not* reflected in its TIAs. Call
+    /// [`LiveIndex::merge_sealed`] before snapshotting when base-level
+    /// extensions (skyline, persistence, MWA) need the full stream.
+    pub fn index(&self) -> &TarIndex {
+        &self.base.index
+    }
+
+    /// Whether a paged materialisation is available
+    /// ([`SnapshotBackend::Paged`]).
+    pub fn serves_paged(&self) -> bool {
+        self.base.paged.is_some()
+    }
+
+    /// Whether a packed materialisation is available
+    /// ([`SnapshotBackend::Packed`]).
+    pub fn serves_packed(&self) -> bool {
+        self.base.packed.is_some()
+    }
+
+    /// Every delta this snapshot carries on top of the index the
+    /// [`LiveIndex`] was constructed with — merged batches plus the frozen
+    /// overlay — as `(epoch, poi, delta)` triples sorted by `(epoch, poi)`.
+    ///
+    /// Replaying these through [`TarIndex::ingest_epoch`] on a copy of the
+    /// construction-time index reproduces this snapshot's answers bit for
+    /// bit; the differential oracle in `tests/snapshot_oracle.rs` does
+    /// exactly that.
+    pub fn cumulative_deltas(&self) -> Vec<(usize, PoiId, u64)> {
+        let mut map: HashMap<(usize, PoiId), u64> = HashMap::new();
+        for (poi, s) in &self.base.merged {
+            for (e, v) in s.iter() {
+                *map.entry((e as usize, *poi)).or_insert(0) += v;
+            }
+        }
+        for (poi, s) in &self.overlay.per_poi {
+            for (e, v) in s.iter() {
+                *map.entry((e as usize, *poi)).or_insert(0) += v;
+            }
+        }
+        let mut out: Vec<(usize, PoiId, u64)> = map
+            .into_iter()
+            .map(|((e, p), v)| (e, p, v))
+            .collect();
+        out.sort_unstable_by_key(|&(e, p, _)| (e, p));
+        out
+    }
+
+    /// The `gmax` normaliser for a query interval, from the
+    /// overlay-adjusted root maximum (bit-equal to
+    /// [`TarIndex::aggregate_normalizer`] on the merged index).
+    pub fn normalizer(&self, iq: TimeInterval) -> f64 {
+        (self.adjusted_root_max.aggregate_over(self.base.index.grid(), iq) as f64).max(1.0)
+    }
+
+    fn overlaid<'a, const D: usize, N: NodeSource<D>>(
+        &'a self,
+        inner: &'a N,
+    ) -> OverlayNodes<'a, D, N> {
+        OverlayNodes {
+            inner,
+            per_poi: &self.overlay.per_poi,
+            total: &self.overlay.total,
+        }
+    }
+
+    fn bfs<const D: usize, N: NodeSource<D>>(
+        &self,
+        inner: &N,
+        ctx: &QueryCtx<'_>,
+        k: usize,
+        parent: SpanId,
+    ) -> Vec<QueryHit> {
+        let nodes = self.overlaid(inner);
+        let index = &self.base.index;
+        if index.obs().is_enabled() {
+            let epochs = index.obs().counter(observe::M_EPOCHS_SCANNED);
+            return bfs_query_nodes(
+                &nodes,
+                index.stats(),
+                ctx,
+                k,
+                |_, _, series: &AggRef<'_>| {
+                    let (v, n) = series.aggregate_over_counted(ctx.grid, ctx.iq);
+                    epochs.add(n);
+                    v
+                },
+                index.obs(),
+                parent,
+            );
+        }
+        bfs_query_nodes(
+            &nodes,
+            index.stats(),
+            ctx,
+            k,
+            |_, _, series: &AggRef<'_>| series.aggregate_over(ctx.grid, ctx.iq),
+            index.obs(),
+            parent,
+        )
+    }
+
+    fn par<const D: usize, N: NodeSource<D> + Sync>(
+        &self,
+        inner: &N,
+        ctx: &QueryCtx<'_>,
+        k: usize,
+        threads: usize,
+        parent: SpanId,
+    ) -> Vec<QueryHit> {
+        let nodes = self.overlaid(inner);
+        let index = &self.base.index;
+        let (hits, n, l) = parallel_bfs(&nodes, ctx, k, threads, index.obs(), parent);
+        index.stats().record_node_accesses(n);
+        index.stats().record_leaf_accesses(l);
+        hits
+    }
+
+    fn paged(&self) -> &crate::storage::PagedNodes {
+        self.base
+            .paged
+            .as_ref()
+            .expect("snapshot serves no paged image; set LiveOptions::serve_paged")
+    }
+
+    fn packed(&self) -> &crate::packed::PackedTarTree {
+        self.base
+            .packed
+            .as_ref()
+            .expect("snapshot serves no packed image; set LiveOptions::serve_packed")
+    }
+
+    /// Answers a kNNTA query against the snapshot (sequential best-first
+    /// search over the in-memory base with the overlay applied).
+    pub fn query(&self, query: &KnntaQuery) -> Vec<QueryHit> {
+        self.query_on(query, SnapshotBackend::InMemory)
+    }
+
+    /// [`SnapshotView::query`] against an explicit serving backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested materialisation was not enabled in
+    /// [`LiveOptions`].
+    pub fn query_on(&self, query: &KnntaQuery, backend: SnapshotBackend) -> Vec<QueryHit> {
+        let index = &self.base.index;
+        let ctx = index.ctx_with_normalizer(query, self.normalizer(query.interval));
+        match backend {
+            SnapshotBackend::InMemory => {
+                let scope = QueryScope::begin_query(
+                    index.obs(),
+                    index.stats(),
+                    "seq",
+                    ScopeBackend::Mem,
+                    query,
+                    1,
+                );
+                let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
+                let hits = with_tree!(index, t => self.bfs(&MemNodes(t), &ctx, query.k, parent));
+                if let Some(scope) = scope {
+                    scope.finish(hits.len());
+                }
+                hits
+            }
+            SnapshotBackend::Paged => {
+                let paged = self.paged();
+                let scope = QueryScope::begin_query(
+                    index.obs(),
+                    index.stats(),
+                    "seq",
+                    ScopeBackend::Paged(paged),
+                    query,
+                    1,
+                );
+                let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
+                let hits = match &paged.store {
+                    PagedStoreImpl::D3(s) => self.bfs(s, &ctx, query.k, parent),
+                    PagedStoreImpl::D2(s) => self.bfs(s, &ctx, query.k, parent),
+                };
+                if let Some(scope) = scope {
+                    scope.finish(hits.len());
+                }
+                hits
+            }
+            SnapshotBackend::Packed => {
+                let packed = self.packed();
+                let scope = QueryScope::begin_query(
+                    index.obs(),
+                    index.stats(),
+                    "seq",
+                    ScopeBackend::Packed(packed),
+                    query,
+                    1,
+                );
+                let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
+                let src = PackedSource(packed);
+                let hits = self.bfs::<2, _>(&src, &ctx, query.k, parent);
+                if let Some(scope) = scope {
+                    scope.finish(hits.len());
+                }
+                hits
             }
         }
     }
 
-    /// Seals the open epoch: digests the buffered aggregates in one batch
-    /// (Section 4.2) and opens the next epoch. Returns the number of POIs
-    /// whose TIAs were updated.
-    pub fn seal_epoch(&mut self) -> usize {
-        let updates: Vec<(PoiId, u64)> = self.buffer.drain().collect();
-        let changed = if updates.is_empty() {
-            0
-        } else {
-            self.index.ingest_epoch(self.current_epoch, &updates)
-        };
-        self.current_epoch = (self.current_epoch + 1).min(self.index.grid().len());
-        changed
+    /// Answers a query with the work-stealing parallel traversal —
+    /// bit-identical to [`SnapshotView::query`] for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn query_parallel(&self, query: &KnntaQuery, threads: usize) -> Vec<QueryHit> {
+        self.query_parallel_on(query, threads, SnapshotBackend::InMemory)
     }
 
-    /// Answers a query over the sealed epochs.
-    pub fn query(&self, query: &KnntaQuery) -> Vec<QueryHit> {
-        self.index.query(query)
+    /// [`SnapshotView::query_parallel`] against an explicit serving backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or the requested materialisation was not
+    /// enabled in [`LiveOptions`].
+    pub fn query_parallel_on(
+        &self,
+        query: &KnntaQuery,
+        threads: usize,
+        backend: SnapshotBackend,
+    ) -> Vec<QueryHit> {
+        assert!(threads > 0, "at least one worker thread");
+        let index = &self.base.index;
+        let ctx = index.ctx_with_normalizer(query, self.normalizer(query.interval));
+        match backend {
+            SnapshotBackend::InMemory => {
+                let scope = QueryScope::begin_query(
+                    index.obs(),
+                    index.stats(),
+                    "par",
+                    ScopeBackend::Mem,
+                    query,
+                    threads,
+                );
+                let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
+                let hits = with_tree!(index, t => self.par(&MemNodes(t), &ctx, query.k, threads, parent));
+                if let Some(scope) = scope {
+                    scope.finish(hits.len());
+                }
+                hits
+            }
+            SnapshotBackend::Paged => {
+                let paged = self.paged();
+                let scope = QueryScope::begin_query(
+                    index.obs(),
+                    index.stats(),
+                    "par",
+                    ScopeBackend::Paged(paged),
+                    query,
+                    threads,
+                );
+                let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
+                let hits = match &paged.store {
+                    PagedStoreImpl::D3(s) => self.par(s, &ctx, query.k, threads, parent),
+                    PagedStoreImpl::D2(s) => self.par(s, &ctx, query.k, threads, parent),
+                };
+                if let Some(scope) = scope {
+                    scope.finish(hits.len());
+                }
+                hits
+            }
+            SnapshotBackend::Packed => {
+                let packed = self.packed();
+                let scope = QueryScope::begin_query(
+                    index.obs(),
+                    index.stats(),
+                    "par",
+                    ScopeBackend::Packed(packed),
+                    query,
+                    threads,
+                );
+                let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
+                let src = PackedSource(packed);
+                let hits = self.par::<2, _>(&src, &ctx, query.k, threads, parent);
+                if let Some(scope) = scope {
+                    scope.finish(hits.len());
+                }
+                hits
+            }
+        }
+    }
+
+    /// Processes a query batch collectively against the snapshot with the
+    /// default [`BatchOptions`]; each result list is bit-identical to
+    /// [`SnapshotView::query`]'s answer for that query.
+    pub fn query_batch_collective(&self, queries: &[KnntaQuery]) -> Vec<Vec<QueryHit>> {
+        self.query_batch_collective_on(queries, &BatchOptions::default(), SnapshotBackend::InMemory)
+    }
+
+    /// [`SnapshotView::query_batch_collective`] with explicit options and
+    /// serving backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested materialisation was not enabled in
+    /// [`LiveOptions`].
+    pub fn query_batch_collective_on(
+        &self,
+        queries: &[KnntaQuery],
+        opts: &BatchOptions,
+        backend: SnapshotBackend,
+    ) -> Vec<Vec<QueryHit>> {
+        let index = &self.base.index;
+        match backend {
+            SnapshotBackend::InMemory => {
+                let scope = QueryScope::begin(
+                    index.obs(),
+                    index.stats(),
+                    "batch",
+                    "collective",
+                    ScopeBackend::Mem,
+                    batch_attrs(queries, opts),
+                );
+                let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
+                let results = with_tree!(index, t => collective_on_nodes(
+                    &self.overlaid(&MemNodes(t)),
+                    index.stats(),
+                    index,
+                    &self.adjusted_root_max,
+                    queries,
+                    opts,
+                    index.obs(),
+                    parent,
+                ));
+                if let Some(scope) = scope {
+                    scope.finish(results.iter().map(Vec::len).sum());
+                }
+                results
+            }
+            SnapshotBackend::Paged => {
+                let paged = self.paged();
+                let scope = QueryScope::begin(
+                    index.obs(),
+                    index.stats(),
+                    "batch",
+                    "collective",
+                    ScopeBackend::Paged(paged),
+                    batch_attrs(queries, opts),
+                );
+                let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
+                let results = match &paged.store {
+                    PagedStoreImpl::D3(s) => collective_on_nodes(
+                        &self.overlaid(s),
+                        index.stats(),
+                        index,
+                        &self.adjusted_root_max,
+                        queries,
+                        opts,
+                        index.obs(),
+                        parent,
+                    ),
+                    PagedStoreImpl::D2(s) => collective_on_nodes(
+                        &self.overlaid(s),
+                        index.stats(),
+                        index,
+                        &self.adjusted_root_max,
+                        queries,
+                        opts,
+                        index.obs(),
+                        parent,
+                    ),
+                };
+                if let Some(scope) = scope {
+                    scope.finish(results.iter().map(Vec::len).sum());
+                }
+                results
+            }
+            SnapshotBackend::Packed => {
+                let packed = self.packed();
+                let scope = QueryScope::begin(
+                    index.obs(),
+                    index.stats(),
+                    "batch",
+                    "collective",
+                    ScopeBackend::Packed(packed),
+                    batch_attrs(queries, opts),
+                );
+                let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
+                let src = PackedSource(packed);
+                let results = collective_on_nodes::<2, _>(
+                    &self.overlaid(&src),
+                    index.stats(),
+                    index,
+                    &self.adjusted_root_max,
+                    queries,
+                    opts,
+                    index.obs(),
+                    parent,
+                );
+                if let Some(scope) = scope {
+                    scope.finish(results.iter().map(Vec::len).sum());
+                }
+                results
+            }
+        }
     }
 }
 
@@ -117,7 +1006,7 @@ mod tests {
     use crate::index::tests::paper_example;
     use crate::index::IndexConfig;
     use crate::poi::Poi;
-    use tempora::{AggregateSeries, TimeInterval, Timestamp};
+    use tempora::{Timestamp};
 
     /// An empty-history index over the example POIs.
     fn empty_index() -> (LiveIndex, Vec<(Poi, AggregateSeries)>) {
@@ -131,10 +1020,10 @@ mod tests {
     }
 
     /// Streams every check-in implied by the example's Table 1 and checks
-    /// the final index answers the paper's example query.
+    /// the final snapshot answers the paper's example query.
     #[test]
     fn streaming_reproduces_the_example() {
-        let (mut live, pois) = empty_index();
+        let (live, pois) = empty_index();
         for (poi, series) in &pois {
             for (epoch, count) in series.iter() {
                 for i in 0..count {
@@ -145,22 +1034,26 @@ mod tests {
             }
         }
         // Events arrived interleaved across epochs; the auto-roll sealed
-        // epochs 0 and 1, the last one is still buffered.
+        // epochs 0 and 1, later (now late) events are still buffered.
         assert!(live.pending() > 0);
         live.seal_epoch();
         assert_eq!(live.pending(), 0);
+        assert_eq!(
+            live.pending() + live.sealed_events() + live.dropped(),
+            live.recorded()
+        );
         let q = KnntaQuery::new([4.0, 4.5], TimeInterval::days(0, 3))
             .with_k(1)
             .with_alpha0(0.3);
         let hits = live.query(&q);
         assert_eq!(hits[0].poi, PoiId(5), "f wins, as in Section 3.2");
         assert_eq!(hits[0].aggregate, 12);
-        live.index().validate();
+        live.validate();
     }
 
     #[test]
-    fn late_events_are_digested_immediately() {
-        let (mut live, pois) = empty_index();
+    fn late_events_become_visible_at_the_next_seal() {
+        let (live, pois) = empty_index();
         // Seal two empty epochs, then send an event for epoch 0.
         live.seal_epoch();
         live.seal_epoch();
@@ -169,22 +1062,30 @@ mod tests {
         let q = KnntaQuery::new(pois[3].0.pos, TimeInterval::days(0, 1))
             .with_k(1)
             .with_alpha0(0.3);
+        // Buffered, not yet visible.
+        assert_eq!(live.pending(), 1);
+        assert_eq!(live.query(&q)[0].aggregate, 0);
+        // The next seal drains it into its own epoch without advancing past
+        // the open epoch's normal roll.
+        assert_eq!(live.seal_epoch(), 1);
         assert_eq!(live.query(&q)[0].poi, pois[3].0.id);
         assert_eq!(live.query(&q)[0].aggregate, 1);
     }
 
     #[test]
-    fn out_of_grid_events_dropped() {
-        let (mut live, pois) = empty_index();
+    fn out_of_grid_and_unknown_poi_events_dropped() {
+        let (live, pois) = empty_index();
         live.record(CheckIn::at(pois[0].0.id, Timestamp::from_days(99)));
         live.record(CheckIn::at(pois[0].0.id, Timestamp(-5)));
-        assert_eq!(live.dropped(), 2);
+        live.record(CheckIn::at(PoiId(9_999), Timestamp::from_hours(1)));
+        assert_eq!(live.dropped(), 3);
         assert_eq!(live.pending(), 0);
+        assert_eq!(live.recorded(), 3);
     }
 
     #[test]
     fn future_event_rolls_epochs_forward() {
-        let (mut live, pois) = empty_index();
+        let (live, pois) = empty_index();
         live.record(CheckIn::at(pois[0].0.id, Timestamp::ZERO));
         assert_eq!(live.current_epoch(), 0);
         live.record(CheckIn::at(pois[1].0.id, Timestamp::from_days(2)));
@@ -197,11 +1098,159 @@ mod tests {
     }
 
     #[test]
-    fn valued_checkins_sum() {
-        let (mut live, pois) = empty_index();
+    fn valued_checkins_sum_and_pending_counts_events() {
+        let (live, pois) = empty_index();
         live.record(CheckIn::with_value(pois[2].0.id, Timestamp::from_hours(1), 7));
         live.record(CheckIn::with_value(pois[2].0.id, Timestamp::from_hours(2), 5));
-        assert_eq!(live.pending(), 12);
+        // `pending` counts events, not value sums.
+        assert_eq!(live.pending(), 2);
         assert_eq!(live.seal_epoch(), 1);
+        assert_eq!(live.sealed_events(), 2);
+        let q = KnntaQuery::new(pois[2].0.pos, TimeInterval::days(0, 1))
+            .with_k(1)
+            .with_alpha0(0.3);
+        assert_eq!(live.query(&q)[0].aggregate, 12);
+    }
+
+    /// Regression for the seal saturation bug: once the open epoch reaches
+    /// `grid.len()`, in-grid events must stay accepted, attributed to their
+    /// own epoch (never silently digested into the final epoch), and seals
+    /// must keep draining without advancing.
+    #[test]
+    fn saturated_grid_keeps_late_events_in_their_own_epoch() {
+        let (live, pois) = empty_index();
+        let len = live.grid().len();
+        for _ in 0..len {
+            live.seal_epoch();
+        }
+        assert_eq!(live.current_epoch(), len, "open epoch saturated");
+        // In-grid event for epoch 1 after saturation: accepted, pending.
+        live.record(CheckIn::at(pois[0].0.id, Timestamp::from_days(1)));
+        assert_eq!(live.dropped(), 0);
+        assert_eq!(live.pending(), 1);
+        // Sealing at saturation drains without advancing.
+        assert_eq!(live.seal_epoch(), 1);
+        assert_eq!(live.current_epoch(), len);
+        assert_eq!(live.pending(), 0);
+        // Visible in epoch 1 …
+        let q1 = KnntaQuery::new(pois[0].0.pos, TimeInterval::days(1, 2))
+            .with_k(1)
+            .with_alpha0(0.3);
+        assert_eq!(live.query(&q1)[0].aggregate, 1);
+        // … and NOT misattributed to the final epoch.
+        let qlast = KnntaQuery::new(pois[0].0.pos, TimeInterval::days(len as i64 - 1, len as i64))
+            .with_k(1)
+            .with_alpha0(0.3);
+        assert_eq!(live.query(&qlast)[0].aggregate, 0);
+        // Out-of-grid still drops.
+        live.record(CheckIn::at(pois[0].0.id, Timestamp::from_days(99)));
+        assert_eq!(live.dropped(), 1);
+    }
+
+    /// A snapshot is isolated from everything recorded and sealed after it
+    /// was taken.
+    #[test]
+    fn snapshots_are_isolated_from_later_writes() {
+        let (live, pois) = empty_index();
+        live.record(CheckIn::at(pois[0].0.id, Timestamp::ZERO));
+        live.seal_epoch();
+        let snap = live.snapshot();
+        let wm = snap.watermark();
+        let q = KnntaQuery::new(pois[0].0.pos, TimeInterval::days(0, 3))
+            .with_k(2)
+            .with_alpha0(0.3);
+        let before: Vec<_> = snap.query(&q);
+        // Keep writing and merging under the old snapshot's feet.
+        for _ in 0..10 {
+            live.record(CheckIn::at(pois[0].0.id, Timestamp::from_hours(30)));
+        }
+        live.seal_epoch();
+        live.merge_sealed();
+        let after = snap.query(&q);
+        assert_eq!(snap.watermark(), wm);
+        for (a, b) in before.iter().zip(&after) {
+            assert_eq!(
+                (a.poi, a.score.to_bits(), a.aggregate),
+                (b.poi, b.score.to_bits(), b.aggregate),
+                "snapshot answers changed under later writes"
+            );
+        }
+        // The fresh snapshot sees the new events.
+        let fresh = live.snapshot().query(&q);
+        assert_eq!(fresh[0].aggregate, 11);
+    }
+
+    /// Merging folds the overlay into the base without changing answers.
+    #[test]
+    fn merge_preserves_answers_bit_for_bit() {
+        let (live, pois) = empty_index();
+        for (i, (poi, _)) in pois.iter().enumerate() {
+            for j in 0..=(i as i64) {
+                live.record(CheckIn::at(poi.id, Timestamp::from_days(j % 3)));
+            }
+        }
+        live.seal_epoch();
+        let q = KnntaQuery::new([4.0, 4.5], TimeInterval::days(0, 3))
+            .with_k(3)
+            .with_alpha0(0.5);
+        let snap = live.snapshot();
+        let before = snap.query(&q);
+        let deltas_before = snap.cumulative_deltas();
+        assert!(live.merge_sealed() > 0, "there were sealed batches");
+        assert_eq!(live.merge_sealed(), 0, "nothing left to merge");
+        let snap2 = live.snapshot();
+        let after = snap2.query(&q);
+        assert_eq!(before.len(), after.len());
+        for (a, b) in before.iter().zip(&after) {
+            assert_eq!(
+                (a.poi, a.score.to_bits(), a.aggregate),
+                (b.poi, b.score.to_bits(), b.aggregate),
+                "merge changed answers"
+            );
+        }
+        // Cumulative deltas are preserved across the merge boundary.
+        assert_eq!(deltas_before, snap2.cumulative_deltas());
+        live.validate();
+    }
+
+    /// Parallel and batch entry points agree with the sequential snapshot
+    /// answer at every thread count.
+    #[test]
+    fn snapshot_entry_points_agree() {
+        let (live, pois) = empty_index();
+        for (poi, series) in &pois {
+            for (epoch, count) in series.iter() {
+                live.record(CheckIn::with_value(
+                    poi.id,
+                    Timestamp::from_days(epoch as i64),
+                    count as u32,
+                ));
+            }
+        }
+        live.seal_epoch();
+        let snap = live.snapshot();
+        let q = KnntaQuery::new([4.0, 4.5], TimeInterval::days(0, 3))
+            .with_k(4)
+            .with_alpha0(0.3);
+        let want = snap.query(&q);
+        for threads in [1, 2, 4] {
+            let got = snap.query_parallel(&q, threads);
+            assert_eq!(want.len(), got.len());
+            for (a, b) in want.iter().zip(&got) {
+                assert_eq!(
+                    (a.poi, a.score.to_bits(), a.aggregate),
+                    (b.poi, b.score.to_bits(), b.aggregate),
+                    "parallel snapshot diverged at {threads} threads"
+                );
+            }
+        }
+        let batch = snap.query_batch_collective(&[q]);
+        for (a, b) in want.iter().zip(&batch[0]) {
+            assert_eq!(
+                (a.poi, a.score.to_bits(), a.aggregate),
+                (b.poi, b.score.to_bits(), b.aggregate),
+                "collective snapshot diverged"
+            );
+        }
     }
 }

@@ -58,6 +58,22 @@ pub(crate) const M_PAGED_FETCH_NS: &str = "knnta.core.storage.paged.fetch_ns";
 /// `knnta.core.storage.packed.fetches` — node reads served by a packed
 /// serving image (zero-copy; counted, not timed).
 pub(crate) const M_PACKED_FETCHES: &str = "knnta.core.storage.packed.fetches";
+/// `knnta.core.live.recorded` — check-ins accepted by [`crate::LiveIndex`]
+/// writers (buffered into a shard, not yet sealed).
+pub(crate) const M_LIVE_RECORDED: &str = "knnta.core.live.recorded";
+/// `knnta.core.live.dropped` — check-ins rejected at record time (outside
+/// the grid, or for a POI the index does not know).
+pub(crate) const M_LIVE_DROPPED: &str = "knnta.core.live.dropped";
+/// `knnta.core.live.sealed_events` — check-ins folded into the frozen delta
+/// overlay by seals.
+pub(crate) const M_LIVE_SEALED: &str = "knnta.core.live.sealed_events";
+/// `knnta.core.live.seals` — seal operations (epoch rolls + explicit seals).
+pub(crate) const M_LIVE_SEALS: &str = "knnta.core.live.seals";
+/// `knnta.core.live.merges` — background merges folding sealed deltas into
+/// the base TAR-tree.
+pub(crate) const M_LIVE_MERGES: &str = "knnta.core.live.merges";
+/// `knnta.core.live.snapshots` — snapshot views handed out.
+pub(crate) const M_LIVE_SNAPSHOTS: &str = "knnta.core.live.snapshots";
 /// Bucket upper bounds (ns) of [`M_PAGED_FETCH_NS`].
 pub(crate) const PAGED_FETCH_BOUNDS: &[u64] =
     &[250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 1_000_000];

@@ -43,14 +43,38 @@ pub(crate) enum AggRef<'a> {
     Series(&'a AggregateSeries),
     /// An inline `(epoch, cumulative)` prefix block of a packed tree.
     Packed(TiaBlock<'a>),
+    /// An arena series plus a frozen delta overlay (live snapshot reads:
+    /// the base index's TIA with an unmerged sealed-epoch delta on top).
+    SeriesPlus(&'a AggregateSeries, &'a AggregateSeries),
+    /// A packed prefix block plus a frozen delta overlay.
+    PackedPlus(TiaBlock<'a>, &'a AggregateSeries),
 }
 
-impl AggRef<'_> {
-    /// The temporal aggregate `g(p, Iq)` — equal on both representations.
+impl<'a> AggRef<'a> {
+    /// Stacks a frozen delta series on top of this aggregate source. All
+    /// sums become `base + delta` — exact in `u64`, so overlay reads stay
+    /// bit-identical to a merged index.
+    pub fn plus(self, delta: &'a AggregateSeries) -> AggRef<'a> {
+        match self {
+            AggRef::Series(s) => AggRef::SeriesPlus(s, delta),
+            AggRef::Packed(b) => AggRef::PackedPlus(b, delta),
+            AggRef::SeriesPlus(..) | AggRef::PackedPlus(..) => {
+                unreachable!("delta overlays do not nest")
+            }
+        }
+    }
+
+    /// The temporal aggregate `g(p, Iq)` — equal on all representations.
     pub fn aggregate_over(&self, grid: &EpochGrid, iq: TimeInterval) -> u64 {
         match self {
             AggRef::Series(s) => s.aggregate_over(grid, iq),
             AggRef::Packed(b) => b.sum_range(grid.epochs_within(iq)),
+            AggRef::SeriesPlus(s, d) => {
+                s.aggregate_over(grid, iq) + d.aggregate_over(grid, iq)
+            }
+            AggRef::PackedPlus(b, d) => {
+                b.sum_range(grid.epochs_within(iq)) + d.aggregate_over(grid, iq)
+            }
         }
     }
 
@@ -61,6 +85,15 @@ impl AggRef<'_> {
         match self {
             AggRef::Series(s) => s.aggregate_over_counted(grid, iq),
             AggRef::Packed(b) => (b.sum_range(grid.epochs_within(iq)), 0),
+            AggRef::SeriesPlus(s, d) => {
+                let (v0, n0) = s.aggregate_over_counted(grid, iq);
+                let (v1, n1) = d.aggregate_over_counted(grid, iq);
+                (v0 + v1, n0 + n1)
+            }
+            AggRef::PackedPlus(b, d) => {
+                let (v1, n1) = d.aggregate_over_counted(grid, iq);
+                (b.sum_range(grid.epochs_within(iq)) + v1, n1)
+            }
         }
     }
 
@@ -70,6 +103,8 @@ impl AggRef<'_> {
         match self {
             AggRef::Series(s) => s.sum_range(range),
             AggRef::Packed(b) => b.sum_range(range),
+            AggRef::SeriesPlus(s, d) => s.sum_range(range.clone()) + d.sum_range(range),
+            AggRef::PackedPlus(b, d) => b.sum_range(range.clone()) + d.sum_range(range),
         }
     }
 }
@@ -109,6 +144,17 @@ pub(crate) enum NodeView<'a, const D: usize> {
         /// The node's entry window.
         node: rtree::PackedNode,
     },
+    /// Any other view with a frozen delta overlay stacked on its entries
+    /// (the live snapshot read path, [`OverlayNodes`]).
+    Overlaid {
+        /// The wrapped view.
+        inner: &'a NodeView<'a, D>,
+        /// Per-POI sealed deltas (leaf entries).
+        per_poi: &'a std::collections::HashMap<PoiId, AggregateSeries>,
+        /// Per-epoch sum of all sealed deltas — an admissible upper bound
+        /// added to every internal entry's aggregate.
+        total: &'a AggregateSeries,
+    },
 }
 
 impl<'a, const D: usize> NodeView<'a, D> {
@@ -117,6 +163,7 @@ impl<'a, const D: usize> NodeView<'a, D> {
         match self {
             NodeView::Mem(n) => n.is_leaf(),
             NodeView::Packed { node, .. } => node.is_leaf(),
+            NodeView::Overlaid { inner, .. } => inner.is_leaf(),
         }
     }
 
@@ -129,6 +176,15 @@ impl<'a, const D: usize> NodeView<'a, D> {
                 leaf: node.is_leaf(),
                 range: node.entries(),
             },
+            NodeView::Overlaid {
+                inner,
+                per_poi,
+                total,
+            } => EntryIter::Overlaid {
+                inner: Box::new(inner.entries()),
+                per_poi,
+                total,
+            },
         }
     }
 
@@ -136,10 +192,12 @@ impl<'a, const D: usize> NodeView<'a, D> {
     /// batch path uses it to feed the [`crate::AggCache`], which memoises
     /// `&AggregateSeries` prefix sums. Packed nodes return `None`: their TIA
     /// blocks *are* prefix sums already, so that path reads them directly.
+    /// Overlaid views also return `None` so every consumer goes through
+    /// [`EntryRef::agg`], the single point where deltas are applied.
     pub fn mem_entries(&self) -> Option<&'a [Entry<D, Poi, AggregateSeries>]> {
         match self {
             NodeView::Mem(n) => Some(&n.entries),
-            NodeView::Packed { .. } => None,
+            NodeView::Packed { .. } | NodeView::Overlaid { .. } => None,
         }
     }
 }
@@ -156,6 +214,15 @@ pub(crate) enum EntryIter<'a, const D: usize> {
         leaf: bool,
         /// Remaining absolute entry indices.
         range: Range<usize>,
+    },
+    /// Entries of a wrapped view with a frozen delta overlay applied.
+    Overlaid {
+        /// The wrapped iterator.
+        inner: Box<EntryIter<'a, D>>,
+        /// Per-POI sealed deltas (leaf entries).
+        per_poi: &'a std::collections::HashMap<PoiId, AggregateSeries>,
+        /// Per-epoch sum of all sealed deltas (internal entries).
+        total: &'a AggregateSeries,
     },
 }
 
@@ -183,6 +250,28 @@ impl<'a, const D: usize> Iterator for EntryIter<'a, D> {
                         EntryTarget::Child(NodeId(tree.entry_target(i) as u32))
                     },
                 }
+            }),
+            EntryIter::Overlaid {
+                inner,
+                per_poi,
+                total,
+            } => inner.next().map(|mut e| {
+                match e.target {
+                    // Leaf entries get their POI's exact sealed delta, so
+                    // leaf aggregates equal the merged index's bit for bit.
+                    EntryTarget::Data(poi) => {
+                        if let Some(delta) = per_poi.get(&poi) {
+                            e.agg = e.agg.plus(delta);
+                        }
+                    }
+                    // Internal entries get the sum of all sealed deltas —
+                    // an admissible (never under-estimating) bound over any
+                    // subtree, so best-first pruning stays correct.
+                    EntryTarget::Child(_) => {
+                        e.agg = e.agg.plus(total);
+                    }
+                }
+                e
             }),
         }
     }
@@ -243,6 +332,60 @@ where
 
     fn kind(&self) -> &'static str {
         "mem"
+    }
+}
+
+/// Any [`NodeSource`] with a frozen delta overlay stacked on top — the live
+/// snapshot read path. Leaf entries gain their POI's exact sealed delta,
+/// internal entries gain the per-epoch sum of all sealed deltas (admissible),
+/// and everything else — tree shape, rects, positions — passes through
+/// untouched. The wrapped source is never mutated, so overlay readers share
+/// it freely with merged-index readers.
+pub(crate) struct OverlayNodes<'a, const D: usize, N> {
+    /// The wrapped node source.
+    pub inner: &'a N,
+    /// Per-POI sealed deltas.
+    pub per_poi: &'a std::collections::HashMap<PoiId, AggregateSeries>,
+    /// Per-epoch sum of all sealed deltas.
+    pub total: &'a AggregateSeries,
+}
+
+impl<const D: usize, N: NodeSource<D>> NodeSource<D> for OverlayNodes<'_, D, N> {
+    fn root(&self) -> NodeId {
+        self.inner.root()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    fn with_node<R>(&self, id: NodeId, f: impl FnOnce(NodeView<'_, D>) -> R) -> R {
+        self.inner.with_node(id, |view| {
+            f(NodeView::Overlaid {
+                inner: &view,
+                per_poi: self.per_poi,
+                total: self.total,
+            })
+        })
+    }
+
+    fn kind(&self) -> &'static str {
+        self.inner.kind()
+    }
+
+    fn with_node_timed<R>(
+        &self,
+        id: NodeId,
+        io_ns: &mut u64,
+        f: impl FnOnce(NodeView<'_, D>) -> R,
+    ) -> R {
+        self.inner.with_node_timed(id, io_ns, |view| {
+            f(NodeView::Overlaid {
+                inner: &view,
+                per_poi: self.per_poi,
+                total: self.total,
+            })
+        })
     }
 }
 

@@ -185,6 +185,55 @@ impl MvbtTia {
         }
     }
 
+    /// The TIA's current version — the operation-clock value every mutation
+    /// advances. Capture it before applying delta-overlay epochs, and the
+    /// versioned reads below reproduce the pre-delta state exactly: the
+    /// disk-side analogue of `knnta-core`'s live epoch snapshots, carried by
+    /// the MVBT's version chain instead of a frozen overlay.
+    pub fn version(&self) -> u64 {
+        self.clock
+    }
+
+    /// [`MvbtTia::epoch_value`] as of `version` (a value previously returned
+    /// by [`MvbtTia::version`]). Mutations after that version are invisible.
+    pub fn epoch_value_at(&self, grid: &EpochGrid, epoch_index: usize, version: u64) -> u64 {
+        let key = grid.epoch(epoch_index).start.seconds();
+        self.tree
+            .get(key, version)
+            .map(|v| Self::unpack(v).1)
+            .unwrap_or(0)
+    }
+
+    /// [`MvbtTia::aggregate_over`] as of `version`: the Section 4.3 query
+    /// against the version chain's historical state.
+    pub fn aggregate_over_at(&self, iq: TimeInterval, version: u64) -> u64 {
+        self.probes
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.tree
+            .range(iq.start().seconds(), iq.end().seconds(), version)
+            .into_iter()
+            .filter_map(|(_, v)| {
+                let (te, agg) = Self::unpack(v);
+                (te <= iq.end()).then_some(agg)
+            })
+            .sum()
+    }
+
+    /// [`MvbtTia::to_series`] as of `version`.
+    pub fn to_series_at(&self, grid: &EpochGrid, version: u64) -> AggregateSeries {
+        AggregateSeries::from_pairs(
+            self.tree
+                .range(i64::MIN, i64::MAX, version)
+                .into_iter()
+                .map(|(ts, v)| {
+                    let epoch = grid
+                        .epoch_of(tempora::Timestamp(ts))
+                        .expect("TIA record lies on the grid");
+                    (epoch.index as u32, Self::unpack(v).1)
+                }),
+        )
+    }
+
     /// Number of live records.
     pub fn len(&self) -> usize {
         self.tree.live_len(self.clock)
@@ -342,6 +391,47 @@ mod tests {
         let _ = tia.aggregate_over(TimeInterval::days(0, 500));
         let snap = stats.snapshot();
         assert!(snap.buffer_misses > 0, "a large scan must miss the 10-slot buffer");
+    }
+
+    #[test]
+    fn versioned_reads_freeze_the_pre_delta_state() {
+        // The snapshot protocol of the live ingestion tier, on disk: capture
+        // the version, apply delta epochs, and the old version still answers
+        // exactly as before — for every interleaving of inserts and raises.
+        let grid = EpochGrid::fixed_days(1, 6);
+        let (mut tia, _) = tia();
+        tia.insert_epoch(&grid, 0, 3);
+        tia.insert_epoch(&grid, 2, 5);
+        let v0 = tia.version();
+        let frozen = tia.to_series_at(&grid, v0);
+
+        // Delta overlay: new epochs, raises of existing ones.
+        tia.insert_epoch(&grid, 1, 7);
+        tia.raise_to(&grid, 2, 9);
+        tia.insert_epoch(&grid, 4, 2);
+
+        // Reads at v0 are bit-identical to the frozen copy.
+        assert_eq!(tia.to_series_at(&grid, v0), frozen);
+        for e in 0..6 {
+            assert_eq!(
+                tia.epoch_value_at(&grid, e, v0),
+                frozen.get(e as u32),
+                "epoch {e} at v0"
+            );
+        }
+        for (a, b) in [(0, 6), (0, 1), (1, 3), (2, 5)] {
+            let iq = TimeInterval::days(a, b);
+            assert_eq!(
+                tia.aggregate_over_at(iq, v0),
+                frozen.aggregate_over(&grid, iq),
+                "interval {iq} at v0"
+            );
+        }
+        // The head sees the deltas.
+        assert_eq!(tia.epoch_value(&grid, 1), 7);
+        assert_eq!(tia.epoch_value(&grid, 2), 9);
+        assert_eq!(tia.aggregate_over(TimeInterval::days(0, 6)), 21);
+        assert_eq!(tia.version(), v0 + 3);
     }
 
     #[test]

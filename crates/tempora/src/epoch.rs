@@ -176,6 +176,48 @@ impl EpochGrid {
     }
 }
 
+/// A point on an ingestion tier's seal timeline: how many epochs have been
+/// sealed (the open epoch's index, capped at the grid length) plus a
+/// monotonic seal sequence number that also advances for seals which do not
+/// move the open epoch (e.g. draining late arrivals once the grid is
+/// exhausted).
+///
+/// Watermarks are totally ordered by `(seq, open_epoch)` — a snapshot taken
+/// later can never compare below an earlier one, which is what lets a
+/// differential oracle replay "the state as of watermark w" deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EpochWatermark {
+    /// Monotonic seal counter: incremented by every seal operation.
+    pub seq: u64,
+    /// Index of the currently open epoch; equals the grid length once every
+    /// epoch has been sealed.
+    pub open_epoch: usize,
+}
+
+impl EpochWatermark {
+    /// The watermark of a tier that has sealed nothing yet and is accepting
+    /// events for `open_epoch`.
+    pub fn initial(open_epoch: usize) -> Self {
+        EpochWatermark { seq: 0, open_epoch }
+    }
+
+    /// The watermark after one more seal, which advanced the open epoch to
+    /// `open_epoch`.
+    pub fn sealed(self, open_epoch: usize) -> Self {
+        debug_assert!(open_epoch >= self.open_epoch, "open epoch never retreats");
+        EpochWatermark {
+            seq: self.seq + 1,
+            open_epoch,
+        }
+    }
+}
+
+impl std::fmt::Display for EpochWatermark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "seal#{}@epoch{}", self.seq, self.open_epoch)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,6 +307,18 @@ mod tests {
     fn epoch_index_bounds_checked() {
         let g = EpochGrid::fixed_days(1, 2);
         let _ = g.epoch(2);
+    }
+
+    #[test]
+    fn watermarks_are_monotonic() {
+        let w0 = EpochWatermark::initial(0);
+        let w1 = w0.sealed(1);
+        let w2 = w1.sealed(1); // a seal that drains without advancing
+        let w3 = w2.sealed(3);
+        assert!(w0 < w1 && w1 < w2 && w2 < w3);
+        assert_eq!(w1.open_epoch, 1);
+        assert_eq!(w2, EpochWatermark { seq: 2, open_epoch: 1 });
+        assert_eq!(format!("{w3}"), "seal#3@epoch3");
     }
 
     #[test]

@@ -32,5 +32,5 @@ mod time;
 
 pub use aggregate::{aggregate_checkins, AggregateKind, AggregateSeries, EpochRecord, PrefixSums};
 pub use checkin::{CheckIn, PoiId};
-pub use epoch::{Epoch, EpochGrid};
+pub use epoch::{Epoch, EpochGrid, EpochWatermark};
 pub use time::{TimeInterval, Timestamp};

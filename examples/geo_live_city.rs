@@ -45,7 +45,7 @@ fn main() {
             (Poi::new(i as u32, xy[0], xy[1]), AggregateSeries::new())
         }),
     );
-    let mut live = LiveIndex::new(index, 0);
+    let live = LiveIndex::new(index, 0);
 
     // Stream six weeks of check-ins: every venue has a base rate; a few are
     // trendy and heat up over time.
@@ -73,14 +73,20 @@ fn main() {
         live.pending()
     );
 
+    // Fold the sealed weeks into the base tree so the base-level extensions
+    // below (skyline, persistence) see the whole stream, then take an
+    // immutable snapshot to query.
+    live.merge_sealed();
+    let snap = live.snapshot();
+
     // "What's hot near Notre-Dame in the last month?"
     let me = proj.project(GeoPoint::new(48.853, 2.3499));
     let last_month = TimeInterval::new(Timestamp::from_days(14), Timestamp::from_days(42));
     let query = KnntaQuery::new(me, last_month).with_k(5).with_alpha0(0.4);
     println!("\ntop-5 near Notre-Dame, last 4 weeks:");
-    for hit in live.query(&query) {
+    for hit in snap.query(&query) {
         let geo = proj.unproject(
-            live.index()
+            snap.index()
                 .export_pois()
                 .iter()
                 .find(|(p, _)| p.id == hit.poi)
@@ -95,7 +101,7 @@ fn main() {
 
     // Weight-free view: the skyline (every POI that is best for SOME
     // distance/popularity trade-off).
-    let sky = live.index().skyline(me, last_month);
+    let sky = snap.index().skyline(me, last_month);
     println!("\nskyline ({} venues span all trade-offs):", sky.len());
     for hit in sky.iter().take(6) {
         println!(
@@ -105,7 +111,7 @@ fn main() {
     }
 
     // Persist the index and load it back.
-    let snapshot = live.index().save_to_vec();
+    let snapshot = snap.index().save_to_vec();
     let restored = TarIndex::load_from_slice(&snapshot).expect("valid snapshot");
     assert_eq!(restored.query(&query).len(), 5);
     println!(

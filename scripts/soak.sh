@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # Nightly soak wrapper around the tier-1 gate: runs the full verify suite
-# with the soak lane enabled (KNNTA_SOAK=1 → 10k-case property harnesses and
-# the large differential oracles), and archives the log + any failing seeds
-# under soak_failures/ so a red night is reproducible the next morning.
+# with the soak lane enabled (KNNTA_SOAK=1 → 10k-case property harnesses,
+# the large differential oracles, and the snapshot-equivalence oracle with
+# randomized concurrent writer/reader schedules), and archives the log + any
+# failing seeds under soak_failures/ so a red night is reproducible the next
+# morning. A failing ingestion schedule prints the same
+# `KNNTA_PROP_SEED=<seed> cargo test <name>` line as the property
+# harnesses, so the replay loop below picks it up unchanged.
 #
 # Usage:
 #   ./scripts/soak.sh                  # one soak run

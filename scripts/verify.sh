@@ -5,9 +5,11 @@
 #
 # Opt-in soak lane: KNNTA_SOAK=1 ./scripts/verify.sh additionally re-runs
 # the rtree / mvbt / core property harnesses at KNNTA_PROP_CASES=10000
-# (override the case count by exporting KNNTA_PROP_CASES yourself) and the
+# (override the case count by exporting KNNTA_PROP_CASES yourself), the
 # parallel-search and collective-batch differential oracles at their soak
-# case counts. The default
+# case counts, and the snapshot-equivalence oracle (concurrent live
+# ingestion vs frozen single-threaded replay) with many randomized
+# writer/reader schedules. The default
 # fast path is unchanged and stays within the tier-1 budget.
 # (`./scripts/soak.sh` wraps this lane for nightly cron, archiving failing
 # seeds to soak_failures/.)
@@ -50,6 +52,8 @@ if [ "${KNNTA_SOAK:-0}" != "0" ] && [ -n "${KNNTA_SOAK:-}" ]; then
     cargo test -q --release --offline --test proptests
     cargo test -q --release --offline --test oracle_equivalence
     cargo test -q --release --offline --test batch_oracle
+    echo "== soak: snapshot-equivalence oracle (randomized writer/reader schedules) =="
+    cargo test -q --release --offline --test snapshot_oracle
 fi
 
 if [ -n "${KNNTA_BENCH_DIFF:-}" ]; then
@@ -90,6 +94,12 @@ if [ -n "${KNNTA_BENCH_DIFF:-}" ]; then
             --assert-le "packed/TAR-tree/$k" "query_latency/TAR-tree/$k" \
             --slack 0.0 --metric both
     done
+    echo "== bench-diff: live-ingestion throughput floor (>= 1M check-ins/sec at 8 shards) =="
+    # One iteration records 200k check-ins (see benches/ingestion.rs), so a
+    # 200ms median ceiling is exactly the 1M check-ins/sec floor.
+    cargo run -q --release --offline --bin bench_diff -- \
+        --within "$fresh/BENCH_ingestion.json" \
+        --assert-max ingestion/checkins/shards8 200000000
 fi
 
 if [ "${KNNTA_OBS_CHECK:-0}" != "0" ] && [ -n "${KNNTA_OBS_CHECK:-}" ]; then

@@ -4,6 +4,8 @@
 //! bench_diff OLD.json NEW.json [--threshold 0.25]
 //! bench_diff --within REPORT.json --assert-le GROUP/BENCH GROUP/BENCH \
 //!            [--slack 0.25] [--metric median|p95|both]
+//! bench_diff --within REPORT.json --assert-max GROUP/BENCH NANOSECONDS \
+//!            [--metric median|p95|both]
 //! ```
 //!
 //! Prints a per-bench table of p95 changes and exits nonzero if any bench's
@@ -15,13 +17,17 @@
 //! on the selected metric(s) — median by default, `--metric both` for
 //! median *and* p95 (the packed-serving-tier gate) — so invariants like
 //! "collective batching beats individual" can gate CI without a baseline
-//! file.
+//! file. `--assert-max` checks a bench against an *absolute* per-iteration
+//! ceiling in nanoseconds instead of a sibling bench — the throughput-floor
+//! form (e.g. "200k check-ins per iteration must finish in 200 ms, i.e.
+//! ≥ 1M check-ins/sec").
 
 use knnta::util::bench::{diff_reports, parse_report, BenchReport};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: bench_diff OLD.json NEW.json [--threshold FRACTION]
        bench_diff --within REPORT.json --assert-le A B [--slack FRACTION] [--metric median|p95|both]
+       bench_diff --within REPORT.json --assert-max A NANOSECONDS [--metric median|p95|both]
 
 Compares two BENCH_<suite>.json runs produced by the in-repo bench runner.
 Exits 1 if any bench's p95 regressed beyond the threshold (default 0.25,
@@ -30,7 +36,12 @@ i.e. 25% slower), 2 on usage or parse errors.
 With --within, compares two benches inside one report instead: A and B are
 `group/bench` names, and the tool exits 1 unless
 metric(A) <= metric(B) * (1 + slack) (default slack 0.25) for every
-selected metric: the median (default), the p95, or both.";
+selected metric: the median (default), the p95, or both.
+
+--assert-max checks bench A against an absolute per-iteration ceiling in
+nanoseconds (no sibling bench, no slack): exit 1 unless
+metric(A) <= NANOSECONDS for every selected metric. Both assertions may be
+given in one invocation.";
 
 /// Which latency statistic(s) a `--within` assertion checks.
 #[derive(Clone, Copy)]
@@ -85,15 +96,14 @@ fn stats_of(report: &BenchReport, name: &str) -> Result<Stats, String> {
 }
 
 fn run_within(
-    report_path: &str,
+    report: &BenchReport,
     a: &str,
     b: &str,
     slack: f64,
     metric: Metric,
 ) -> Result<bool, String> {
-    let report = load(report_path)?;
-    let a_stats = stats_of(&report, a)?;
-    let b_stats = stats_of(&report, b)?;
+    let a_stats = stats_of(report, a)?;
+    let b_stats = stats_of(report, b)?;
     let mut violated = false;
     for &(label, pick) in metric.checks() {
         let a_ns = pick(&a_stats);
@@ -103,6 +113,26 @@ fn run_within(
         println!(
             "{a}: {label} {a_ns} ns\n{b}: {label} {b_ns} ns\nassert {label}({a}) <= {label}({b}) * {:.2}: {}",
             1.0 + slack,
+            if ok { "OK" } else { "VIOLATED" }
+        );
+    }
+    Ok(violated)
+}
+
+fn run_within_max(
+    report: &BenchReport,
+    a: &str,
+    ceiling_ns: u64,
+    metric: Metric,
+) -> Result<bool, String> {
+    let a_stats = stats_of(report, a)?;
+    let mut violated = false;
+    for &(label, pick) in metric.checks() {
+        let a_ns = pick(&a_stats);
+        let ok = a_ns <= ceiling_ns;
+        violated |= !ok;
+        println!(
+            "{a}: {label} {a_ns} ns\nassert {label}({a}) <= {ceiling_ns} ns: {}",
             if ok { "OK" } else { "VIOLATED" }
         );
     }
@@ -121,6 +151,7 @@ fn run() -> Result<bool, String> {
     let mut slack = 0.25f64;
     let mut within: Option<String> = None;
     let mut assert_le: Option<(String, String)> = None;
+    let mut assert_max: Option<(String, u64)> = None;
     let mut metric = Metric::Median;
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -145,6 +176,14 @@ fn run() -> Result<bool, String> {
                 let b = args.next().ok_or("--assert-le needs two bench names")?;
                 assert_le = Some((a, b));
             }
+            "--assert-max" => {
+                let a = args.next().ok_or("--assert-max needs a bench name and a ceiling")?;
+                let v = args.next().ok_or("--assert-max needs a ceiling in nanoseconds")?;
+                let ns = v
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad ceiling {v:?}: {e}"))?;
+                assert_max = Some((a, ns));
+            }
             "--slack" => {
                 let v = args.next().ok_or("--slack needs a value")?;
                 slack = v
@@ -159,14 +198,24 @@ fn run() -> Result<bool, String> {
         }
     }
     if let Some(report_path) = within {
-        let (a, b) = assert_le.ok_or("--within requires --assert-le A B")?;
+        if assert_le.is_none() && assert_max.is_none() {
+            return Err("--within requires --assert-le A B and/or --assert-max A NS".to_string());
+        }
         if !paths.is_empty() {
             return Err(USAGE.to_string());
         }
-        return run_within(&report_path, &a, &b, slack, metric);
+        let report = load(&report_path)?;
+        let mut violated = false;
+        if let Some((a, b)) = assert_le {
+            violated |= run_within(&report, &a, &b, slack, metric)?;
+        }
+        if let Some((a, ns)) = assert_max {
+            violated |= run_within_max(&report, &a, ns, metric)?;
+        }
+        return Ok(violated);
     }
-    if assert_le.is_some() {
-        return Err("--assert-le requires --within REPORT.json".to_string());
+    if assert_le.is_some() || assert_max.is_some() {
+        return Err("--assert-le/--assert-max require --within REPORT.json".to_string());
     }
     let [old_path, new_path] = paths.as_slice() else {
         return Err(USAGE.to_string());

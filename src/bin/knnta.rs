@@ -3,6 +3,7 @@
 //! ```text
 //! knnta generate --dataset GS --scale 0.01 --out venues.csv
 //! knnta build    --input venues.csv --epoch-days 7 --grouping tar --out city.idx
+//! knnta ingest   --dataset GS --events 1000000 --writers 4 --shards 8
 //! knnta stats    --index city.idx
 //! knnta query    --index city.idx --x 41 --y 57 --from-day 0 --to-day 64 --k 5 --alpha0 0.3
 //! knnta mwa      --index city.idx --x 41 --y 57 --from-day 0 --to-day 64 --k 5 --alpha0 0.5
@@ -13,11 +14,13 @@
 //! with `epoch = -1, count = 0` declares a POI with no check-ins yet).
 
 use knnta::core::{
-    BatchOptions, BatchOrder, Grouping, IndexConfig, KnntaQuery, Poi, StorageBackend, TarIndex,
+    BatchOptions, BatchOrder, Grouping, IndexConfig, KnntaQuery, LiveIndex, LiveOptions, Poi,
+    StorageBackend, TarIndex,
 };
 use knnta::obs::{render_report, MetricsDoc, Obs, TraceDoc};
 use knnta::pagestore::{BufferPoolConfig, PolicyKind};
-use knnta::{AggregateSeries, EpochGrid, PoiId, TimeInterval, Timestamp};
+use knnta::util::rng::{Rng, StdRng};
+use knnta::{AggregateSeries, CheckIn, EpochGrid, PoiId, TimeInterval, Timestamp};
 use rtree::Rect;
 use std::collections::BTreeMap;
 use std::fs::File;
@@ -47,6 +50,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "generate" => generate(&opts),
         "build" => build(&opts),
+        "ingest" => ingest(&opts),
         "stats" => stats(&opts),
         "query" => query(&opts),
         "batch" => batch(&opts),
@@ -74,6 +78,14 @@ commands:
   generate  --dataset NYC|LA|GW|GS --out FILE [--scale S] [--epoch-days D] [--seed N]
   build     --input FILE --out FILE [--grouping tar|spa|agg] [--node-size B]
             [--epoch-days D] [--epochs N]
+  ingest    --dataset NYC|LA|GW|GS [--scale S] [--epoch-days D] [--seed N]
+            [--events N] [--writers W] [--shards S]
+                            (drives the concurrent live-ingestion tier: W
+                             writer threads stream N seeded check-ins into an
+                             S-sharded LiveIndex while a sealer rolls epochs;
+                             reports sustained check-ins/sec, event-counter
+                             conservation, and snapshot-query latency both
+                             mid-ingest and after the sealed deltas merge)
   stats     --index FILE
   query     --index FILE --x X --y Y --from-day A --to-day B [--k K] [--alpha0 W]
             [--threads N]   (N > 1 uses the parallel work-stealing traversal;
@@ -291,6 +303,190 @@ fn build(opts: &Opts) -> Result<(), String> {
         index.node_count(),
         index.height()
     );
+    Ok(())
+}
+
+/// Streams a seeded synthetic check-in workload into the concurrent live
+/// tier and reports throughput, counter conservation, and snapshot-query
+/// latency while writers are active vs after the sealed deltas merge.
+fn ingest(opts: &Opts) -> Result<(), String> {
+    let name = opts.str("dataset")?;
+    let spec = knnta::lbsn::spec_by_name(name).ok_or(format!("unknown dataset `{name}`"))?;
+    let scale: f64 = opts.num("scale", 0.01)?;
+    let epoch_days: i64 = opts.num("epoch-days", 7)?;
+    let seed: u64 = opts.num("seed", 42)?;
+    let events: usize = opts.num("events", 1_000_000)?;
+    let writers: usize = opts.num("writers", 4)?;
+    let shards: usize = opts.num("shards", 8)?;
+    if writers == 0 {
+        return Err("--writers must be at least 1".into());
+    }
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let dataset = spec.generate(scale, epoch_days, seed);
+    let snapshot = dataset.snapshot(dataset.grid.len());
+    if snapshot.is_empty() {
+        return Err(format!("dataset {name} is empty at --scale {scale}"));
+    }
+    let grid = dataset.grid.clone();
+    let bounds = Rect::new(dataset.bounds.0, dataset.bounds.1);
+    // The tier starts from an index with every venue known but no check-ins
+    // digested: everything the queries see flows through the live path.
+    let index = TarIndex::build(
+        IndexConfig::default(),
+        grid.clone(),
+        bounds,
+        snapshot
+            .iter()
+            .map(|(id, pos, _)| (Poi { id: *id, pos: *pos }, AggregateSeries::new())),
+    );
+    let live = LiveIndex::with_options(
+        index,
+        0,
+        LiveOptions {
+            shards,
+            ..LiveOptions::default()
+        },
+    );
+
+    // Seeded stream: cycle epoch-by-epoch over the venues, jittering each
+    // timestamp inside its epoch, so arrivals are mostly in epoch order with
+    // plenty of intra-epoch disorder (the realistic check-in shape).
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stream = Vec::with_capacity(events);
+    'fill: loop {
+        for epoch in 0..grid.len() {
+            let start = grid.epoch(epoch).start;
+            for (id, _, _) in &snapshot {
+                let jitter = rng.gen_range(0..epoch_days.max(1) * Timestamp::DAY);
+                let value = rng.gen_range(1u32..4);
+                stream.push(CheckIn::with_value(*id, start + jitter, value));
+                if stream.len() == events {
+                    break 'fill;
+                }
+            }
+        }
+    }
+
+    let q = KnntaQuery::new(
+        [
+            (bounds.min[0] + bounds.max[0]) / 2.0,
+            (bounds.min[1] + bounds.max[1]) / 2.0,
+        ],
+        TimeInterval::new(grid.t0(), grid.tc()),
+    )
+    .with_k(10)
+    .with_alpha0(0.3);
+
+    // Writers split the stream round-robin; a sealer rolls epochs under
+    // them; a prober measures snapshot-query latency the whole time.
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let started = std::time::Instant::now();
+    let (elapsed, mid_lat) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..writers)
+            .map(|w| {
+                let live = &live;
+                let stream = &stream;
+                s.spawn(move || {
+                    for c in stream.iter().skip(w).step_by(writers) {
+                        live.record(*c);
+                    }
+                })
+            })
+            .collect();
+        {
+            let live = &live;
+            let stop = &stop;
+            s.spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    live.seal_epoch();
+                    std::thread::sleep(std::time::Duration::from_micros(500));
+                }
+            });
+        }
+        let prober = {
+            let live = &live;
+            let stop = &stop;
+            s.spawn(move || {
+                let mut lat = Vec::new();
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let t = std::time::Instant::now();
+                    std::hint::black_box(live.snapshot().query(&q));
+                    lat.push(t.elapsed());
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                lat
+            })
+        };
+        for h in handles {
+            h.join().expect("writer thread panicked");
+        }
+        let elapsed = started.elapsed();
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        (elapsed, prober.join().expect("prober thread panicked"))
+    });
+
+    // Quiesce: seal every epoch (one extra call flushes the final roll),
+    // then fold the sealed deltas into the base TAR-tree.
+    while live.current_epoch() < grid.len() {
+        live.seal_epoch();
+    }
+    live.seal_epoch();
+    let merged = live.merge_sealed();
+    live.validate();
+
+    let (recorded, sealed, pending, dropped) =
+        (live.recorded(), live.sealed_events(), live.pending(), live.dropped());
+    if pending + sealed + dropped != recorded {
+        return Err(format!(
+            "counter conservation violated: pending {pending} + sealed {sealed} + \
+             dropped {dropped} != recorded {recorded}"
+        ));
+    }
+    let snap = live.snapshot();
+    let post_lat = {
+        let mut lat: Vec<_> = (0..16)
+            .map(|_| {
+                let t = std::time::Instant::now();
+                std::hint::black_box(snap.query(&q));
+                t.elapsed()
+            })
+            .collect();
+        lat.sort();
+        lat[lat.len() / 2]
+    };
+
+    let micros = |d: std::time::Duration| d.as_secs_f64() * 1e6;
+    println!(
+        "dataset:     {name} ×{scale} ({} venues, {} epochs of {epoch_days} days)",
+        snapshot.len(),
+        grid.len()
+    );
+    println!(
+        "ingested:    {events} check-ins via {writers} writers / {shards} shards in {:.3}s \
+         ({:.0} check-ins/sec)",
+        elapsed.as_secs_f64(),
+        events as f64 / elapsed.as_secs_f64()
+    );
+    println!(
+        "counters:    recorded={recorded} sealed={sealed} pending={pending} dropped={dropped} \
+         (conserved)"
+    );
+    println!(
+        "watermark:   {} ({merged} sealed batches folded into the base tree)",
+        snap.watermark()
+    );
+    if !mid_lat.is_empty() {
+        let mut lat = mid_lat;
+        lat.sort();
+        println!(
+            "query (mid-ingest):  median {:.1} µs over {} snapshots (k=10, full span)",
+            micros(lat[lat.len() / 2]),
+            lat.len()
+        );
+    }
+    println!("query (post-merge):  median {:.1} µs (k=10, full span)", micros(post_lat));
     Ok(())
 }
 

@@ -104,7 +104,7 @@ fn live_streaming_matches_batch_build() {
             .iter()
             .map(|(id, pos, _)| (Poi { id: *id, pos: *pos }, Default::default())),
     );
-    let mut live = LiveIndex::new(empty, 0);
+    let live = LiveIndex::new(empty, 0);
     for epoch in 0..grid.len() {
         for (id, _, series) in &snapshot {
             let v = series.get(epoch as u32);
@@ -118,7 +118,7 @@ fn live_streaming_matches_batch_build() {
         }
         live.seal_epoch();
     }
-    live.index().validate();
+    live.validate();
 
     let workload = Workload::generate(&dataset, 15, IntervalAnchor::Random, 33);
     for &(point, interval) in &workload.queries {

@@ -115,6 +115,72 @@ fn packed(h: &mut Harness) {
     group.finish();
 }
 
+/// Cost-model planner (DESIGN.md §14): the planned execution against each
+/// fixed configuration it chooses among, on the `query_latency` workload.
+/// The `KNNTA_BENCH_DIFF` lane of `scripts/verify.sh` gates
+/// `planner/planned/{k}` against every `planner/{cfg}/{k}` at p95 with 15%
+/// slack: being within 1.15× of *every* fixed configuration implies being
+/// within 1.15× of the best one, so a planner that picks a bad
+/// configuration — or spends too long deciding — fails the build. The
+/// planned numbers include the full planning cost: stats refresh, cost
+/// estimation, and the calibration feedback after every query.
+fn planner(h: &mut Harness) {
+    let config = bench_config();
+    let data = load(&lbsn::gw(), &config);
+    let index = data.index(Grouping::TarIntegral);
+    let packed = index.pack();
+    let paged = index.materialize_paged_nodes(
+        index.config_node_size(),
+        pagestore::BufferPoolConfig::new(10, pagestore::PolicyKind::Lru),
+    );
+    const KS: [usize; 3] = [1, 10, 100];
+    let queries_by_k: Vec<_> = KS
+        .iter()
+        .map(|&k| data.queries(config.queries, k, 0.3, config.seed))
+        .collect();
+    let mut execs: Vec<_> = KS
+        .iter()
+        .map(|_| {
+            knnta_core::Executor::new(&index)
+                .with_packed(&packed)
+                .with_paged(&paged)
+        })
+        .collect();
+    // Interleaved (round-robin) sampling: planned and the fixed configs
+    // share every round's machine state, so the gated p95 *ratios* stay
+    // stable against bursty container noise.
+    let (index, packed, paged) = (&index, &packed, &paged);
+    let mut group = h.interleaved_group("planner");
+    for ((&k, queries), exec) in KS.iter().zip(&queries_by_k).zip(execs.iter_mut()) {
+        // One plan outside the timed region: the stats extraction and
+        // power-law fit are per-content-epoch costs, not per-query ones,
+        // and a single cold sample would otherwise dominate the p95 the
+        // gate reads.
+        exec.plan(&queries[0]);
+        group.bench(format!("paged_seq/{k}"), move || {
+            for q in queries {
+                black_box(index.query_on(q, knnta_core::StorageBackend::Paged(paged)));
+            }
+        });
+        group.bench(format!("mem_seq/{k}"), move || {
+            for q in queries {
+                black_box(index.query(q));
+            }
+        });
+        group.bench(format!("packed_seq/{k}"), move || {
+            for q in queries {
+                black_box(index.query_on(q, knnta_core::StorageBackend::Packed(packed)));
+            }
+        });
+        group.bench(format!("planned/{k}"), move || {
+            for q in queries {
+                black_box(exec.query(q));
+            }
+        });
+    }
+    group.finish();
+}
+
 /// Intra-query parallelism (ROADMAP: work-stealing frontier): sequential
 /// `query` against `query_parallel` at 1–8 workers, on the traversal shape
 /// that favours it — large k and a wide interval, so the frontier is deep
@@ -213,6 +279,7 @@ fn main() {
     let mut h = Harness::new("queries");
     grouping_and_k(&mut h);
     packed(&mut h);
+    planner(&mut h);
     alpha_sweep(&mut h);
     node_size_sweep(&mut h);
     parallel_single(&mut h);

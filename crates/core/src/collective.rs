@@ -31,11 +31,10 @@
 use crate::agg_cache::AggCache;
 use crate::frontier::{NodeCand, TopK};
 use crate::hilbert;
-use crate::index::{with_tree, QueryCtx, TarIndex};
-use crate::observe::{self, PhaseAcc, QueryScope, ScopeBackend};
-use crate::packed::PackedSource;
+use crate::index::{QueryCtx, TarIndex};
+use crate::observe::{self, PhaseAcc};
 use crate::poi::{KnntaQuery, QueryHit};
-use crate::storage::{EntryTarget, MemNodes, NodeSource, PagedStoreImpl, StorageBackend};
+use crate::storage::{EntryTarget, NodeSource, StorageBackend};
 use knnta_obs::{AttrValue, Obs, SpanId};
 use pagestore::AccessStats;
 use rtree::NodeId;
@@ -122,22 +121,7 @@ impl TarIndex {
         queries: &[KnntaQuery],
         opts: &BatchOptions,
     ) -> Vec<Vec<QueryHit>> {
-        let scope = QueryScope::begin(
-            self.obs(),
-            self.stats(),
-            "batch",
-            "collective",
-            ScopeBackend::Mem,
-            batch_attrs(queries, opts),
-        );
-        let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
-        let root_max = self.root_max_series();
-        let results = with_tree!(self, t => collective_on_nodes(
-            &MemNodes(t), self.stats(), self, &root_max, queries, opts, self.obs(), parent));
-        if let Some(scope) = scope {
-            scope.finish(results.iter().map(Vec::len).sum());
-        }
-        results
+        crate::plan::run_batch(&self.exec_env(), StorageBackend::InMemory, queries, opts)
     }
 
     /// [`TarIndex::query_batch_collective_with`] against an explicit storage
@@ -154,61 +138,7 @@ impl TarIndex {
         opts: &BatchOptions,
         backend: StorageBackend<'_>,
     ) -> Vec<Vec<QueryHit>> {
-        match backend {
-            StorageBackend::InMemory => self.query_batch_collective_with(queries, opts),
-            StorageBackend::Paged(paged) => {
-                paged.check_fresh(self.content_epoch);
-                let scope = QueryScope::begin(
-                    self.obs(),
-                    self.stats(),
-                    "batch",
-                    "collective",
-                    ScopeBackend::Paged(paged),
-                    batch_attrs(queries, opts),
-                );
-                let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
-                let root_max = self.root_max_series();
-                let results = match &paged.store {
-                    PagedStoreImpl::D3(s) => collective_on_nodes(
-                        s, self.stats(), self, &root_max, queries, opts, self.obs(), parent,
-                    ),
-                    PagedStoreImpl::D2(s) => collective_on_nodes(
-                        s, self.stats(), self, &root_max, queries, opts, self.obs(), parent,
-                    ),
-                };
-                if let Some(scope) = scope {
-                    scope.finish(results.iter().map(Vec::len).sum());
-                }
-                results
-            }
-            StorageBackend::Packed(packed) => {
-                packed.check_fresh(self.content_epoch);
-                let scope = QueryScope::begin(
-                    self.obs(),
-                    self.stats(),
-                    "batch",
-                    "collective",
-                    ScopeBackend::Packed(packed),
-                    batch_attrs(queries, opts),
-                );
-                let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
-                let root_max = self.root_max_series();
-                let results = collective_on_nodes::<2, _>(
-                    &PackedSource(packed),
-                    self.stats(),
-                    self,
-                    &root_max,
-                    queries,
-                    opts,
-                    self.obs(),
-                    parent,
-                );
-                if let Some(scope) = scope {
-                    scope.finish(results.iter().map(Vec::len).sum());
-                }
-                results
-            }
-        }
+        crate::plan::run_batch(&self.exec_env(), backend, queries, opts)
     }
 
     /// Processes the batch one query at a time (the "individual" baseline of

@@ -15,11 +15,10 @@
 //! counts. DESIGN.md ("Sharded-frontier parallel search") gives the
 //! admissibility argument; the short version lives on each type below.
 
-use crate::index::{with_tree, QueryCtx, TarIndex};
-use crate::observe::{self, PhaseAcc, QueryScope};
+use crate::index::{QueryCtx, TarIndex};
+use crate::observe::{self, PhaseAcc};
 use crate::poi::{KnntaQuery, QueryHit};
-use crate::observe::ScopeBackend;
-use crate::storage::{EntryTarget, MemNodes, NodeSource};
+use crate::storage::{EntryTarget, NodeSource};
 use knnta_obs::{AttrValue, Counter, Obs, SpanId};
 use knnta_util::sync::Mutex;
 use rtree::NodeId;
@@ -593,19 +592,12 @@ impl TarIndex {
     ///
     /// Panics if `threads == 0`.
     pub fn query_parallel(&self, query: &KnntaQuery, threads: usize) -> Vec<QueryHit> {
-        assert!(threads > 0, "at least one worker thread");
-        let ctx = self.ctx(query);
-        let scope =
-            QueryScope::begin_query(self.obs(), self.stats(), "par", ScopeBackend::Mem, query, threads);
-        let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
-        let (hits, nodes, leaves) =
-            with_tree!(self, t => parallel_bfs(&MemNodes(t), &ctx, query.k, threads, self.obs(), parent));
-        self.stats().record_node_accesses(nodes);
-        self.stats().record_leaf_accesses(leaves);
-        if let Some(scope) = scope {
-            scope.finish(hits.len());
-        }
-        hits
+        crate::plan::run_query(
+            &self.exec_env(),
+            crate::StorageBackend::InMemory,
+            crate::plan::ExecMode::Par(threads),
+            query,
+        )
     }
 }
 

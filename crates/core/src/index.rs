@@ -4,7 +4,7 @@
 use crate::agg_grouping::AggGrouping;
 use crate::augmentation::TiaAug;
 use crate::frontier::{NodeCand, TopK};
-use crate::observe::{self, PhaseAcc, QueryScope, ScopeBackend};
+use crate::observe::{self, PhaseAcc};
 use crate::poi::{KnntaQuery, Poi, QueryHit};
 use crate::storage::{AggRef, EntryTarget, MemNodes, NodeSource};
 use knnta_obs::{Obs, SpanId};
@@ -529,28 +529,12 @@ impl TarIndex {
     /// `query` span with `phase.*` children and publishes its counters; the
     /// answers are bit-identical either way.
     pub fn query(&self, query: &KnntaQuery) -> Vec<QueryHit> {
-        let ctx = self.ctx(query);
-        let Some(scope) =
-            QueryScope::begin_query(&self.obs, &self.stats, "seq", ScopeBackend::Mem, query, 1)
-        else {
-            return with_tree!(self, t => bfs_query(t, &ctx, query.k, &self.obs, SpanId::NONE));
-        };
-        let epochs = self.obs.counter(observe::M_EPOCHS_SCANNED);
-        let parent = scope.span_id();
-        let hits = with_tree!(self, t => bfs_query_src(
-            t,
-            &ctx,
-            query.k,
-            |_, _, series: &AggRef<'_>| {
-                let (v, n) = series.aggregate_over_counted(ctx.grid, ctx.iq);
-                epochs.add(n);
-                v
-            },
-            &self.obs,
-            parent
-        ));
-        scope.finish(hits.len());
-        hits
+        crate::plan::run_query(
+            &self.exec_env(),
+            crate::StorageBackend::InMemory,
+            crate::plan::ExecMode::Seq,
+            query,
+        )
     }
 
     /// Checks every structural and TIA-summary invariant (test helper).
@@ -604,27 +588,6 @@ impl QueryCtx<'_> {
             aggregate,
         }
     }
-}
-
-/// Best-first kNNTA search (Section 4.3) over any tree instantiation.
-pub(crate) fn bfs_query<const D: usize, S>(
-    tree: &RStarTree<D, Poi, TiaAug, S>,
-    ctx: &QueryCtx<'_>,
-    k: usize,
-    obs: &Obs,
-    parent: SpanId,
-) -> Vec<QueryHit>
-where
-    S: rtree::GroupingStrategy<D, AggregateSeries>,
-{
-    bfs_query_src(
-        tree,
-        ctx,
-        k,
-        |_, _, series: &AggRef<'_>| series.aggregate_over(ctx.grid, ctx.iq),
-        obs,
-        parent,
-    )
 }
 
 /// Best-first kNNTA search with a pluggable aggregate source (the in-memory

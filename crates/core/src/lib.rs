@@ -83,6 +83,7 @@ mod observe;
 mod packed;
 mod parallel;
 mod persist;
+mod plan;
 mod poi;
 mod skyline;
 mod storage;
@@ -99,6 +100,10 @@ pub use index::{Grouping, IndexConfig, TarIndex};
 pub use live::{LiveIndex, LiveOptions, SnapshotBackend, SnapshotView};
 pub use mwa::{gamma, WeightAdjustment};
 pub use packed::{PackedPages, PackedTarTree, PACKED_FANOUT};
+pub use plan::Executor;
+pub use costmodel::{
+    Calibration, IndexStats, PlanBackend, PlanMode, Planner, QueryPlan, QuerySpec,
+};
 pub use poi::{KnntaQuery, Poi, QueryHit};
 pub use skyline::{dominates, reversed_skyline_of, skyline_of};
 pub use storage::{PagedNodes, StorageBackend};

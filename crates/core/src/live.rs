@@ -40,14 +40,11 @@
 //! maximum, which equals the merged index's root maximum epoch by epoch
 //! because per-POI cumulative deltas are monotone. See `DESIGN.md` §13.
 
-use crate::collective::{batch_attrs, collective_on_nodes, BatchOptions};
-use crate::index::{bfs_query_nodes, with_tree, IndexConfig, QueryCtx, TarIndex};
-use crate::frontier::parallel_bfs;
-use crate::observe::{self, QueryScope, ScopeBackend};
-use crate::packed::PackedSource;
+use crate::collective::BatchOptions;
+use crate::index::{IndexConfig, TarIndex};
+use crate::observe;
 use crate::poi::{KnntaQuery, QueryHit};
-use crate::storage::{AggRef, MemNodes, NodeSource, OverlayNodes, PagedStoreImpl};
-use knnta_obs::{Obs, SpanId};
+use knnta_obs::Obs;
 use knnta_util::sync::{Mutex, RwLock};
 use pagestore::BufferPoolConfig;
 use std::collections::{HashMap, HashSet};
@@ -651,67 +648,33 @@ impl SnapshotView {
         (self.adjusted_root_max.aggregate_over(self.base.index.grid(), iq) as f64).max(1.0)
     }
 
-    fn overlaid<'a, const D: usize, N: NodeSource<D>>(
-        &'a self,
-        inner: &'a N,
-    ) -> OverlayNodes<'a, D, N> {
-        OverlayNodes {
-            inner,
-            per_poi: &self.overlay.per_poi,
-            total: &self.overlay.total,
+    /// The unified executor's environment for this snapshot: the frozen
+    /// overlay stacked on every node source, the overlay-adjusted `gmax`
+    /// source, and no staleness checks (the snapshot owns its images).
+    fn exec_env(&self) -> crate::plan::ExecEnv<'_> {
+        crate::plan::ExecEnv {
+            index: &self.base.index,
+            overlay: Some(crate::plan::OverlayRef {
+                per_poi: &self.overlay.per_poi,
+                total: &self.overlay.total,
+            }),
+            root_max: Some(&self.adjusted_root_max),
+            check_fresh: false,
         }
     }
 
-    fn bfs<const D: usize, N: NodeSource<D>>(
-        &self,
-        inner: &N,
-        ctx: &QueryCtx<'_>,
-        k: usize,
-        parent: SpanId,
-    ) -> Vec<QueryHit> {
-        let nodes = self.overlaid(inner);
-        let index = &self.base.index;
-        if index.obs().is_enabled() {
-            let epochs = index.obs().counter(observe::M_EPOCHS_SCANNED);
-            return bfs_query_nodes(
-                &nodes,
-                index.stats(),
-                ctx,
-                k,
-                |_, _, series: &AggRef<'_>| {
-                    let (v, n) = series.aggregate_over_counted(ctx.grid, ctx.iq);
-                    epochs.add(n);
-                    v
-                },
-                index.obs(),
-                parent,
-            );
+    /// Resolves a serving-backend selector to the owned materialisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested materialisation was not enabled in
+    /// [`LiveOptions`].
+    fn storage_backend(&self, backend: SnapshotBackend) -> crate::StorageBackend<'_> {
+        match backend {
+            SnapshotBackend::InMemory => crate::StorageBackend::InMemory,
+            SnapshotBackend::Paged => crate::StorageBackend::Paged(self.paged()),
+            SnapshotBackend::Packed => crate::StorageBackend::Packed(self.packed()),
         }
-        bfs_query_nodes(
-            &nodes,
-            index.stats(),
-            ctx,
-            k,
-            |_, _, series: &AggRef<'_>| series.aggregate_over(ctx.grid, ctx.iq),
-            index.obs(),
-            parent,
-        )
-    }
-
-    fn par<const D: usize, N: NodeSource<D> + Sync>(
-        &self,
-        inner: &N,
-        ctx: &QueryCtx<'_>,
-        k: usize,
-        threads: usize,
-        parent: SpanId,
-    ) -> Vec<QueryHit> {
-        let nodes = self.overlaid(inner);
-        let index = &self.base.index;
-        let (hits, n, l) = parallel_bfs(&nodes, ctx, k, threads, index.obs(), parent);
-        index.stats().record_node_accesses(n);
-        index.stats().record_leaf_accesses(l);
-        hits
     }
 
     fn paged(&self) -> &crate::storage::PagedNodes {
@@ -741,64 +704,12 @@ impl SnapshotView {
     /// Panics if the requested materialisation was not enabled in
     /// [`LiveOptions`].
     pub fn query_on(&self, query: &KnntaQuery, backend: SnapshotBackend) -> Vec<QueryHit> {
-        let index = &self.base.index;
-        let ctx = index.ctx_with_normalizer(query, self.normalizer(query.interval));
-        match backend {
-            SnapshotBackend::InMemory => {
-                let scope = QueryScope::begin_query(
-                    index.obs(),
-                    index.stats(),
-                    "seq",
-                    ScopeBackend::Mem,
-                    query,
-                    1,
-                );
-                let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
-                let hits = with_tree!(index, t => self.bfs(&MemNodes(t), &ctx, query.k, parent));
-                if let Some(scope) = scope {
-                    scope.finish(hits.len());
-                }
-                hits
-            }
-            SnapshotBackend::Paged => {
-                let paged = self.paged();
-                let scope = QueryScope::begin_query(
-                    index.obs(),
-                    index.stats(),
-                    "seq",
-                    ScopeBackend::Paged(paged),
-                    query,
-                    1,
-                );
-                let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
-                let hits = match &paged.store {
-                    PagedStoreImpl::D3(s) => self.bfs(s, &ctx, query.k, parent),
-                    PagedStoreImpl::D2(s) => self.bfs(s, &ctx, query.k, parent),
-                };
-                if let Some(scope) = scope {
-                    scope.finish(hits.len());
-                }
-                hits
-            }
-            SnapshotBackend::Packed => {
-                let packed = self.packed();
-                let scope = QueryScope::begin_query(
-                    index.obs(),
-                    index.stats(),
-                    "seq",
-                    ScopeBackend::Packed(packed),
-                    query,
-                    1,
-                );
-                let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
-                let src = PackedSource(packed);
-                let hits = self.bfs::<2, _>(&src, &ctx, query.k, parent);
-                if let Some(scope) = scope {
-                    scope.finish(hits.len());
-                }
-                hits
-            }
-        }
+        crate::plan::run_query(
+            &self.exec_env(),
+            self.storage_backend(backend),
+            crate::plan::ExecMode::Seq,
+            query,
+        )
     }
 
     /// Answers a query with the work-stealing parallel traversal —
@@ -824,64 +735,12 @@ impl SnapshotView {
         backend: SnapshotBackend,
     ) -> Vec<QueryHit> {
         assert!(threads > 0, "at least one worker thread");
-        let index = &self.base.index;
-        let ctx = index.ctx_with_normalizer(query, self.normalizer(query.interval));
-        match backend {
-            SnapshotBackend::InMemory => {
-                let scope = QueryScope::begin_query(
-                    index.obs(),
-                    index.stats(),
-                    "par",
-                    ScopeBackend::Mem,
-                    query,
-                    threads,
-                );
-                let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
-                let hits = with_tree!(index, t => self.par(&MemNodes(t), &ctx, query.k, threads, parent));
-                if let Some(scope) = scope {
-                    scope.finish(hits.len());
-                }
-                hits
-            }
-            SnapshotBackend::Paged => {
-                let paged = self.paged();
-                let scope = QueryScope::begin_query(
-                    index.obs(),
-                    index.stats(),
-                    "par",
-                    ScopeBackend::Paged(paged),
-                    query,
-                    threads,
-                );
-                let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
-                let hits = match &paged.store {
-                    PagedStoreImpl::D3(s) => self.par(s, &ctx, query.k, threads, parent),
-                    PagedStoreImpl::D2(s) => self.par(s, &ctx, query.k, threads, parent),
-                };
-                if let Some(scope) = scope {
-                    scope.finish(hits.len());
-                }
-                hits
-            }
-            SnapshotBackend::Packed => {
-                let packed = self.packed();
-                let scope = QueryScope::begin_query(
-                    index.obs(),
-                    index.stats(),
-                    "par",
-                    ScopeBackend::Packed(packed),
-                    query,
-                    threads,
-                );
-                let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
-                let src = PackedSource(packed);
-                let hits = self.par::<2, _>(&src, &ctx, query.k, threads, parent);
-                if let Some(scope) = scope {
-                    scope.finish(hits.len());
-                }
-                hits
-            }
-        }
+        crate::plan::run_query(
+            &self.exec_env(),
+            self.storage_backend(backend),
+            crate::plan::ExecMode::Par(threads),
+            query,
+        )
     }
 
     /// Processes a query batch collectively against the snapshot with the
@@ -904,99 +763,7 @@ impl SnapshotView {
         opts: &BatchOptions,
         backend: SnapshotBackend,
     ) -> Vec<Vec<QueryHit>> {
-        let index = &self.base.index;
-        match backend {
-            SnapshotBackend::InMemory => {
-                let scope = QueryScope::begin(
-                    index.obs(),
-                    index.stats(),
-                    "batch",
-                    "collective",
-                    ScopeBackend::Mem,
-                    batch_attrs(queries, opts),
-                );
-                let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
-                let results = with_tree!(index, t => collective_on_nodes(
-                    &self.overlaid(&MemNodes(t)),
-                    index.stats(),
-                    index,
-                    &self.adjusted_root_max,
-                    queries,
-                    opts,
-                    index.obs(),
-                    parent,
-                ));
-                if let Some(scope) = scope {
-                    scope.finish(results.iter().map(Vec::len).sum());
-                }
-                results
-            }
-            SnapshotBackend::Paged => {
-                let paged = self.paged();
-                let scope = QueryScope::begin(
-                    index.obs(),
-                    index.stats(),
-                    "batch",
-                    "collective",
-                    ScopeBackend::Paged(paged),
-                    batch_attrs(queries, opts),
-                );
-                let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
-                let results = match &paged.store {
-                    PagedStoreImpl::D3(s) => collective_on_nodes(
-                        &self.overlaid(s),
-                        index.stats(),
-                        index,
-                        &self.adjusted_root_max,
-                        queries,
-                        opts,
-                        index.obs(),
-                        parent,
-                    ),
-                    PagedStoreImpl::D2(s) => collective_on_nodes(
-                        &self.overlaid(s),
-                        index.stats(),
-                        index,
-                        &self.adjusted_root_max,
-                        queries,
-                        opts,
-                        index.obs(),
-                        parent,
-                    ),
-                };
-                if let Some(scope) = scope {
-                    scope.finish(results.iter().map(Vec::len).sum());
-                }
-                results
-            }
-            SnapshotBackend::Packed => {
-                let packed = self.packed();
-                let scope = QueryScope::begin(
-                    index.obs(),
-                    index.stats(),
-                    "batch",
-                    "collective",
-                    ScopeBackend::Packed(packed),
-                    batch_attrs(queries, opts),
-                );
-                let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
-                let src = PackedSource(packed);
-                let results = collective_on_nodes::<2, _>(
-                    &self.overlaid(&src),
-                    index.stats(),
-                    index,
-                    &self.adjusted_root_max,
-                    queries,
-                    opts,
-                    index.obs(),
-                    parent,
-                );
-                if let Some(scope) = scope {
-                    scope.finish(results.iter().map(Vec::len).sum());
-                }
-                results
-            }
-        }
+        crate::plan::run_batch(&self.exec_env(), self.storage_backend(backend), queries, opts)
     }
 }
 

@@ -1,0 +1,635 @@
+//! The unified `QueryPlan` → `Executor` pipeline.
+//!
+//! Every public query entry point — [`TarIndex::query`],
+//! [`TarIndex::query_parallel`], the `_on` storage variants, the collective
+//! batch paths, and the [`crate::SnapshotView`] quadruplicate — is a thin
+//! shim that fixes an execution configuration and calls [`run_query`] /
+//! [`run_batch`] here. The executor owns the once-copy-pasted dispatch
+//! logic: staleness checks, context construction, observability scopes,
+//! backend dispatch (in-memory / paged / packed via [`SourceOp`]), the
+//! optional live-snapshot overlay, and the sequential-vs-parallel engine
+//! choice. The engines themselves ([`bfs_query_nodes`],
+//! [`crate::frontier::parallel_bfs`], [`collective_on_nodes`]) are
+//! untouched, so answers stay bit-identical to the pre-refactor paths —
+//! `tests/planner_oracle.rs` is the differential proof.
+//!
+//! On top sits the public [`Executor`]: the cost-model-driven front door
+//! that asks [`costmodel::Planner`] (paper §6, calibrated online against
+//! the measured node-access counters) which configuration to run, executes
+//! it, and feeds the measurement back. See `DESIGN.md` §14.
+
+use crate::collective::{batch_attrs, collective_on_nodes, BatchOptions};
+use crate::index::{bfs_query_nodes, with_tree, QueryCtx, TarIndex};
+use crate::observe::{QueryScope, ScopeBackend, M_EPOCHS_SCANNED};
+use crate::packed::{PackedSource, PackedTarTree};
+use crate::poi::{KnntaQuery, QueryHit};
+use crate::storage::{
+    AggRef, MemNodes, NodeSource, OverlayNodes, PagedNodes, PagedStoreImpl, StorageBackend,
+};
+use costmodel::{IndexStats, PlanBackend, PlanMode, Planner, QueryPlan, QuerySpec};
+use knnta_obs::SpanId;
+use rtree::RTreeParams;
+use std::collections::HashMap;
+use tempora::{AggregateSeries, PoiId};
+
+/// A computation over a generic node source, dispatched by
+/// [`TarIndex::with_nodes`]. This is the rank-2 trick that lets one
+/// function body run against the in-memory arena (`D = 2` or `3`), either
+/// paged store instantiation, or the packed image, without monomorphising
+/// the call sites five times by hand.
+pub(crate) trait SourceOp {
+    /// The computation's result type.
+    type Out;
+    /// Runs the computation against one concrete node source.
+    fn run<const D: usize, N: NodeSource<D> + Sync>(self, nodes: &N) -> Self::Out;
+}
+
+impl TarIndex {
+    /// Dispatches `op` over the node source selected by `backend` — the
+    /// single place that knows how to reach all five tree instantiations.
+    pub(crate) fn with_nodes<O: SourceOp>(&self, backend: StorageBackend<'_>, op: O) -> O::Out {
+        match backend {
+            StorageBackend::InMemory => with_tree!(self, t => op.run(&MemNodes(t))),
+            StorageBackend::Paged(paged) => match &paged.store {
+                PagedStoreImpl::D3(s) => op.run(s),
+                PagedStoreImpl::D2(s) => op.run(s),
+            },
+            StorageBackend::Packed(packed) => op.run::<2, _>(&PackedSource(packed)),
+        }
+    }
+
+    /// The fixed-plan environment for direct index queries: no overlay, the
+    /// index's own normaliser, staleness checks on.
+    pub(crate) fn exec_env(&self) -> ExecEnv<'_> {
+        ExecEnv {
+            index: self,
+            overlay: None,
+            root_max: None,
+            check_fresh: true,
+        }
+    }
+}
+
+/// A frozen delta overlay to stack on the node source (the live-snapshot
+/// read path; see [`OverlayNodes`]).
+#[derive(Clone, Copy)]
+pub(crate) struct OverlayRef<'e> {
+    /// Per-POI sealed deltas.
+    pub per_poi: &'e HashMap<PoiId, AggregateSeries>,
+    /// Per-epoch sum of all sealed deltas.
+    pub total: &'e AggregateSeries,
+}
+
+/// Everything an execution needs besides the plan itself: the index, an
+/// optional overlay, an optional caller-owned `gmax` source, and whether
+/// paged/packed backends must be checked for staleness (snapshots own their
+/// images, so they skip the check).
+#[derive(Clone, Copy)]
+pub(crate) struct ExecEnv<'e> {
+    /// The index whose stats / obs / grid drive the execution.
+    pub index: &'e TarIndex,
+    /// Frozen delta overlay (live snapshots only).
+    pub overlay: Option<OverlayRef<'e>>,
+    /// Root-max series for the `gmax` normaliser; `None` reads it from the
+    /// index per query (or once per batch).
+    pub root_max: Option<&'e AggregateSeries>,
+    /// Whether paged/packed backends are validated against the index's
+    /// content epoch.
+    pub check_fresh: bool,
+}
+
+impl<'e> ExecEnv<'e> {
+    fn ctx(&self, query: &KnntaQuery) -> QueryCtx<'e> {
+        match self.root_max {
+            Some(rm) => self.index.ctx_with_normalizer(
+                query,
+                (rm.aggregate_over(self.index.grid(), query.interval) as f64).max(1.0),
+            ),
+            None => self.index.ctx(query),
+        }
+    }
+
+    fn check_backend(&self, backend: StorageBackend<'_>) {
+        if !self.check_fresh {
+            return;
+        }
+        match backend {
+            StorageBackend::InMemory => {}
+            StorageBackend::Paged(p) => p.check_fresh(self.index.content_epoch),
+            StorageBackend::Packed(p) => p.check_fresh(self.index.content_epoch),
+        }
+    }
+}
+
+/// Sequential or parallel execution of a single query.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ExecMode {
+    /// Single-threaded best-first search.
+    Seq,
+    /// Work-stealing parallel search over the given worker count.
+    Par(usize),
+}
+
+fn scope_backend<'a>(backend: StorageBackend<'a>) -> ScopeBackend<'a> {
+    match backend {
+        StorageBackend::InMemory => ScopeBackend::Mem,
+        StorageBackend::Paged(p) => ScopeBackend::Paged(p),
+        StorageBackend::Packed(p) => ScopeBackend::Packed(p),
+    }
+}
+
+/// The single-query execution function: every `query*` entry point lands
+/// here with a fixed plan.
+pub(crate) fn run_query(
+    env: &ExecEnv<'_>,
+    backend: StorageBackend<'_>,
+    mode: ExecMode,
+    query: &KnntaQuery,
+) -> Vec<QueryHit> {
+    if let ExecMode::Par(threads) = mode {
+        assert!(threads > 0, "at least one worker thread");
+    }
+    env.check_backend(backend);
+    let ctx = env.ctx(query);
+    let index = env.index;
+    let (label, threads) = match mode {
+        ExecMode::Seq => ("seq", 1),
+        ExecMode::Par(t) => ("par", t),
+    };
+    let scope = QueryScope::begin_query(
+        index.obs(),
+        index.stats(),
+        label,
+        scope_backend(backend),
+        query,
+        threads,
+    );
+    let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
+    let hits = index.with_nodes(
+        backend,
+        QueryOp {
+            env,
+            ctx: &ctx,
+            k: query.k,
+            mode,
+            parent,
+        },
+    );
+    if let Some(scope) = scope {
+        scope.finish(hits.len());
+    }
+    hits
+}
+
+struct QueryOp<'e, 'c> {
+    env: &'c ExecEnv<'e>,
+    ctx: &'c QueryCtx<'c>,
+    k: usize,
+    mode: ExecMode,
+    parent: SpanId,
+}
+
+impl SourceOp for QueryOp<'_, '_> {
+    type Out = Vec<QueryHit>;
+
+    fn run<const D: usize, N: NodeSource<D> + Sync>(self, nodes: &N) -> Vec<QueryHit> {
+        match self.env.overlay {
+            Some(ov) => {
+                let nodes = OverlayNodes {
+                    inner: nodes,
+                    per_poi: ov.per_poi,
+                    total: ov.total,
+                };
+                exec_search(self.env.index, &nodes, self.ctx, self.k, self.mode, self.parent)
+            }
+            None => exec_search(self.env.index, nodes, self.ctx, self.k, self.mode, self.parent),
+        }
+    }
+}
+
+/// The engine dispatch shared by every single-query path: the sequential
+/// best-first search with the obs-conditional aggregate closure, or the
+/// parallel frontier with caller-side access accounting. Textually the same
+/// code the pre-refactor entry points each carried a copy of.
+fn exec_search<const D: usize, N: NodeSource<D> + Sync>(
+    index: &TarIndex,
+    nodes: &N,
+    ctx: &QueryCtx<'_>,
+    k: usize,
+    mode: ExecMode,
+    parent: SpanId,
+) -> Vec<QueryHit> {
+    match mode {
+        ExecMode::Seq => {
+            if index.obs().is_enabled() {
+                let epochs = index.obs().counter(M_EPOCHS_SCANNED);
+                return bfs_query_nodes(
+                    nodes,
+                    index.stats(),
+                    ctx,
+                    k,
+                    |_, _, series: &AggRef<'_>| {
+                        let (v, n) = series.aggregate_over_counted(ctx.grid, ctx.iq);
+                        epochs.add(n);
+                        v
+                    },
+                    index.obs(),
+                    parent,
+                );
+            }
+            bfs_query_nodes(
+                nodes,
+                index.stats(),
+                ctx,
+                k,
+                |_, _, series: &AggRef<'_>| series.aggregate_over(ctx.grid, ctx.iq),
+                index.obs(),
+                parent,
+            )
+        }
+        ExecMode::Par(threads) => {
+            let (hits, nodes_n, leaves) =
+                crate::frontier::parallel_bfs(nodes, ctx, k, threads, index.obs(), parent);
+            index.stats().record_node_accesses(nodes_n);
+            index.stats().record_leaf_accesses(leaves);
+            hits
+        }
+    }
+}
+
+/// The collective-batch execution function: both `query_batch_collective*`
+/// families land here with a fixed plan.
+pub(crate) fn run_batch(
+    env: &ExecEnv<'_>,
+    backend: StorageBackend<'_>,
+    queries: &[KnntaQuery],
+    opts: &BatchOptions,
+) -> Vec<Vec<QueryHit>> {
+    env.check_backend(backend);
+    let index = env.index;
+    let scope = QueryScope::begin(
+        index.obs(),
+        index.stats(),
+        "batch",
+        "collective",
+        scope_backend(backend),
+        batch_attrs(queries, opts),
+    );
+    let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
+    // Computed after the scope begins, exactly like the pre-refactor paths
+    // (root reads are uncounted either way; see `root_max_series`).
+    let owned;
+    let root_max = match env.root_max {
+        Some(rm) => rm,
+        None => {
+            owned = index.root_max_series();
+            &owned
+        }
+    };
+    let results = index.with_nodes(
+        backend,
+        BatchOp {
+            env,
+            root_max,
+            queries,
+            opts,
+            parent,
+        },
+    );
+    if let Some(scope) = scope {
+        scope.finish(results.iter().map(Vec::len).sum());
+    }
+    results
+}
+
+struct BatchOp<'e, 'c> {
+    env: &'c ExecEnv<'e>,
+    root_max: &'c AggregateSeries,
+    queries: &'c [KnntaQuery],
+    opts: &'c BatchOptions,
+    parent: SpanId,
+}
+
+impl SourceOp for BatchOp<'_, '_> {
+    type Out = Vec<Vec<QueryHit>>;
+
+    fn run<const D: usize, N: NodeSource<D> + Sync>(self, nodes: &N) -> Vec<Vec<QueryHit>> {
+        let index = self.env.index;
+        match self.env.overlay {
+            Some(ov) => {
+                let nodes = OverlayNodes {
+                    inner: nodes,
+                    per_poi: ov.per_poi,
+                    total: ov.total,
+                };
+                collective_on_nodes(
+                    &nodes,
+                    index.stats(),
+                    index,
+                    self.root_max,
+                    self.queries,
+                    self.opts,
+                    index.obs(),
+                    self.parent,
+                )
+            }
+            None => collective_on_nodes(
+                nodes,
+                index.stats(),
+                index,
+                self.root_max,
+                self.queries,
+                self.opts,
+                index.obs(),
+                self.parent,
+            ),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Planner integration: IndexStats extraction + the public Executor.
+// ---------------------------------------------------------------------------
+
+impl TarIndex {
+    /// A planning-time [`costmodel::IndexStats`] snapshot of this index:
+    /// shape (POI/node counts, height, effective fanout from the configured
+    /// node size), the full-span per-POI aggregate sample the power-law fit
+    /// runs on, and the clustering-aware support area. Backend availability
+    /// is left `false` — [`Executor`] fills it in from the images actually
+    /// attached.
+    pub fn index_stats(&self) -> IndexStats {
+        let pois = self.export_pois();
+        let aggregates: Vec<u64> = pois
+            .iter()
+            .map(|(_, s)| s.iter().map(|(_, v)| v).sum())
+            .collect();
+        let positions: Vec<[f64; 2]> = pois.iter().map(|(p, _)| p.pos).collect();
+        let b = self.bounds();
+        let support_area = costmodel::estimate_support_area(&positions, (b.min, b.max));
+        let params = RTreeParams::for_node_size(self.config_node_size(), self.grouping().dims());
+        IndexStats {
+            n: self.len(),
+            node_count: self.node_count(),
+            height: self.height() as usize + 1,
+            fanout: costmodel::effective_fanout(params.max_entries),
+            aggregates,
+            support_area,
+            paged_available: false,
+            packed_available: false,
+            buffer_capacity: 0,
+            max_threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        }
+    }
+}
+
+/// The cost-model-driven query front door: plans each query with
+/// [`costmodel::Planner`] (paper-§6 node-access estimates, calibrated
+/// online against the measured counters), executes the chosen
+/// configuration through the unified executor, and feeds the measurement
+/// back so estimates converge to observed costs.
+///
+/// Attach materialised serving tiers with [`Executor::with_paged`] /
+/// [`Executor::with_packed`]; the planner only ever picks a backend that
+/// was attached. Plan choice never affects answers — every configuration is
+/// bit-identical (`tests/planner_oracle.rs`) — only latency.
+///
+/// ```
+/// use knnta_core::{Executor, Grouping, IndexConfig, KnntaQuery, Poi, TarIndex};
+/// use tempora::{AggregateSeries, EpochGrid, TimeInterval};
+///
+/// let grid = EpochGrid::fixed_days(1, 3);
+/// let bounds = rtree::Rect::new([0.0, 0.0], [10.0, 10.0]);
+/// let pois = (0..40).map(|i| {
+///     (
+///         Poi::new(i, (i % 8) as f64, (i / 8) as f64),
+///         AggregateSeries::from_pairs([(0, 1 + (i as u64 * 7) % 23)]),
+///     )
+/// });
+/// let index = TarIndex::build(IndexConfig::default(), grid, bounds, pois);
+/// let packed = index.pack();
+///
+/// let mut exec = Executor::new(&index).with_packed(&packed);
+/// let q = KnntaQuery::new([2.0, 3.0], TimeInterval::days(0, 3)).with_k(5);
+/// let hits = exec.query(&q);
+/// assert_eq!(hits, index.query(&q)); // plan choice never changes answers
+/// let plan = exec.last_plan().expect("a plan was chosen");
+/// assert!(plan.estimated_node_accesses > 0.0);
+/// ```
+pub struct Executor<'a> {
+    index: &'a TarIndex,
+    paged: Option<&'a PagedNodes>,
+    packed: Option<&'a PackedTarTree>,
+    planner: Planner,
+    /// `(content epoch, stats, stats fingerprint)` — the fingerprint is
+    /// hashed once per epoch and handed to [`Planner::plan_keyed`].
+    stats: Option<(u64, IndexStats, u64)>,
+    last_plan: Option<QueryPlan>,
+}
+
+impl<'a> Executor<'a> {
+    /// An executor over `index` with a fresh (identity-calibrated) planner
+    /// and no extra serving tiers attached.
+    pub fn new(index: &'a TarIndex) -> Executor<'a> {
+        Executor {
+            index,
+            paged: None,
+            packed: None,
+            planner: Planner::new(),
+            stats: None,
+            last_plan: None,
+        }
+    }
+
+    /// Makes a paged node snapshot available to the planner. The image must
+    /// stay fresh: executing a plan against a stale image panics, exactly
+    /// like [`TarIndex::query_on`].
+    pub fn with_paged(mut self, paged: &'a PagedNodes) -> Executor<'a> {
+        self.paged = Some(paged);
+        self
+    }
+
+    /// Makes a packed serving image available to the planner (same
+    /// freshness contract as [`Executor::with_paged`]).
+    pub fn with_packed(mut self, packed: &'a PackedTarTree) -> Executor<'a> {
+        self.packed = Some(packed);
+        self
+    }
+
+    /// The planner (estimates + calibration state).
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    /// The plan chosen by the most recent [`Executor::plan`] /
+    /// [`Executor::query`] / [`Executor::query_batch`] call.
+    pub fn last_plan(&self) -> Option<&QueryPlan> {
+        self.last_plan.as_ref()
+    }
+
+    /// The planning-time index snapshot the next plan will be based on
+    /// (cached per content epoch, with backend availability filled in).
+    pub fn index_stats(&mut self) -> &IndexStats {
+        self.refresh_stats();
+        &self.stats.as_ref().expect("refreshed above").1
+    }
+
+    fn refresh_stats(&mut self) {
+        let epoch = self.index.content_epoch;
+        if !matches!(&self.stats, Some((e, ..)) if *e == epoch) {
+            let stats = self.index.index_stats();
+            let fp = stats.fingerprint();
+            self.stats = Some((epoch, stats, fp));
+        }
+        let s = &mut self.stats.as_mut().expect("just set").1;
+        s.paged_available = self.paged.is_some();
+        s.packed_available = self.packed.is_some();
+        s.buffer_capacity = self.paged.map_or(0, |p| p.config().capacity);
+    }
+
+    fn plan_spec(&mut self, spec: QuerySpec) -> QueryPlan {
+        self.refresh_stats();
+        let (_, stats, fp) = self.stats.as_ref().expect("refreshed above");
+        let plan = self.planner.plan_keyed(&spec, stats, *fp);
+        self.last_plan = Some(plan);
+        plan
+    }
+
+    /// Plans (without executing) a single query.
+    pub fn plan(&mut self, query: &KnntaQuery) -> QueryPlan {
+        self.plan_spec(QuerySpec::single(query.k, query.alpha0))
+    }
+
+    /// Plans (without executing) a collective batch.
+    pub fn plan_batch(&mut self, queries: &[KnntaQuery]) -> QueryPlan {
+        let k = queries.iter().map(|q| q.k).max().unwrap_or(0);
+        let alpha0 = queries.first().map_or(0.5, |q| q.alpha0);
+        self.plan_spec(QuerySpec {
+            k,
+            alpha0,
+            batch: queries.len().max(1),
+        })
+    }
+
+    fn backend_of(&self, plan: &QueryPlan) -> StorageBackend<'a> {
+        match plan.backend {
+            PlanBackend::InMemory => StorageBackend::InMemory,
+            PlanBackend::Paged => StorageBackend::Paged(
+                self.paged.expect("plan chose a paged backend that was never attached"),
+            ),
+            PlanBackend::Packed => StorageBackend::Packed(
+                self.packed.expect("plan chose a packed backend that was never attached"),
+            ),
+        }
+    }
+
+    /// Runs `query` under an already-chosen plan (no feedback). Useful for
+    /// replaying a plan or for `knnta explain --metrics`.
+    pub fn execute(&self, query: &KnntaQuery, plan: &QueryPlan) -> Vec<QueryHit> {
+        let backend = self.backend_of(plan);
+        match plan.mode {
+            PlanMode::Sequential => self.index.query_on(query, backend),
+            PlanMode::Parallel { threads } => {
+                self.index.query_parallel_on(query, threads, backend)
+            }
+        }
+    }
+
+    /// Plans and answers one query, feeding the measured node accesses back
+    /// into the calibration.
+    pub fn query(&mut self, query: &KnntaQuery) -> Vec<QueryHit> {
+        let plan = self.plan(query);
+        let before = self.index.stats().snapshot().node_accesses;
+        let hits = self.execute(query, &plan);
+        let after = self.index.stats().snapshot().node_accesses;
+        self.planner.feedback(&plan, after.saturating_sub(before));
+        hits
+    }
+
+    /// Plans and answers a collective batch (adaptive tile size and
+    /// agg-cache setting), feeding measured node accesses back.
+    pub fn query_batch(&mut self, queries: &[KnntaQuery]) -> Vec<Vec<QueryHit>> {
+        let plan = self.plan_batch(queries);
+        let opts = BatchOptions {
+            agg_cache: plan.agg_cache,
+            tile: plan.tile.max(1),
+            ..BatchOptions::default()
+        };
+        let backend = self.backend_of(&plan);
+        let before = self.index.stats().snapshot().node_accesses;
+        let results = self.index.query_batch_collective_on(queries, &opts, backend);
+        let after = self.index.stats().snapshot().node_accesses;
+        self.planner.feedback(&plan, after.saturating_sub(before));
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::tests::paper_example;
+    use crate::index::{Grouping, IndexConfig};
+    use tempora::TimeInterval;
+
+    fn build(grouping: Grouping) -> TarIndex {
+        let (grid, bounds, pois) = paper_example();
+        TarIndex::build(IndexConfig::with_grouping(grouping), grid, bounds, pois)
+    }
+
+    #[test]
+    fn executor_answers_match_direct_queries() {
+        for grouping in [Grouping::TarIntegral, Grouping::IndSpa, Grouping::IndAgg] {
+            let index = build(grouping);
+            let mut exec = Executor::new(&index);
+            for k in [1, 3, 12] {
+                let q = KnntaQuery::new([4.0, 4.5], TimeInterval::days(0, 3))
+                    .with_k(k)
+                    .with_alpha0(0.3);
+                let got = exec.query(&q);
+                let want = index.query(&q);
+                assert_eq!(got.len(), want.len(), "{grouping} k={k}");
+                for (a, b) in got.iter().zip(&want) {
+                    assert_eq!(
+                        (a.poi, a.score.to_bits()),
+                        (b.poi, b.score.to_bits()),
+                        "{grouping} k={k}"
+                    );
+                }
+            }
+            assert!(exec.planner().calibration().samples() > 0, "feedback ran");
+        }
+    }
+
+    #[test]
+    fn executor_prefers_attached_packed_image() {
+        let index = build(Grouping::TarIntegral);
+        let packed = index.pack();
+        let mut exec = Executor::new(&index).with_packed(&packed);
+        let q = KnntaQuery::new([4.0, 4.5], TimeInterval::days(0, 3)).with_k(3);
+        let hits = exec.query(&q);
+        assert_eq!(exec.last_plan().unwrap().backend, PlanBackend::Packed);
+        assert_eq!(hits.len(), index.query(&q).len());
+    }
+
+    #[test]
+    fn executor_batch_matches_collective() {
+        let index = build(Grouping::TarIntegral);
+        let queries: Vec<KnntaQuery> = (0..6)
+            .map(|i| {
+                KnntaQuery::new([1.0 + i as f64, 2.0 + i as f64], TimeInterval::days(0, 3))
+                    .with_k(4)
+            })
+            .collect();
+        let mut exec = Executor::new(&index);
+        let got = exec.query_batch(&queries);
+        let plan = *exec.last_plan().unwrap();
+        assert!(plan.agg_cache, "real batches enable the agg cache");
+        let opts = BatchOptions {
+            agg_cache: plan.agg_cache,
+            tile: plan.tile,
+            ..BatchOptions::default()
+        };
+        let want = index.query_batch_collective_with(&queries, &opts);
+        assert_eq!(got, want);
+    }
+}

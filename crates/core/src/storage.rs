@@ -19,11 +19,9 @@
 //! ([`PagedNodes::io_snapshot`]).
 
 use crate::augmentation::TiaAug;
-use crate::index::{Grouping, QueryCtx, TarIndex, TreeImpl};
-use crate::observe::{QueryScope, ScopeBackend};
-use crate::packed::{PackedSource, PackedTarTree};
+use crate::index::{Grouping, TarIndex, TreeImpl};
+use crate::packed::PackedTarTree;
 use crate::poi::{KnntaQuery, Poi, QueryHit};
-use knnta_obs::SpanId;
 use pagestore::{BufferPoolConfig, Bytes, BytesMut, StatsSnapshot};
 use rtree::{
     Entry, EntryPayload, GroupingStrategy, Node, NodeCodec, NodeId, PagedNodeStore, RStarTree,
@@ -648,49 +646,7 @@ impl TarIndex {
     /// Panics if a paged backend is stale (the index changed since it was
     /// materialised).
     pub fn query_on(&self, query: &KnntaQuery, backend: StorageBackend<'_>) -> Vec<QueryHit> {
-        match backend {
-            StorageBackend::InMemory => self.query(query),
-            StorageBackend::Paged(paged) => {
-                paged.check_fresh(self.content_epoch);
-                let ctx = self.ctx(query);
-                let scope = QueryScope::begin_query(
-                    self.obs(),
-                    self.stats(),
-                    "seq",
-                    ScopeBackend::Paged(paged),
-                    query,
-                    1,
-                );
-                let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
-                let hits = match &paged.store {
-                    PagedStoreImpl::D3(s) => self.bfs_on_nodes(s, &ctx, query.k, parent),
-                    PagedStoreImpl::D2(s) => self.bfs_on_nodes(s, &ctx, query.k, parent),
-                };
-                if let Some(scope) = scope {
-                    scope.finish(hits.len());
-                }
-                hits
-            }
-            StorageBackend::Packed(packed) => {
-                packed.check_fresh(self.content_epoch);
-                let ctx = self.ctx(query);
-                let scope = QueryScope::begin_query(
-                    self.obs(),
-                    self.stats(),
-                    "seq",
-                    ScopeBackend::Packed(packed),
-                    query,
-                    1,
-                );
-                let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
-                let hits =
-                    self.bfs_on_nodes::<2, _>(&PackedSource(packed), &ctx, query.k, parent);
-                if let Some(scope) = scope {
-                    scope.finish(hits.len());
-                }
-                hits
-            }
-        }
+        crate::plan::run_query(&self.exec_env(), backend, crate::plan::ExecMode::Seq, query)
     }
 
     /// [`TarIndex::query_parallel`] against an explicit storage backend.
@@ -704,98 +660,11 @@ impl TarIndex {
         threads: usize,
         backend: StorageBackend<'_>,
     ) -> Vec<QueryHit> {
-        match backend {
-            StorageBackend::InMemory => self.query_parallel(query, threads),
-            StorageBackend::Paged(paged) => {
-                assert!(threads > 0, "at least one worker thread");
-                paged.check_fresh(self.content_epoch);
-                let ctx = self.ctx(query);
-                let scope = QueryScope::begin_query(
-                    self.obs(),
-                    self.stats(),
-                    "par",
-                    ScopeBackend::Paged(paged),
-                    query,
-                    threads,
-                );
-                let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
-                let (hits, nodes, leaves) = match &paged.store {
-                    PagedStoreImpl::D3(s) => {
-                        crate::frontier::parallel_bfs(s, &ctx, query.k, threads, self.obs(), parent)
-                    }
-                    PagedStoreImpl::D2(s) => {
-                        crate::frontier::parallel_bfs(s, &ctx, query.k, threads, self.obs(), parent)
-                    }
-                };
-                self.stats().record_node_accesses(nodes);
-                self.stats().record_leaf_accesses(leaves);
-                if let Some(scope) = scope {
-                    scope.finish(hits.len());
-                }
-                hits
-            }
-            StorageBackend::Packed(packed) => {
-                assert!(threads > 0, "at least one worker thread");
-                packed.check_fresh(self.content_epoch);
-                let ctx = self.ctx(query);
-                let scope = QueryScope::begin_query(
-                    self.obs(),
-                    self.stats(),
-                    "par",
-                    ScopeBackend::Packed(packed),
-                    query,
-                    threads,
-                );
-                let parent = scope.as_ref().map_or(SpanId::NONE, QueryScope::span_id);
-                let (hits, nodes, leaves) = crate::frontier::parallel_bfs::<2, _>(
-                    &PackedSource(packed),
-                    &ctx,
-                    query.k,
-                    threads,
-                    self.obs(),
-                    parent,
-                );
-                self.stats().record_node_accesses(nodes);
-                self.stats().record_leaf_accesses(leaves);
-                if let Some(scope) = scope {
-                    scope.finish(hits.len());
-                }
-                hits
-            }
-        }
-    }
-
-    fn bfs_on_nodes<const D: usize, N: NodeSource<D>>(
-        &self,
-        nodes: &N,
-        ctx: &QueryCtx<'_>,
-        k: usize,
-        parent: SpanId,
-    ) -> Vec<QueryHit> {
-        if self.obs().is_enabled() {
-            let epochs = self.obs().counter(crate::observe::M_EPOCHS_SCANNED);
-            return crate::index::bfs_query_nodes(
-                nodes,
-                self.stats(),
-                ctx,
-                k,
-                |_, _, series: &AggRef<'_>| {
-                    let (v, n) = series.aggregate_over_counted(ctx.grid, ctx.iq);
-                    epochs.add(n);
-                    v
-                },
-                self.obs(),
-                parent,
-            );
-        }
-        crate::index::bfs_query_nodes(
-            nodes,
-            self.stats(),
-            ctx,
-            k,
-            |_, _, series: &AggRef<'_>| series.aggregate_over(ctx.grid, ctx.iq),
-            self.obs(),
-            parent,
+        crate::plan::run_query(
+            &self.exec_env(),
+            backend,
+            crate::plan::ExecMode::Par(threads),
+            query,
         )
     }
 }

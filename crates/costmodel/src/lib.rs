@@ -702,3 +702,561 @@ mod level_tests {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Planner: from validation-only model to the default execution planner.
+// ---------------------------------------------------------------------------
+
+/// The per-query facts the planner needs (a strict subset of the engine's
+/// query type, so this crate stays independent of `knnta-core`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuerySpec {
+    /// Result size `k`.
+    pub k: usize,
+    /// Spatial weight `α0`.
+    pub alpha0: f64,
+    /// Number of queries planned together: 1 for a single kNNTA query,
+    /// the batch size for a collective batch.
+    pub batch: usize,
+}
+
+impl QuerySpec {
+    /// A single (non-batch) query.
+    pub fn single(k: usize, alpha0: f64) -> QuerySpec {
+        QuerySpec { k, alpha0, batch: 1 }
+    }
+}
+
+/// A planning-time snapshot of one index: its shape, a sample of its
+/// aggregate distribution, and which serving tiers are materialised.
+///
+/// Built by the engine (e.g. `TarIndex::index_stats`) and handed to
+/// [`Planner::plan`]; everything here is cheap to copy around and carries
+/// no borrows into the index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexStats {
+    /// Number of indexed POIs.
+    pub n: usize,
+    /// Total R-tree nodes (all levels).
+    pub node_count: usize,
+    /// Tree height (1 = the root is a leaf).
+    pub height: usize,
+    /// Effective fanout (see [`effective_fanout`]).
+    pub fanout: f64,
+    /// Per-POI aggregates over the full time span — the sample the
+    /// power-law fit runs on.
+    pub aggregates: Vec<u64>,
+    /// Fraction of the bounding box occupied by data
+    /// (see [`CostModel::support_area`]).
+    pub support_area: f64,
+    /// A paged (buffer-pool) image is materialised and fresh.
+    pub paged_available: bool,
+    /// A packed immutable image is materialised and fresh.
+    pub packed_available: bool,
+    /// Buffer-pool capacity in pages (0 when no paged image).
+    pub buffer_capacity: usize,
+    /// Upper bound on worker threads the executor may spawn.
+    pub max_threads: usize,
+}
+
+impl IndexStats {
+    /// A cheap content token over everything the *model estimate* reads
+    /// (shape, aggregate sample, support area) — backend availability and
+    /// thread limits are deliberately excluded, they only steer the plan
+    /// after the estimate. Used to key [`Planner`]'s estimate memo; FNV-1a
+    /// over the scalar fields plus a sample of the aggregate vector.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        mix(self.n as u64);
+        mix(self.node_count as u64);
+        mix(self.height as u64);
+        mix(self.fanout.to_bits());
+        mix(self.support_area.to_bits());
+        mix(self.aggregates.len() as u64);
+        // Sampling keeps this O(1); a content change that alters no shape
+        // field, no sampled aggregate, and not the aggregate count is
+        // negligible for a latency *estimate*.
+        for a in self.aggregates.iter().step_by((self.aggregates.len() / 64).max(1)) {
+            mix(*a);
+        }
+        h
+    }
+}
+
+/// Execution mode chosen by the planner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanMode {
+    /// Single-threaded best-first search.
+    Sequential,
+    /// Work-stealing parallel best-first search.
+    Parallel {
+        /// Worker thread count (always ≥ 2; 1 would be sequential).
+        threads: usize,
+    },
+}
+
+/// Storage backend chosen by the planner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanBackend {
+    /// The pointer-based in-memory R*-tree.
+    InMemory,
+    /// The page-serialised tree behind a buffer pool.
+    Paged,
+    /// The bulk-packed immutable serving image.
+    Packed,
+}
+
+impl std::fmt::Display for PlanMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanMode::Sequential => write!(f, "sequential"),
+            PlanMode::Parallel { threads } => write!(f, "parallel({threads})"),
+        }
+    }
+}
+
+impl std::fmt::Display for PlanBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PlanBackend::InMemory => "in-memory",
+            PlanBackend::Paged => "paged",
+            PlanBackend::Packed => "packed",
+        })
+    }
+}
+
+/// A fully-resolved execution configuration plus the cost estimates that
+/// justified it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryPlan {
+    /// Sequential or parallel (with thread count).
+    pub mode: PlanMode,
+    /// Which materialised tier to traverse.
+    pub backend: PlanBackend,
+    /// Collective-batch tile size (1 for single queries).
+    pub tile: usize,
+    /// Whether the per-node aggregate cache is enabled for batches.
+    pub agg_cache: bool,
+    /// Estimated k-th result score `f(pk)` (0 when the model was
+    /// degenerate and the heuristic fallback was used).
+    pub estimated_fpk: f64,
+    /// Raw model estimate of total node accesses (all levels), before
+    /// calibration.
+    pub model_node_accesses: f64,
+    /// Calibration-scaled estimate of total node accesses — the figure the
+    /// planner actually decided on, comparable with
+    /// `AccessStats::node_accesses`.
+    pub estimated_node_accesses: f64,
+}
+
+/// Online EWMA calibration of model estimates against measured counters.
+///
+/// The paper's model is analytic and assumes power-law layers over a known
+/// support; real traversals drift from it (clustering, cache effects,
+/// grouping strategy). The executor feeds every `(estimated, measured)`
+/// node-access pair back here; the planner multiplies future estimates by
+/// the learned factor so they converge to observed costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    factor: f64,
+    alpha: f64,
+    samples: u64,
+}
+
+impl Default for Calibration {
+    fn default() -> Self {
+        Calibration::new()
+    }
+}
+
+impl Calibration {
+    /// EWMA weight for each new observation.
+    pub const DEFAULT_ALPHA: f64 = 0.25;
+    /// Per-observation ratio clamp: one wild measurement (cold cache,
+    /// degenerate query) may not swing the factor by more than 32×.
+    const RATIO_CLAMP: f64 = 32.0;
+
+    /// A fresh, identity calibration (factor 1.0, no samples).
+    pub fn new() -> Calibration {
+        Calibration {
+            factor: 1.0,
+            alpha: Self::DEFAULT_ALPHA,
+            samples: 0,
+        }
+    }
+
+    /// Records one estimate-vs-measurement pair. Non-finite or non-positive
+    /// estimates are ignored (the model was degenerate for that query).
+    pub fn observe(&mut self, estimated: f64, measured: f64) {
+        if !(estimated > 0.0) || !estimated.is_finite() || !(measured >= 0.0) {
+            return;
+        }
+        let ratio = (measured / estimated).clamp(1.0 / Self::RATIO_CLAMP, Self::RATIO_CLAMP);
+        if self.samples == 0 {
+            self.factor = ratio;
+        } else {
+            self.factor = (1.0 - self.alpha) * self.factor + self.alpha * ratio;
+        }
+        self.samples += 1;
+    }
+
+    /// The current multiplicative correction applied to model estimates.
+    pub fn factor(&self) -> f64 {
+        self.factor
+    }
+
+    /// How many observations have been folded in.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+/// The cost-model-driven planner: turns the paper-§6 node-access analysis
+/// into the component that picks the execution configuration per query.
+///
+/// Decision rules (all deterministic given the same stats + calibration):
+///
+/// - **Backend** — prefer the packed serving image when materialised (its
+///   latency dominance over the pointer tree is CI-gated), else the
+///   in-memory tree, else the paged tier. The paged tier is never chosen
+///   over an available in-memory tree: it trades latency for bounded
+///   memory, which is the *caller's* constraint, not a per-query one.
+/// - **Mode** — parallel only when the calibrated total-node-access
+///   estimate amortises worker spawn + steal overhead
+///   ([`Planner::PARALLEL_THRESHOLD`]); the thread count then scales with
+///   the estimate ([`Planner::NODES_PER_THREAD`]) and clamps to
+///   `max_threads`. Below the threshold the sequential path is both faster
+///   and allocation-free.
+/// - **Tile** (collective batches) — tiles grow with the batch so adjacent
+///   Hilbert-ordered queries share node accesses, capped to bound frontier
+///   state, and on the paged tier additionally capped so one tile's
+///   working set (`tile × height` pages) fits the buffer pool without
+///   thrashing.
+/// - **Agg-cache** — on for real batches (≥ 2 queries, where repeated
+///   epoch scans amortise), off for trivial ones.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Planner {
+    calibration: Calibration,
+    /// Memoised `(fpk, raw)` model estimates keyed on
+    /// `(k, alpha0, stats fingerprint)`. The paper-§6 estimate needs a
+    /// power-law fit over the full aggregate sample plus a layered
+    /// bisection — far too expensive per query — while its inputs change
+    /// only when the index contents do. Calibration is applied *after* the
+    /// cached estimate, so the cache stays valid across feedback.
+    estimates: Vec<((usize, u64, u64), (f64, f64))>,
+}
+
+impl Planner {
+    /// Minimum calibrated node-access estimate before parallel execution
+    /// pays for itself.
+    pub const PARALLEL_THRESHOLD: f64 = 4096.0;
+    /// Calibrated node accesses each extra worker should have to chew on.
+    pub const NODES_PER_THREAD: f64 = 2048.0;
+    /// Collective tile-size bounds.
+    pub const MIN_TILE: usize = 16;
+    /// Upper tile bound (frontier state per tile is O(tile)).
+    pub const MAX_TILE: usize = 256;
+
+    /// A fresh planner with identity calibration.
+    pub fn new() -> Planner {
+        Planner::default()
+    }
+
+    /// Read access to the calibration state.
+    pub fn calibration(&self) -> &Calibration {
+        &self.calibration
+    }
+
+    /// Feeds one measured total-node-access count back into the
+    /// calibration, against the plan's raw (uncalibrated) model estimate.
+    pub fn feedback(&mut self, plan: &QueryPlan, measured_node_accesses: u64) {
+        self.calibration
+            .observe(plan.model_node_accesses, measured_node_accesses as f64);
+    }
+
+    /// Raw model estimate of total node accesses for `query` on an index
+    /// shaped like `stats`, plus the `f(pk)` it derives from. Falls back to
+    /// a height-based heuristic (`height + k/fanout` per query) when the
+    /// aggregate sample is degenerate (too few non-zero values, or a single
+    /// layer).
+    fn model_estimate(query: &QuerySpec, stats: &IndexStats) -> (f64, f64) {
+        if let Some(model) =
+            CostModel::from_aggregates(&stats.aggregates, query.alpha0, query.k, stats.fanout)
+        {
+            let model = model.with_support_area(stats.support_area.clamp(f64::MIN_POSITIVE, 1.0));
+            let fpk = model.estimate_fpk();
+            (fpk, model.estimate_total_node_accesses(fpk))
+        } else {
+            let per_query =
+                stats.height as f64 + query.k as f64 / stats.fanout.max(1.0);
+            (0.0, per_query.min(stats.node_count.max(1) as f64))
+        }
+    }
+
+    /// [`Planner::model_estimate`] through the memo: one fit + bisection
+    /// per distinct `(k, alpha0, stats)`, a linear scan of a tiny vector
+    /// after that.
+    fn estimate_cached(
+        &mut self,
+        query: &QuerySpec,
+        stats: &IndexStats,
+        fingerprint: u64,
+    ) -> (f64, f64) {
+        let key = (query.k, query.alpha0.to_bits(), fingerprint);
+        if let Some((_, e)) = self.estimates.iter().find(|(k, _)| *k == key) {
+            return *e;
+        }
+        let e = Self::model_estimate(query, stats);
+        if self.estimates.len() >= 64 {
+            self.estimates.clear(); // tiny workloads never get here
+        }
+        self.estimates.push((key, e));
+        e
+    }
+
+    /// Chooses the execution configuration for `query` (ISSUE-8 signature:
+    /// the paper-§6 estimates, calibrated online, drive every knob).
+    pub fn plan(&mut self, query: &QuerySpec, stats: &IndexStats) -> QueryPlan {
+        self.plan_keyed(query, stats, stats.fingerprint())
+    }
+
+    /// [`Planner::plan`] with a caller-supplied [`IndexStats::fingerprint`].
+    /// The fingerprint is a per-content-epoch token: callers that already
+    /// cache stats per epoch (the executor) hash once per epoch instead of
+    /// once per query.
+    pub fn plan_keyed(
+        &mut self,
+        query: &QuerySpec,
+        stats: &IndexStats,
+        fingerprint: u64,
+    ) -> QueryPlan {
+        let (fpk, raw) = self.estimate_cached(query, stats, fingerprint);
+        // The whole batch shares one traversal budget.
+        let raw_total = raw * query.batch.max(1) as f64;
+        let calibrated = (raw_total * self.calibration.factor())
+            .min(stats.node_count.max(1) as f64 * query.batch.max(1) as f64);
+
+        let backend = if stats.packed_available {
+            PlanBackend::Packed
+        } else if stats.paged_available {
+            // Only reachable when no in-memory tree is being planned for;
+            // TarIndex always has one, so this arm serves stats built for
+            // page-resident deployments.
+            PlanBackend::InMemory
+        } else {
+            PlanBackend::InMemory
+        };
+
+        let mode = if calibrated >= Self::PARALLEL_THRESHOLD && stats.max_threads >= 2 {
+            let threads = ((calibrated / Self::NODES_PER_THREAD) as usize)
+                .clamp(2, stats.max_threads);
+            PlanMode::Parallel { threads }
+        } else {
+            PlanMode::Sequential
+        };
+
+        let tile = if query.batch <= 1 {
+            1
+        } else {
+            let mut tile = query.batch.clamp(Self::MIN_TILE, Self::MAX_TILE);
+            if backend == PlanBackend::Paged && stats.buffer_capacity > 0 {
+                tile = tile.min((stats.buffer_capacity / stats.height.max(1)).max(1));
+            }
+            tile
+        };
+
+        QueryPlan {
+            mode,
+            backend,
+            tile,
+            agg_cache: query.batch >= 2,
+            estimated_fpk: fpk,
+            model_node_accesses: raw_total,
+            estimated_node_accesses: calibrated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod planner_tests {
+    use super::*;
+
+    fn sample_aggregates() -> Vec<u64> {
+        let mut rng = knnta_util::rng::StdRng::seed_from_u64(42);
+        let law = lbsn::PowerLaw::new(2.6, 8);
+        (0..4000).map(|_| law.sample(&mut rng)).collect()
+    }
+
+    fn stats() -> IndexStats {
+        IndexStats {
+            n: 4000,
+            node_count: 250,
+            height: 3,
+            fanout: effective_fanout(36),
+            aggregates: sample_aggregates(),
+            support_area: 0.2,
+            paged_available: false,
+            packed_available: false,
+            buffer_capacity: 0,
+            max_threads: 8,
+        }
+    }
+
+    #[test]
+    fn estimates_monotone_in_k() {
+        let mut planner = Planner::new();
+        let s = stats();
+        let mut prev = 0.0;
+        for k in [1, 5, 10, 50, 100] {
+            let plan = planner.plan(&QuerySpec::single(k, 0.3), &s);
+            assert!(
+                plan.estimated_node_accesses >= prev,
+                "k = {k}: {} >= {prev}",
+                plan.estimated_node_accesses
+            );
+            assert!(plan.estimated_node_accesses > 0.0);
+            prev = plan.estimated_node_accesses;
+        }
+    }
+
+    #[test]
+    fn calibration_converges_on_replayed_trace() {
+        // Replay a trace where the real tree consistently costs 3× the
+        // model's figure: the EWMA factor must converge to 3 and planned
+        // estimates must land within 5% of the measured costs.
+        let mut planner = Planner::new();
+        let s = stats();
+        for _ in 0..50 {
+            let plan = planner.plan(&QuerySpec::single(10, 0.3), &s);
+            let measured = (plan.model_node_accesses * 3.0).round() as u64;
+            planner.feedback(&plan, measured);
+        }
+        let f = planner.calibration().factor();
+        assert!((f - 3.0).abs() < 0.15, "factor = {f}");
+        let plan = planner.plan(&QuerySpec::single(10, 0.3), &s);
+        let err = (plan.estimated_node_accesses - plan.model_node_accesses * 3.0).abs()
+            / (plan.model_node_accesses * 3.0);
+        assert!(err < 0.05, "relative error {err}");
+        assert_eq!(planner.calibration().samples(), 50);
+    }
+
+    #[test]
+    fn calibration_ignores_degenerate_estimates() {
+        let mut c = Calibration::new();
+        c.observe(0.0, 100.0);
+        c.observe(f64::NAN, 100.0);
+        c.observe(10.0, -1.0);
+        assert_eq!(c.samples(), 0);
+        assert_eq!(c.factor(), 1.0);
+        // A wild outlier is clamped, not adopted verbatim.
+        c.observe(1.0, 1.0e9);
+        assert_eq!(c.factor(), 32.0);
+    }
+
+    #[test]
+    fn backend_prefers_packed_then_in_memory() {
+        let mut planner = Planner::new();
+        let mut s = stats();
+        assert_eq!(
+            planner.plan(&QuerySpec::single(10, 0.3), &s).backend,
+            PlanBackend::InMemory
+        );
+        s.paged_available = true;
+        s.buffer_capacity = 64;
+        assert_eq!(
+            planner.plan(&QuerySpec::single(10, 0.3), &s).backend,
+            PlanBackend::InMemory,
+            "paged trades latency for memory; never chosen over in-memory"
+        );
+        s.packed_available = true;
+        assert_eq!(
+            planner.plan(&QuerySpec::single(10, 0.3), &s).backend,
+            PlanBackend::Packed
+        );
+    }
+
+    #[test]
+    fn small_indexes_plan_sequential() {
+        // At laptop/bench scale the calibrated estimate sits far below the
+        // spawn-amortisation threshold: the plan must be sequential (which
+        // is also the measured-fastest fixed configuration there).
+        let mut planner = Planner::new();
+        let plan = planner.plan(&QuerySpec::single(100, 0.3), &stats());
+        assert_eq!(plan.mode, PlanMode::Sequential);
+    }
+
+    #[test]
+    fn huge_estimates_go_parallel_and_clamp_threads() {
+        let mut planner = Planner::new();
+        let mut s = stats();
+        s.n = 4_000_000;
+        s.node_count = 200_000;
+        // A large batch on a tree the calibration has learned costs far more
+        // than the model predicts (the ratio clamps at `RATIO_CLAMP`).
+        let spec = QuerySpec {
+            k: 100,
+            alpha0: 0.3,
+            batch: 16,
+        };
+        let probe = planner.plan(&spec, &s);
+        for _ in 0..20 {
+            planner.feedback(&probe, (probe.model_node_accesses * 50.0) as u64);
+        }
+        let plan = planner.plan(&spec, &s);
+        match plan.mode {
+            PlanMode::Parallel { threads } => {
+                assert!(threads >= 2 && threads <= s.max_threads, "threads = {threads}");
+            }
+            PlanMode::Sequential => panic!(
+                "estimate {} above threshold must plan parallel",
+                plan.estimated_node_accesses
+            ),
+        }
+        // max_threads = 1 forbids parallelism no matter the estimate.
+        s.max_threads = 1;
+        assert_eq!(planner.plan(&spec, &s).mode, PlanMode::Sequential);
+    }
+
+    #[test]
+    fn tile_scales_with_batch_and_respects_buffer() {
+        let mut planner = Planner::new();
+        let s = stats();
+        let mut tile_of = |batch: usize, s: &IndexStats| {
+            planner
+                .plan(&QuerySpec { k: 10, alpha0: 0.3, batch }, s)
+                .tile
+        };
+        assert_eq!(tile_of(1, &s), 1);
+        let mut prev = 0;
+        for batch in [2, 16, 64, 200, 1000, 10_000] {
+            let tile = tile_of(batch, &s);
+            assert!(tile >= Planner::MIN_TILE && tile <= Planner::MAX_TILE);
+            assert!(tile >= prev, "tile monotone in batch");
+            prev = tile;
+        }
+        assert_eq!(tile_of(10_000, &s), Planner::MAX_TILE);
+    }
+
+    #[test]
+    fn agg_cache_on_for_real_batches() {
+        let mut planner = Planner::new();
+        let s = stats();
+        assert!(!planner.plan(&QuerySpec::single(10, 0.3), &s).agg_cache);
+        assert!(planner.plan(&QuerySpec { k: 10, alpha0: 0.3, batch: 2 }, &s).agg_cache);
+    }
+
+    #[test]
+    fn degenerate_aggregates_fall_back_to_heuristic() {
+        let mut planner = Planner::new();
+        let mut s = stats();
+        s.aggregates = vec![7; 100]; // single layer: no power-law fit
+        let plan = planner.plan(&QuerySpec::single(10, 0.3), &s);
+        assert_eq!(plan.estimated_fpk, 0.0);
+        assert!(plan.estimated_node_accesses > 0.0);
+        assert!(plan.estimated_node_accesses <= s.node_count as f64);
+    }
+}

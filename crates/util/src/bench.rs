@@ -36,6 +36,9 @@
 //! * `KNNTA_BENCH_FAST=1` — smoke mode: 3 samples, ~2 ms per sample, for
 //!   CI gates that only verify the runner works end to end.
 //! * `KNNTA_BENCH_SAMPLES` — override the per-group sample count.
+//! * `KNNTA_BENCH_TARGET_MS` — override the target sample duration in
+//!   milliseconds (works in fast mode too; the verify planner gate sets it
+//!   so short benches average many iterations per noisy container sample).
 
 use crate::json::escape_string as json_str;
 use std::fmt::Display;
@@ -93,11 +96,18 @@ impl Harness {
             suite: suite.to_string(),
             results: Vec::new(),
             default_samples,
-            target_sample: if fast {
-                Duration::from_millis(2)
-            } else {
-                Duration::from_millis(25)
-            },
+            // KNNTA_BENCH_TARGET_MS widens samples even in fast mode: the
+            // verify planner gate uses it so short benches average many
+            // iterations per sample instead of timing a single noisy call.
+            target_sample: std::env::var("KNNTA_BENCH_TARGET_MS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .map(Duration::from_millis)
+                .unwrap_or(if fast {
+                    Duration::from_millis(2)
+                } else {
+                    Duration::from_millis(25)
+                }),
         }
     }
 
@@ -108,6 +118,24 @@ impl Harness {
             harness: self,
             name: name.to_string(),
             samples,
+        }
+    }
+
+    /// Opens a group whose benches are sampled **round-robin**: round `j`
+    /// times one sample of every registered bench before round `j+1`
+    /// starts, instead of exhausting each bench in turn. Time-correlated
+    /// machine noise (a bursty neighbor, a thermal dip) then lands on every
+    /// bench of the affected rounds alike, so *ratios* between the benches'
+    /// percentiles stay stable even when absolute numbers wobble. Use it
+    /// for gated A-vs-B comparisons (`bench_diff --within --assert-le`);
+    /// plain [`Harness::group`] remains right for independent measurements.
+    pub fn interleaved_group<'b>(&mut self, name: &str) -> InterleavedGroup<'_, 'b> {
+        let samples = self.default_samples;
+        InterleavedGroup {
+            harness: self,
+            name: name.to_string(),
+            samples,
+            benches: Vec::new(),
         }
     }
 
@@ -345,30 +373,109 @@ impl Group<'_> {
             counters: Vec::new(),
         };
         f(&mut b);
-        let (iters, mut per_iter_ns) = b
+        let (iters, per_iter_ns) = b
             .measured
             .unwrap_or_else(|| panic!("bench '{}' never called iter()", id));
-        per_iter_ns.sort_unstable();
-        let n = per_iter_ns.len();
-        let median_ns = per_iter_ns[n / 2];
-        let p95_ns = per_iter_ns[((n as f64 * 0.95).ceil() as usize).clamp(1, n) - 1];
-        let mean_ns = per_iter_ns.iter().sum::<u64>() as f64 / n as f64;
-        let min_ns = per_iter_ns[0];
-        self.harness.results.push(BenchResult {
-            group: self.name.clone(),
-            bench: id.to_string(),
-            iters_per_sample: iters,
-            samples: n,
-            median_ns,
-            p95_ns,
-            mean_ns,
-            min_ns,
-            counters: b.counters,
-        });
+        self.harness.results.push(result_of(
+            &self.name,
+            &id.to_string(),
+            iters,
+            per_iter_ns,
+            b.counters,
+        ));
     }
 
     /// No-op, for criterion-style symmetry.
     pub fn finish(self) {}
+}
+
+/// Summarizes raw per-iteration timings into a [`BenchResult`].
+fn result_of(
+    group: &str,
+    bench: &str,
+    iters: u64,
+    mut per_iter_ns: Vec<u64>,
+    counters: Vec<(String, u64)>,
+) -> BenchResult {
+    per_iter_ns.sort_unstable();
+    let n = per_iter_ns.len();
+    BenchResult {
+        group: group.to_string(),
+        bench: bench.to_string(),
+        iters_per_sample: iters,
+        samples: n,
+        median_ns: per_iter_ns[n / 2],
+        p95_ns: per_iter_ns[((n as f64 * 0.95).ceil() as usize).clamp(1, n) - 1],
+        mean_ns: per_iter_ns.iter().sum::<u64>() as f64 / n as f64,
+        min_ns: per_iter_ns[0],
+        counters,
+    }
+}
+
+/// A group measured round-robin; see [`Harness::interleaved_group`].
+///
+/// Benches are registered as plain closures (one *iteration* of work, as
+/// the body passed to [`Bencher::iter`] would be) and measured only when
+/// [`InterleavedGroup::finish`] runs: warmup and per-bench iteration
+/// calibration first, then `samples` rounds, each timing every bench once
+/// in registration order.
+pub struct InterleavedGroup<'h, 'b> {
+    harness: &'h mut Harness,
+    name: String,
+    samples: usize,
+    benches: Vec<(String, Box<dyn FnMut() + 'b>)>,
+}
+
+impl<'h, 'b> InterleavedGroup<'h, 'b> {
+    /// Sets the round count (ignored in fast mode and under
+    /// `KNNTA_BENCH_SAMPLES`, exactly like [`Group::sample_size`]).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if !fast_mode() && std::env::var("KNNTA_BENCH_SAMPLES").is_err() {
+            self.samples = n.max(2);
+        }
+        self
+    }
+
+    /// Registers one bench; `f` is a single iteration of the workload.
+    pub fn bench(&mut self, id: impl Display, f: impl FnMut() + 'b) {
+        self.benches.push((id.to_string(), Box::new(f)));
+    }
+
+    /// Runs the round-robin measurement and records one [`BenchResult`]
+    /// per registered bench.
+    pub fn finish(mut self) {
+        let target = self.harness.target_sample;
+        // Warmup + calibration per bench, mirroring `Bencher::iter`.
+        let mut iters = Vec::with_capacity(self.benches.len());
+        for (_, f) in &mut self.benches {
+            f();
+            let t0 = Instant::now();
+            f();
+            let once = t0.elapsed().max(Duration::from_nanos(1));
+            iters.push((target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64);
+        }
+        let mut per_bench: Vec<Vec<u64>> = self
+            .benches
+            .iter()
+            .map(|_| Vec::with_capacity(self.samples))
+            .collect();
+        for _ in 0..self.samples {
+            for (i, (_, f)) in self.benches.iter_mut().enumerate() {
+                let t0 = Instant::now();
+                for _ in 0..iters[i] {
+                    f();
+                }
+                per_bench[i].push((t0.elapsed().as_nanos() as u64) / iters[i]);
+            }
+        }
+        for ((id, _), (iters, samples)) in
+            self.benches.iter().zip(iters.into_iter().zip(per_bench))
+        {
+            self.harness
+                .results
+                .push(result_of(&self.name, id, iters, samples, Vec::new()));
+        }
+    }
 }
 
 /// Drives the measurement of a single bench.
@@ -482,6 +589,36 @@ mod tests {
     }
 
     #[test]
+    fn interleaved_group_samples_round_robin() {
+        let mut h = Harness::new("unit_interleaved");
+        // Records the bench label per call, compressing consecutive
+        // repeats so each timed block (and warmup pair) collapses to one
+        // entry; round-robin then shows as strict a/b alternation.
+        let order = std::cell::RefCell::new(Vec::<&'static str>::new());
+        let push = |tag: &'static str| {
+            let mut o = order.borrow_mut();
+            if o.last() != Some(&tag) {
+                o.push(tag);
+            }
+        };
+        let mut g = h.interleaved_group("ig");
+        g.sample_size(2);
+        g.bench("a", || push("a"));
+        g.bench("b", || push("b"));
+        g.finish();
+        // Warmup visits a then b once; each of the 2 rounds visits a then b.
+        assert_eq!(*order.borrow(), ["a", "b", "a", "b", "a", "b"]);
+        assert_eq!(h.results().len(), 2);
+        for (r, id) in h.results().iter().zip(["a", "b"]) {
+            assert_eq!(r.group, "ig");
+            assert_eq!(r.bench, id);
+            assert_eq!(r.samples, 2);
+            assert!(r.p95_ns >= r.median_ns);
+            assert!(r.min_ns <= r.median_ns);
+        }
+    }
+
+    #[test]
     fn json_escapes_quotes() {
         assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
     }
@@ -586,5 +723,36 @@ mod tests {
         assert_eq!(notes.len(), 2);
         assert!(notes.iter().any(|n| n.contains("only in new run")));
         assert!(notes.iter().any(|n| n.contains("only in old run")));
+    }
+
+    /// Pins graceful degradation on *asymmetric suites*: when one run
+    /// carries a whole bench group the other lacks (a fresh report with a
+    /// newly added group diffed against an old baseline), the diff must
+    /// still produce deltas for every common bench and one note per
+    /// one-sided bench — never a panic, and never a silent drop.
+    #[test]
+    fn diff_survives_asymmetric_suites() {
+        let old = parse_report(
+            "{\"suite\": \"s\", \"results\": [\
+             {\"group\": \"query_latency\", \"bench\": \"10\", \"p95_ns\": 100}]}",
+        )
+        .unwrap();
+        let new = parse_report(
+            "{\"suite\": \"s\", \"results\": [\
+             {\"group\": \"query_latency\", \"bench\": \"10\", \"p95_ns\": 110},\
+             {\"group\": \"planner\", \"bench\": \"planned/10\", \"p95_ns\": 90},\
+             {\"group\": \"planner\", \"bench\": \"mem_seq/10\", \"p95_ns\": 95}]}",
+        )
+        .unwrap();
+        let (deltas, notes) = diff_reports(&old, &new);
+        assert_eq!(deltas.len(), 1, "common benches still diff");
+        assert_eq!((deltas[0].old_p95_ns, deltas[0].new_p95_ns), (100, 110));
+        assert_eq!(notes.len(), 2, "one note per one-sided bench");
+        assert!(notes.iter().all(|n| n.contains("only in new run")));
+        // And the mirror image — old baseline has the extra group.
+        let (deltas, notes) = diff_reports(&new, &old);
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(notes.len(), 2);
+        assert!(notes.iter().all(|n| n.contains("only in old run")));
     }
 }

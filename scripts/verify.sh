@@ -7,9 +7,10 @@
 # the rtree / mvbt / core property harnesses at KNNTA_PROP_CASES=10000
 # (override the case count by exporting KNNTA_PROP_CASES yourself), the
 # parallel-search and collective-batch differential oracles at their soak
-# case counts, and the snapshot-equivalence oracle (concurrent live
+# case counts, the snapshot-equivalence oracle (concurrent live
 # ingestion vs frozen single-threaded replay) with many randomized
-# writer/reader schedules. The default
+# writer/reader schedules, and the planner differential oracle (planned
+# execution vs every forced configuration, bit-identical). The default
 # fast path is unchanged and stays within the tier-1 budget.
 # (`./scripts/soak.sh` wraps this lane for nightly cron, archiving failing
 # seeds to soak_failures/.)
@@ -24,7 +25,11 @@
 # 25% against the baseline's BENCH_*.json files (via the bench_diff binary),
 # then gates the packed serving tier: packed/TAR-tree/{k} must beat
 # query_latency/TAR-tree/{k} on median AND p95 (bench_diff --within
-# --metric both, zero slack).
+# --metric both, zero slack), and gates the cost-model planner:
+# planner/planned/{k} p95 must stay within 1.15x of every fixed
+# configuration (mem_seq / packed_seq / paged_seq), i.e. within 1.15x of
+# the best one, measured on a dedicated 21-sample re-run of the queries
+# suite.
 #
 # Opt-in observability lane: KNNTA_OBS_CHECK=1 runs a traced query + batch
 # through the knnta CLI, validates both JSON artifacts against the
@@ -54,6 +59,8 @@ if [ "${KNNTA_SOAK:-0}" != "0" ] && [ -n "${KNNTA_SOAK:-}" ]; then
     cargo test -q --release --offline --test batch_oracle
     echo "== soak: snapshot-equivalence oracle (randomized writer/reader schedules) =="
     cargo test -q --release --offline --test snapshot_oracle
+    echo "== soak: planner differential oracle (planned vs every forced config) =="
+    cargo test -q --release --offline --test planner_oracle
 fi
 
 if [ -n "${KNNTA_BENCH_DIFF:-}" ]; then
@@ -94,6 +101,26 @@ if [ -n "${KNNTA_BENCH_DIFF:-}" ]; then
             --assert-le "packed/TAR-tree/$k" "query_latency/TAR-tree/$k" \
             --slack 0.0 --metric both
     done
+    echo "== bench-diff: planner gate (planned p95 <= 1.15x every fixed config) =="
+    # Being within 1.15x of *every* fixed configuration implies being within
+    # 1.15x of the best one (the ISSUE acceptance bound). The smoke run above
+    # takes 3 samples of ~1 iteration each, where p95 is just the max of
+    # three noisy timings; re-run the queries suite at 21 samples with a
+    # 25 ms sample target so each sample averages many iterations and p95 is
+    # the 2nd-largest (one bad container sample cannot flip the gate).
+    plandir="$(mktemp -d)"
+    trap 'rm -rf "$fresh" "$plandir"' EXIT
+    KNNTA_BENCH_FAST=1 KNNTA_BENCH_SAMPLES=21 KNNTA_BENCH_TARGET_MS=25 \
+        KNNTA_BENCH_DIR="$plandir" \
+        cargo bench --offline -p knnta-bench --bench queries
+    for k in 1 10 100; do
+        for cfg in mem_seq packed_seq paged_seq; do
+            cargo run -q --release --offline --bin bench_diff -- \
+                --within "$plandir/BENCH_queries.json" \
+                --assert-le "planner/planned/$k" "planner/$cfg/$k" \
+                --slack 0.15 --metric p95
+        done
+    done
     echo "== bench-diff: live-ingestion throughput floor (>= 1M check-ins/sec at 8 shards) =="
     # One iteration records 200k check-ins (see benches/ingestion.rs), so a
     # 200ms median ceiling is exactly the 1M check-ins/sec floor.
@@ -105,7 +132,7 @@ fi
 if [ "${KNNTA_OBS_CHECK:-0}" != "0" ] && [ -n "${KNNTA_OBS_CHECK:-}" ]; then
     obsdir="$(mktemp -d)"
     # (re-traps to also cover $fresh if the bench-diff lane ran above)
-    trap 'rm -rf "$obsdir" "${fresh:-}"' EXIT
+    trap 'rm -rf "$obsdir" "${fresh:-}" "${plandir:-}"' EXIT
     knnta="target/release/knnta"
     echo "== obs-check: traced query + batch, schema validation =="
     "$knnta" generate --dataset GS --out "$obsdir/gs.csv" --scale 0.004 --seed 20260704

@@ -14,8 +14,8 @@
 //! with `epoch = -1, count = 0` declares a POI with no check-ins yet).
 
 use knnta::core::{
-    BatchOptions, BatchOrder, Grouping, IndexConfig, KnntaQuery, LiveIndex, LiveOptions, Poi,
-    StorageBackend, TarIndex,
+    BatchOptions, BatchOrder, Executor, Grouping, IndexConfig, KnntaQuery, LiveIndex, LiveOptions,
+    Poi, QueryPlan, StorageBackend, TarIndex,
 };
 use knnta::obs::{render_report, MetricsDoc, Obs, TraceDoc};
 use knnta::pagestore::{BufferPoolConfig, PolicyKind};
@@ -40,7 +40,9 @@ fn main() -> ExitCode {
     } else {
         (Vec::new(), rest.to_vec())
     };
-    let opts = match Opts::parse(&flagged) {
+    // `report --metrics` takes a file path; `explain --metrics` is a switch.
+    let extra_flags: &[&str] = if cmd == "explain" { &["metrics"] } else { &[] };
+    let opts = match Opts::parse(&flagged, extra_flags) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
@@ -54,6 +56,7 @@ fn main() -> ExitCode {
         "stats" => stats(&opts),
         "query" => query(&opts),
         "batch" => batch(&opts),
+        "explain" => explain(&opts),
         "report" => report(&positional, &opts),
         "mwa" => mwa(&opts),
         "skyline" => skyline(&opts),
@@ -102,6 +105,10 @@ commands:
                             (record a knnta.trace.v1 span trace and/or a
                              knnta.metrics.v1 counter snapshot; answers and
                              node-access accounting are unchanged)
+            [--plan auto]   (let the cost-model planner choose the execution
+                             configuration among the in-memory tree and any
+                             --paged/--packed image supplied; prints the
+                             chosen plan. Conflicts with --threads.)
   batch     --index FILE --queries FILE [--batch-order hilbert|input]
             [--individual] [--no-agg-cache]
             [--paged] [--policy lru|clock|2q] [--buffer-slots N] [--packed]
@@ -111,6 +118,16 @@ commands:
                              query at a time with --individual; answers are
                              identical either way. The queries CSV is
                              `x,y,from_day,to_day[,k[,alpha0]]`.)
+            [--plan auto]   (planner-chosen tile size, aggregate cache, and
+                             backend; conflicts with --individual,
+                             --no-agg-cache, and --batch-order)
+  explain   --index FILE --x X --y Y --from-day A --to-day B [--k K] [--alpha0 W]
+            [--paged] [--policy lru|clock|2q] [--buffer-slots N] [--packed]
+            [--metrics]     (prints the plan the cost-model planner would
+                             choose plus its paper-§6 node-access estimates;
+                             --metrics also runs the query and reports the
+                             estimate-vs-measured error and the updated
+                             calibration factor)
   report    TRACE [--metrics FILE] [--check]
                             (per-phase breakdown table — filter vs. TIA
                              aggregation vs. page I/O — from a --trace-out
@@ -126,14 +143,14 @@ struct Opts(BTreeMap<String, String>);
 const FLAGS: &[&str] = &["paged", "packed", "individual", "no-agg-cache", "check"];
 
 impl Opts {
-    fn parse(args: &[String]) -> Result<Opts, String> {
+    fn parse(args: &[String], extra_flags: &[&str]) -> Result<Opts, String> {
         let mut map = BTreeMap::new();
         let mut i = 0;
         while i < args.len() {
             let key = args[i]
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected an option, got `{}`", args[i]))?;
-            if FLAGS.contains(&key) {
+            if FLAGS.contains(&key) || extra_flags.contains(&key) {
                 map.insert(key.to_string(), "true".to_string());
                 i += 1;
                 continue;
@@ -598,6 +615,27 @@ fn write_obs_artifacts(opts: &Opts, index: &TarIndex) -> Result<(), String> {
     Ok(())
 }
 
+/// Whether `--plan auto` was requested (the only accepted value).
+fn plan_auto(opts: &Opts) -> Result<bool, String> {
+    match opts.0.get("plan").map(String::as_str) {
+        None => Ok(false),
+        Some("auto") => Ok(true),
+        Some(other) => Err(format!("--plan: `{other}` (want auto)")),
+    }
+}
+
+/// One-line rendering of a planner-chosen configuration.
+fn plan_line(plan: &QueryPlan) -> String {
+    format!(
+        "(plan: {} on {}, tile {}, agg-cache {}; est {:.1} node accesses)",
+        plan.mode,
+        plan.backend,
+        plan.tile,
+        if plan.agg_cache { "on" } else { "off" },
+        plan.estimated_node_accesses,
+    )
+}
+
 fn query(opts: &Opts) -> Result<(), String> {
     let mut index = open_index(opts)?;
     enable_obs(opts, &mut index);
@@ -608,15 +646,32 @@ fn query(opts: &Opts) -> Result<(), String> {
     }
     let packed = packed_tree_of(opts, &index)?;
     let paged = paged_nodes_of(opts, &index)?;
-    let backend = match (&packed, &paged) {
-        (Some(p), _) => StorageBackend::Packed(p),
-        (None, Some(p)) => StorageBackend::Paged(p),
-        (None, None) => StorageBackend::InMemory,
-    };
-    let hits = if threads > 1 {
-        index.query_parallel_on(&q, threads, backend)
+    let hits = if plan_auto(opts)? {
+        if opts.0.contains_key("threads") {
+            return Err("--threads conflicts with --plan auto (the planner chooses)".into());
+        }
+        let mut exec = Executor::new(&index);
+        if let Some(p) = &paged {
+            exec = exec.with_paged(p);
+        }
+        if let Some(p) = &packed {
+            exec = exec.with_packed(p);
+        }
+        let hits = exec.query(&q);
+        let plan = *exec.last_plan().expect("query records the plan it ran");
+        eprintln!("{}", plan_line(&plan));
+        hits
     } else {
-        index.query_on(&q, backend)
+        let backend = match (&packed, &paged) {
+            (Some(p), _) => StorageBackend::Packed(p),
+            (None, Some(p)) => StorageBackend::Paged(p),
+            (None, None) => StorageBackend::InMemory,
+        };
+        if threads > 1 {
+            index.query_parallel_on(&q, threads, backend)
+        } else {
+            index.query_on(&q, backend)
+        }
     };
     println!("rank  poi        score     check-ins  distance");
     for (rank, h) in hits.iter().enumerate() {
@@ -722,21 +777,45 @@ fn batch(opts: &Opts) -> Result<(), String> {
         .ok_or(format!("--batch-order: `{order_name}` (want hilbert|input)"))?;
     let packed = packed_tree_of(opts, &index)?;
     let paged = paged_nodes_of(opts, &index)?;
-    let backend = match (&packed, &paged) {
-        (Some(p), _) => StorageBackend::Packed(p),
-        (None, Some(p)) => StorageBackend::Paged(p),
-        (None, None) => StorageBackend::InMemory,
-    };
     index.stats().reset();
-    let results = if opts.flag("individual") {
-        index.query_batch_individual_on(&queries, backend)
+    let mut planned = None;
+    let results = if plan_auto(opts)? {
+        if opts.flag("individual")
+            || opts.flag("no-agg-cache")
+            || opts.0.contains_key("batch-order")
+        {
+            return Err(
+                "--plan auto conflicts with --individual / --no-agg-cache / --batch-order \
+                 (the planner chooses)"
+                    .into(),
+            );
+        }
+        let mut exec = Executor::new(&index);
+        if let Some(p) = &paged {
+            exec = exec.with_paged(p);
+        }
+        if let Some(p) = &packed {
+            exec = exec.with_packed(p);
+        }
+        let results = exec.query_batch(&queries);
+        planned = exec.last_plan().copied();
+        results
     } else {
-        let bopts = BatchOptions {
-            order,
-            agg_cache: !opts.flag("no-agg-cache"),
-            ..BatchOptions::default()
+        let backend = match (&packed, &paged) {
+            (Some(p), _) => StorageBackend::Packed(p),
+            (None, Some(p)) => StorageBackend::Paged(p),
+            (None, None) => StorageBackend::InMemory,
         };
-        index.query_batch_collective_on(&queries, &bopts, backend)
+        if opts.flag("individual") {
+            index.query_batch_individual_on(&queries, backend)
+        } else {
+            let bopts = BatchOptions {
+                order,
+                agg_cache: !opts.flag("no-agg-cache"),
+                ..BatchOptions::default()
+            };
+            index.query_batch_collective_on(&queries, &bopts, backend)
+        }
     };
     for (i, hits) in results.iter().enumerate() {
         println!("query {i}: {} hit(s)", hits.len());
@@ -751,17 +830,77 @@ fn batch(opts: &Opts) -> Result<(), String> {
             );
         }
     }
+    if let Some(plan) = &planned {
+        eprintln!("{}", plan_line(plan));
+    }
     eprintln!(
         "({} queries, {} node accesses, {} mode)",
         queries.len(),
         index.stats().node_accesses(),
-        if opts.flag("individual") {
+        if planned.is_some() {
+            "collective/planned".to_string()
+        } else if opts.flag("individual") {
             "individual".to_string()
         } else {
             format!("collective/{order}")
         }
     );
     write_obs_artifacts(opts, &index)?;
+    Ok(())
+}
+
+/// Prints the plan the cost-model planner would choose for a query, its
+/// paper-§6 node-access estimates, and — with `--metrics` — the
+/// estimate-vs-measured error after actually running the query.
+fn explain(opts: &Opts) -> Result<(), String> {
+    let index = open_index(opts)?;
+    let q = parse_query(opts)?;
+    let packed = packed_tree_of(opts, &index)?;
+    let paged = paged_nodes_of(opts, &index)?;
+    let mut exec = Executor::new(&index);
+    if let Some(p) = &paged {
+        exec = exec.with_paged(p);
+    }
+    if let Some(p) = &packed {
+        exec = exec.with_packed(p);
+    }
+    let plan = exec.plan(&q);
+    let s = exec.index_stats().clone();
+    println!("plan:        {} on {}", plan.mode, plan.backend);
+    println!(
+        "batching:    tile {}, agg-cache {}",
+        plan.tile,
+        if plan.agg_cache { "on" } else { "off" }
+    );
+    println!(
+        "estimates:   fpk {:.4}; model {:.1} node accesses; calibrated {:.1}",
+        plan.estimated_fpk, plan.model_node_accesses, plan.estimated_node_accesses
+    );
+    println!(
+        "index:       {} POIs, {} nodes, height {}, effective fanout {:.1}",
+        s.n, s.node_count, s.height, s.fanout
+    );
+    if opts.flag("metrics") {
+        let before = index.stats().node_accesses();
+        let hits = exec.query(&q);
+        let measured = index.stats().node_accesses() - before;
+        let error = if plan.estimated_node_accesses > 0.0 {
+            100.0 * (measured as f64 - plan.estimated_node_accesses)
+                / plan.estimated_node_accesses
+        } else {
+            0.0
+        };
+        println!(
+            "measured:    {measured} node accesses for {} hit(s); estimate error {error:+.1}%",
+            hits.len()
+        );
+        let cal = exec.planner().calibration();
+        println!(
+            "calibration: factor {:.3} after {} sample(s)",
+            cal.factor(),
+            cal.samples()
+        );
+    }
     Ok(())
 }
 

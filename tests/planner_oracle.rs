@@ -1,0 +1,167 @@
+//! Differential oracle for the cost-model planner (`DESIGN.md` §14).
+//!
+//! Whatever configuration [`Executor`] plans — sequential or parallel,
+//! in-memory, paged, or packed, any tile size or cache setting — the answer
+//! must be **bit-identical** to every forced configuration of the same
+//! query. The plan is allowed to change *how fast* an answer arrives, never
+//! *which* answer arrives: admissibility of the best-first search (paper
+//! Section 4.3) is a property of the scoring function, not of the execution
+//! configuration.
+
+mod common;
+
+use common::{index_of, small_dataset};
+use knnta::core::{BatchOptions, Executor, Grouping, QueryHit, StorageBackend};
+use knnta::lbsn::{IntervalAnchor, Workload};
+use knnta::pagestore::{BufferPoolConfig, PolicyKind};
+use knnta::KnntaQuery;
+
+/// Queries per grouping: a fast handful by default, 10× that under
+/// `KNNTA_SOAK=1` (the soak lane in `scripts/verify.sh`).
+fn differential_cases() -> usize {
+    let soak = std::env::var("KNNTA_SOAK").map_or(false, |v| v != "0" && !v.is_empty());
+    if soak {
+        40
+    } else {
+        8
+    }
+}
+
+/// Bitwise identity key: no float tolerance anywhere.
+fn key(hits: &[QueryHit]) -> Vec<(u32, u64, u64)> {
+    hits.iter()
+        .map(|h| (h.poi.0, h.score.to_bits(), h.aggregate))
+        .collect()
+}
+
+/// The planner-chosen execution of every (query, k) case must be
+/// bit-identical to each forced configuration: the plain in-memory search,
+/// the work-stealing traversal at several thread counts, the packed image,
+/// and the paged store under every replacement policy.
+#[test]
+fn planned_queries_match_every_forced_config() {
+    let dataset = small_dataset();
+    let cases = differential_cases();
+    for grouping in [Grouping::TarIntegral, Grouping::IndSpa, Grouping::IndAgg] {
+        let index = index_of(&dataset, grouping);
+        let packed = index.pack();
+        let paged: Vec<_> = PolicyKind::ALL
+            .iter()
+            .map(|&policy| {
+                index.materialize_paged_nodes(
+                    index.config_node_size(),
+                    BufferPoolConfig::new(8, policy),
+                )
+            })
+            .collect();
+        let mut exec = Executor::new(&index).with_packed(&packed).with_paged(&paged[0]);
+        let workload = Workload::generate(&dataset, cases, IntervalAnchor::Random, 77);
+        for (i, &(point, interval)) in workload.queries.iter().enumerate() {
+            for k in [1, 10, 100] {
+                let q = KnntaQuery::new(point, interval).with_k(k).with_alpha0(0.3);
+                let planned = key(&exec.query(&q));
+                let plan = exec.last_plan().expect("executor records its plan");
+                let ctx = format!("{grouping} query {i} k={k} ({plan:?})");
+                assert_eq!(planned, key(&index.query(&q)), "{ctx}: vs in-memory seq");
+                for threads in [1, 2, 4, 8] {
+                    assert_eq!(
+                        planned,
+                        key(&index.query_parallel(&q, threads)),
+                        "{ctx}: vs in-memory par({threads})"
+                    );
+                }
+                assert_eq!(
+                    planned,
+                    key(&index.query_on(&q, StorageBackend::Packed(&packed))),
+                    "{ctx}: vs packed seq"
+                );
+                for (p, policy) in paged.iter().zip(PolicyKind::ALL) {
+                    assert_eq!(
+                        planned,
+                        key(&index.query_on(&q, StorageBackend::Paged(p))),
+                        "{ctx}: vs paged/{policy}"
+                    );
+                }
+                assert_eq!(
+                    planned,
+                    key(&index.query_parallel_on(&q, 4, StorageBackend::Packed(&packed))),
+                    "{ctx}: vs packed par(4)"
+                );
+            }
+        }
+    }
+}
+
+/// Planned batches must be bit-identical to the forced collective and
+/// individual batch paths on every backend, whatever tile size or cache
+/// setting the planner picked.
+#[test]
+fn planned_batches_match_every_forced_config() {
+    let dataset = small_dataset();
+    let cases = differential_cases().max(12);
+    for grouping in [Grouping::TarIntegral, Grouping::IndSpa, Grouping::IndAgg] {
+        let index = index_of(&dataset, grouping);
+        let packed = index.pack();
+        let paged = index.materialize_paged_nodes(
+            index.config_node_size(),
+            BufferPoolConfig::new(8, PolicyKind::Lru),
+        );
+        let workload = Workload::generate(&dataset, cases, IntervalAnchor::Recent, 78);
+        let queries: Vec<_> = workload
+            .queries
+            .iter()
+            .enumerate()
+            .map(|(i, &(point, interval))| {
+                KnntaQuery::new(point, interval)
+                    .with_k(1 + (i % 10))
+                    .with_alpha0(0.3)
+            })
+            .collect();
+        let mut exec = Executor::new(&index).with_packed(&packed).with_paged(&paged);
+        let planned: Vec<_> = exec.query_batch(&queries).iter().map(|h| key(h)).collect();
+        let ctx = format!("{grouping} batch ({:?})", exec.last_plan());
+        let opts = BatchOptions::default();
+        for (name, forced) in [
+            ("collective in-memory", index.query_batch_collective(&queries)),
+            (
+                "collective packed",
+                index.query_batch_collective_on(&queries, &opts, StorageBackend::Packed(&packed)),
+            ),
+            (
+                "collective paged",
+                index.query_batch_collective_on(&queries, &opts, StorageBackend::Paged(&paged)),
+            ),
+            ("individual", index.query_batch_individual(&queries)),
+        ] {
+            let forced: Vec<_> = forced.iter().map(|h| key(h)).collect();
+            assert_eq!(planned, forced, "{ctx}: vs {name}");
+        }
+    }
+}
+
+/// The feedback loop must not drift the answers: repeated planned
+/// executions of the same query — while the calibration factor moves —
+/// always return the first answer, bit for bit.
+#[test]
+fn calibration_feedback_never_changes_answers() {
+    let dataset = small_dataset();
+    let index = index_of(&dataset, Grouping::TarIntegral);
+    let packed = index.pack();
+    let mut exec = Executor::new(&index).with_packed(&packed);
+    let workload = Workload::generate(&dataset, 4, IntervalAnchor::Random, 79);
+    for &(point, interval) in &workload.queries {
+        let q = KnntaQuery::new(point, interval).with_k(10).with_alpha0(0.3);
+        let first = key(&exec.query(&q));
+        for round in 0..10 {
+            assert_eq!(
+                first,
+                key(&exec.query(&q)),
+                "round {round}: answers drifted under calibration feedback"
+            );
+        }
+    }
+    assert!(
+        exec.planner().calibration().samples() >= 40,
+        "every planned execution must feed the calibration"
+    );
+}

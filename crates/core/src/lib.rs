@@ -85,6 +85,7 @@ mod parallel;
 mod persist;
 mod plan;
 mod poi;
+mod shard;
 mod skyline;
 mod storage;
 
@@ -105,5 +106,6 @@ pub use costmodel::{
     Calibration, IndexStats, PlanBackend, PlanMode, Planner, QueryPlan, QuerySpec,
 };
 pub use poi::{KnntaQuery, Poi, QueryHit};
+pub use shard::{merge_ranked, partition_pois};
 pub use skyline::{dominates, reversed_skyline_of, skyline_of};
 pub use storage::{PagedNodes, StorageBackend};

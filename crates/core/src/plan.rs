@@ -420,6 +420,7 @@ pub struct Executor<'a> {
     index: &'a TarIndex,
     paged: Option<&'a PagedNodes>,
     packed: Option<&'a PackedTarTree>,
+    root_max: Option<&'a AggregateSeries>,
     planner: Planner,
     /// `(content epoch, stats, stats fingerprint)` — the fingerprint is
     /// hashed once per epoch and handed to [`Planner::plan_keyed`].
@@ -435,6 +436,7 @@ impl<'a> Executor<'a> {
             index,
             paged: None,
             packed: None,
+            root_max: None,
             planner: Planner::new(),
             stats: None,
             last_plan: None,
@@ -456,9 +458,39 @@ impl<'a> Executor<'a> {
         self
     }
 
+    /// Overrides the `gmax` normaliser source with a caller-owned root-max
+    /// series. A shard of a partitioned index passes the *global* root-max
+    /// here so its scores are bit-identical to the unsharded tree's —
+    /// `TiaAug` keeps internal entries as per-epoch maxima of their
+    /// children, so the global root-max equals the per-epoch max over every
+    /// POI series regardless of how the POIs are partitioned.
+    pub fn with_root_max(mut self, root_max: &'a AggregateSeries) -> Executor<'a> {
+        self.root_max = Some(root_max);
+        self
+    }
+
+    /// The fixed execution environment every plan runs under: no overlay,
+    /// freshness checks on, the optional caller-owned normaliser.
+    fn env(&self) -> ExecEnv<'a> {
+        ExecEnv {
+            index: self.index,
+            overlay: None,
+            root_max: self.root_max,
+            check_fresh: true,
+        }
+    }
+
     /// The planner (estimates + calibration state).
     pub fn planner(&self) -> &Planner {
         &self.planner
+    }
+
+    /// Seeds the executor with a previously-accumulated planner, so EWMA
+    /// calibration survives the executor being rebuilt (the service carries
+    /// each shard's planner across shard rebuilds this way).
+    pub fn with_planner(mut self, planner: Planner) -> Executor<'a> {
+        self.planner = planner;
+        self
     }
 
     /// The plan chosen by the most recent [`Executor::plan`] /
@@ -527,12 +559,11 @@ impl<'a> Executor<'a> {
     /// replaying a plan or for `knnta explain --metrics`.
     pub fn execute(&self, query: &KnntaQuery, plan: &QueryPlan) -> Vec<QueryHit> {
         let backend = self.backend_of(plan);
-        match plan.mode {
-            PlanMode::Sequential => self.index.query_on(query, backend),
-            PlanMode::Parallel { threads } => {
-                self.index.query_parallel_on(query, threads, backend)
-            }
-        }
+        let mode = match plan.mode {
+            PlanMode::Sequential => ExecMode::Seq,
+            PlanMode::Parallel { threads } => ExecMode::Par(threads),
+        };
+        run_query(&self.env(), backend, mode, query)
     }
 
     /// Plans and answers one query, feeding the measured node accesses back
@@ -557,7 +588,7 @@ impl<'a> Executor<'a> {
         };
         let backend = self.backend_of(&plan);
         let before = self.index.stats().snapshot().node_accesses;
-        let results = self.index.query_batch_collective_on(queries, &opts, backend);
+        let results = run_batch(&self.env(), backend, queries, &opts);
         let after = self.index.stats().snapshot().node_accesses;
         self.planner.feedback(&plan, after.saturating_sub(before));
         results

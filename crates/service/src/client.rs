@@ -1,0 +1,140 @@
+//! A seeded open-loop load client for the query service.
+//!
+//! "Open loop" means arrivals are scheduled on a fixed clock — query `i`
+//! is submitted at `start + i / rate` regardless of how fast earlier
+//! queries complete — so offered load is independent of service latency
+//! and queueing delay shows up in the measured latencies instead of being
+//! absorbed by the client (the standard way to expose saturation).
+//!
+//! Query points follow the check-in **power law** of the `lbsn`
+//! generators: ranks are drawn from [`lbsn::PowerLaw`] and mapped onto
+//! POIs ordered by total check-ins, so a handful of popular locations
+//! absorb most of the traffic — exactly the skew that makes Hilbert
+//! locality tiles pay off, since concurrent queries pile onto the same
+//! few hot regions. Intervals are the workload generator's power-of-two
+//! "recent" spans. Everything is deterministic under the seed.
+
+use crate::Service;
+use knnta_core::KnntaQuery;
+use knnta_util::rng::{Rng, StdRng};
+use lbsn::{LbsnDataset, PowerLaw};
+use std::time::{Duration, Instant};
+use tempora::{TimeInterval, Timestamp};
+
+/// Open-loop client knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientConfig {
+    /// Total queries to submit.
+    pub queries: usize,
+    /// Offered load in queries/second (the open-loop clock).
+    pub rate_qps: f64,
+    /// `k` of every query.
+    pub k: usize,
+    /// `α0` of every query.
+    pub alpha0: f64,
+    /// Power-law exponent of the popularity rank distribution (`> 1`;
+    /// ~2.2 matches the check-in fits of the lbsn generators).
+    pub beta: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            queries: 500,
+            rate_qps: 2000.0,
+            k: 10,
+            alpha0: 0.3,
+            beta: 2.2,
+            seed: 20_260_704,
+        }
+    }
+}
+
+/// What an open-loop run measured.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientReport {
+    /// Queries submitted (== answered; every ticket resolved).
+    pub completed: usize,
+    /// Wall-clock from first submit to last answer.
+    pub elapsed: Duration,
+    /// Achieved throughput over `elapsed`.
+    pub qps: f64,
+    /// Median submit-to-answer latency, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile submit-to-answer latency, microseconds.
+    pub p95_us: u64,
+    /// Worst submit-to-answer latency, microseconds.
+    pub max_us: u64,
+}
+
+/// Generates the power-law query stream for `dataset` (pure function of
+/// the config — callers replay it for oracle comparisons).
+pub fn powerlaw_queries(dataset: &LbsnDataset, config: &ClientConfig) -> Vec<KnntaQuery> {
+    assert!(!dataset.is_empty(), "client needs a non-empty dataset");
+    let totals: Vec<u64> = dataset
+        .series
+        .iter()
+        .map(|s| s.iter().map(|(_, v)| v).sum())
+        .collect();
+    let mut by_popularity: Vec<usize> = (0..dataset.len()).collect();
+    by_popularity.sort_by_key(|&i| (std::cmp::Reverse(totals[i]), i));
+
+    let law = PowerLaw::new(config.beta, 1);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x0C11_E017);
+    let tc = dataset.grid.tc();
+    (0..config.queries)
+        .map(|_| {
+            let rank = (law.sample(&mut rng).max(1) as usize - 1).min(by_popularity.len() - 1);
+            let point = dataset.positions[by_popularity[rank]];
+            let exp = rng.gen_range(0..=9u32);
+            let len = (1i64 << exp).min(tc.days().max(1)) * Timestamp::DAY;
+            KnntaQuery::new(point, TimeInterval::new(tc - len, tc))
+                .with_k(config.k)
+                .with_alpha0(config.alpha0)
+        })
+        .collect()
+}
+
+/// Submits `queries` open-loop at `rate_qps`, waits for every answer, and
+/// reports achieved throughput + latency percentiles.
+///
+/// Latency is measured merger-side (each answer carries its completion
+/// instant), so waiting for tickets after the submit phase does not skew
+/// the numbers.
+pub fn run_open_loop(service: &Service, queries: &[KnntaQuery], rate_qps: f64) -> ClientReport {
+    assert!(rate_qps > 0.0, "offered load must be positive");
+    let gap = Duration::from_secs_f64(1.0 / rate_qps);
+    let start = Instant::now();
+    let mut tickets = Vec::with_capacity(queries.len());
+    for (i, q) in queries.iter().enumerate() {
+        let due = start + gap * (i as u32);
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        tickets.push(service.submit(*q));
+    }
+    let mut latencies_us: Vec<u64> = tickets
+        .into_iter()
+        .map(|t| t.wait_timed().1.as_micros() as u64)
+        .collect();
+    let elapsed = start.elapsed();
+    latencies_us.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies_us.is_empty() {
+            return 0;
+        }
+        let idx = ((latencies_us.len() as f64 - 1.0) * p).round() as usize;
+        latencies_us[idx]
+    };
+    ClientReport {
+        completed: latencies_us.len(),
+        elapsed,
+        qps: latencies_us.len() as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE),
+        p50_us: pct(0.50),
+        p95_us: pct(0.95),
+        max_us: latencies_us.last().copied().unwrap_or(0),
+    }
+}

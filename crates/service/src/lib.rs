@@ -1,0 +1,771 @@
+//! # knnta-service — the async sharded query service
+//!
+//! A server loop in front of the kNNTA engine, turning continuously
+//! arriving queries into the locality-tiled collective executions the
+//! batch scheme (Section 7.2) makes fast — with zero dependencies beyond
+//! the workspace: the executor is [`knnta_util::pool::ThreadPool`] over
+//! [`knnta_util::chan`] channels, no external async runtime.
+//!
+//! ## Pipeline
+//!
+//! ```text
+//! submit() ──► admission ──► shard 0 workers ─┐
+//!              (tile by     shard 1 workers ──┼──► merger ──► Ticket
+//!               Hilbert,         ...          │
+//!               flush on    shard N-1 workers ┘
+//!               size or
+//!               deadline)
+//! ```
+//!
+//! * **Admission** accumulates in-flight queries into a batch and flushes
+//!   when the batch reaches `max_batch` queries or the oldest query has
+//!   waited `max_delay` (deadline-or-size). Each flush is ordered along
+//!   the 3-D Hilbert curve ([`knnta_core::BatchOrder::Hilbert`]) so the
+//!   collective execution inside every shard walks a locality tile — the
+//!   streaming generalisation of the static batches of PR 4.
+//! * **Shards**: the POI set is partitioned across `shards` engine shards
+//!   by [`knnta_core::partition_pois`] (contiguous Hilbert runs). Every
+//!   shard builds its own `TarIndex` + packed image **with the global grid
+//!   and global bounds**, and executes through a [`knnta_core::Executor`]
+//!   (cost-model planner + EWMA calibration, per shard) seeded with the
+//!   **global root-max** series ([`knnta_core::Executor::with_root_max`])
+//!   so per-shard scores are bit-identical to the unsharded tree's.
+//! * **Merge**: per-shard top-k lists are merged by
+//!   [`knnta_core::merge_ranked`] under the global `(score, PoiId)` total
+//!   order. `tests/service_oracle.rs` is the differential proof that the
+//!   whole pipeline is bit-identical to one-at-a-time unsharded execution.
+//! * **Faults**: a shard worker panic is caught at the execution boundary;
+//!   the shard is rebuilt from its retained POIs and the flush retried
+//!   (bounded by [`ServiceConfig::retry_limit`] and
+//!   [`ServiceConfig::deadline`]). Exhausted retries propagate the original
+//!   panic payload through [`Ticket::wait`] via `resume_unwind`, matching
+//!   the workspace's parallel-search convention. In-flight queries never
+//!   hang: every code path either answers the ticket or drops its response
+//!   slot, which wakes the waiter with an error.
+//!
+//! Per-phase spans (`admit`, `tile`, `scatter`, `merge`) and
+//! `knnta.service.*` counters flow into the attached [`Obs`] handle, so
+//! `knnta report` breaks service latency down by phase. See DESIGN.md §15.
+
+#![warn(missing_docs)]
+
+pub mod client;
+
+use knnta_core::{
+    merge_ranked, partition_pois, BatchOrder, Executor, IndexConfig, KnntaQuery, Obs,
+    PackedTarTree, Planner, Poi, QueryHit, TarIndex,
+};
+use knnta_obs::SpanId;
+use knnta_util::chan::{self, OneshotReceiver, OneshotSender, Receiver, RecvError, Sender};
+use knnta_util::pool::ThreadPool;
+use knnta_util::sync::Mutex;
+use rtree::Rect;
+use std::any::Any;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tempora::{AggregateSeries, EpochGrid};
+
+/// Counter: queries accepted by [`Service::submit`].
+pub const M_SUBMITTED: &str = "knnta.service.submitted";
+/// Counter: queries answered (successfully) by the merger.
+pub const M_ANSWERED: &str = "knnta.service.answered";
+/// Counter: admission flushes (locality tiles dispatched).
+pub const M_FLUSHES: &str = "knnta.service.flushes";
+/// Counter: queries flushed by the size trigger (vs the deadline trigger).
+pub const M_FLUSH_FULL: &str = "knnta.service.flush_full";
+/// Counter: shard-task retries after a caught worker panic.
+pub const M_RETRIES: &str = "knnta.service.retries";
+/// Counter: shard rebuilds triggered by caught panics.
+pub const M_REBUILDS: &str = "knnta.service.rebuilds";
+/// Counter: shard tasks that exhausted their retries.
+pub const M_FAILURES: &str = "knnta.service.failures";
+
+/// Test-only fault injection: called with `(shard, flush id, attempt)` at
+/// the start of every shard execution, inside the panic boundary — panic
+/// here to simulate a shard worker dying mid-query.
+pub type FaultHook = Arc<dyn Fn(usize, u64, usize) + Send + Sync>;
+
+/// Tuning knobs for a [`Service`].
+#[derive(Clone)]
+pub struct ServiceConfig {
+    /// Engine shards the POI set is partitioned across (clamped to the POI
+    /// count at startup).
+    pub shards: usize,
+    /// Worker threads per shard.
+    pub workers: usize,
+    /// Admission flushes when this many queries are waiting…
+    pub max_batch: usize,
+    /// …or when the oldest waiting query has been held this long.
+    pub max_delay: Duration,
+    /// Retries per shard task after a caught panic (each on a freshly
+    /// rebuilt shard) before the panic is propagated to the tickets.
+    pub retry_limit: usize,
+    /// Retries stop once a flush has been in flight this long, even if
+    /// `retry_limit` is not yet exhausted.
+    pub deadline: Duration,
+    /// Test-only fault injection, normally `None`; set via
+    /// [`ServiceConfig::with_fault_hook`].
+    pub fault_hook: Option<FaultHook>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 1,
+            workers: 1,
+            max_batch: 64,
+            max_delay: Duration::from_micros(200),
+            retry_limit: 2,
+            deadline: Duration::from_secs(5),
+            fault_hook: None,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Installs a [`FaultHook`] (tests only; see the type's docs).
+    pub fn with_fault_hook(mut self, hook: FaultHook) -> Self {
+        self.fault_hook = Some(hook);
+        self
+    }
+}
+
+/// A failed shard task: the panic message plus (for the first ticket it is
+/// delivered to) the original panic payload.
+struct Failure {
+    message: String,
+    payload: Option<Box<dyn Any + Send>>,
+}
+
+impl Failure {
+    fn from_payload(payload: Box<dyn Any + Send>) -> Self {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "shard worker panicked".to_string()
+        };
+        Failure {
+            message,
+            payload: Some(payload),
+        }
+    }
+}
+
+/// What the merger sends back through a ticket's response slot.
+struct Response {
+    result: Result<Vec<QueryHit>, Failure>,
+    completed: Instant,
+}
+
+/// A pending answer for one submitted query.
+pub struct Ticket {
+    rx: OneshotReceiver<Response>,
+    submitted: Instant,
+}
+
+impl Ticket {
+    /// Blocks for the answer.
+    ///
+    /// # Panics
+    ///
+    /// Resumes the shard worker's panic (`std::panic::resume_unwind`) if
+    /// the query's retries were exhausted, and panics with a shutdown
+    /// message if the service stopped before answering — a ticket never
+    /// hangs.
+    pub fn wait(self) -> Vec<QueryHit> {
+        self.wait_timed().0
+    }
+
+    /// [`Ticket::wait`], also returning the submit-to-answer latency.
+    pub fn wait_timed(self) -> (Vec<QueryHit>, Duration) {
+        match self.rx.recv() {
+            Ok(resp) => {
+                let latency = resp.completed.saturating_duration_since(self.submitted);
+                match resp.result {
+                    Ok(hits) => (hits, latency),
+                    Err(failure) => match failure.payload {
+                        Some(payload) => resume_unwind(payload),
+                        None => resume_unwind(Box::new(failure.message)),
+                    },
+                }
+            }
+            Err(_) => panic!("query service shut down before answering"),
+        }
+    }
+
+    /// Waits up to `timeout`; returns the ticket back on timeout so the
+    /// caller can keep waiting (used by the fault tests to prove tickets
+    /// never hang).
+    pub fn wait_timeout(self, timeout: Duration) -> Result<(Vec<QueryHit>, Duration), Ticket> {
+        match self.rx.recv_timeout_ref(timeout) {
+            Ok(resp) => {
+                let latency = resp.completed.saturating_duration_since(self.submitted);
+                match resp.result {
+                    Ok(hits) => Ok((hits, latency)),
+                    Err(failure) => match failure.payload {
+                        Some(payload) => resume_unwind(payload),
+                        None => resume_unwind(Box::new(failure.message)),
+                    },
+                }
+            }
+            Err(RecvError::Timeout) => Err(self),
+            Err(RecvError::Closed) => panic!("query service shut down before answering"),
+        }
+    }
+}
+
+/// One submitted query travelling through admission → merger.
+struct Entry {
+    query: KnntaQuery,
+    reply: OneshotSender<Response>,
+    submitted: Instant,
+}
+
+/// One shard execution: a flushed tile, in Hilbert order.
+struct Task {
+    flush: u64,
+    queries: Arc<Vec<KnntaQuery>>,
+    submitted: Instant,
+}
+
+enum MergeMsg {
+    Manifest {
+        flush: u64,
+        entries: Vec<Entry>,
+        shards: usize,
+    },
+    ShardDone {
+        flush: u64,
+        shard: usize,
+        outcome: Result<Vec<Vec<QueryHit>>, Failure>,
+    },
+}
+
+/// One shard's immutable serving state for one generation; replaced
+/// wholesale on rebuild.
+struct ShardData {
+    generation: u64,
+    index: TarIndex,
+    packed: PackedTarTree,
+}
+
+/// A shard: its retained build inputs (for rebuilds) plus the current
+/// [`ShardData`] generation.
+struct ShardState {
+    id: usize,
+    pois: Vec<(Poi, AggregateSeries)>,
+    grid: EpochGrid,
+    bounds: Rect<2>,
+    obs: Obs,
+    slot: Mutex<Arc<ShardData>>,
+}
+
+/// Builds one shard generation: a TAR-tree over the shard's POIs with the
+/// *global* grid and bounds, plus its packed serving image.
+fn build_shard(
+    pois: &[(Poi, AggregateSeries)],
+    grid: &EpochGrid,
+    bounds: Rect<2>,
+    obs: &Obs,
+    generation: u64,
+) -> Arc<ShardData> {
+    let mut index = TarIndex::build(
+        IndexConfig::default(),
+        grid.clone(),
+        bounds,
+        pois.iter().cloned(),
+    );
+    index.set_obs(obs.clone());
+    let packed = index.pack();
+    Arc::new(ShardData {
+        generation,
+        index,
+        packed,
+    })
+}
+
+impl ShardState {
+    fn build_data(&self, generation: u64) -> Arc<ShardData> {
+        build_shard(&self.pois, &self.grid, self.bounds, &self.obs, generation)
+    }
+
+    fn current(&self) -> Arc<ShardData> {
+        self.slot.lock().clone()
+    }
+
+    /// Rebuilds the shard unless another worker already moved past the
+    /// generation the caller saw the panic on.
+    fn rebuild_after(&self, seen_generation: u64) -> Arc<ShardData> {
+        let mut slot = self.slot.lock();
+        if slot.generation > seen_generation {
+            return slot.clone();
+        }
+        let data = self.build_data(slot.generation + 1);
+        *slot = data.clone();
+        data
+    }
+}
+
+struct Counters {
+    submitted: knnta_obs::Counter,
+    answered: knnta_obs::Counter,
+    flushes: knnta_obs::Counter,
+    flush_full: knnta_obs::Counter,
+    retries: knnta_obs::Counter,
+    rebuilds: knnta_obs::Counter,
+    failures: knnta_obs::Counter,
+}
+
+impl Counters {
+    fn new(obs: &Obs) -> Self {
+        Counters {
+            submitted: obs.counter(M_SUBMITTED),
+            answered: obs.counter(M_ANSWERED),
+            flushes: obs.counter(M_FLUSHES),
+            flush_full: obs.counter(M_FLUSH_FULL),
+            retries: obs.counter(M_RETRIES),
+            rebuilds: obs.counter(M_REBUILDS),
+            failures: obs.counter(M_FAILURES),
+        }
+    }
+}
+
+/// The running service: submission front door plus the admission, shard
+/// worker, and merger threads behind it. Dropping the service shuts it
+/// down (draining the queue first).
+pub struct Service {
+    submit_tx: Sender<Entry>,
+    submitted: knnta_obs::Counter,
+    obs: Obs,
+    shards: usize,
+    pools: Vec<ThreadPool>,
+}
+
+impl Service {
+    /// Partitions `pois` into shards, builds every shard's serving state,
+    /// and starts the admission / worker / merger threads.
+    ///
+    /// The global `grid` and `bounds` are shared by every shard tree, and
+    /// the global root-max series (the per-epoch max over all POI series —
+    /// identical to the unsharded tree's root-max) is the `gmax`
+    /// normaliser of every shard execution; both are what makes sharded
+    /// answers bit-identical to the unsharded tree's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pois` is empty.
+    pub fn start(
+        config: ServiceConfig,
+        grid: EpochGrid,
+        bounds: Rect<2>,
+        pois: Vec<(Poi, AggregateSeries)>,
+        obs: Obs,
+    ) -> Service {
+        assert!(!pois.is_empty(), "service needs at least one POI");
+        let shards_n = config.shards.max(1).min(pois.len());
+        let workers_n = config.workers.max(1);
+        let config = Arc::new(ServiceConfig {
+            shards: shards_n,
+            workers: workers_n,
+            max_batch: config.max_batch.max(1),
+            ..config
+        });
+
+        let root_max = Arc::new(AggregateSeries::max_of(pois.iter().map(|(_, s)| s)));
+        let positions: Vec<Poi> = pois.iter().map(|(p, _)| *p).collect();
+        let parts = partition_pois(&positions, &bounds, shards_n);
+
+        let counters = Arc::new(Counters::new(&obs));
+        let shards: Vec<Arc<ShardState>> = parts
+            .iter()
+            .enumerate()
+            .map(|(id, part)| {
+                let shard_pois: Vec<(Poi, AggregateSeries)> =
+                    part.iter().map(|&i| pois[i].clone()).collect();
+                let data = build_shard(&shard_pois, &grid, bounds, &obs, 1);
+                Arc::new(ShardState {
+                    id,
+                    pois: shard_pois,
+                    grid: grid.clone(),
+                    bounds,
+                    obs: obs.clone(),
+                    slot: Mutex::new(data),
+                })
+            })
+            .collect();
+
+        let (submit_tx, submit_rx) = chan::channel::<Entry>();
+        let (merge_tx, merge_rx) = chan::channel::<MergeMsg>();
+        let shard_channels: Vec<(Sender<Task>, Receiver<Task>)> =
+            (0..shards_n).map(|_| chan::channel::<Task>()).collect();
+
+        // Admission orders each flush with a shard tree (same global grid
+        // and bounds as the unsharded tree, so the same Hilbert ordering).
+        let order_data = shards[0].current();
+
+        let admit_pool = ThreadPool::new("knnta-admit", 1);
+        {
+            let shard_txs: Vec<Sender<Task>> =
+                shard_channels.iter().map(|(tx, _)| tx.clone()).collect();
+            let merge_tx = merge_tx.clone();
+            let config = config.clone();
+            let obs = obs.clone();
+            let counters = counters.clone();
+            let queued = admit_pool.execute(move || {
+                admission_loop(
+                    &submit_rx, &shard_txs, &merge_tx, &order_data, &config, &obs, &counters,
+                );
+                for tx in &shard_txs {
+                    tx.close();
+                }
+            });
+            assert!(queued.is_ok(), "admission pool accepts its loop");
+        }
+
+        let worker_pool = ThreadPool::new("knnta-shard", shards_n * workers_n);
+        for shard in &shards {
+            for _ in 0..workers_n {
+                let state = shard.clone();
+                let rx = shard_channels[shard.id].1.clone();
+                let merge_tx = merge_tx.clone();
+                let root_max = root_max.clone();
+                let config = config.clone();
+                let obs = obs.clone();
+                let counters = counters.clone();
+                let queued = worker_pool.execute(move || {
+                    worker_loop(&state, &rx, &merge_tx, &root_max, &config, &obs, &counters);
+                });
+                assert!(queued.is_ok(), "worker pool accepts its loops");
+            }
+        }
+        drop(merge_tx); // merger exits once admission + all workers are done
+
+        let merge_pool = ThreadPool::new("knnta-merge", 1);
+        {
+            let obs = obs.clone();
+            let counters = counters.clone();
+            let queued = merge_pool.execute(move || merger_loop(&merge_rx, &obs, &counters));
+            assert!(queued.is_ok(), "merge pool accepts its loop");
+        }
+
+        Service {
+            submit_tx,
+            submitted: counters.submitted.clone(),
+            obs,
+            shards: shards_n,
+            // Join order at shutdown: admission (drains + closes shard
+            // queues) → workers (drain + drop their merge senders) →
+            // merger (drains, answers everything outstanding).
+            pools: vec![admit_pool, worker_pool, merge_pool],
+        }
+    }
+
+    /// Enqueues a query; the returned [`Ticket`] resolves to its answer.
+    /// After [`Service::shutdown`] the ticket resolves to the shutdown
+    /// panic instead of hanging.
+    pub fn submit(&self, query: KnntaQuery) -> Ticket {
+        let (tx, rx) = chan::oneshot::<Response>();
+        let submitted = Instant::now();
+        let entry = Entry {
+            query,
+            reply: tx,
+            submitted,
+        };
+        if self.submit_tx.send(entry).is_ok() {
+            self.submitted.add(1);
+        }
+        Ticket { rx, submitted }
+    }
+
+    /// Number of engine shards actually running (after clamping to the POI
+    /// count).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The observability handle every phase reports into.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Stops accepting queries, drains everything in flight, and joins
+    /// every service thread. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.submit_tx.close();
+        for pool in &mut self.pools {
+            pool.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Admission: accumulate submissions into a tile, flush on size or
+/// deadline, order along the Hilbert curve, scatter to every shard.
+fn admission_loop(
+    submit_rx: &Receiver<Entry>,
+    shard_txs: &[Sender<Task>],
+    merge_tx: &Sender<MergeMsg>,
+    order_data: &ShardData,
+    config: &ServiceConfig,
+    obs: &Obs,
+    counters: &Counters,
+) {
+    let mut flush_id = 0u64;
+    loop {
+        let first = match submit_rx.recv() {
+            Ok(entry) => entry,
+            Err(_) => return, // closed and drained: every entry was flushed
+        };
+        let admit_span = obs.span("admit", SpanId::NONE);
+        let batch_started = Instant::now();
+        let mut batch = vec![first];
+        let mut filled = true;
+        while batch.len() < config.max_batch {
+            let elapsed = batch_started.elapsed();
+            if elapsed >= config.max_delay {
+                filled = false;
+                break;
+            }
+            match submit_rx.recv_timeout(config.max_delay - elapsed) {
+                Ok(entry) => batch.push(entry),
+                Err(RecvError::Timeout) => {
+                    filled = false;
+                    break;
+                }
+                // Closed: flush what we have, then the next recv() exits.
+                Err(RecvError::Closed) => {
+                    filled = false;
+                    break;
+                }
+            }
+        }
+        flush_id += 1;
+        admit_span.set_attrs(vec![
+            ("flush".into(), flush_id.into()),
+            ("batch".into(), batch.len().into()),
+            ("filled".into(), filled.into()),
+        ]);
+        drop(admit_span);
+        counters.flushes.add(1);
+        if filled {
+            counters.flush_full.add(1);
+        }
+
+        let tile_span = obs.span("tile", SpanId::NONE);
+        let queries: Vec<KnntaQuery> = batch.iter().map(|e| e.query).collect();
+        let order = order_data.index.batch_order(&queries, BatchOrder::Hilbert);
+        let mut slots: Vec<Option<Entry>> = batch.into_iter().map(Some).collect();
+        let entries: Vec<Entry> = order
+            .iter()
+            .map(|&i| slots[i].take().expect("batch_order is a permutation"))
+            .collect();
+        let ordered = Arc::new(entries.iter().map(|e| e.query).collect::<Vec<_>>());
+        let oldest = entries
+            .iter()
+            .map(|e| e.submitted)
+            .min()
+            .expect("non-empty batch");
+        tile_span.set_attrs(vec![
+            ("flush".into(), flush_id.into()),
+            ("batch".into(), entries.len().into()),
+        ]);
+
+        // Manifest first: its queue position precedes every shard result
+        // (workers can only respond to tasks sent after it), so the merger
+        // always sees the manifest before the first ShardDone.
+        let manifest_sent = merge_tx
+            .send(MergeMsg::Manifest {
+                flush: flush_id,
+                entries,
+                shards: shard_txs.len(),
+            })
+            .is_ok();
+        if manifest_sent {
+            for tx in shard_txs {
+                let _ = tx.send(Task {
+                    flush: flush_id,
+                    queries: ordered.clone(),
+                    submitted: oldest,
+                });
+            }
+        }
+        drop(tile_span);
+    }
+}
+
+/// One shard worker: drain tasks, execute through the planner-driven
+/// executor, catch panics, rebuild + retry, report to the merger.
+fn worker_loop(
+    state: &ShardState,
+    rx: &Receiver<Task>,
+    merge_tx: &Sender<MergeMsg>,
+    root_max: &AggregateSeries,
+    config: &ServiceConfig,
+    obs: &Obs,
+    counters: &Counters,
+) {
+    // The planner survives shard rebuilds: calibration is a property of
+    // the workload + shard shape, not of one index instance.
+    let mut planner = Planner::default();
+    let mut pending: Option<(Task, usize)> = None;
+    'generations: loop {
+        let data = state.current();
+        let mut exec = Executor::new(&data.index)
+            .with_packed(&data.packed)
+            .with_root_max(root_max)
+            .with_planner(planner.clone());
+        loop {
+            let (task, attempt) = match pending.take() {
+                Some(t) => t,
+                None => match rx.recv() {
+                    Ok(task) => (task, 0),
+                    Err(_) => return, // closed and drained
+                },
+            };
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if let Some(hook) = &config.fault_hook {
+                    hook(state.id, task.flush, attempt);
+                }
+                let span = obs.span("scatter", SpanId::NONE);
+                span.set_attrs(vec![
+                    ("flush".into(), task.flush.into()),
+                    ("shard".into(), state.id.into()),
+                    ("attempt".into(), attempt.into()),
+                    ("batch".into(), task.queries.len().into()),
+                ]);
+                if task.queries.len() == 1 {
+                    vec![exec.query(&task.queries[0])]
+                } else {
+                    exec.query_batch(&task.queries)
+                }
+            }));
+            match outcome {
+                Ok(lists) => {
+                    let _ = merge_tx.send(MergeMsg::ShardDone {
+                        flush: task.flush,
+                        shard: state.id,
+                        outcome: Ok(lists),
+                    });
+                }
+                Err(payload) => {
+                    let next = attempt + 1;
+                    let expired = task.submitted.elapsed() >= config.deadline;
+                    if next > config.retry_limit || expired {
+                        counters.failures.add(1);
+                        let _ = merge_tx.send(MergeMsg::ShardDone {
+                            flush: task.flush,
+                            shard: state.id,
+                            outcome: Err(Failure::from_payload(payload)),
+                        });
+                    } else {
+                        counters.retries.add(1);
+                        counters.rebuilds.add(1);
+                        planner = exec.planner().clone();
+                        pending = Some((task, next));
+                        drop(exec);
+                        state.rebuild_after(data.generation);
+                        continue 'generations;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Merger: gather per-shard results per flush, merge under the global
+/// total order, answer every ticket.
+fn merger_loop(rx: &Receiver<MergeMsg>, obs: &Obs, counters: &Counters) {
+    struct Pending {
+        entries: Vec<Entry>,
+        results: Vec<Option<Result<Vec<Vec<QueryHit>>, Failure>>>,
+    }
+    let mut pending: HashMap<u64, Pending> = HashMap::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            MergeMsg::Manifest {
+                flush,
+                entries,
+                shards,
+            } => {
+                pending.insert(
+                    flush,
+                    Pending {
+                        entries,
+                        results: (0..shards).map(|_| None).collect(),
+                    },
+                );
+            }
+            MergeMsg::ShardDone {
+                flush,
+                shard,
+                outcome,
+            } => {
+                let slot = pending
+                    .get_mut(&flush)
+                    .expect("manifest always precedes shard results");
+                slot.results[shard] = Some(outcome);
+                if !slot.results.iter().all(Option::is_some) {
+                    continue;
+                }
+                let done = pending.remove(&flush).expect("present above");
+                let span = obs.span("merge", SpanId::NONE);
+                span.set_attrs(vec![
+                    ("flush".into(), flush.into()),
+                    ("batch".into(), done.entries.len().into()),
+                    ("shards".into(), done.results.len().into()),
+                ]);
+                let mut lists = Vec::with_capacity(done.results.len());
+                let mut failure: Option<Failure> = None;
+                for outcome in done.results.into_iter().flatten() {
+                    match outcome {
+                        Ok(list) => lists.push(list),
+                        Err(f) => {
+                            // Keep the first failure's payload; later ones
+                            // carry the same panic.
+                            failure.get_or_insert(f);
+                        }
+                    }
+                }
+                match failure {
+                    None => {
+                        for (i, entry) in done.entries.into_iter().enumerate() {
+                            let per_shard: Vec<Vec<QueryHit>> =
+                                lists.iter().map(|l| l[i].clone()).collect();
+                            let hits = merge_ranked(&per_shard, entry.query.k);
+                            counters.answered.add(1);
+                            let _ = entry.reply.send(Response {
+                                result: Ok(hits),
+                                completed: Instant::now(),
+                            });
+                        }
+                    }
+                    Some(mut f) => {
+                        // Every ticket of the flush fails; the first gets
+                        // the original payload, the rest its message.
+                        for entry in done.entries {
+                            let _ = entry.reply.send(Response {
+                                result: Err(Failure {
+                                    message: f.message.clone(),
+                                    payload: f.payload.take(),
+                                }),
+                                completed: Instant::now(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Channel closed: admission and every worker are done, so nothing can
+    // still be pending — but if a flush somehow is, dropping it closes its
+    // response slots and wakes the waiters with an error instead of a hang.
+}

@@ -28,13 +28,21 @@
 //! * [`hilbert`] — the Skilling-transpose Hilbert curve shared by the
 //!   collective batch ordering and the packed-tree bulk-load, so the two
 //!   locality orderings cannot diverge.
+//! * [`chan`] — an unbounded MPMC channel plus a `oneshot` response slot
+//!   over `Mutex`/`Condvar`, with drain-after-close semantics (replaces
+//!   `crossbeam-channel`).
+//! * [`pool`] — a fixed-size thread pool draining a [`chan`] job queue, the
+//!   zero-dependency executor under the query service (replaces a `tokio`
+//!   runtime).
 
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod chan;
 pub mod codec;
 pub mod hilbert;
 pub mod json;
+pub mod pool;
 pub mod prop;
 pub mod rng;
 pub mod sync;

@@ -31,6 +31,12 @@
 # the best one, measured on a dedicated 21-sample re-run of the queries
 # suite.
 #
+# Opt-in service lane: KNNTA_SERVICE_CHECK=1 drives `knnta serve` (the
+# async sharded query service) with a short seeded open-loop client,
+# validates its admit/tile/scatter/merge trace via `knnta report --check`,
+# and re-runs the service fault-injection suite and differential oracle
+# under the soak wrapper (5x the default randomized cases).
+#
 # Opt-in observability lane: KNNTA_OBS_CHECK=1 runs a traced query + batch
 # through the knnta CLI, validates both JSON artifacts against the
 # knnta.trace.v1 / knnta.metrics.v1 schemas (failing on orphaned spans via
@@ -61,6 +67,13 @@ if [ "${KNNTA_SOAK:-0}" != "0" ] && [ -n "${KNNTA_SOAK:-}" ]; then
     cargo test -q --release --offline --test snapshot_oracle
     echo "== soak: planner differential oracle (planned vs every forced config) =="
     cargo test -q --release --offline --test planner_oracle
+    echo "== soak: service oracle + fault suite (5x cases, sharded vs unsharded) =="
+    # Each randomized case starts a whole service (threads + shard trees),
+    # so the case count is 5x the in-repo default rather than the global
+    # KNNTA_PROP_CASES soak figure; the deterministic sweeps scale their
+    # query streams via KNNTA_SOAK themselves.
+    KNNTA_PROP_CASES=30 cargo test -q --release --offline --test service_oracle
+    KNNTA_PROP_CASES=30 cargo test -q --release --offline --test service_faults
 fi
 
 if [ -n "${KNNTA_BENCH_DIFF:-}" ]; then
@@ -127,6 +140,24 @@ if [ -n "${KNNTA_BENCH_DIFF:-}" ]; then
     cargo run -q --release --offline --bin bench_diff -- \
         --within "$fresh/BENCH_ingestion.json" \
         --assert-max ingestion/checkins/shards8 200000000
+    echo "== bench-diff: service scaling gate (8 shards >= 2x the qps of 1 shard) =="
+    # Both benches push the same 256-query burst, so "shards1 takes >= 2x
+    # as long per iteration" is "shards8 sustains >= 2x the queries/sec at
+    # equal offered work". The gate needs real parallel hardware: on fewer
+    # than 8 cores the shard workers serialize onto the same CPUs and the
+    # ratio physically cannot hold, so it is skipped (the ratio is still
+    # printed for the record).
+    cores="$(nproc 2>/dev/null || echo 1)"
+    if [ "$cores" -ge 8 ]; then
+        cargo run -q --release --offline --bin bench_diff -- \
+            --within "$fresh/BENCH_service.json" \
+            --assert-ratio-ge service/qps/shards1 service/qps/shards8 2.0
+    else
+        echo "service scaling gate skipped: $cores core(s) < 8 (ratio for the record:)"
+        cargo run -q --release --offline --bin bench_diff -- \
+            --within "$fresh/BENCH_service.json" \
+            --assert-ratio-ge service/qps/shards1 service/qps/shards8 2.0 || true
+    fi
 fi
 
 if [ "${KNNTA_OBS_CHECK:-0}" != "0" ] && [ -n "${KNNTA_OBS_CHECK:-}" ]; then
@@ -155,4 +186,23 @@ if [ "${KNNTA_OBS_CHECK:-0}" != "0" ] && [ -n "${KNNTA_OBS_CHECK:-}" ]; then
         --within "$obsdir/BENCH_queries.json" \
         --assert-le obs_overhead/disabled obs_overhead/baseline \
         --slack 0.05
+fi
+
+if [ "${KNNTA_SERVICE_CHECK:-0}" != "0" ] && [ -n "${KNNTA_SERVICE_CHECK:-}" ]; then
+    svcdir="$(mktemp -d)"
+    trap 'rm -rf "$svcdir" "${obsdir:-}" "${fresh:-}" "${plandir:-}"' EXIT
+    knnta="target/release/knnta"
+    echo "== service-check: knnta serve under the seeded open-loop client =="
+    # A short seeded run of the full service (streaming admission, 4 engine
+    # shards x 2 workers, scatter-gather merge) with tracing on; report
+    # --check validates the admit/tile/scatter/merge span structure and
+    # fails on orphaned spans.
+    "$knnta" serve --dataset GS --scale 0.004 --seed 20260704 \
+        --shards 4 --workers 2 --max-batch 32 --max-delay-us 200 \
+        --queries 400 --rate 4000 \
+        --trace-out "$svcdir/serve_trace.json" --metrics-out "$svcdir/serve_metrics.json"
+    "$knnta" report "$svcdir/serve_trace.json" --metrics "$svcdir/serve_metrics.json" --check
+    echo "== service-check: fault-injection suite under the soak wrapper =="
+    KNNTA_SOAK=1 cargo test -q --release --offline --test service_faults
+    KNNTA_SOAK=1 KNNTA_PROP_CASES=30 cargo test -q --release --offline --test service_oracle
 fi

@@ -20,7 +20,11 @@
 //! file. `--assert-max` checks a bench against an *absolute* per-iteration
 //! ceiling in nanoseconds instead of a sibling bench — the throughput-floor
 //! form (e.g. "200k check-ins per iteration must finish in 200 ms, i.e.
-//! ≥ 1M check-ins/sec").
+//! ≥ 1M check-ins/sec"). `--assert-ratio-ge A B RATIO` asserts
+//! `metric(A) >= RATIO × metric(B)` — with both benches doing identical
+//! per-iteration work, "A takes at least RATIO× as long as B" is "B has at
+//! least RATIO× A's throughput" (the service scaling gate: the 1-shard
+//! burst must take ≥ 2× the 8-shard burst).
 
 use knnta::util::bench::{diff_reports, parse_report, BenchReport};
 use std::process::ExitCode;
@@ -28,6 +32,7 @@ use std::process::ExitCode;
 const USAGE: &str = "usage: bench_diff OLD.json NEW.json [--threshold FRACTION]
        bench_diff --within REPORT.json --assert-le A B [--slack FRACTION] [--metric median|p95|both]
        bench_diff --within REPORT.json --assert-max A NANOSECONDS [--metric median|p95|both]
+       bench_diff --within REPORT.json --assert-ratio-ge A B RATIO [--metric median|p95|both]
 
 Compares two BENCH_<suite>.json runs produced by the in-repo bench runner.
 Exits 1 if any bench's p95 regressed beyond the threshold (default 0.25,
@@ -40,8 +45,12 @@ selected metric: the median (default), the p95, or both.
 
 --assert-max checks bench A against an absolute per-iteration ceiling in
 nanoseconds (no sibling bench, no slack): exit 1 unless
-metric(A) <= NANOSECONDS for every selected metric. Both assertions may be
-given in one invocation.";
+metric(A) <= NANOSECONDS for every selected metric.
+
+--assert-ratio-ge asserts a *scaling floor*: exit 1 unless
+metric(A) >= RATIO * metric(B) for every selected metric. With identical
+per-iteration work in A and B, this is 'B sustains at least RATIO x the
+throughput of A'. All assertions may be combined in one invocation.";
 
 /// Which latency statistic(s) a `--within` assertion checks.
 #[derive(Clone, Copy)]
@@ -139,6 +148,29 @@ fn run_within_max(
     Ok(violated)
 }
 
+fn run_within_ratio(
+    report: &BenchReport,
+    a: &str,
+    b: &str,
+    ratio: f64,
+    metric: Metric,
+) -> Result<bool, String> {
+    let a_stats = stats_of(report, a)?;
+    let b_stats = stats_of(report, b)?;
+    let mut violated = false;
+    for &(label, pick) in metric.checks() {
+        let a_ns = pick(&a_stats);
+        let b_ns = pick(&b_stats);
+        let ok = a_ns as f64 >= b_ns as f64 * ratio;
+        violated |= !ok;
+        println!(
+            "{a}: {label} {a_ns} ns\n{b}: {label} {b_ns} ns\nassert {label}({a}) >= {label}({b}) * {ratio:.2}: {}",
+            if ok { "OK" } else { "VIOLATED" }
+        );
+    }
+    Ok(violated)
+}
+
 fn load(path: &str) -> Result<BenchReport, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     parse_report(&text).map_err(|e| format!("{path}: {e}"))
@@ -152,6 +184,7 @@ fn run() -> Result<bool, String> {
     let mut within: Option<String> = None;
     let mut assert_le: Option<(String, String)> = None;
     let mut assert_max: Option<(String, u64)> = None;
+    let mut assert_ratio_ge: Option<(String, String, f64)> = None;
     let mut metric = Metric::Median;
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -184,6 +217,22 @@ fn run() -> Result<bool, String> {
                     .map_err(|e| format!("bad ceiling {v:?}: {e}"))?;
                 assert_max = Some((a, ns));
             }
+            "--assert-ratio-ge" => {
+                let a = args
+                    .next()
+                    .ok_or("--assert-ratio-ge needs two bench names and a ratio")?;
+                let b = args
+                    .next()
+                    .ok_or("--assert-ratio-ge needs two bench names and a ratio")?;
+                let v = args.next().ok_or("--assert-ratio-ge needs a ratio")?;
+                let ratio = v
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad ratio {v:?}: {e}"))?;
+                if !(ratio > 0.0) {
+                    return Err(format!("ratio must be positive, got {ratio}"));
+                }
+                assert_ratio_ge = Some((a, b, ratio));
+            }
             "--slack" => {
                 let v = args.next().ok_or("--slack needs a value")?;
                 slack = v
@@ -198,8 +247,12 @@ fn run() -> Result<bool, String> {
         }
     }
     if let Some(report_path) = within {
-        if assert_le.is_none() && assert_max.is_none() {
-            return Err("--within requires --assert-le A B and/or --assert-max A NS".to_string());
+        if assert_le.is_none() && assert_max.is_none() && assert_ratio_ge.is_none() {
+            return Err(
+                "--within requires --assert-le A B, --assert-max A NS and/or \
+                 --assert-ratio-ge A B RATIO"
+                    .to_string(),
+            );
         }
         if !paths.is_empty() {
             return Err(USAGE.to_string());
@@ -212,10 +265,15 @@ fn run() -> Result<bool, String> {
         if let Some((a, ns)) = assert_max {
             violated |= run_within_max(&report, &a, ns, metric)?;
         }
+        if let Some((a, b, ratio)) = assert_ratio_ge {
+            violated |= run_within_ratio(&report, &a, &b, ratio, metric)?;
+        }
         return Ok(violated);
     }
-    if assert_le.is_some() || assert_max.is_some() {
-        return Err("--assert-le/--assert-max require --within REPORT.json".to_string());
+    if assert_le.is_some() || assert_max.is_some() || assert_ratio_ge.is_some() {
+        return Err(
+            "--assert-le/--assert-max/--assert-ratio-ge require --within REPORT.json".to_string(),
+        );
     }
     let [old_path, new_path] = paths.as_slice() else {
         return Err(USAGE.to_string());

@@ -4,6 +4,7 @@
 //! knnta generate --dataset GS --scale 0.01 --out venues.csv
 //! knnta build    --input venues.csv --epoch-days 7 --grouping tar --out city.idx
 //! knnta ingest   --dataset GS --events 1000000 --writers 4 --shards 8
+//! knnta serve    --dataset GS --shards 4 --workers 2 --max-batch 64 --max-delay-us 200
 //! knnta stats    --index city.idx
 //! knnta query    --index city.idx --x 41 --y 57 --from-day 0 --to-day 64 --k 5 --alpha0 0.3
 //! knnta mwa      --index city.idx --x 41 --y 57 --from-day 0 --to-day 64 --k 5 --alpha0 0.5
@@ -19,6 +20,8 @@ use knnta::core::{
 };
 use knnta::obs::{render_report, MetricsDoc, Obs, TraceDoc};
 use knnta::pagestore::{BufferPoolConfig, PolicyKind};
+use knnta::service::client::{powerlaw_queries, run_open_loop, ClientConfig};
+use knnta::service::{Service, ServiceConfig};
 use knnta::util::rng::{Rng, StdRng};
 use knnta::{AggregateSeries, CheckIn, EpochGrid, PoiId, TimeInterval, Timestamp};
 use rtree::Rect;
@@ -53,6 +56,7 @@ fn main() -> ExitCode {
         "generate" => generate(&opts),
         "build" => build(&opts),
         "ingest" => ingest(&opts),
+        "serve" => serve(&opts),
         "stats" => stats(&opts),
         "query" => query(&opts),
         "batch" => batch(&opts),
@@ -89,6 +93,18 @@ commands:
                              reports sustained check-ins/sec, event-counter
                              conservation, and snapshot-query latency both
                              mid-ingest and after the sealed deltas merge)
+  serve     --dataset NYC|LA|GW|GS [--scale S] [--epoch-days D] [--seed N]
+            [--shards N] [--workers W] [--max-batch B] [--max-delay-us D]
+            [--queries Q] [--rate QPS] [--k K] [--alpha0 W]
+            [--trace-out FILE] [--metrics-out FILE]
+                            (starts the async sharded query service — streaming
+                             admission into Hilbert locality tiles, N engine
+                             shards × W workers, scatter-gather merge — and
+                             drives it with a seeded open-loop power-law
+                             client at QPS offered load; reports achieved
+                             throughput and latency percentiles. Answers are
+                             bit-identical to the unsharded index at any
+                             --shards/--workers/--max-batch setting.)
   stats     --index FILE
   query     --index FILE --x X --y Y --from-day A --to-day B [--k K] [--alpha0 W]
             [--threads N]   (N > 1 uses the parallel work-stealing traversal;
@@ -507,6 +523,99 @@ fn ingest(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Starts the async sharded query service over a generated dataset and
+/// drives it with the seeded open-loop power-law client.
+fn serve(opts: &Opts) -> Result<(), String> {
+    let name = opts.str("dataset")?;
+    let spec = knnta::lbsn::spec_by_name(name).ok_or(format!("unknown dataset `{name}`"))?;
+    let scale: f64 = opts.num("scale", 0.01)?;
+    let epoch_days: i64 = opts.num("epoch-days", 7)?;
+    let seed: u64 = opts.num("seed", 42)?;
+    let shards: usize = opts.num("shards", 4)?;
+    let workers: usize = opts.num("workers", 2)?;
+    let max_batch: usize = opts.num("max-batch", 64)?;
+    let max_delay_us: u64 = opts.num("max-delay-us", 200)?;
+    let queries: usize = opts.num("queries", 2000)?;
+    let rate: f64 = opts.num("rate", 5000.0)?;
+    let k: usize = opts.num("k", 10)?;
+    let alpha0: f64 = opts.num("alpha0", 0.3)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    if workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    if rate <= 0.0 {
+        return Err("--rate must be positive".into());
+    }
+    let dataset = spec.generate(scale, epoch_days, seed);
+    let snapshot = dataset.snapshot(dataset.grid.len());
+    if snapshot.is_empty() {
+        return Err(format!("dataset {name} is empty at --scale {scale}"));
+    }
+    let pois: Vec<(Poi, AggregateSeries)> = snapshot
+        .into_iter()
+        .map(|(id, pos, series)| (Poi { id, pos }, series))
+        .collect();
+    let venues = pois.len();
+    let obs_wanted = opts.0.contains_key("trace-out") || opts.0.contains_key("metrics-out");
+    let obs = if obs_wanted { Obs::enabled() } else { Obs::disabled() };
+
+    let config = ServiceConfig {
+        shards,
+        workers,
+        max_batch,
+        max_delay: std::time::Duration::from_micros(max_delay_us),
+        ..ServiceConfig::default()
+    };
+    let grid = dataset.grid.clone();
+    let bounds = Rect::new(dataset.bounds.0, dataset.bounds.1);
+    let mut service = Service::start(config, grid, bounds, pois, obs.clone());
+    let client = ClientConfig {
+        queries,
+        rate_qps: rate,
+        k,
+        alpha0,
+        seed,
+        ..ClientConfig::default()
+    };
+    let stream = powerlaw_queries(&dataset, &client);
+    println!(
+        "serving:     {name} ×{scale} ({venues} venues) on {} shards × {workers} workers, \
+         flush at {max_batch} queries or {max_delay_us} µs",
+        service.shards()
+    );
+    let report = run_open_loop(&service, &stream, rate);
+    service.shutdown();
+    println!(
+        "client:      {} open-loop queries offered at {rate:.0}/s (power-law points, \
+         k={k}, α0={alpha0})",
+        report.completed
+    );
+    println!(
+        "throughput:  {:.0} answered/s over {:.3}s",
+        report.qps,
+        report.elapsed.as_secs_f64()
+    );
+    println!(
+        "latency:     p50 {} µs   p95 {} µs   max {} µs (submit-to-answer)",
+        report.p50_us, report.p95_us, report.max_us
+    );
+    if obs_wanted {
+        let metrics = obs.metrics_snapshot();
+        let c = |name: &str| metrics.counter(name).unwrap_or(0);
+        println!(
+            "service:     {} flushes ({} size-triggered), {} retries, {} rebuilds, {} failures",
+            c(knnta::service::M_FLUSHES),
+            c(knnta::service::M_FLUSH_FULL),
+            c(knnta::service::M_RETRIES),
+            c(knnta::service::M_REBUILDS),
+            c(knnta::service::M_FAILURES)
+        );
+    }
+    write_obs_artifacts_from(opts, &obs)
+}
+
 fn open_index(opts: &Opts) -> Result<TarIndex, String> {
     let path = opts.str("index")?;
     let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
@@ -597,14 +706,20 @@ fn enable_obs(opts: &Opts, index: &mut TarIndex) -> bool {
 
 /// Writes the trace/metrics artifacts requested on the command line.
 fn write_obs_artifacts(opts: &Opts, index: &TarIndex) -> Result<(), String> {
+    write_obs_artifacts_from(opts, index.obs())
+}
+
+/// [`write_obs_artifacts`] for a bare [`Obs`] handle (the `serve` command
+/// records service-level spans that never flow through one index).
+fn write_obs_artifacts_from(opts: &Opts, obs: &Obs) -> Result<(), String> {
     if let Some(path) = opts.0.get("trace-out") {
-        let doc = index.obs().trace_snapshot();
+        let doc = obs.trace_snapshot();
         doc.validate()?;
         std::fs::write(path, doc.to_json()).map_err(|e| format!("{path}: {e}"))?;
         eprintln!("(trace: {} spans, {} events -> {path})", doc.spans.len(), doc.events.len());
     }
     if let Some(path) = opts.0.get("metrics-out") {
-        let doc = index.obs().metrics_snapshot();
+        let doc = obs.metrics_snapshot();
         std::fs::write(path, doc.to_json()).map_err(|e| format!("{path}: {e}"))?;
         eprintln!(
             "(metrics: {} counters, {} histograms -> {path})",

@@ -19,6 +19,10 @@
 //!   property-test harness, bench runner, sync primitives, binary codec.
 //! * [`obs`] (`knnta_obs`) — the unified tracing + metrics layer: spans,
 //!   counters, histograms, per-phase query breakdowns.
+//! * [`service`] (`knnta_service`) — the async sharded query service:
+//!   streaming admission into Hilbert locality tiles, scatter-gather over
+//!   packed engine shards, fault-tolerant workers, an open-loop load
+//!   client.
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and
 //! `crates/bench` for the harness regenerating every table and figure of
@@ -28,6 +32,7 @@ pub use costmodel;
 pub use knnta_obs as obs;
 pub use knnta_util as util;
 pub use knnta_core as core;
+pub use knnta_service as service;
 pub use lbsn;
 pub use mvbt;
 pub use pagestore;

@@ -21,7 +21,7 @@
 use knnta_bench::{load, BenchConfig, BenchData};
 use knnta_core::{Obs, Poi};
 use knnta_service::client::{powerlaw_queries, run_open_loop, ClientConfig};
-use knnta_service::{Service, ServiceConfig};
+use knnta_service::{Service, ServiceConfig, TelemetryConfig};
 use knnta_util::bench::Harness;
 use std::hint::black_box;
 use std::time::Duration;
@@ -38,7 +38,9 @@ fn bench_config() -> BenchConfig {
 }
 
 /// A service over the dataset's full snapshot at the given shard count.
-fn service_of(data: &BenchData, shards: usize) -> Service {
+/// `telemetry` toggles the always-on sliding-window instrumentation — the
+/// `service_obs` group benches both settings to gate its overhead.
+fn service_of(data: &BenchData, shards: usize, telemetry: bool) -> Service {
     let pois: Vec<(Poi, AggregateSeries)> = data
         .snapshot
         .iter()
@@ -50,6 +52,10 @@ fn service_of(data: &BenchData, shards: usize) -> Service {
             workers: 1,
             max_batch: 32,
             max_delay: Duration::from_micros(100),
+            telemetry: TelemetryConfig {
+                enabled: telemetry,
+                ..TelemetryConfig::default()
+            },
             ..ServiceConfig::default()
         },
         data.dataset.grid.clone(),
@@ -71,15 +77,38 @@ fn main() {
         },
     );
 
-    // Throughput at saturating load, round-robin across shard counts.
+    // Throughput at saturating load, round-robin across shard counts. The
+    // services run with the production default: telemetry on.
     let services: Vec<(usize, Service)> =
-        [1usize, 2, 4, 8].iter().map(|&s| (s, service_of(&data, s))).collect();
+        [1usize, 2, 4, 8].iter().map(|&s| (s, service_of(&data, s, true))).collect();
     {
         let mut g = h.interleaved_group("service");
         g.sample_size(15);
         for (shards, service) in &services {
             let stream = &stream;
             g.bench(format!("qps/shards{shards}"), move || {
+                let tickets: Vec<_> = stream.iter().map(|q| service.submit(*q)).collect();
+                for t in tickets {
+                    black_box(t.wait());
+                }
+            });
+        }
+        g.finish();
+    }
+
+    // Telemetry overhead: the same closed burst through two otherwise
+    // identical 4-shard services, windows + tail sampler on vs off.
+    // Interleaved so `bench_diff --within --assert-le
+    // service_obs/qps/telemetry_on service_obs/qps/telemetry_off`
+    // gates the cost of the always-on instrumentation.
+    {
+        let on = service_of(&data, 4, true);
+        let off = service_of(&data, 4, false);
+        let mut g = h.interleaved_group("service_obs");
+        g.sample_size(15);
+        for (label, service) in [("telemetry_off", &off), ("telemetry_on", &on)] {
+            let stream = &stream;
+            g.bench(format!("qps/{label}"), move || {
                 let tickets: Vec<_> = stream.iter().map(|q| service.submit(*q)).collect();
                 for t in tickets {
                     black_box(t.wait());
@@ -101,6 +130,10 @@ fn main() {
             b.counters(vec![
                 ("p95_us".to_string(), report.p95_us),
                 ("qps".to_string(), report.qps as u64),
+                // How many slow-query traces the tail sampler has retained
+                // so far — evidence the always-on capture really fires
+                // under load, alongside the latency curve it explains.
+                ("tail_traces_kept".to_string(), wide.telemetry().tail_kept_ever()),
             ]);
             b.iter(|| black_box(run_open_loop(wide, &stream, rate).p95_us))
         });

@@ -74,9 +74,9 @@ pub(crate) const M_LIVE_SEALS: &str = "knnta.core.live.seals";
 pub(crate) const M_LIVE_MERGES: &str = "knnta.core.live.merges";
 /// `knnta.core.live.snapshots` — snapshot views handed out.
 pub(crate) const M_LIVE_SNAPSHOTS: &str = "knnta.core.live.snapshots";
-/// Bucket upper bounds (ns) of [`M_PAGED_FETCH_NS`].
-pub(crate) const PAGED_FETCH_BOUNDS: &[u64] =
-    &[250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 1_000_000];
+/// Bucket upper bounds (ns) of [`M_PAGED_FETCH_NS`] — the shared default
+/// table, so the cumulative and sliding-window registries agree.
+pub(crate) const PAGED_FETCH_BOUNDS: &[u64] = knnta_obs::bounds::FETCH_NS;
 
 /// Accumulated per-search phase costs in nanoseconds, decomposed
 /// Fig. 12-style: total measured work, the TIA-aggregation share and the

@@ -27,7 +27,7 @@ use crate::storage::{
     AggRef, MemNodes, NodeSource, OverlayNodes, PagedNodes, PagedStoreImpl, StorageBackend,
 };
 use costmodel::{IndexStats, PlanBackend, PlanMode, Planner, QueryPlan, QuerySpec};
-use knnta_obs::SpanId;
+use knnta_obs::{LiveWindows, SpanId, WindowHistogram};
 use rtree::RTreeParams;
 use std::collections::HashMap;
 use tempora::{AggregateSeries, PoiId};
@@ -426,9 +426,18 @@ pub struct Executor<'a> {
     /// hashed once per epoch and handed to [`Planner::plan_keyed`].
     stats: Option<(u64, IndexStats, u64)>,
     last_plan: Option<QueryPlan>,
+    /// Sliding-window measured/estimated cost-ratio histogram (×1000),
+    /// attached via [`Executor::with_windows`].
+    ratio_window: Option<WindowHistogram>,
 }
 
 impl<'a> Executor<'a> {
+    /// Name of the windowed measured/estimated cost-ratio histogram
+    /// (values ×1000; see [`Executor::with_windows`]).
+    pub const RATIO_METRIC: &'static str = "knnta.core.plan.ratio_x1000";
+    /// Window ratios required before the median recalibration engages.
+    pub const RECALIBRATE_MIN_SAMPLES: u64 = 16;
+
     /// An executor over `index` with a fresh (identity-calibrated) planner
     /// and no extra serving tiers attached.
     pub fn new(index: &'a TarIndex) -> Executor<'a> {
@@ -440,6 +449,7 @@ impl<'a> Executor<'a> {
             planner: Planner::new(),
             stats: None,
             last_plan: None,
+            ratio_window: None,
         }
     }
 
@@ -497,6 +507,37 @@ impl<'a> Executor<'a> {
     /// [`Executor::query`] / [`Executor::query_batch`] call.
     pub fn last_plan(&self) -> Option<&QueryPlan> {
         self.last_plan.as_ref()
+    }
+
+    /// Streams planner feedback into a live-telemetry window: every
+    /// measured/estimated node-access ratio is recorded (×1000) into the
+    /// [`Executor::RATIO_METRIC`] sliding-window histogram of `windows`,
+    /// and once the window holds [`Executor::RECALIBRATE_MIN_SAMPLES`]
+    /// ratios the calibration factor is snapped to the window *median*
+    /// ([`Planner::recalibrate`]) on top of the per-query EWMA — robust to
+    /// outliers, and forgetting stale workload regimes as the window
+    /// rotates. Plan choice never changes answers, so attaching a window
+    /// is always answer-safe (the planner-oracle suite pins this).
+    pub fn with_windows(mut self, windows: &LiveWindows) -> Executor<'a> {
+        if windows.is_enabled() {
+            self.ratio_window =
+                Some(windows.histogram(Self::RATIO_METRIC, knnta_obs::bounds::RATIO_X1000));
+        }
+        self
+    }
+
+    /// Records one feedback ratio into the attached window and periodically
+    /// snaps the calibration to the window median.
+    fn window_feedback(&mut self, plan: &QueryPlan, measured: u64) {
+        let Some(hist) = &self.ratio_window else { return };
+        if !(plan.model_node_accesses > 0.0) {
+            return;
+        }
+        let ratio = measured as f64 / plan.model_node_accesses;
+        hist.record((ratio * 1000.0).round() as u64);
+        if hist.window_count() >= Self::RECALIBRATE_MIN_SAMPLES {
+            self.planner.recalibrate(hist.quantile(0.5) as f64 / 1000.0);
+        }
     }
 
     /// The planning-time index snapshot the next plan will be based on
@@ -573,7 +614,9 @@ impl<'a> Executor<'a> {
         let before = self.index.stats().snapshot().node_accesses;
         let hits = self.execute(query, &plan);
         let after = self.index.stats().snapshot().node_accesses;
-        self.planner.feedback(&plan, after.saturating_sub(before));
+        let measured = after.saturating_sub(before);
+        self.planner.feedback(&plan, measured);
+        self.window_feedback(&plan, measured);
         hits
     }
 
@@ -590,7 +633,9 @@ impl<'a> Executor<'a> {
         let before = self.index.stats().snapshot().node_accesses;
         let results = run_batch(&self.env(), backend, queries, &opts);
         let after = self.index.stats().snapshot().node_accesses;
-        self.planner.feedback(&plan, after.saturating_sub(before));
+        let measured = after.saturating_sub(before);
+        self.planner.feedback(&plan, measured);
+        self.window_feedback(&plan, measured);
         results
     }
 }
@@ -629,6 +674,31 @@ mod tests {
             }
             assert!(exec.planner().calibration().samples() > 0, "feedback ran");
         }
+    }
+
+    #[test]
+    fn executor_window_feedback_records_ratios_and_recalibrates() {
+        let index = build(Grouping::TarIntegral);
+        let windows = knnta_obs::LiveWindows::new(4);
+        let mut exec = Executor::new(&index).with_windows(&windows);
+        let mut plain = Executor::new(&index);
+        let q = KnntaQuery::new([4.0, 4.5], TimeInterval::days(0, 3))
+            .with_k(3)
+            .with_alpha0(0.3);
+        for _ in 0..(Executor::RECALIBRATE_MIN_SAMPLES + 4) {
+            let got = exec.query(&q);
+            // Window attachment never changes answers.
+            assert_eq!(got, plain.query(&q));
+        }
+        let hist = windows.histogram(Executor::RATIO_METRIC, knnta_obs::bounds::RATIO_X1000);
+        assert!(hist.window_count() >= Executor::RECALIBRATE_MIN_SAMPLES);
+        // The median recalibration ran on top of the per-query EWMA.
+        assert!(
+            exec.planner().calibration().samples() > plain.planner().calibration().samples()
+        );
+        // A disabled window registry attaches nothing.
+        let exec = Executor::new(&index).with_windows(&knnta_obs::LiveWindows::disabled());
+        assert!(exec.ratio_window.is_none());
     }
 
     #[test]

@@ -904,6 +904,22 @@ impl Calibration {
         self.samples += 1;
     }
 
+    /// Snaps the correction factor to a robust windowed statistic — the
+    /// median measured/estimated ratio over a recent window, as reported by
+    /// the serving telemetry's sliding-window histogram. Unlike
+    /// [`Calibration::observe`], this replaces the EWMA state outright: the
+    /// median over a window is already noise-resistant, and on a
+    /// long-running server it tracks workload drift without the EWMA's
+    /// sensitivity to the arrival order of outliers. Non-finite or
+    /// non-positive ratios are ignored; the clamp still applies.
+    pub fn recalibrate(&mut self, median_ratio: f64) {
+        if !(median_ratio > 0.0) || !median_ratio.is_finite() {
+            return;
+        }
+        self.factor = median_ratio.clamp(1.0 / Self::RATIO_CLAMP, Self::RATIO_CLAMP);
+        self.samples += 1;
+    }
+
     /// The current multiplicative correction applied to model estimates.
     pub fn factor(&self) -> f64 {
         self.factor
@@ -976,6 +992,13 @@ impl Planner {
     pub fn feedback(&mut self, plan: &QueryPlan, measured_node_accesses: u64) {
         self.calibration
             .observe(plan.model_node_accesses, measured_node_accesses as f64);
+    }
+
+    /// Snaps the calibration to a windowed median ratio (see
+    /// [`Calibration::recalibrate`]). Plan choice never changes answers, so
+    /// this is always answer-safe.
+    pub fn recalibrate(&mut self, median_ratio: f64) {
+        self.calibration.recalibrate(median_ratio);
     }
 
     /// Raw model estimate of total node accesses for `query` on an index
@@ -1121,6 +1144,24 @@ mod planner_tests {
             assert!(plan.estimated_node_accesses > 0.0);
             prev = plan.estimated_node_accesses;
         }
+    }
+
+    #[test]
+    fn recalibrate_snaps_to_windowed_median() {
+        let mut cal = Calibration::new();
+        cal.observe(100.0, 100.0);
+        cal.recalibrate(2.5);
+        assert_eq!(cal.factor(), 2.5);
+        // Clamped like per-observation ratios; garbage ignored.
+        cal.recalibrate(1.0e9);
+        assert_eq!(cal.factor(), 32.0);
+        cal.recalibrate(f64::NAN);
+        cal.recalibrate(0.0);
+        cal.recalibrate(-3.0);
+        assert_eq!(cal.factor(), 32.0);
+        let mut planner = Planner::new();
+        planner.recalibrate(0.5);
+        assert_eq!(planner.calibration().factor(), 0.5);
     }
 
     #[test]

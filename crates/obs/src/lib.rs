@@ -15,7 +15,14 @@
 //!   point events, serialized to the stable `knnta.trace.v1` JSON schema.
 //! * [`report`] — renders a per-phase breakdown table (filter vs. TIA
 //!   aggregation vs. page I/O, echoing the paper's Fig. 12-style
-//!   decomposition) from a parsed trace.
+//!   decomposition) from a parsed trace, and a `top`-style view over live
+//!   snapshots.
+//! * [`live`] — sliding-window counters/gauges/histograms for long-running
+//!   serving processes, snapshotted to the stable `knnta.snapshot.v1`
+//!   schema.
+//! * [`sample`] — tail trace sampling: a bounded, deterministic reservoir
+//!   of span trees for queries over a rolling latency quantile.
+//! * [`bounds`] — the shared default bucket-bound tables.
 //!
 //! Everything hangs off an [`Obs`] handle. A disabled handle
 //! ([`Obs::disabled`]) carries no allocation at all: every metric handle it
@@ -25,13 +32,18 @@
 
 #![warn(missing_docs)]
 
+pub mod bounds;
+pub mod live;
 pub mod metrics;
 pub mod report;
+pub mod sample;
 mod stats;
 pub mod trace;
 
+pub use live::{LiveWindows, SnapshotDoc, WindowCounter, WindowHistDoc, WindowHistogram};
 pub use metrics::{Counter, Gauge, Histogram, MetricsDoc, MetricsRegistry};
-pub use report::{format_ns, render_report};
+pub use report::{format_ns, render_report, render_top};
+pub use sample::{KeptTrace, TailConfig, TailSampler};
 pub use stats::{AccessStats, StatsSnapshot};
 pub use trace::{AttrValue, SpanGuard, SpanId, TraceDoc, Tracer};
 
@@ -41,6 +53,8 @@ use std::sync::Arc;
 pub const TRACE_SCHEMA: &str = "knnta.trace.v1";
 /// Schema identifier emitted in every metrics artifact.
 pub const METRICS_SCHEMA: &str = "knnta.metrics.v1";
+/// Schema identifier emitted in every live-telemetry snapshot artifact.
+pub const SNAPSHOT_SCHEMA: &str = "knnta.snapshot.v1";
 
 struct ObsCore {
     metrics: MetricsRegistry,

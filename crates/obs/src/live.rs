@@ -1,0 +1,805 @@
+//! Sliding-window live telemetry: ring-of-epoch-buckets counters, gauges
+//! and histograms for a process that runs for days.
+//!
+//! The PR 5 registry ([`crate::MetricsRegistry`]) is cumulative — right for
+//! one-shot runs, useless for "what is p99 *right now*". [`LiveWindows`]
+//! keeps, per metric, a ring of `slots` epoch buckets. Recording is a
+//! lock-free atomic add into the bucket selected by the current **tick**;
+//! reads merge all live buckets, so every reported rate or quantile covers
+//! exactly the last `slots` epochs.
+//!
+//! The tick is advanced by the *owner's* clock — the service admission loop
+//! calls [`LiveWindows::advance`] every N flushes — never by wall-clock
+//! reads in a hot path, so window contents are deterministic under the
+//! seeded clocks the tests use. `advance` zeroes the incoming slot before
+//! publishing the new tick; a record racing an advance lands in either the
+//! outgoing or the fresh epoch (one sample of bounded misattribution, never
+//! a stale bucket).
+//!
+//! Window quantiles are computed by walking the merged bucket counts to the
+//! target rank and reporting that bucket's inclusive upper bound, clamped
+//! to the window's observed max (so the overflow bucket reports the real
+//! max, not infinity). Deterministic, allocation-free, and within one
+//! bucket width of the exact order statistic.
+//!
+//! [`LiveWindows::snapshot`] serializes to the stable `knnta.snapshot.v1`
+//! schema (see [`SnapshotDoc`]) consumed by `knnta top` and `knnta slo`.
+
+use crate::metrics::Gauge;
+use knnta_util::json::{escape_string, JsonValue};
+use knnta_util::sync::Mutex;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The shared epoch counter: `slot = tick % slots`.
+#[derive(Debug)]
+struct Clock {
+    tick: AtomicU64,
+    slots: usize,
+}
+
+impl Clock {
+    #[inline]
+    fn slot(&self) -> usize {
+        (self.tick.load(Ordering::Acquire) % self.slots as u64) as usize
+    }
+}
+
+#[derive(Debug)]
+struct WinCounterCore {
+    clock: Arc<Clock>,
+    slots: Vec<AtomicU64>,
+    lifetime: AtomicU64,
+}
+
+/// A windowed counter handle: `window_total` covers the last `slots`
+/// epochs, `lifetime` the whole process. No-op when vended by a disabled
+/// [`LiveWindows`].
+#[derive(Clone, Debug, Default)]
+pub struct WindowCounter(Option<Arc<WinCounterCore>>);
+
+impl WindowCounter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` to the current epoch bucket (and the lifetime total).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            if n > 0 {
+                c.slots[c.clock.slot()].fetch_add(n, Ordering::Relaxed);
+                c.lifetime.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Sum over the live window (0 for a no-op handle).
+    pub fn window_total(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| {
+            c.slots.iter().map(|s| s.load(Ordering::Relaxed)).sum()
+        })
+    }
+
+    /// Process-lifetime total (0 for a no-op handle).
+    pub fn lifetime(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.lifetime.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct WinHistCore {
+    clock: Arc<Clock>,
+    bounds: Vec<u64>,
+    /// `slots * (bounds.len() + 1)` bucket cells, slot-major.
+    buckets: Vec<AtomicU64>,
+    counts: Vec<AtomicU64>,
+    sums: Vec<AtomicU64>,
+    maxes: Vec<AtomicU64>,
+}
+
+impl WinHistCore {
+    fn width(&self) -> usize {
+        self.bounds.len() + 1
+    }
+
+    fn zero_slot(&self, slot: usize) {
+        let base = slot * self.width();
+        for b in &self.buckets[base..base + self.width()] {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.counts[slot].store(0, Ordering::Relaxed);
+        self.sums[slot].store(0, Ordering::Relaxed);
+        self.maxes[slot].store(0, Ordering::Relaxed);
+    }
+
+    /// Merged (buckets, count, sum, max) over all live slots.
+    fn merged(&self) -> (Vec<u64>, u64, u64, u64) {
+        let width = self.width();
+        let mut buckets = vec![0u64; width];
+        let slots = self.counts.len();
+        for slot in 0..slots {
+            let base = slot * width;
+            for (i, b) in buckets.iter_mut().enumerate() {
+                *b += self.buckets[base + i].load(Ordering::Relaxed);
+            }
+        }
+        let count = self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        let sum = self.sums.iter().map(|s| s.load(Ordering::Relaxed)).sum();
+        let max = self
+            .maxes
+            .iter()
+            .map(|m| m.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0);
+        (buckets, count, sum, max)
+    }
+}
+
+/// A windowed fixed-bucket histogram handle. Bounds are inclusive upper
+/// bounds; reads cover the last `slots` epochs. No-op when vended by a
+/// disabled [`LiveWindows`].
+#[derive(Clone, Debug, Default)]
+pub struct WindowHistogram(Option<Arc<WinHistCore>>);
+
+impl WindowHistogram {
+    /// Records one observation of `v` into the current epoch bucket.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(h) = &self.0 {
+            let slot = h.clock.slot();
+            let idx = h
+                .bounds
+                .iter()
+                .position(|&b| v <= b)
+                .unwrap_or(h.bounds.len());
+            h.buckets[slot * h.width() + idx].fetch_add(1, Ordering::Relaxed);
+            h.counts[slot].fetch_add(1, Ordering::Relaxed);
+            h.sums[slot].fetch_add(v, Ordering::Relaxed);
+            h.maxes[slot].fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Observations in the live window (0 for a no-op handle).
+    pub fn window_count(&self) -> u64 {
+        self.0.as_ref().map_or(0, |h| h.merged().1)
+    }
+
+    /// Max observation in the live window (0 for a no-op handle).
+    pub fn window_max(&self) -> u64 {
+        self.0.as_ref().map_or(0, |h| h.merged().3)
+    }
+
+    /// The `q`-quantile over the live window (0 when empty or no-op).
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.0.as_ref().map_or(0, |h| {
+            let (buckets, _, _, max) = h.merged();
+            quantile_from(&h.bounds, &buckets, max, q)
+        })
+    }
+}
+
+/// Walks merged bucket counts to the rank `ceil(q · total)` and reports
+/// that bucket's inclusive upper bound, clamped to the observed `max`
+/// (the overflow bucket therefore reports `max`). 0 on an empty window.
+pub fn quantile_from(bounds: &[u64], buckets: &[u64], max: u64, q: f64) -> u64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut cum = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        cum += n;
+        if cum >= rank {
+            return if i < bounds.len() { bounds[i].min(max) } else { max };
+        }
+    }
+    max
+}
+
+#[derive(Debug)]
+struct WindowsCore {
+    clock: Arc<Clock>,
+    counters: Mutex<BTreeMap<String, Arc<WinCounterCore>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<WinHistCore>>>,
+}
+
+/// The sliding-window registry. Cloning clones the `Arc`; a disabled
+/// handle vends no-op metric handles, so "telemetry off" costs one branch
+/// per site — the same contract as [`crate::Obs`].
+#[derive(Clone, Debug, Default)]
+pub struct LiveWindows {
+    core: Option<Arc<WindowsCore>>,
+}
+
+impl LiveWindows {
+    /// A no-op registry: every handle it vends is inert.
+    pub fn disabled() -> Self {
+        Self { core: None }
+    }
+
+    /// A live registry whose window spans `slots` epochs (`slots ≥ 1`).
+    pub fn new(slots: usize) -> Self {
+        assert!(slots >= 1, "window needs at least one slot");
+        Self {
+            core: Some(Arc::new(WindowsCore {
+                clock: Arc::new(Clock {
+                    tick: AtomicU64::new(0),
+                    slots,
+                }),
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+            })),
+        }
+    }
+
+    /// Whether this registry records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.core.is_some()
+    }
+
+    /// Epochs per window (0 when disabled).
+    pub fn slots(&self) -> usize {
+        self.core.as_ref().map_or(0, |c| c.clock.slots)
+    }
+
+    /// The current epoch tick (0 when disabled).
+    pub fn tick(&self) -> u64 {
+        self.core
+            .as_ref()
+            .map_or(0, |c| c.clock.tick.load(Ordering::Acquire))
+    }
+
+    /// Starts the next epoch: zeroes the incoming ring slot of every
+    /// registered windowed metric, then publishes the new tick. Called by
+    /// the owner's clock (e.g. the service admission loop) — never from a
+    /// hot path, never from wall-clock time.
+    pub fn advance(&self) {
+        let Some(core) = &self.core else { return };
+        let next = core.clock.tick.load(Ordering::Acquire) + 1;
+        let slot = (next % core.clock.slots as u64) as usize;
+        for c in core.counters.lock().values() {
+            c.slots[slot].store(0, Ordering::Relaxed);
+        }
+        for h in core.histograms.lock().values() {
+            h.zero_slot(slot);
+        }
+        core.clock.tick.store(next, Ordering::Release);
+    }
+
+    /// Registers (or fetches) the windowed counter `name`.
+    pub fn counter(&self, name: &str) -> WindowCounter {
+        match &self.core {
+            Some(core) => {
+                let mut map = core.counters.lock();
+                let cell = map.entry(name.to_string()).or_insert_with(|| {
+                    Arc::new(WinCounterCore {
+                        clock: Arc::clone(&core.clock),
+                        slots: (0..core.clock.slots).map(|_| AtomicU64::new(0)).collect(),
+                        lifetime: AtomicU64::new(0),
+                    })
+                });
+                WindowCounter(Some(Arc::clone(cell)))
+            }
+            None => WindowCounter(None),
+        }
+    }
+
+    /// Registers (or fetches) the point-in-time gauge `name` (gauges are
+    /// instantaneous, so they carry no ring).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match &self.core {
+            Some(core) => {
+                let mut map = core.gauges.lock();
+                let cell = map
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(AtomicI64::new(0)));
+                Gauge::from_cell(Arc::clone(cell))
+            }
+            None => Gauge::default(),
+        }
+    }
+
+    /// Registers (or fetches) the windowed histogram `name` with the given
+    /// inclusive bucket upper bounds (strictly ascending; an overflow
+    /// bucket is added automatically). Bounds of an already-registered
+    /// histogram win.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> WindowHistogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        match &self.core {
+            Some(core) => {
+                let mut map = core.histograms.lock();
+                let cell = map.entry(name.to_string()).or_insert_with(|| {
+                    let width = bounds.len() + 1;
+                    Arc::new(WinHistCore {
+                        clock: Arc::clone(&core.clock),
+                        bounds: bounds.to_vec(),
+                        buckets: (0..core.clock.slots * width)
+                            .map(|_| AtomicU64::new(0))
+                            .collect(),
+                        counts: (0..core.clock.slots).map(|_| AtomicU64::new(0)).collect(),
+                        sums: (0..core.clock.slots).map(|_| AtomicU64::new(0)).collect(),
+                        maxes: (0..core.clock.slots).map(|_| AtomicU64::new(0)).collect(),
+                    })
+                });
+                WindowHistogram(Some(Arc::clone(cell)))
+            }
+            None => WindowHistogram(None),
+        }
+    }
+
+    /// A point-in-time window snapshot (empty when disabled). Histogram
+    /// quantiles are precomputed so consumers never re-derive them.
+    pub fn snapshot(&self) -> SnapshotDoc {
+        let Some(core) = &self.core else {
+            return SnapshotDoc::default();
+        };
+        let counters = core
+            .counters
+            .lock()
+            .iter()
+            .map(|(k, c)| CounterDoc {
+                name: k.clone(),
+                window: c.slots.iter().map(|s| s.load(Ordering::Relaxed)).sum(),
+                lifetime: c.lifetime.load(Ordering::Relaxed),
+            })
+            .collect();
+        let gauges = core
+            .gauges
+            .lock()
+            .iter()
+            .map(|(k, g)| (k.clone(), g.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = core
+            .histograms
+            .lock()
+            .iter()
+            .map(|(k, h)| {
+                let (buckets, count, sum, max) = h.merged();
+                let q = |q| quantile_from(&h.bounds, &buckets, max, q);
+                WindowHistDoc {
+                    name: k.clone(),
+                    bounds: h.bounds.clone(),
+                    p50: q(0.50),
+                    p95: q(0.95),
+                    p99: q(0.99),
+                    buckets,
+                    count,
+                    sum,
+                    max,
+                }
+            })
+            .collect();
+        SnapshotDoc {
+            schema: crate::SNAPSHOT_SCHEMA.to_string(),
+            tick: core.clock.tick.load(Ordering::Acquire),
+            windows: core.clock.slots as u64,
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// One windowed counter in a [`SnapshotDoc`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterDoc {
+    /// Metric name.
+    pub name: String,
+    /// Sum over the live window.
+    pub window: u64,
+    /// Process-lifetime total.
+    pub lifetime: u64,
+}
+
+/// One windowed histogram in a [`SnapshotDoc`]: merged buckets over the
+/// live window plus precomputed quantiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowHistDoc {
+    /// Metric name.
+    pub name: String,
+    /// Inclusive upper bucket bounds, ascending.
+    pub bounds: Vec<u64>,
+    /// Merged per-bucket counts; `bounds.len() + 1` entries (overflow last).
+    pub buckets: Vec<u64>,
+    /// Window observation count.
+    pub count: u64,
+    /// Window sum of observed values.
+    pub sum: u64,
+    /// Window max observation.
+    pub max: u64,
+    /// Window median (bucket upper bound, clamped to `max`).
+    pub p50: u64,
+    /// Window 95th percentile.
+    pub p95: u64,
+    /// Window 99th percentile.
+    pub p99: u64,
+}
+
+impl WindowHistDoc {
+    /// Recomputes the `q`-quantile from the serialized buckets.
+    pub fn quantile(&self, q: f64) -> u64 {
+        quantile_from(&self.bounds, &self.buckets, self.max, q)
+    }
+}
+
+/// A live-telemetry snapshot: the stable `knnta.snapshot.v1` artifact
+/// emitted by `knnta serve --stats-out` and consumed by `knnta top` /
+/// `knnta slo`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SnapshotDoc {
+    /// Schema identifier (`knnta.snapshot.v1`).
+    pub schema: String,
+    /// Epoch tick at snapshot time.
+    pub tick: u64,
+    /// Epochs per window.
+    pub windows: u64,
+    /// Windowed counters sorted by name.
+    pub counters: Vec<CounterDoc>,
+    /// Gauge (name, value) pairs sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Windowed histograms sorted by name.
+    pub histograms: Vec<WindowHistDoc>,
+}
+
+impl SnapshotDoc {
+    /// The counter entry for `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<&CounterDoc> {
+        self.counters.iter().find(|c| c.name == name)
+    }
+
+    /// The gauge value for `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|&(_, v)| v)
+    }
+
+    /// The histogram entry for `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&WindowHistDoc> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Serializes to the `knnta.snapshot.v1` schema.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": {},", escape_string(crate::SNAPSHOT_SCHEMA));
+        let _ = writeln!(out, "  \"tick\": {},", self.tick);
+        let _ = writeln!(out, "  \"windows\": {},", self.windows);
+        out.push_str("  \"counters\": {");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {}: {{\"window\": {}, \"lifetime\": {}}}",
+                escape_string(&c.name),
+                c.window,
+                c.lifetime
+            );
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {}: {}", escape_string(name), v);
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"histograms\": [");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {{\"name\": {}, \"bounds\": [", escape_string(&h.name));
+            for (j, b) in h.bounds.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{b}");
+            }
+            out.push_str("], \"buckets\": [");
+            for (j, b) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{b}");
+            }
+            let _ = write!(
+                out,
+                "], \"count\": {}, \"sum\": {}, \"max\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                h.count, h.sum, h.max, h.p50, h.p95, h.p99
+            );
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Parses a `knnta.snapshot.v1` document (round-trips [`SnapshotDoc::to_json`]).
+    pub fn parse(s: &str) -> Result<SnapshotDoc, String> {
+        let v = JsonValue::parse(s)?;
+        let schema = v
+            .get("schema")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing schema")?
+            .to_string();
+        let tick = v.get("tick").and_then(JsonValue::as_u64).ok_or("missing tick")?;
+        let windows = v
+            .get("windows")
+            .and_then(JsonValue::as_u64)
+            .ok_or("missing windows")?;
+        let mut counters = Vec::new();
+        for (name, val) in v
+            .get("counters")
+            .and_then(JsonValue::as_obj)
+            .ok_or("missing counters object")?
+        {
+            counters.push(CounterDoc {
+                name: name.clone(),
+                window: val
+                    .get("window")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| format!("counter {name} missing window"))?,
+                lifetime: val
+                    .get("lifetime")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| format!("counter {name} missing lifetime"))?,
+            });
+        }
+        let mut gauges = Vec::new();
+        for (name, val) in v
+            .get("gauges")
+            .and_then(JsonValue::as_obj)
+            .ok_or("missing gauges object")?
+        {
+            gauges.push((
+                name.clone(),
+                val.as_f64().ok_or_else(|| format!("gauge {name} not a number"))? as i64,
+            ));
+        }
+        let mut histograms = Vec::new();
+        for h in v
+            .get("histograms")
+            .and_then(JsonValue::as_arr)
+            .ok_or("missing histograms array")?
+        {
+            let nums = |key: &str| -> Result<Vec<u64>, String> {
+                h.get(key)
+                    .and_then(JsonValue::as_arr)
+                    .ok_or_else(|| format!("histogram missing {key}"))?
+                    .iter()
+                    .map(|x| x.as_u64().ok_or_else(|| format!("bad {key} entry")))
+                    .collect()
+            };
+            let num = |key: &str| -> Result<u64, String> {
+                h.get(key)
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| format!("histogram missing {key}"))
+            };
+            histograms.push(WindowHistDoc {
+                name: h
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("histogram missing name")?
+                    .to_string(),
+                bounds: nums("bounds")?,
+                buckets: nums("buckets")?,
+                count: num("count")?,
+                sum: num("sum")?,
+                max: num("max")?,
+                p50: num("p50")?,
+                p95: num("p95")?,
+                p99: num("p99")?,
+            });
+        }
+        Ok(SnapshotDoc {
+            schema,
+            tick,
+            windows,
+            counters,
+            gauges,
+            histograms,
+        })
+    }
+
+    /// Structural validation: schema identifier, sorted unique names,
+    /// bucket arithmetic, counter `window ≤ lifetime`, and quantiles that
+    /// match a recomputation from the serialized buckets.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema != crate::SNAPSHOT_SCHEMA {
+            return Err(format!("unexpected schema {:?}", self.schema));
+        }
+        if self.windows == 0 {
+            return Err("windows must be >= 1".to_string());
+        }
+        for names in [
+            self.counters.iter().map(|c| &c.name).collect::<Vec<_>>(),
+            self.gauges.iter().map(|(k, _)| k).collect(),
+            self.histograms.iter().map(|h| &h.name).collect(),
+        ] {
+            if names.windows(2).any(|w| w[0] >= w[1]) {
+                return Err("metric names not sorted/unique".to_string());
+            }
+        }
+        for c in &self.counters {
+            if c.window > c.lifetime {
+                return Err(format!("counter {} window exceeds lifetime", c.name));
+            }
+        }
+        for h in &self.histograms {
+            if h.buckets.len() != h.bounds.len() + 1 {
+                return Err(format!("histogram {} bucket/bound mismatch", h.name));
+            }
+            if h.buckets.iter().sum::<u64>() != h.count {
+                return Err(format!("histogram {} count mismatch", h.name));
+            }
+            if h.bounds.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("histogram {} bounds not ascending", h.name));
+            }
+            if (h.p50, h.p95, h.p99) != (h.quantile(0.50), h.quantile(0.95), h.quantile(0.99)) {
+                return Err(format!("histogram {} quantiles inconsistent", h.name));
+            }
+            if h.count > 0 && !(h.p50 <= h.p95 && h.p95 <= h.p99 && h.p99 <= h.max) {
+                return Err(format!("histogram {} quantiles not monotonic", h.name));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handles_are_inert() {
+        let w = LiveWindows::disabled();
+        assert!(!w.is_enabled());
+        let c = w.counter("knnta.test.c");
+        c.add(3);
+        assert_eq!(c.window_total(), 0);
+        assert_eq!(c.lifetime(), 0);
+        let h = w.histogram("knnta.test.h", &[10]);
+        h.record(5);
+        assert_eq!(h.window_count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        w.advance();
+        assert_eq!(w.tick(), 0);
+        assert_eq!(w.snapshot(), SnapshotDoc::default());
+    }
+
+    #[test]
+    fn window_forgets_rotated_out_epochs() {
+        let w = LiveWindows::new(3);
+        let c = w.counter("knnta.test.c");
+        let h = w.histogram("knnta.test.h", &[10, 100]);
+        c.add(5);
+        h.record(7);
+        assert_eq!(c.window_total(), 5);
+        assert_eq!(h.window_count(), 1);
+        // Two advances keep the epoch in the 3-slot window...
+        w.advance();
+        w.advance();
+        c.add(1);
+        assert_eq!(c.window_total(), 6);
+        assert_eq!(c.lifetime(), 6);
+        // ...the third rotates it out.
+        w.advance();
+        assert_eq!(c.window_total(), 1);
+        assert_eq!(c.lifetime(), 6);
+        assert_eq!(h.window_count(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn quantiles_walk_merged_buckets() {
+        let w = LiveWindows::new(4);
+        let h = w.histogram("knnta.test.h", &[10, 100, 1000]);
+        // Spread records across epochs; quantiles merge all four slots.
+        for (epoch, values) in [[1u64, 5, 9], [20, 30, 40], [200, 300, 400], [7, 8, 2000]]
+            .iter()
+            .enumerate()
+        {
+            if epoch > 0 {
+                w.advance();
+            }
+            for &v in values {
+                h.record(v);
+            }
+        }
+        assert_eq!(h.window_count(), 12);
+        assert_eq!(h.window_max(), 2000);
+        // 12 records: 5 ≤ 10, 3 ≤ 100, 3 ≤ 1000, 1 overflow.
+        assert_eq!(h.quantile(0.50), 100);
+        assert_eq!(h.quantile(0.75), 1000);
+        // Overflow bucket reports the observed max, not infinity.
+        assert_eq!(h.quantile(1.0), 2000);
+        // Quantile never exceeds the observed max within a bucket either.
+        let w2 = LiveWindows::new(1);
+        let h2 = w2.histogram("knnta.test.h2", &[1000]);
+        h2.record(3);
+        assert_eq!(h2.quantile(0.5), 3);
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_validates() {
+        let w = LiveWindows::new(2);
+        let c = w.counter("knnta.test.answered");
+        let g = w.gauge("knnta.test.depth");
+        let h = w.histogram("knnta.test.lat_us", &[100, 1000]);
+        c.add(4);
+        g.set(-2);
+        for v in [50, 400, 70_000] {
+            h.record(v);
+        }
+        w.advance();
+        c.add(1);
+        let doc = w.snapshot();
+        doc.validate().unwrap();
+        assert_eq!(doc.tick, 1);
+        assert_eq!(doc.windows, 2);
+        let cd = doc.counter("knnta.test.answered").unwrap();
+        assert_eq!((cd.window, cd.lifetime), (5, 5));
+        assert_eq!(doc.gauge("knnta.test.depth"), Some(-2));
+        let hd = doc.histogram("knnta.test.lat_us").unwrap();
+        assert_eq!(hd.count, 3);
+        assert_eq!(hd.max, 70_000);
+        assert_eq!(hd.p99, 70_000);
+        let back = SnapshotDoc::parse(&doc.to_json()).unwrap();
+        back.validate().unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn validate_rejects_broken_docs() {
+        let good = LiveWindows::new(2).snapshot();
+        good.validate().unwrap();
+        let mut doc = good.clone();
+        doc.schema = "bogus".to_string();
+        assert!(doc.validate().is_err());
+        let mut doc = good.clone();
+        doc.windows = 0;
+        assert!(doc.validate().is_err());
+        let mut doc = good.clone();
+        doc.counters = vec![CounterDoc {
+            name: "c".into(),
+            window: 5,
+            lifetime: 3,
+        }];
+        assert!(doc.validate().is_err());
+        let mut doc = good;
+        doc.histograms = vec![WindowHistDoc {
+            name: "h".into(),
+            bounds: vec![10],
+            buckets: vec![1, 0],
+            count: 1,
+            sum: 5,
+            max: 5,
+            p50: 9, // recomputation gives 5
+            p95: 9,
+            p99: 9,
+        }];
+        assert!(doc.validate().is_err());
+    }
+}

@@ -71,6 +71,11 @@ impl Gauge {
         Self(None)
     }
 
+    /// Wraps an existing atomic cell (shared with the window registry).
+    pub(crate) fn from_cell(cell: Arc<AtomicI64>) -> Self {
+        Self(Some(cell))
+    }
+
     /// Sets the gauge to `v`.
     #[inline]
     pub fn set(&self, v: i64) {
@@ -451,6 +456,35 @@ mod tests {
     #[should_panic(expected = "strictly ascending")]
     fn histogram_rejects_unsorted_bounds() {
         MetricsRegistry::new().histogram("knnta.bad", &[10, 10]);
+    }
+
+    /// Bounds are *inclusive* upper bounds: a sample landing exactly on a
+    /// bound must go to that bucket (not the next one up), and `sum`/`count`
+    /// must stay consistent with the bucket tally. Exercised against every
+    /// shared default table so the cumulative and window registries agree.
+    #[test]
+    fn sample_on_inclusive_bound_keeps_sum_count_consistent() {
+        for table in [
+            crate::bounds::FETCH_NS,
+            crate::bounds::LATENCY_US,
+            crate::bounds::RATIO_X1000,
+        ] {
+            let reg = MetricsRegistry::new();
+            let h = reg.histogram("knnta.edge", table);
+            for &b in table {
+                h.record(b);
+            }
+            let doc = reg.snapshot();
+            doc.validate().unwrap();
+            let hd = &doc.histograms[0];
+            // One sample per bound, each in its own (inclusive) bucket;
+            // nothing leaks into the overflow bucket.
+            let mut want = vec![1u64; table.len()];
+            want.push(0);
+            assert_eq!(hd.buckets, want);
+            assert_eq!(hd.count, table.len() as u64);
+            assert_eq!(hd.sum, table.iter().sum::<u64>());
+        }
     }
 
     #[test]

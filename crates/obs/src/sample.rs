@@ -1,0 +1,339 @@
+//! Tail trace sampling: keep full span trees only for the slowest queries.
+//!
+//! Tracing every query on a long-running server is unbounded memory; tracing
+//! none loses exactly the forensics that matter. [`TailSampler`] splits the
+//! difference: each answered query *offers* its latency plus a lazy span-tree
+//! builder, and the sampler retains the tree only when the latency clears a
+//! **rolling quantile threshold** computed from its own ring-of-epochs
+//! latency histogram (advanced by the same admission clock as
+//! [`crate::LiveWindows`] — no wall-clock reads). Retention is a bounded
+//! reservoir of the worst `capacity` queries, with a total order on
+//! `(latency, seq)` so eviction — and therefore the whole kept set — is a
+//! deterministic function of the offered stream (property-tested under
+//! `KNNTA_PROP_SEED` replay).
+//!
+//! The trace builder closure runs only when the offer is accepted, so the
+//! fast path pays one histogram update and a comparison — never a span-tree
+//! allocation.
+
+use crate::live::quantile_from;
+use crate::trace::TraceDoc;
+use knnta_util::sync::Mutex;
+
+/// Tail-sampler policy knobs.
+#[derive(Debug, Clone)]
+pub struct TailConfig {
+    /// Max retained traces (the reservoir bound).
+    pub capacity: usize,
+    /// Rolling latency quantile a query must reach to be kept.
+    pub quantile: f64,
+    /// Observations before the threshold filter engages; during warmup
+    /// every offer is eligible (the reservoir bound still applies).
+    pub warmup: u64,
+    /// Epochs in the rolling threshold window.
+    pub slots: usize,
+    /// Threshold histogram bounds (inclusive upper bounds, ascending).
+    pub bounds: Vec<u64>,
+}
+
+impl Default for TailConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 32,
+            quantile: 0.95,
+            warmup: 64,
+            slots: 8,
+            bounds: crate::bounds::LATENCY_US.to_vec(),
+        }
+    }
+}
+
+/// One retained slow-query trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeptTrace {
+    /// Offer sequence number (1-based, total order across the stream).
+    pub seq: u64,
+    /// The query's end-to-end latency in microseconds.
+    pub latency_us: u64,
+    /// The full span tree for the query.
+    pub trace: TraceDoc,
+}
+
+#[derive(Debug)]
+struct SamplerCore {
+    /// Ring of per-epoch bucket rows, `slots × (bounds.len() + 1)`.
+    buckets: Vec<Vec<u64>>,
+    maxes: Vec<u64>,
+    tick: u64,
+    observed: u64,
+    seq: u64,
+    kept: Vec<KeptTrace>,
+    kept_ever: u64,
+}
+
+/// The bounded, deterministic slow-query reservoir. All methods are
+/// thread-safe; offers are serialized by one mutex (they arrive from the
+/// single merger thread in practice).
+#[derive(Debug)]
+pub struct TailSampler {
+    config: TailConfig,
+    core: Mutex<SamplerCore>,
+}
+
+impl TailSampler {
+    /// A sampler with the given policy (`capacity ≥ 1`, `slots ≥ 1`,
+    /// ascending `bounds`, `quantile` in `(0, 1]`).
+    pub fn new(config: TailConfig) -> Self {
+        assert!(config.capacity >= 1, "reservoir needs capacity");
+        assert!(config.slots >= 1, "threshold window needs a slot");
+        assert!(
+            config.quantile > 0.0 && config.quantile <= 1.0,
+            "quantile must be in (0, 1]"
+        );
+        assert!(
+            config.bounds.windows(2).all(|w| w[0] < w[1]),
+            "threshold bounds must be strictly ascending"
+        );
+        let width = config.bounds.len() + 1;
+        let core = SamplerCore {
+            buckets: (0..config.slots).map(|_| vec![0; width]).collect(),
+            maxes: vec![0; config.slots],
+            tick: 0,
+            observed: 0,
+            seq: 0,
+            kept: Vec::new(),
+            kept_ever: 0,
+        };
+        Self {
+            config,
+            core: Mutex::new(core),
+        }
+    }
+
+    /// The policy in force.
+    pub fn config(&self) -> &TailConfig {
+        &self.config
+    }
+
+    /// Rotates the threshold window one epoch (zeroes the incoming slot).
+    /// Driven by the owner's admission clock alongside
+    /// [`crate::LiveWindows::advance`].
+    pub fn advance(&self) {
+        let mut c = self.core.lock();
+        c.tick += 1;
+        let slot = (c.tick % self.config.slots as u64) as usize;
+        c.buckets[slot].iter_mut().for_each(|b| *b = 0);
+        c.maxes[slot] = 0;
+    }
+
+    fn threshold_of(&self, core: &SamplerCore) -> u64 {
+        let width = self.config.bounds.len() + 1;
+        let mut merged = vec![0u64; width];
+        for row in &core.buckets {
+            for (m, b) in merged.iter_mut().zip(row) {
+                *m += b;
+            }
+        }
+        let max = core.maxes.iter().copied().max().unwrap_or(0);
+        quantile_from(&self.config.bounds, &merged, max, self.config.quantile)
+    }
+
+    /// The current rolling-quantile keep threshold in microseconds
+    /// (0 while the window is empty).
+    pub fn threshold_us(&self) -> u64 {
+        self.threshold_of(&self.core.lock())
+    }
+
+    /// Offers one answered query. Returns `true` (and invokes
+    /// `make_trace`) iff the trace was retained: the latency reaches the
+    /// rolling threshold (or the stream is still warming up) *and* it
+    /// displaces nothing worse from a full reservoir. Eviction order is
+    /// the total order on `(latency_us, seq)` — ties keep the newer query.
+    pub fn offer(&self, latency_us: u64, make_trace: impl FnOnce() -> TraceDoc) -> bool {
+        let mut c = self.core.lock();
+        c.seq += 1;
+        let seq = c.seq;
+        c.observed += 1;
+        // Record into the rolling threshold histogram (current epoch slot).
+        let slot = (c.tick % self.config.slots as u64) as usize;
+        let idx = self
+            .config
+            .bounds
+            .iter()
+            .position(|&b| latency_us <= b)
+            .unwrap_or(self.config.bounds.len());
+        c.buckets[slot][idx] += 1;
+        c.maxes[slot] = c.maxes[slot].max(latency_us);
+
+        let over_threshold =
+            c.observed <= self.config.warmup || latency_us >= self.threshold_of(&c);
+        if !over_threshold {
+            return false;
+        }
+        if c.kept.len() == self.config.capacity {
+            let (min_idx, min_key) = c
+                .kept
+                .iter()
+                .enumerate()
+                .map(|(i, k)| (i, (k.latency_us, k.seq)))
+                .min_by_key(|&(_, key)| key)
+                .expect("capacity >= 1");
+            if (latency_us, seq) <= min_key {
+                return false;
+            }
+            c.kept.swap_remove(min_idx);
+        }
+        c.kept.push(KeptTrace {
+            seq,
+            latency_us,
+            trace: make_trace(),
+        });
+        c.kept_ever += 1;
+        true
+    }
+
+    /// Retained traces, ordered by offer sequence.
+    pub fn kept(&self) -> Vec<KeptTrace> {
+        let mut kept = self.core.lock().kept.clone();
+        kept.sort_by_key(|k| k.seq);
+        kept
+    }
+
+    /// Current reservoir occupancy (≤ `capacity`).
+    pub fn kept_len(&self) -> usize {
+        self.core.lock().kept.len()
+    }
+
+    /// Traces retained over the process lifetime (including later-evicted
+    /// ones) — the `tail_traces_kept` bench counter.
+    pub fn kept_ever(&self) -> u64 {
+        self.core.lock().kept_ever
+    }
+
+    /// Total queries offered.
+    pub fn observed(&self) -> u64 {
+        self.core.lock().observed
+    }
+
+    /// Merges every retained span tree into one valid `knnta.trace.v1`
+    /// document (span ids remapped to stay unique), ordered by offer
+    /// sequence — the artifact behind `knnta serve --tail-out`.
+    pub fn export(&self) -> TraceDoc {
+        let kept = self.kept();
+        let mut out = TraceDoc {
+            schema: crate::TRACE_SCHEMA.to_string(),
+            ..TraceDoc::default()
+        };
+        let mut offset = 0u64;
+        for k in &kept {
+            let mut next_offset = offset;
+            for span in &k.trace.spans {
+                let mut span = span.clone();
+                span.id += offset;
+                if span.parent != 0 {
+                    span.parent += offset;
+                }
+                next_offset = next_offset.max(span.id);
+                out.spans.push(span);
+            }
+            for event in &k.trace.events {
+                let mut event = event.clone();
+                event.span += offset;
+                out.events.push(event);
+            }
+            offset = next_offset;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::SpanDoc;
+
+    fn trace_of(latency_us: u64) -> TraceDoc {
+        TraceDoc {
+            schema: crate::TRACE_SCHEMA.to_string(),
+            spans: vec![SpanDoc {
+                id: 1,
+                parent: 0,
+                name: "served_query".to_string(),
+                start_ns: 0,
+                end_ns: latency_us * 1_000,
+                attrs: vec![],
+            }],
+            events: vec![],
+        }
+    }
+
+    fn small(capacity: usize, warmup: u64) -> TailSampler {
+        TailSampler::new(TailConfig {
+            capacity,
+            warmup,
+            slots: 2,
+            bounds: vec![10, 100, 1000],
+            ..TailConfig::default()
+        })
+    }
+
+    #[test]
+    fn warmup_keeps_everything_then_threshold_engages() {
+        let s = small(8, 4);
+        for v in [5, 6, 7, 8] {
+            assert!(s.offer(v, || trace_of(v)));
+        }
+        // Threshold is now the window p95 (= max of the small window): a
+        // fast query is rejected, a slow one kept.
+        assert!(s.threshold_us() >= 8);
+        assert!(!s.offer(1, || unreachable!("builder must stay lazy")));
+        assert!(s.offer(5_000, || trace_of(5_000)));
+        assert_eq!(s.kept_len(), 5);
+        assert_eq!(s.kept_ever(), 5);
+        assert_eq!(s.observed(), 6);
+    }
+
+    #[test]
+    fn reservoir_is_bounded_and_evicts_fastest() {
+        let s = small(2, 0);
+        // Everything beats the empty-window threshold at first.
+        assert!(s.offer(500, || trace_of(500)));
+        assert!(s.offer(2_000, || trace_of(2_000)));
+        // Slower than the reservoir minimum: displaces the 500µs trace.
+        assert!(s.offer(3_000, || trace_of(3_000)));
+        assert_eq!(s.kept_len(), 2);
+        let kept: Vec<u64> = s.kept().iter().map(|k| k.latency_us).collect();
+        assert_eq!(kept, vec![2_000, 3_000]);
+        // Over threshold but not worse than the reservoir floor: dropped.
+        let before = s.kept();
+        assert!(!s.offer(1_999, || trace_of(1_999)));
+        assert_eq!(s.kept(), before);
+        assert_eq!(s.kept_len(), 2);
+    }
+
+    #[test]
+    fn rotation_forgets_old_threshold_epochs() {
+        let s = small(32, 0);
+        for _ in 0..50 {
+            s.offer(5_000, || trace_of(5_000));
+        }
+        assert_eq!(s.threshold_us(), 5_000);
+        // Rotate both slots out: the threshold resets with the window.
+        s.advance();
+        s.advance();
+        assert_eq!(s.threshold_us(), 0);
+    }
+
+    #[test]
+    fn export_merges_kept_trees_into_one_valid_doc() {
+        let s = small(4, 0);
+        for v in [300, 700, 900] {
+            assert!(s.offer(v, || trace_of(v)));
+        }
+        let doc = s.export();
+        doc.validate().unwrap();
+        assert_eq!(doc.spans.len(), 3);
+        let ids: Vec<u64> = doc.spans.iter().map(|sp| sp.id).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property tests for the live-telemetry substrate: the sliding window must
+//! forget rotated-out epochs exactly, and the tail sampler must stay within
+//! its memory bound while keeping a deterministic set for a given stream.
+
+use knnta_obs::bounds::LATENCY_US;
+use knnta_obs::live::quantile_from;
+use knnta_obs::{LiveWindows, TailConfig, TailSampler, TraceDoc, TRACE_SCHEMA};
+use knnta_util::prop::{check, Gen};
+
+/// One recorded sample plus the tick it landed on — the shadow model keeps
+/// every sample forever and filters by tick, which is exactly the behaviour
+/// the ring of epoch buckets must reproduce without keeping anything.
+struct Shadow {
+    slots: u64,
+    samples: Vec<(u64, u64)>, // (tick, value)
+}
+
+impl Shadow {
+    fn in_window(&self, now: u64) -> impl Iterator<Item = u64> + '_ {
+        let oldest = now.saturating_sub(self.slots - 1);
+        self.samples
+            .iter()
+            .filter(move |&&(t, _)| t >= oldest)
+            .map(|&(_, v)| v)
+    }
+
+    fn expected(&self, now: u64, q: f64) -> (u64, u64, u64) {
+        let mut buckets = vec![0u64; LATENCY_US.len() + 1];
+        let mut max = 0u64;
+        let mut count = 0u64;
+        for v in self.in_window(now) {
+            let i = LATENCY_US
+                .iter()
+                .position(|&b| v <= b)
+                .unwrap_or(LATENCY_US.len());
+            buckets[i] += 1;
+            max = max.max(v);
+            count += 1;
+        }
+        (count, max, quantile_from(LATENCY_US, &buckets, max, q))
+    }
+}
+
+/// Rotated-out buckets never contribute: after an arbitrary interleaving of
+/// records and advances, count / max / every quantile of the live histogram
+/// equal those computed from only the samples whose tick is still in-window.
+#[test]
+fn window_rotation_forgets_exactly() {
+    check("window_rotation_forgets_exactly", 64, |g: &mut Gen| {
+        let slots = g.usize_in(1..6);
+        let windows = LiveWindows::new(slots);
+        let hist = windows.histogram("prop.latency_us", LATENCY_US);
+        let mut shadow = Shadow {
+            slots: slots as u64,
+            samples: Vec::new(),
+        };
+        let ops = g.usize_in(1..120);
+        for _ in 0..ops {
+            if g.bool() {
+                windows.advance();
+            } else {
+                let v = g.u64_in(0..20_000_000);
+                hist.record(v);
+                shadow.samples.push((windows.tick(), v));
+            }
+            let now = windows.tick();
+            for &q in &[0.0, 0.5, 0.95, 0.99, 1.0] {
+                let (count, max, quant) = shadow.expected(now, q);
+                assert_eq!(hist.window_count(), count, "count at tick {now}");
+                assert_eq!(hist.window_max(), max, "max at tick {now}");
+                assert_eq!(hist.quantile(q), quant, "q={q} at tick {now}");
+            }
+        }
+    });
+}
+
+fn tiny_trace(seq: u64) -> TraceDoc {
+    TraceDoc {
+        schema: TRACE_SCHEMA.into(),
+        spans: vec![knnta_obs::trace::SpanDoc {
+            id: 1,
+            parent: 0,
+            name: format!("q{seq}"),
+            start_ns: 0,
+            end_ns: 1,
+            attrs: Vec::new(),
+        }],
+        events: Vec::new(),
+    }
+}
+
+/// Replays one generated offer/advance stream against a fresh sampler and
+/// returns the kept (seq, latency) set plus how many trace closures actually
+/// ran — laziness is part of the memory bound.
+fn run_stream(stream: &[(bool, u64)], config: &TailConfig) -> (Vec<(u64, u64)>, u64) {
+    let sampler = TailSampler::new(config.clone());
+    let mut built = 0u64;
+    for (i, &(adv, latency)) in stream.iter().enumerate() {
+        if adv {
+            sampler.advance();
+        }
+        sampler.offer(latency, || {
+            built += 1;
+            tiny_trace(i as u64)
+        });
+        assert!(
+            sampler.kept_len() <= config.capacity,
+            "reservoir exceeded capacity after offer {i}"
+        );
+    }
+    (
+        sampler.kept().iter().map(|k| (k.seq, k.latency_us)).collect(),
+        built,
+    )
+}
+
+/// The reservoir never exceeds its capacity, never materialises more traces
+/// than it admitted, and the kept set is a pure function of the offer stream
+/// — replaying the same stream yields the identical set, which is what makes
+/// `KNNTA_PROP_SEED` reproduction of a tail capture meaningful.
+#[test]
+fn tail_sampler_is_bounded_and_deterministic() {
+    check("tail_sampler_is_bounded_and_deterministic", 64, |g: &mut Gen| {
+        let config = TailConfig {
+            capacity: g.usize_in(1..12),
+            warmup: g.u64_in(0..16),
+            slots: g.usize_in(1..5),
+            ..TailConfig::default()
+        };
+        let stream: Vec<(bool, u64)> = g.vec(1, 200, |g| {
+            // Heavy-tailed latencies so both sides of the threshold appear.
+            let base = g.u64_in(1..1_000);
+            let spike = if g.bool() { g.u64_in(0..5_000_000) } else { 0 };
+            (g.usize_in(0..8) == 0, base + spike)
+        });
+        let (kept_a, built_a) = run_stream(&stream, &config);
+        let (kept_b, built_b) = run_stream(&stream, &config);
+        assert_eq!(kept_a, kept_b, "kept set must be deterministic per stream");
+        assert_eq!(built_a, built_b);
+        assert!(kept_a.len() <= config.capacity);
+        assert!(
+            built_a <= stream.len() as u64,
+            "never builds more traces than offers"
+        );
+        // Sorted by admission order, and every kept latency is really from
+        // the stream at that position (seq is 1-based).
+        for w in kept_a.windows(2) {
+            assert!(w[0].0 < w[1].0, "kept set sorted by seq");
+        }
+        for &(seq, latency) in &kept_a {
+            assert_eq!(stream[seq as usize - 1].1, latency);
+        }
+    });
+}

@@ -46,10 +46,25 @@
 //! Per-phase spans (`admit`, `tile`, `scatter`, `merge`) and
 //! `knnta.service.*` counters flow into the attached [`Obs`] handle, so
 //! `knnta report` breaks service latency down by phase. See DESIGN.md §15.
+//!
+//! Independently of the opt-in [`Obs`] tracing, every service carries an
+//! always-on [`ServiceTelemetry`] ([`telemetry`]): sliding-window latency
+//! histograms with per-segment attribution (admit / queue / scatter /
+//! merge), per-shard health gauges, and a bounded tail-trace sampler —
+//! snapshotted to the stable `knnta.snapshot.v1` schema for
+//! `knnta serve --stats-out`, `knnta top`, and `knnta slo`. See
+//! DESIGN.md §16.
 
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod telemetry;
+
+pub use telemetry::{
+    ServiceTelemetry, TelemetryConfig, G_IMBALANCE_X1000, G_TAIL_THRESHOLD_US, W_ADMIT_US,
+    W_ANSWERED, W_E2E_US, W_FLUSHES, W_MERGE_US, W_QUEUE_US, W_SCATTER_US, W_SUBMITTED,
+    W_TAIL_KEPT,
+};
 
 use knnta_core::{
     merge_ranked, partition_pois, BatchOrder, Executor, IndexConfig, KnntaQuery, Obs,
@@ -108,6 +123,8 @@ pub struct ServiceConfig {
     /// Test-only fault injection, normally `None`; set via
     /// [`ServiceConfig::with_fault_hook`].
     pub fault_hook: Option<FaultHook>,
+    /// Always-on serving telemetry knobs (see [`telemetry`]).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ServiceConfig {
@@ -120,6 +137,7 @@ impl Default for ServiceConfig {
             retry_limit: 2,
             deadline: Duration::from_secs(5),
             fault_hook: None,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -237,11 +255,20 @@ enum MergeMsg {
         flush: u64,
         entries: Vec<Entry>,
         shards: usize,
+        /// When admission dispatched the flush (the admit/queue boundary).
+        flushed_at: Instant,
     },
     ShardDone {
         flush: u64,
         shard: usize,
         outcome: Result<Vec<Vec<QueryHit>>, Failure>,
+        /// Wall time of the (final) execution attempt on this shard.
+        exec_ns: u64,
+        /// Execution attempts consumed (0 = first try succeeded).
+        attempts: u64,
+        /// When this shard finished (the queue/merge boundary is the max
+        /// over shards).
+        finished: Instant,
     },
 }
 
@@ -342,6 +369,7 @@ pub struct Service {
     submitted: knnta_obs::Counter,
     obs: Obs,
     shards: usize,
+    telemetry: Arc<ServiceTelemetry>,
     pools: Vec<ThreadPool>,
 }
 
@@ -398,6 +426,8 @@ impl Service {
             })
             .collect();
 
+        let telemetry = ServiceTelemetry::new(&config.telemetry, shards_n);
+
         let (submit_tx, submit_rx) = chan::channel::<Entry>();
         let (merge_tx, merge_rx) = chan::channel::<MergeMsg>();
         let shard_channels: Vec<(Sender<Task>, Receiver<Task>)> =
@@ -415,9 +445,11 @@ impl Service {
             let config = config.clone();
             let obs = obs.clone();
             let counters = counters.clone();
+            let telemetry = telemetry.clone();
             let queued = admit_pool.execute(move || {
                 admission_loop(
                     &submit_rx, &shard_txs, &merge_tx, &order_data, &config, &obs, &counters,
+                    &telemetry,
                 );
                 for tx in &shard_txs {
                     tx.close();
@@ -436,8 +468,11 @@ impl Service {
                 let config = config.clone();
                 let obs = obs.clone();
                 let counters = counters.clone();
+                let telemetry = telemetry.clone();
                 let queued = worker_pool.execute(move || {
-                    worker_loop(&state, &rx, &merge_tx, &root_max, &config, &obs, &counters);
+                    worker_loop(
+                        &state, &rx, &merge_tx, &root_max, &config, &obs, &counters, &telemetry,
+                    );
                 });
                 assert!(queued.is_ok(), "worker pool accepts its loops");
             }
@@ -448,7 +483,9 @@ impl Service {
         {
             let obs = obs.clone();
             let counters = counters.clone();
-            let queued = merge_pool.execute(move || merger_loop(&merge_rx, &obs, &counters));
+            let telemetry = telemetry.clone();
+            let queued =
+                merge_pool.execute(move || merger_loop(&merge_rx, &obs, &counters, &telemetry));
             assert!(queued.is_ok(), "merge pool accepts its loop");
         }
 
@@ -457,6 +494,7 @@ impl Service {
             submitted: counters.submitted.clone(),
             obs,
             shards: shards_n,
+            telemetry,
             // Join order at shutdown: admission (drains + closes shard
             // queues) → workers (drain + drop their merge senders) →
             // merger (drains, answers everything outstanding).
@@ -477,8 +515,14 @@ impl Service {
         };
         if self.submit_tx.send(entry).is_ok() {
             self.submitted.add(1);
+            self.telemetry.submitted.inc();
         }
         Ticket { rx, submitted }
+    }
+
+    /// The always-on live telemetry (window snapshots, tail traces).
+    pub fn telemetry(&self) -> &Arc<ServiceTelemetry> {
+        &self.telemetry
     }
 
     /// Number of engine shards actually running (after clamping to the POI
@@ -510,6 +554,7 @@ impl Drop for Service {
 
 /// Admission: accumulate submissions into a tile, flush on size or
 /// deadline, order along the Hilbert curve, scatter to every shard.
+#[allow(clippy::too_many_arguments)]
 fn admission_loop(
     submit_rx: &Receiver<Entry>,
     shard_txs: &[Sender<Task>],
@@ -518,6 +563,7 @@ fn admission_loop(
     config: &ServiceConfig,
     obs: &Obs,
     counters: &Counters,
+    telemetry: &ServiceTelemetry,
 ) {
     let mut flush_id = 0u64;
     loop {
@@ -559,6 +605,9 @@ fn admission_loop(
         if filled {
             counters.flush_full.add(1);
         }
+        // The admission clock: flush counting drives window rotation — no
+        // wall-clock reads, deterministic under seeded test streams.
+        telemetry.on_flush(flush_id, filled);
 
         let tile_span = obs.span("tile", SpanId::NONE);
         let queries: Vec<KnntaQuery> = batch.iter().map(|e| e.query).collect();
@@ -587,6 +636,7 @@ fn admission_loop(
                 flush: flush_id,
                 entries,
                 shards: shard_txs.len(),
+                flushed_at: Instant::now(),
             })
             .is_ok();
         if manifest_sent {
@@ -604,6 +654,7 @@ fn admission_loop(
 
 /// One shard worker: drain tasks, execute through the planner-driven
 /// executor, catch panics, rebuild + retry, report to the merger.
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     state: &ShardState,
     rx: &Receiver<Task>,
@@ -612,6 +663,7 @@ fn worker_loop(
     config: &ServiceConfig,
     obs: &Obs,
     counters: &Counters,
+    telemetry: &ServiceTelemetry,
 ) {
     // The planner survives shard rebuilds: calibration is a property of
     // the workload + shard shape, not of one index instance.
@@ -622,15 +674,20 @@ fn worker_loop(
         let mut exec = Executor::new(&data.index)
             .with_packed(&data.packed)
             .with_root_max(root_max)
-            .with_planner(planner.clone());
+            .with_planner(planner.clone())
+            .with_windows(telemetry.windows());
         loop {
             let (task, attempt) = match pending.take() {
                 Some(t) => t,
                 None => match rx.recv() {
-                    Ok(task) => (task, 0),
+                    Ok(task) => {
+                        telemetry.set_queue_depth(state.id, rx.len());
+                        (task, 0)
+                    }
                     Err(_) => return, // closed and drained
                 },
             };
+            let exec_start = Instant::now();
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 if let Some(hook) = &config.fault_hook {
                     hook(state.id, task.flush, attempt);
@@ -648,12 +705,16 @@ fn worker_loop(
                     exec.query_batch(&task.queries)
                 }
             }));
+            let exec_ns = exec_start.elapsed().as_nanos() as u64;
             match outcome {
                 Ok(lists) => {
                     let _ = merge_tx.send(MergeMsg::ShardDone {
                         flush: task.flush,
                         shard: state.id,
                         outcome: Ok(lists),
+                        exec_ns,
+                        attempts: attempt as u64,
+                        finished: Instant::now(),
                     });
                 }
                 Err(payload) => {
@@ -661,14 +722,19 @@ fn worker_loop(
                     let expired = task.submitted.elapsed() >= config.deadline;
                     if next > config.retry_limit || expired {
                         counters.failures.add(1);
+                        telemetry.on_failure();
                         let _ = merge_tx.send(MergeMsg::ShardDone {
                             flush: task.flush,
                             shard: state.id,
                             outcome: Err(Failure::from_payload(payload)),
+                            exec_ns,
+                            attempts: attempt as u64,
+                            finished: Instant::now(),
                         });
                     } else {
                         counters.retries.add(1);
                         counters.rebuilds.add(1);
+                        telemetry.on_retry(state.id);
                         planner = exec.planner().clone();
                         pending = Some((task, next));
                         drop(exec);
@@ -683,10 +749,18 @@ fn worker_loop(
 
 /// Merger: gather per-shard results per flush, merge under the global
 /// total order, answer every ticket.
-fn merger_loop(rx: &Receiver<MergeMsg>, obs: &Obs, counters: &Counters) {
+fn merger_loop(
+    rx: &Receiver<MergeMsg>,
+    obs: &Obs,
+    counters: &Counters,
+    telemetry: &ServiceTelemetry,
+) {
     struct Pending {
         entries: Vec<Entry>,
+        flushed_at: Instant,
         results: Vec<Option<Result<Vec<Vec<QueryHit>>, Failure>>>,
+        // Per-shard (exec_ns, attempts, finished), same indexing as results.
+        execs: Vec<Option<(u64, u64, Instant)>>,
     }
     let mut pending: HashMap<u64, Pending> = HashMap::new();
     while let Ok(msg) = rx.recv() {
@@ -695,12 +769,15 @@ fn merger_loop(rx: &Receiver<MergeMsg>, obs: &Obs, counters: &Counters) {
                 flush,
                 entries,
                 shards,
+                flushed_at,
             } => {
                 pending.insert(
                     flush,
                     Pending {
                         entries,
+                        flushed_at,
                         results: (0..shards).map(|_| None).collect(),
+                        execs: (0..shards).map(|_| None).collect(),
                     },
                 );
             }
@@ -708,15 +785,44 @@ fn merger_loop(rx: &Receiver<MergeMsg>, obs: &Obs, counters: &Counters) {
                 flush,
                 shard,
                 outcome,
+                exec_ns,
+                attempts,
+                finished,
             } => {
                 let slot = pending
                     .get_mut(&flush)
                     .expect("manifest always precedes shard results");
                 slot.results[shard] = Some(outcome);
+                slot.execs[shard] = Some((exec_ns, attempts, finished));
                 if !slot.results.iter().all(Option::is_some) {
                     continue;
                 }
                 let done = pending.remove(&flush).expect("present above");
+                // Per-shard attribution for this flush: scatter is the
+                // slowest shard execution; queueing is whatever of the
+                // post-flush wall time the executions themselves don't
+                // explain.
+                let shard_execs: Vec<(u64, u64)> = done
+                    .execs
+                    .iter()
+                    .map(|e| {
+                        let (ns, attempts, _) = e.expect("all shards reported");
+                        (ns / 1_000, attempts)
+                    })
+                    .collect();
+                let execs_us: Vec<u64> = shard_execs.iter().map(|&(us, _)| us).collect();
+                telemetry.record_flush_execs(&execs_us);
+                let scatter_us = execs_us.iter().copied().max().unwrap_or(0);
+                let last_finish = done
+                    .execs
+                    .iter()
+                    .map(|e| e.expect("all shards reported").2)
+                    .max()
+                    .unwrap_or(done.flushed_at);
+                let queue_us = (last_finish
+                    .saturating_duration_since(done.flushed_at)
+                    .as_micros() as u64)
+                    .saturating_sub(scatter_us);
                 let span = obs.span("merge", SpanId::NONE);
                 span.set_attrs(vec![
                     ("flush".into(), flush.into()),
@@ -742,9 +848,31 @@ fn merger_loop(rx: &Receiver<MergeMsg>, obs: &Obs, counters: &Counters) {
                                 lists.iter().map(|l| l[i].clone()).collect();
                             let hits = merge_ranked(&per_shard, entry.query.k);
                             counters.answered.add(1);
+                            let completed = Instant::now();
+                            let total_us = completed
+                                .saturating_duration_since(entry.submitted)
+                                .as_micros() as u64;
+                            let admit_us = done
+                                .flushed_at
+                                .saturating_duration_since(entry.submitted)
+                                .as_micros() as u64;
+                            // Merge picks up the remainder so the four
+                            // segments always sum to the end-to-end time.
+                            let merge_us = total_us
+                                .saturating_sub(admit_us + queue_us + scatter_us);
+                            telemetry.record_query(
+                                flush,
+                                entry.query.k,
+                                total_us,
+                                admit_us,
+                                queue_us,
+                                scatter_us,
+                                merge_us,
+                                &shard_execs,
+                            );
                             let _ = entry.reply.send(Response {
                                 result: Ok(hits),
-                                completed: Instant::now(),
+                                completed,
                             });
                         }
                     }

@@ -43,6 +43,15 @@
 # `knnta report --check`), and gates the disabled-mode overhead:
 # median(obs_overhead/disabled) <= median(obs_overhead/baseline) * 1.05
 # in BENCH_queries.json via `bench_diff --within`.
+#
+# Opt-in SLO lane: KNNTA_SLO_CHECK=1 runs a seeded `knnta serve` that
+# streams knnta.snapshot.v1 telemetry snapshots (--stats-out) and the
+# sampled tail traces (--tail-out), checks the window quantiles against
+# generous bounds with `knnta slo` (non-zero exit on violation), renders
+# the snapshot via `knnta top`, validates the tail trace with
+# `knnta report --check`, and gates the cost of the always-on window
+# telemetry: median(service_obs/qps/telemetry_on) <=
+# median(service_obs/qps/telemetry_off) * 1.05 in BENCH_service.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -205,4 +214,32 @@ if [ "${KNNTA_SERVICE_CHECK:-0}" != "0" ] && [ -n "${KNNTA_SERVICE_CHECK:-}" ]; 
     echo "== service-check: fault-injection suite under the soak wrapper =="
     KNNTA_SOAK=1 cargo test -q --release --offline --test service_faults
     KNNTA_SOAK=1 KNNTA_PROP_CASES=30 cargo test -q --release --offline --test service_oracle
+fi
+
+if [ "${KNNTA_SLO_CHECK:-0}" != "0" ] && [ -n "${KNNTA_SLO_CHECK:-}" ]; then
+    slodir="$(mktemp -d)"
+    trap 'rm -rf "$slodir" "${svcdir:-}" "${obsdir:-}" "${fresh:-}" "${plandir:-}"' EXIT
+    knnta="target/release/knnta"
+    echo "== slo-check: seeded serve streaming telemetry snapshots =="
+    "$knnta" serve --dataset GS --scale 0.004 --seed 20260704 \
+        --shards 4 --workers 2 --max-batch 32 --max-delay-us 200 \
+        --queries 400 --rate 4000 \
+        --stats-out "$slodir/snapshot.json" --stats-interval-ms 50 \
+        --tail-out "$slodir/tail.json"
+    echo "== slo-check: window quantiles vs generous bounds (gate exit code) =="
+    # 30 s bounds: far above anything a healthy run produces, so a failure
+    # here means the telemetry itself (not the machine) is broken. The
+    # violation path's non-zero exit is pinned by tests/slo_cli.rs.
+    "$knnta" slo --snapshot "$slodir/snapshot.json" \
+        --p95-us 30000000 --p99-us 30000000
+    echo "== slo-check: snapshot rendering + tail-trace structure =="
+    "$knnta" top "$slodir/snapshot.json"
+    "$knnta" report "$slodir/tail.json" --check
+    echo "== slo-check: always-on telemetry overhead gate (<= off * 1.05) =="
+    KNNTA_BENCH_FAST=1 KNNTA_BENCH_SAMPLES=21 KNNTA_BENCH_DIR="$slodir" \
+        cargo bench --offline -p knnta-bench --bench service
+    cargo run -q --release --offline --bin bench_diff -- \
+        --within "$slodir/BENCH_service.json" \
+        --assert-le service_obs/qps/telemetry_on service_obs/qps/telemetry_off \
+        --slack 0.05
 fi

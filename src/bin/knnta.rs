@@ -36,8 +36,9 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    // `report` takes a positional trace path; everything else is `--key value`.
-    let (positional, flagged): (Vec<&String>, Vec<String>) = if cmd == "report" {
+    // `report` takes a positional trace path and `top` a positional snapshot
+    // path; everything else is `--key value`.
+    let (positional, flagged): (Vec<&String>, Vec<String>) = if cmd == "report" || cmd == "top" {
         let pos: Vec<&String> = rest.iter().take_while(|a| !a.starts_with("--")).collect();
         (pos.clone(), rest[pos.len()..].to_vec())
     } else {
@@ -62,6 +63,8 @@ fn main() -> ExitCode {
         "batch" => batch(&opts),
         "explain" => explain(&opts),
         "report" => report(&positional, &opts),
+        "top" => top(&positional, &opts),
+        "slo" => slo(&opts),
         "mwa" => mwa(&opts),
         "skyline" => skyline(&opts),
         "help" | "--help" | "-h" => {
@@ -97,6 +100,13 @@ commands:
             [--shards N] [--workers W] [--max-batch B] [--max-delay-us D]
             [--queries Q] [--rate QPS] [--k K] [--alpha0 W]
             [--trace-out FILE] [--metrics-out FILE]
+            [--stats-out FILE] [--stats-interval-ms N] [--tail-out FILE]
+                            (--stats-out streams knnta.snapshot.v1 telemetry
+                             snapshots — sliding-window latency histograms
+                             with phase attribution, per-shard health gauges —
+                             to FILE every N ms (default 100) and once more at
+                             shutdown; --tail-out writes the sampled tail
+                             traces as one knnta.trace.v1 document)
                             (starts the async sharded query service — streaming
                              admission into Hilbert locality tiles, N engine
                              shards × W workers, scatter-gather merge — and
@@ -149,6 +159,17 @@ commands:
                              aggregation vs. page I/O — from a --trace-out
                              artifact; --check validates span nesting and
                              fails on orphaned spans)
+  top       SNAPSHOT [--watch MS] [--iters N]
+                            (renders a knnta.snapshot.v1 telemetry snapshot —
+                             from `serve --stats-out` — as text tables: window
+                             latency quantiles per phase, counters, gauges.
+                             --watch MS re-reads the file every MS ms for N
+                             iterations)
+  slo       --snapshot FILE [--hist NAME] [--p50-us A] [--p95-us B] [--p99-us C]
+                            (checks sliding-window quantiles in a telemetry
+                             snapshot against latency bounds; exits non-zero
+                             on any violation. NAME defaults to the service's
+                             end-to-end window histogram)
   mwa       --index FILE --x X --y Y --from-day A --to-day B [--k K] [--alpha0 W]
   skyline   --index FILE --x X --y Y --from-day A --to-day B";
 
@@ -571,6 +592,26 @@ fn serve(opts: &Opts) -> Result<(), String> {
     let grid = dataset.grid.clone();
     let bounds = Rect::new(dataset.bounds.0, dataset.bounds.1);
     let mut service = Service::start(config, grid, bounds, pois, obs.clone());
+
+    // Periodic snapshot emitter: rewrite --stats-out every interval while the
+    // load runs, then once more after shutdown so the final file always
+    // reflects the whole run.
+    let stats_out = opts.0.get("stats-out").cloned();
+    let stats_interval_ms: u64 = opts.num("stats-interval-ms", 100)?;
+    let emitter = stats_out.as_ref().map(|path| {
+        let telemetry = std::sync::Arc::clone(service.telemetry());
+        let path = path.clone();
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop_flag = std::sync::Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            while !stop_flag.load(std::sync::atomic::Ordering::Relaxed) {
+                let _ = std::fs::write(&path, telemetry.snapshot().to_json());
+                std::thread::sleep(std::time::Duration::from_millis(stats_interval_ms.max(1)));
+            }
+        });
+        (stop, handle)
+    });
+
     let client = ClientConfig {
         queries,
         rate_qps: rate,
@@ -586,7 +627,39 @@ fn serve(opts: &Opts) -> Result<(), String> {
         service.shards()
     );
     let report = run_open_loop(&service, &stream, rate);
+    let telemetry = std::sync::Arc::clone(service.telemetry());
     service.shutdown();
+    if let Some((stop, handle)) = emitter {
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let _ = handle.join();
+    }
+    if let Some(path) = &stats_out {
+        let snap = telemetry.snapshot();
+        snap.validate()?;
+        std::fs::write(path, snap.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        let e2e = snap.histogram(knnta::service::W_E2E_US);
+        if let Some(h) = e2e {
+            println!(
+                "window:      e2e p50 {} µs   p95 {} µs   p99 {} µs over {} queries \
+                 (last {} admission epochs)",
+                h.p50, h.p95, h.p99, h.count, snap.windows
+            );
+        }
+        eprintln!("(stats: snapshot at tick {} -> {path})", snap.tick);
+    }
+    if let Some(path) = opts.0.get("tail-out") {
+        let doc = telemetry.tail_trace();
+        doc.validate()?;
+        std::fs::write(path, doc.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "tail:        {} traces kept (of {} answered) above the rolling ~p95 \
+             threshold ({} µs)",
+            telemetry.tail_kept_ever(),
+            report.completed,
+            telemetry.tail_threshold_us()
+        );
+        eprintln!("(tail: {} spans -> {path})", doc.spans.len());
+    }
     println!(
         "client:      {} open-loop queries offered at {rate:.0}/s (power-law points, \
          k={k}, α0={alpha0})",
@@ -1037,6 +1110,81 @@ fn report(positional: &[&String], opts: &Opts) -> Result<(), String> {
         None => None,
     };
     print!("{}", render_report(&trace, metrics.as_ref()));
+    Ok(())
+}
+
+/// Renders a `knnta.snapshot.v1` telemetry snapshot as text tables,
+/// optionally re-reading the file on an interval (`--watch MS --iters N`).
+fn top(positional: &[&String], opts: &Opts) -> Result<(), String> {
+    let [snap_path] = positional else {
+        return Err("top needs exactly one snapshot file argument".into());
+    };
+    let watch_ms: u64 = opts.num("watch", 0)?;
+    let iters: usize = opts.num("iters", 1)?;
+    for i in 0..iters.max(1) {
+        let raw = std::fs::read_to_string(snap_path).map_err(|e| format!("{snap_path}: {e}"))?;
+        let snap = knnta::obs::SnapshotDoc::parse(&raw).map_err(|e| format!("{snap_path}: {e}"))?;
+        if i > 0 {
+            println!();
+        }
+        print!("{}", knnta::obs::render_top(&snap));
+        if watch_ms > 0 && i + 1 < iters.max(1) {
+            std::thread::sleep(std::time::Duration::from_millis(watch_ms));
+        }
+    }
+    Ok(())
+}
+
+/// Checks sliding-window latency quantiles in a telemetry snapshot against
+/// bounds; any violation is an error, so the process exits non-zero — usable
+/// directly as a CI / deploy gate.
+fn slo(opts: &Opts) -> Result<(), String> {
+    let path = opts.str("snapshot")?;
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let snap = knnta::obs::SnapshotDoc::parse(&raw).map_err(|e| format!("{path}: {e}"))?;
+    snap.validate().map_err(|e| format!("{path}: {e}"))?;
+    let default_hist = knnta::service::W_E2E_US.to_string();
+    let hist_name = opts.num::<String>("hist", default_hist)?;
+    let hist = snap
+        .histogram(&hist_name)
+        .ok_or(format!("{path}: no histogram `{hist_name}` in snapshot"))?;
+    if hist.count == 0 {
+        return Err(format!(
+            "{path}: `{hist_name}` holds no samples in the current window — cannot assess the SLO"
+        ));
+    }
+    let bound_of = |key: &str| -> Result<Option<u64>, String> {
+        match opts.0.get(key) {
+            None => Ok(None),
+            Some(v) => v.parse().map(Some).map_err(|_| format!("--{key}: bad value `{v}`")),
+        }
+    };
+    let checks: [(&str, u64, Option<u64>); 3] = [
+        ("p50", hist.p50, bound_of("p50-us")?),
+        ("p95", hist.p95, bound_of("p95-us")?),
+        ("p99", hist.p99, bound_of("p99-us")?),
+    ];
+    if checks.iter().all(|(_, _, bound)| bound.is_none()) {
+        return Err("slo needs at least one of --p50-us / --p95-us / --p99-us".into());
+    }
+    println!(
+        "slo:         `{hist_name}` over {} samples in the window (tick {})",
+        hist.count, snap.tick
+    );
+    let mut violations = 0usize;
+    for (label, measured, bound) in checks {
+        let Some(bound) = bound else { continue };
+        let ok = measured <= bound;
+        println!(
+            "  {label} {measured} µs <= {bound} µs: {}",
+            if ok { "ok" } else { "VIOLATION" }
+        );
+        violations += usize::from(!ok);
+    }
+    if violations > 0 {
+        return Err(format!("{violations} SLO bound(s) violated"));
+    }
+    println!("slo:         all bounds hold");
     Ok(())
 }
 

@@ -1,0 +1,136 @@
+//! The always-on serving telemetry (`DESIGN.md` §16): every answered query
+//! must land in the sliding-window histograms with a full phase attribution,
+//! the per-shard health gauges must be published, and the tail sampler must
+//! stay within its bound while producing a well-formed trace document.
+
+mod common;
+
+use common::tiny_dataset;
+use knnta::core::Obs;
+use knnta::service::{Service, ServiceConfig, TelemetryConfig};
+use knnta::{KnntaQuery, TimeInterval};
+use std::time::Duration;
+
+fn query_stream(n: usize) -> Vec<KnntaQuery> {
+    (0..n)
+        .map(|i| {
+            let x = (i % 10) as f64 * 9.0 + 3.0;
+            let y = (i % 7) as f64 * 13.0 + 4.0;
+            KnntaQuery::new([x, y], TimeInterval::days(0, 56)).with_k(1 + i % 5)
+        })
+        .collect()
+}
+
+fn serve_all(config: ServiceConfig, queries: &[KnntaQuery]) -> Service {
+    let (grid, bounds, pois) = tiny_dataset();
+    let service = Service::start(config, grid, bounds, pois, Obs::disabled());
+    // Submit in small waves so admission cuts several flushes.
+    for wave in queries.chunks(4) {
+        let tickets: Vec<_> = wave.iter().map(|q| service.submit(*q)).collect();
+        for t in tickets {
+            assert!(!t.wait().is_empty());
+        }
+    }
+    service
+}
+
+#[test]
+fn windows_attribute_every_answered_query() {
+    let config = ServiceConfig {
+        shards: 2,
+        workers: 1,
+        max_batch: 4,
+        max_delay: Duration::from_micros(100),
+        telemetry: TelemetryConfig {
+            advance_every_flushes: 2,
+            ..TelemetryConfig::default()
+        },
+        ..ServiceConfig::default()
+    };
+    let queries = query_stream(48);
+    let mut service = serve_all(config, &queries);
+    let telemetry = std::sync::Arc::clone(service.telemetry());
+    service.shutdown();
+
+    let snap = telemetry.snapshot();
+    snap.validate().expect("snapshot must be schema-valid");
+    assert_eq!(snap.schema, knnta::obs::SNAPSHOT_SCHEMA);
+
+    // Round-trip through JSON stays valid and identical in the fields the
+    // SLO gate reads.
+    let parsed = knnta::obs::SnapshotDoc::parse(&snap.to_json()).expect("parse own json");
+    parsed.validate().expect("round-tripped snapshot valid");
+    assert_eq!(parsed.tick, snap.tick);
+
+    // Every query is counted, and every phase histogram saw all of them.
+    let answered = snap
+        .counter(knnta::service::W_ANSWERED)
+        .expect("answered counter")
+        .lifetime;
+    assert_eq!(answered, queries.len() as u64);
+    for name in [
+        knnta::service::W_E2E_US,
+        knnta::service::W_ADMIT_US,
+        knnta::service::W_QUEUE_US,
+        knnta::service::W_SCATTER_US,
+        knnta::service::W_MERGE_US,
+    ] {
+        let h = snap.histogram(name).unwrap_or_else(|| panic!("missing {name}"));
+        assert!(h.count > 0, "{name} saw no samples in the window");
+        assert!(h.p50 <= h.p95 && h.p95 <= h.p99, "{name} quantiles ordered");
+        assert!(h.p99 <= h.max, "{name} p99 within the observed max");
+    }
+
+    // The admission clock drove the window: several flushes happened, so the
+    // ring must have rotated at least once.
+    let flushes = snap.counter(knnta::service::W_FLUSHES).expect("flushes").lifetime;
+    assert!(flushes >= 2, "expected multiple flushes, got {flushes}");
+    assert!(snap.tick >= 1, "window clock never advanced");
+
+    // Per-shard health gauges are published for both shards.
+    for shard in 0..2 {
+        let depth = snap.gauge(&format!("knnta.service.shard{shard}.queue_depth"));
+        assert!(depth.is_some(), "shard {shard} queue depth gauge missing");
+        let ewma = snap
+            .gauge(&format!("knnta.service.shard{shard}.busy_ewma_us"))
+            .expect("busy ewma gauge");
+        assert!(ewma >= 0);
+    }
+    assert!(snap.gauge(knnta::service::G_IMBALANCE_X1000).is_some());
+
+    // Tail sampling: bounded, counted, and exported as a valid trace whose
+    // roots decompose into the four segments.
+    let kept = telemetry.tail_kept_ever();
+    assert!(kept > 0, "warmup alone must keep some traces");
+    let tail = telemetry.tail_trace();
+    tail.validate().expect("tail trace well-formed");
+    let roots = tail.spans_named("served_query").count();
+    assert!(roots > 0 && roots <= 32, "reservoir bound violated: {roots}");
+    let segments = tail.spans_named("segment.scatter").count();
+    assert_eq!(segments, roots, "every kept trace carries its segments");
+}
+
+#[test]
+fn disabled_telemetry_serves_identically_and_stays_silent() {
+    let config = ServiceConfig {
+        shards: 2,
+        workers: 1,
+        max_batch: 4,
+        max_delay: Duration::from_micros(100),
+        telemetry: TelemetryConfig {
+            enabled: false,
+            ..TelemetryConfig::default()
+        },
+        ..ServiceConfig::default()
+    };
+    let queries = query_stream(16);
+    let mut service = serve_all(config, &queries);
+    let telemetry = std::sync::Arc::clone(service.telemetry());
+    service.shutdown();
+
+    assert!(!telemetry.is_enabled());
+    let snap = telemetry.snapshot();
+    assert_eq!(snap.histograms.len(), 0, "disabled telemetry records nothing");
+    assert_eq!(telemetry.tail_kept_ever(), 0);
+    assert!(telemetry.tail_trace().spans.is_empty());
+}

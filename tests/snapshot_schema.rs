@@ -1,0 +1,87 @@
+//! Golden-fixture pin of the `knnta.snapshot.v1` wire format.
+//!
+//! `tests/fixtures/snapshot_schema.golden.json` is the byte-exact JSON
+//! serialisation of a fully deterministic telemetry snapshot. Any change to
+//! the schema — field names, ordering, quantile encoding, counter shape —
+//! shows up here as a diff, forcing a deliberate schema-version bump instead
+//! of silent drift that would break external `slo` / `top` consumers.
+//!
+//! Regenerate after an *intentional* schema change with:
+//!
+//! ```text
+//! KNNTA_BLESS=1 cargo test --test snapshot_schema
+//! ```
+
+use knnta::obs::{LiveWindows, SnapshotDoc};
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/snapshot_schema.golden.json"
+);
+
+fn blessing() -> bool {
+    std::env::var("KNNTA_BLESS").map_or(false, |v| v != "0" && !v.is_empty())
+}
+
+/// A deterministic snapshot touching every document feature: counters with
+/// window/lifetime divergence, gauges, one histogram with in-window and
+/// rotated-out samples, an overflow-bucket sample, and a nonzero tick.
+fn golden_snapshot() -> SnapshotDoc {
+    let windows = LiveWindows::new(3);
+    let answered = windows.counter("golden.answered");
+    let flushes = windows.counter("golden.flushes");
+    let depth = windows.gauge("golden.depth");
+    let hist = windows.histogram("golden.latency_us", &[100, 1_000, 10_000]);
+
+    // Tick 0: these histogram samples rotate out of the 3-slot window once
+    // the clock reaches tick 3; the counter keeps them in `lifetime`.
+    answered.add(5);
+    hist.record(50);
+    hist.record(50);
+    windows.advance(); // tick 1
+    windows.advance(); // tick 2
+    windows.advance(); // tick 3 — tick-0 slot reused, early samples gone
+    answered.add(7);
+    flushes.inc();
+    depth.set(4);
+    hist.record(100); // exactly on an inclusive bound
+    hist.record(999);
+    hist.record(2_500);
+    hist.record(123_456); // overflow bucket
+    windows.snapshot()
+}
+
+#[test]
+fn snapshot_json_matches_the_golden_fixture() {
+    let snap = golden_snapshot();
+    snap.validate().expect("golden snapshot must be valid");
+
+    // Schema invariants, independent of the fixture bytes.
+    assert_eq!(snap.schema, knnta::obs::SNAPSHOT_SCHEMA);
+    assert_eq!(snap.tick, 3);
+    let c = snap.counter("golden.answered").expect("counter present");
+    assert_eq!((c.window, c.lifetime), (7, 12), "window forgets, lifetime keeps");
+    let h = snap.histogram("golden.latency_us").expect("histogram present");
+    assert_eq!(h.count, 4, "rotated-out samples never count");
+    assert_eq!(h.max, 123_456);
+    assert_eq!(h.buckets.len(), h.bounds.len() + 1, "trailing overflow bucket");
+
+    let json = snap.to_json();
+    let parsed = SnapshotDoc::parse(&json).expect("round-trip parse");
+    parsed.validate().expect("round-trip stays valid");
+    assert_eq!(parsed.to_json(), json, "serialisation is a fixed point");
+
+    if blessing() {
+        std::fs::write(GOLDEN_PATH, &json).expect("write golden fixture");
+        eprintln!("blessed {GOLDEN_PATH} ({} bytes)", json.len());
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH).unwrap_or_else(|e| {
+        panic!("missing {GOLDEN_PATH} ({e}); regenerate with KNNTA_BLESS=1")
+    });
+    assert_eq!(
+        json, golden,
+        "knnta.snapshot.v1 drifted from the pinned fixture; if the schema \
+         change is intentional, bump the version and re-bless with KNNTA_BLESS=1"
+    );
+}
